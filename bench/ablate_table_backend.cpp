@@ -1,0 +1,120 @@
+/// Ablation: how much of SMED's speed comes from the §2.3.3 parallel-array
+/// linear-probing table (vs the algorithm itself)? We re-implement the same
+/// SMED logic on std::unordered_map — the "natural way to implement" a
+/// counter set (§1.3.2) — and race the two on the packet workload.
+///
+/// The node-based map costs an allocation per insert, pointer-chasing per
+/// lookup, and a full rehash-unfriendly iteration per decrement; the paper's
+/// design wins on every count. This quantifies the DESIGN.md claim that the
+/// table is a load-bearing design choice, not an implementation detail.
+
+#include <cstdio>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/frequent_items_sketch.h"
+#include "select/quickselect.h"
+
+namespace {
+
+using namespace freq;
+using namespace freq::bench;
+
+/// SMED with identical policy but counters in std::unordered_map. Sampling
+/// for the quantile uses the first l entries in iteration order —
+/// unordered_map iteration order is hash-driven and effectively arbitrary,
+/// which is the closest analogue of random sampling available without
+/// auxiliary state.
+class smed_on_unordered_map {
+public:
+    explicit smed_on_unordered_map(std::uint32_t k, std::uint32_t sample_size = 1024)
+        : k_(k), sample_size_(sample_size) {
+        counters_.reserve(k + 1);
+        sample_.reserve(sample_size);
+    }
+
+    void update(std::uint64_t id, std::uint64_t weight) {
+        const auto it = counters_.find(id);
+        if (it != counters_.end()) {
+            it->second += weight;
+            return;
+        }
+        if (counters_.size() < k_) {
+            counters_.emplace(id, weight);
+            return;
+        }
+        const std::uint64_t cstar = decrement();
+        if (weight > cstar) {
+            counters_.emplace(id, weight - cstar);
+        }
+    }
+
+    std::uint64_t num_decrements() const { return num_decrements_; }
+
+private:
+    std::uint64_t decrement() {
+        sample_.clear();
+        for (const auto& [id, c] : counters_) {
+            sample_.push_back(c);
+            if (sample_.size() == sample_size_) {
+                break;
+            }
+        }
+        const std::uint64_t cstar =
+            quickselect_quantile(std::span<std::uint64_t>(sample_), 0.5);
+        for (auto it = counters_.begin(); it != counters_.end();) {
+            if (it->second <= cstar) {
+                it = counters_.erase(it);
+            } else {
+                it->second -= cstar;
+                ++it;
+            }
+        }
+        ++num_decrements_;
+        return cstar;
+    }
+
+    std::uint32_t k_;
+    std::uint32_t sample_size_;
+    std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+    std::vector<std::uint64_t> sample_;
+    std::uint64_t num_decrements_ = 0;
+};
+
+}  // namespace
+
+int main() {
+    const auto stream = caida_stream();
+    const double n = static_cast<double>(stream.size());
+    print_stream_stats(stream, "caida-like(ablate)");
+
+    print_header("Table backend ablation (same SMED policy, different storage)",
+                 "        k   parallel-array(s)   unordered_map(s)   speedup");
+    bool ok = true;
+    for (const std::uint32_t k : {1024u, 4096u, 16384u}) {
+        frequent_items_sketch<std::uint64_t, std::uint64_t> fast(
+            sketch_config{.max_counters = k, .seed = 1});
+        const double t_fast = time_consume(fast, stream);
+
+        smed_on_unordered_map slow(k);
+        stopwatch sw;
+        for (const auto& u : stream) {
+            slow.update(u.id, u.weight);
+        }
+        const double t_slow = sw.seconds();
+
+        std::printf("%9u  %18.3f  %17.3f  %8.2fx\n", k, t_fast, t_slow, t_slow / t_fast);
+        // At k <= l the two implementations sample the decrement quantile
+        // very differently (random rejection probes vs a sequential bucket
+        // walk), which confounds the storage comparison; assert the backend
+        // claim where decrements are rare and the hot path dominates.
+        if (k >= 4096) {
+            ok &= check(t_fast < t_slow,
+                        "k=" + std::to_string(k) + ": the paper's table beats unordered_map");
+        }
+    }
+    std::printf("Throughput with parallel-array table at k=4096: measured above; n=%.0f\n", n);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,118 @@
+#ifndef FREQ_BENCH_BENCH_COMMON_H
+#define FREQ_BENCH_BENCH_COMMON_H
+
+/// \file bench_common.h
+/// Shared plumbing for the figure-reproduction harnesses: workload
+/// construction (the §4.1 CAIDA-substitute stream and the §4.5 Zipf merge
+/// workload), wall-clock timing, environment-based scaling, and fixed-width
+/// table printing so each binary emits the same rows/series as the paper's
+/// figures.
+///
+/// Scaling: FREQ_BENCH_SCALE (default 1.0) multiplies stream lengths.
+/// The paper used n = 126.2M updates; the default here is 8M, which is
+/// enough for the speed ratios and error orderings to stabilize (see
+/// EXPERIMENTS.md). Set FREQ_BENCH_SCALE=16 to approximate the paper's n.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+#include "stream/update.h"
+
+namespace freq::bench {
+
+inline double scale_factor() {
+    const char* env = std::getenv("FREQ_BENCH_SCALE");
+    if (env == nullptr) {
+        return 1.0;
+    }
+    const double s = std::atof(env);
+    return s > 0.0 ? s : 1.0;
+}
+
+inline std::uint64_t scaled(std::uint64_t base) {
+    return static_cast<std::uint64_t>(static_cast<double>(base) * scale_factor());
+}
+
+/// The §4.1 evaluation stream (CAIDA substitute; see DESIGN.md §1):
+/// ~8M packets over ~500k source IPs, weights = packet size in bits.
+inline update_stream<std::uint64_t, std::uint64_t> caida_stream(std::uint64_t seed = 2016) {
+    caida_like_generator gen({
+        .num_updates = scaled(8'000'000),
+        .num_flows = scaled(500'000),
+        .alpha = 1.1,
+        .seed = seed,
+    });
+    return gen.generate();
+}
+
+/// The §4.5 merge workload: Zipf(1.05) ids, uniform weights in [1, 10000].
+inline update_stream<std::uint64_t, std::uint64_t> zipf_merge_stream(std::uint64_t n,
+                                                                     std::uint64_t seed) {
+    zipf_stream_generator gen({
+        .num_updates = n,
+        .num_distinct = std::max<std::uint64_t>(n / 4, 16),
+        .alpha = 1.05,
+        .min_weight = 1,
+        .max_weight = 10'000,
+        .seed = seed,
+    });
+    return gen.generate();
+}
+
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+    void reset() { start_ = clock::now(); }
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Runs a full stream through an algorithm and returns wall seconds.
+template <typename Algo>
+double time_consume(Algo& algo, const update_stream<std::uint64_t, std::uint64_t>& stream) {
+    stopwatch sw;
+    for (const auto& u : stream) {
+        algo.update(u.id, u.weight);
+    }
+    return sw.seconds();
+}
+
+inline void print_header(const std::string& title, const std::string& columns) {
+    std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+/// Qualitative reproduction check: prints PASS/FAIL with the claim text so
+/// bench_output.txt doubles as the experiment record.
+inline bool check(bool ok, const std::string& claim) {
+    std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    return ok;
+}
+
+/// Stream statistics banner (the §4.1 dataset-properties table).
+inline void print_stream_stats(const update_stream<std::uint64_t, std::uint64_t>& stream,
+                               const std::string& name) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    for (const auto& u : stream) {
+        exact.update(u.id, u.weight);
+    }
+    std::printf("stream %-18s n=%llu  N=%.4g  distinct=%zu  mean_weight=%.1f\n",
+                name.c_str(), static_cast<unsigned long long>(exact.num_updates()),
+                static_cast<double>(exact.total_weight()), exact.num_distinct(),
+                static_cast<double>(exact.total_weight()) /
+                    static_cast<double>(std::max<std::uint64_t>(1, exact.num_updates())));
+}
+
+}  // namespace freq::bench
+
+#endif  // FREQ_BENCH_BENCH_COMMON_H

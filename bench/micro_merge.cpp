@@ -1,0 +1,85 @@
+/// Google-benchmark micro-benchmarks for the three merge procedures at a
+/// fixed sketch size — the per-merge numbers underlying Fig. 4 — plus
+/// serialization round-trip cost (relevant to the §3 query-time merging
+/// scenario, where summaries are loaded from storage before merging).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/merge_baselines.h"
+#include "core/frequent_items_sketch.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace freq;
+
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+sketch_u64 filled_sketch(std::uint32_t k, std::uint64_t seed) {
+    sketch_u64 s(sketch_config{.max_counters = k, .seed = seed});
+    zipf_stream_generator gen({
+        .num_updates = 6ULL * k,
+        .num_distinct = std::max<std::uint64_t>(3ULL * k, 16),
+        .alpha = 1.05,
+        .min_weight = 1,
+        .max_weight = 10'000,
+        .seed = seed + 77,
+    });
+    s.consume(gen.generate());
+    return s;
+}
+
+void BM_OurMerge(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto a = filled_sketch(k, 1);
+    const auto b = filled_sketch(k, 2);
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto target = a;  // merge mutates; copy outside the timed region
+        state.ResumeTiming();
+        target.merge(b);
+        benchmark::DoNotOptimize(target);
+    }
+}
+
+void BM_AchSortMerge(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto a = filled_sketch(k, 1);
+    const auto b = filled_sketch(k, 2);
+    for (auto _ : state) {
+        auto merged = ach_sort_merge(a, b);
+        benchmark::DoNotOptimize(merged);
+    }
+}
+
+void BM_Hoa61Merge(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto a = filled_sketch(k, 1);
+    const auto b = filled_sketch(k, 2);
+    for (auto _ : state) {
+        auto merged = hoa61_merge(a, b);
+        benchmark::DoNotOptimize(merged);
+    }
+}
+
+void BM_SerializeDeserialize(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto s = filled_sketch(k, 3);
+    for (auto _ : state) {
+        const auto bytes = s.serialize();
+        auto restored = sketch_u64::deserialize(bytes);
+        benchmark::DoNotOptimize(restored);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_OurMerge)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AchSortMerge)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Hoa61Merge)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SerializeDeserialize)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

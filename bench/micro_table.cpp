@@ -1,0 +1,105 @@
+/// Google-benchmark micro-benchmarks for the §2.3.3 counter table itself:
+/// hit and miss lookups, upserts, and the decrement-and-compact pass, at
+/// small (L1-resident) and large (cache-straining) capacities. These are
+/// the per-operation costs that make Fig. 1's throughput possible.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "random/xoshiro.h"
+#include "table/counter_table.h"
+
+namespace {
+
+using namespace freq;
+using table_u64 = counter_table<std::uint64_t, std::uint64_t>;
+
+std::vector<std::uint64_t> resident_keys(std::uint32_t k, std::uint64_t seed) {
+    xoshiro256ss rng(seed);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+        keys.push_back(rng());
+    }
+    return keys;
+}
+
+table_u64 filled_table(const std::vector<std::uint64_t>& keys) {
+    table_u64 t(static_cast<std::uint32_t>(keys.size()), 1);
+    for (const auto key : keys) {
+        t.upsert(key, 100);
+    }
+    return t;
+}
+
+void BM_FindHit(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto keys = resident_keys(k, 1);
+    const auto t = filled_table(keys);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.find(keys[i]));
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FindMiss(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto t = filled_table(resident_keys(k, 1));
+    xoshiro256ss rng(99);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.find(rng() | 1ULL));  // almost surely absent
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_UpsertExisting(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto keys = resident_keys(k, 1);
+    auto t = filled_table(keys);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        t.upsert(keys[i], 1);
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DecrementAll(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto keys = resident_keys(k, 1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto t = filled_table(keys);  // decrement consumes the table
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(t.decrement_all(50));
+    }
+    // One decrement touches all L slots; report per-slot cost via counters.
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+
+void BM_FillToCapacity(benchmark::State& state) {
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    const auto keys = resident_keys(k, 1);
+    for (auto _ : state) {
+        table_u64 t(k, 1);
+        for (const auto key : keys) {
+            t.upsert(key, 1);
+        }
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FindHit)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_FindMiss)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_UpsertExisting)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_DecrementAll)->Arg(1024)->Arg(65536)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FillToCapacity)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+/// Google-benchmark micro-benchmarks: per-update cost of every algorithm on
+/// two stream mixes — hit-heavy (skewed Zipf: most updates increment an
+/// existing counter) and miss-heavy (near-uniform: most updates hit the
+/// overflow path). These are the per-operation numbers underlying Fig. 1.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/rbmc.h"
+#include "baselines/space_saving_heap.h"
+#include "baselines/stream_summary.h"
+#include "core/frequent_items_sketch.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace freq;
+
+update_stream<std::uint64_t, std::uint64_t> mix_stream(bool hit_heavy) {
+    zipf_stream_generator gen({
+        .num_updates = 1'000'000,
+        .num_distinct = hit_heavy ? 10'000u : 1'000'000u,
+        .alpha = hit_heavy ? 1.3 : 0.2,
+        .min_weight = 1,
+        .max_weight = 1'000,
+        .seed = hit_heavy ? 11u : 22u,
+    });
+    return gen.generate();
+}
+
+const auto& stream_for(bool hit_heavy) {
+    static const auto hits = mix_stream(true);
+    static const auto misses = mix_stream(false);
+    return hit_heavy ? hits : misses;
+}
+
+template <typename Algo, typename... Args>
+void run_updates(benchmark::State& state, bool hit_heavy, Args... args) {
+    const auto& stream = stream_for(hit_heavy);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        Algo algo(k, args...);
+        for (const auto& u : stream) {
+            algo.update(u.id, u.weight);
+        }
+        benchmark::DoNotOptimize(algo);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+void BM_SmedHitHeavy(benchmark::State& state) {
+    const auto& stream = stream_for(true);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        frequent_items_sketch<std::uint64_t, std::uint64_t> s(
+            sketch_config{.max_counters = k, .seed = 1});
+        s.consume(stream);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+void BM_SmedMissHeavy(benchmark::State& state) {
+    const auto& stream = stream_for(false);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        frequent_items_sketch<std::uint64_t, std::uint64_t> s(
+            sketch_config{.max_counters = k, .seed = 1});
+        s.consume(stream);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+void BM_MheHitHeavy(benchmark::State& state) {
+    run_updates<space_saving_heap<std::uint64_t, std::uint64_t>>(state, true);
+}
+
+void BM_MheMissHeavy(benchmark::State& state) {
+    run_updates<space_saving_heap<std::uint64_t, std::uint64_t>>(state, false);
+}
+
+void BM_RbmcHitHeavy(benchmark::State& state) {
+    run_updates<rbmc<std::uint64_t, std::uint64_t>>(state, true);
+}
+
+void BM_SslUnitHitHeavy(benchmark::State& state) {
+    // SSL takes unit updates only; feed the id sequence.
+    const auto& stream = stream_for(true);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        stream_summary<std::uint64_t> s(k);
+        for (const auto& u : stream) {
+            s.update(u.id);
+        }
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SmedHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SmedMissHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MheHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MheMissHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RbmcHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SslUnitHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/// Distributed aggregation: the §3 motivating scenario. A large stream is
+/// partitioned across "machines" (here: shards), each machine summarizes its
+/// partition independently, the summaries travel as serialized byte strings,
+/// and an aggregator merges them — over an arbitrary tree — into one summary
+/// of the whole dataset. No machine ever sees more than its own shard.
+///
+///   build/examples/distributed_merge [num_shards]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/frequent_items_sketch.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+int main(int argc, char** argv) {
+    using namespace freq;
+    using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+    const int shards = argc > 1 ? std::atoi(argv[1]) : 16;
+    constexpr std::uint32_t k = 2048;
+
+    // "Machines": each consumes its own partition and serializes its summary.
+    std::vector<std::vector<std::uint8_t>> wire_images;
+    exact_counter<std::uint64_t, std::uint64_t> exact;  // omniscient observer, demo only
+    std::size_t wire_bytes = 0;
+    for (int m = 0; m < shards; ++m) {
+        sketch_u64 local(sketch_config{.max_counters = k, .seed = static_cast<std::uint64_t>(m)});
+        zipf_stream_generator gen({.num_updates = 500'000,
+                                   .num_distinct = 100'000,
+                                   .alpha = 1.05,
+                                   .min_weight = 1,
+                                   .max_weight = 10'000,
+                                   .seed = 9000 + static_cast<std::uint64_t>(m)});
+        for (const auto& u : gen.generate()) {
+            local.update(u.id, u.weight);
+            exact.update(u.id, u.weight);
+        }
+        wire_images.push_back(local.serialize());
+        wire_bytes += wire_images.back().size();
+    }
+    std::printf("%d machines summarized %llu total updates; shipped %zu KiB of sketches\n",
+                shards, static_cast<unsigned long long>(exact.num_updates()),
+                wire_bytes / 1024);
+
+    // Aggregator: deserialize and merge pairwise in a balanced tree
+    // (Theorem 5: the bound holds for any aggregation tree).
+    std::vector<sketch_u64> level;
+    level.reserve(wire_images.size());
+    for (const auto& img : wire_images) {
+        level.push_back(sketch_u64::deserialize(img));
+    }
+    while (level.size() > 1) {
+        std::vector<sketch_u64> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            level[i].merge(level[i + 1]);
+            next.push_back(std::move(level[i]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(std::move(level.back()));
+        }
+        level = std::move(next);
+    }
+    const sketch_u64& global = level.front();
+
+    std::printf("merged summary: %s\n", global.to_string().c_str());
+    std::printf("N check: merged=%llu exact=%llu\n",
+                static_cast<unsigned long long>(global.total_weight()),
+                static_cast<unsigned long long>(exact.total_weight()));
+
+    // Validate: bounds bracket the truth for the global top items.
+    const auto rows = global.frequent_items(error_type::no_false_negatives);
+    std::printf("\nglobal heavy hitters (top 8 of %zu):\n", rows.size());
+    std::printf("%20s %14s %14s %14s  ok\n", "id", "lower", "true", "upper");
+    int shown = 0;
+    for (const auto& r : rows) {
+        if (shown++ >= 8) {
+            break;
+        }
+        const auto truth = exact.frequency(r.id);
+        std::printf("%20llu %14llu %14llu %14llu  %s\n",
+                    static_cast<unsigned long long>(r.id),
+                    static_cast<unsigned long long>(r.lower_bound),
+                    static_cast<unsigned long long>(truth),
+                    static_cast<unsigned long long>(r.upper_bound),
+                    r.lower_bound <= truth && truth <= r.upper_bound ? "yes" : "NO");
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/// Entropy monitoring: the anomaly-detection application of §1.2 ([5, 10,
+/// 22]). The empirical entropy of the source-IP distribution drops sharply
+/// when traffic concentrates (a hot talker / worm victim) and rises when it
+/// disperses (scanning). The estimator uses the frequent-items sketch as a
+/// black-box subroutine and reports certified entropy intervals per window.
+///
+///   build/examples/entropy_monitor
+
+#include <cstdio>
+
+#include "entropy/entropy_estimator.h"
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+int main() {
+    using namespace freq;
+
+    constexpr int windows = 6;
+    constexpr int packets_per_window = 200'000;
+    xoshiro256ss rng(11);
+    zipf_distribution normal_mix(50'000, 1.1);
+
+    std::printf("%-9s %-28s %10s %10s %10s\n", "window", "traffic profile", "H_lower",
+                "H_point", "H_upper");
+    for (int w = 0; w < windows; ++w) {
+        entropy_estimator est(1024, /*seed=*/static_cast<std::uint64_t>(w));
+        const bool attack_window = w == 3;  // one window of concentrated traffic
+        for (int i = 0; i < packets_per_window; ++i) {
+            if (attack_window && rng.below(100) < 80) {
+                est.update(0xbadc0ffee0ddf00dULL, 1);  // one source dominates
+            } else {
+                est.update(normal_mix(rng), 1);
+            }
+        }
+        const auto h = est.estimate();
+        std::printf("%-9d %-28s %10.3f %10.3f %10.3f%s\n", w,
+                    attack_window ? "CONCENTRATED (anomaly)" : "normal mix", h.lower, h.point,
+                    h.upper, attack_window ? "   <-- entropy collapse" : "");
+    }
+    std::printf("\nA sustained drop of several bits in the certified interval is the"
+                " classic worm/hot-talker signature (Wagner & Plattner).\n");
+    return 0;
+}

@@ -1,0 +1,321 @@
+/// freq_cli — a command-line front end to the library, covering the full
+/// workflow the paper's evaluation used: synthesize/preprocess traces once,
+/// then run any algorithm over them and compare.
+///
+/// Usage:
+///   freq_cli gen   <out.fqtr> [--n N] [--flows F] [--alpha A] [--seed S]
+///                  [--kind caida|zipf]
+///   freq_cli stats <trace.fqtr>
+///   freq_cli run   <trace.fqtr> [--algo smed|smin|rbmc|mhe|cm] [--k K]
+///                  [--phi PHI] [--exact]
+///   freq_cli sketch <trace.fqtr> <out.sk> [--k K]
+///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
+///   freq_cli query <sketch.sk> <id> [...]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/count_min_sketch.h"
+#include "baselines/rbmc.h"
+#include "baselines/space_saving_heap.h"
+#include "core/frequent_items_sketch.h"
+#include "metrics/error.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+
+namespace {
+
+using namespace freq;
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+struct args {
+    std::vector<std::string> positional;
+    std::uint64_t n = 2'000'000;
+    std::uint64_t flows = 200'000;
+    double alpha = 1.1;
+    std::uint64_t seed = 1;
+    std::string kind = "caida";
+    std::string algo = "smed";
+    std::uint32_t k = 4096;
+    double phi = 0.01;
+    bool exact = false;
+};
+
+args parse(int argc, char** argv) {
+    args a;
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--n") {
+            a.n = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--flows") {
+            a.flows = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--alpha") {
+            a.alpha = std::atof(next().c_str());
+        } else if (flag == "--seed") {
+            a.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--kind") {
+            a.kind = next();
+        } else if (flag == "--algo") {
+            a.algo = next();
+        } else if (flag == "--k") {
+            a.k = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+        } else if (flag == "--phi") {
+            a.phi = std::atof(next().c_str());
+        } else if (flag == "--exact") {
+            a.exact = true;
+        } else {
+            a.positional.push_back(flag);
+        }
+    }
+    return a;
+}
+
+int cmd_gen(const args& a) {
+    if (a.positional.empty()) {
+        std::fprintf(stderr, "gen: output path required\n");
+        return 2;
+    }
+    update_stream<std::uint64_t, std::uint64_t> stream;
+    if (a.kind == "zipf") {
+        zipf_stream_generator gen({.num_updates = a.n,
+                                   .num_distinct = a.flows,
+                                   .alpha = a.alpha,
+                                   .min_weight = 1,
+                                   .max_weight = 10'000,
+                                   .seed = a.seed});
+        stream = gen.generate();
+    } else {
+        caida_like_generator gen(
+            {.num_updates = a.n, .num_flows = a.flows, .alpha = a.alpha, .seed = a.seed});
+        stream = gen.generate();
+    }
+    write_trace(a.positional[0], stream);
+    std::printf("wrote %zu updates to %s\n", stream.size(), a.positional[0].c_str());
+    return 0;
+}
+
+int cmd_stats(const args& a) {
+    if (a.positional.empty()) {
+        std::fprintf(stderr, "stats: trace path required\n");
+        return 2;
+    }
+    const auto stream = read_trace(a.positional[0]);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+    std::printf("n (updates):        %llu\n",
+                static_cast<unsigned long long>(exact.num_updates()));
+    std::printf("N (weighted):       %llu\n",
+                static_cast<unsigned long long>(exact.total_weight()));
+    std::printf("distinct ids:       %zu\n", exact.num_distinct());
+    std::printf("mean weight:        %.2f\n",
+                static_cast<double>(exact.total_weight()) /
+                    static_cast<double>(std::max<std::uint64_t>(1, exact.num_updates())));
+    const auto top = exact.top_frequencies(10);
+    std::printf("top-10 frequencies:");
+    for (const auto f : top) {
+        std::printf(" %llu", static_cast<unsigned long long>(f));
+    }
+    std::printf("\n");
+    return 0;
+}
+
+int cmd_run(const args& a) {
+    if (a.positional.empty()) {
+        std::fprintf(stderr, "run: trace path required\n");
+        return 2;
+    }
+    const auto stream = read_trace(a.positional[0]);
+
+    // Uniform driver over the algorithms: collect heavy hitter rows.
+    struct hh {
+        std::uint64_t id;
+        std::uint64_t estimate;
+    };
+    std::vector<hh> hits;
+    double seconds = 0;
+    std::size_t bytes = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&t0] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+
+    std::uint64_t total_weight = 0;
+    for (const auto& u : stream) {
+        total_weight += u.weight;
+    }
+    const auto threshold = static_cast<std::uint64_t>(a.phi * static_cast<double>(total_weight));
+
+    if (a.algo == "smed" || a.algo == "smin") {
+        sketch_u64 s(sketch_config{.max_counters = a.k,
+                                   .decrement_quantile = a.algo == "smed" ? 0.5 : 0.0,
+                                   .seed = a.seed});
+        s.consume(stream);
+        seconds = elapsed();
+        bytes = s.memory_bytes();
+        for (const auto& r : s.frequent_items(error_type::no_false_negatives, threshold)) {
+            hits.push_back({r.id, r.estimate});
+        }
+    } else if (a.algo == "rbmc") {
+        rbmc<std::uint64_t, std::uint64_t> s(a.k, a.seed);
+        s.consume(stream);
+        seconds = elapsed();
+        bytes = s.memory_bytes();
+        s.for_each([&](std::uint64_t id, std::uint64_t c) {
+            if (c + s.maximum_error() > threshold) {
+                hits.push_back({id, c + s.maximum_error()});
+            }
+        });
+    } else if (a.algo == "mhe") {
+        space_saving_heap<std::uint64_t, std::uint64_t> s(a.k, a.seed);
+        s.consume(stream);
+        seconds = elapsed();
+        bytes = s.memory_bytes();
+        s.for_each([&](std::uint64_t id, std::uint64_t c) {
+            if (c > threshold) {
+                hits.push_back({id, c});
+            }
+        });
+    } else if (a.algo == "cm") {
+        count_min_sketch<std::uint64_t, std::uint64_t> s(
+            {.width = a.k, .depth = 4, .seed = a.seed});
+        exact_counter<std::uint64_t, std::uint64_t> candidates;  // CM needs ids externally
+        for (const auto& u : stream) {
+            s.update(u.id, u.weight);
+            candidates.update(u.id, 0);  // remember the id universe only
+        }
+        seconds = elapsed();
+        bytes = s.memory_bytes();
+        for (const auto& [id, unused] : candidates.counts()) {
+            (void)unused;
+            if (s.estimate(id) > threshold) {
+                hits.push_back({id, s.estimate(id)});
+            }
+        }
+    } else {
+        std::fprintf(stderr, "unknown --algo %s\n", a.algo.c_str());
+        return 2;
+    }
+
+    std::sort(hits.begin(), hits.end(), [](const hh& x, const hh& y) {
+        return x.estimate > y.estimate;
+    });
+    std::printf("%s k=%u: %.3fs (%.1f M updates/s), %zu KiB, %zu heavy hitters over %.2f%%\n",
+                a.algo.c_str(), a.k, seconds,
+                static_cast<double>(stream.size()) / seconds / 1e6, bytes / 1024,
+                hits.size(), a.phi * 100);
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, hits.size()); ++i) {
+        std::printf("  %20llu  %llu\n", static_cast<unsigned long long>(hits[i].id),
+                    static_cast<unsigned long long>(hits[i].estimate));
+    }
+
+    if (a.exact) {
+        exact_counter<std::uint64_t, std::uint64_t> exact;
+        exact.consume(stream);
+        std::printf("exact heavy hitters: %zu\n", exact.heavy_hitters(threshold).size());
+    }
+    return 0;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot open " + path);
+    }
+    return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw std::runtime_error("cannot open " + path);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+int cmd_sketch(const args& a) {
+    if (a.positional.size() < 2) {
+        std::fprintf(stderr, "sketch: trace and output paths required\n");
+        return 2;
+    }
+    const auto stream = read_trace(a.positional[0]);
+    sketch_u64 s(sketch_config{.max_counters = a.k, .seed = a.seed});
+    s.consume(stream);
+    write_file(a.positional[1], s.serialize());
+    std::printf("sketched %zu updates -> %s (%s)\n", stream.size(), a.positional[1].c_str(),
+                s.to_string().c_str());
+    return 0;
+}
+
+int cmd_merge(const args& a) {
+    if (a.positional.size() < 3) {
+        std::fprintf(stderr, "merge: output and >= 2 input sketches required\n");
+        return 2;
+    }
+    auto acc = sketch_u64::deserialize(read_file(a.positional[1]));
+    for (std::size_t i = 2; i < a.positional.size(); ++i) {
+        const auto next = sketch_u64::deserialize(read_file(a.positional[i]));
+        acc.merge(next);
+    }
+    write_file(a.positional[0], acc.serialize());
+    std::printf("merged %zu sketches -> %s (%s)\n", a.positional.size() - 1,
+                a.positional[0].c_str(), acc.to_string().c_str());
+    return 0;
+}
+
+int cmd_query(const args& a) {
+    if (a.positional.size() < 2) {
+        std::fprintf(stderr, "query: sketch path and >= 1 id required\n");
+        return 2;
+    }
+    const auto s = sketch_u64::deserialize(read_file(a.positional[0]));
+    for (std::size_t i = 1; i < a.positional.size(); ++i) {
+        const std::uint64_t id = std::strtoull(a.positional[i].c_str(), nullptr, 10);
+        std::printf("%llu: estimate=%llu  bounds=[%llu, %llu]\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(s.estimate(id)),
+                    static_cast<unsigned long long>(s.lower_bound(id)),
+                    static_cast<unsigned long long>(s.upper_bound(id)));
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: freq_cli <gen|stats|run|sketch|merge|query> ... (see file "
+                     "header for flags)\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const args a = parse(argc, argv);
+    try {
+        if (cmd == "gen") return cmd_gen(a);
+        if (cmd == "stats") return cmd_stats(a);
+        if (cmd == "run") return cmd_run(a);
+        if (cmd == "sketch") return cmd_sketch(a);
+        if (cmd == "merge") return cmd_merge(a);
+        if (cmd == "query") return cmd_query(a);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+    return 2;
+}

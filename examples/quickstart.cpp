@@ -1,0 +1,66 @@
+/// Quickstart: the 60-second tour of the public API.
+///
+///   build/examples/quickstart
+///
+/// Creates a sketch, feeds it a skewed weighted stream, queries estimates
+/// and bounds, extracts heavy hitters both ways, and round-trips the sketch
+/// through its serialized form.
+
+#include <cstdio>
+
+#include "core/frequent_items_sketch.h"
+#include "stream/generators.h"
+
+int main() {
+    using namespace freq;
+
+    // A sketch with k = 256 counters: ~24 * 256 bytes of counter storage,
+    // error guarantee ~N / (0.33 * 256) (Theorem 4 with the §2.3.2 calibration).
+    frequent_items_sketch<std::uint64_t, std::uint64_t> sketch(256);
+
+    // Feed 1M weighted updates: Zipf-popular items, weights in [1, 100].
+    zipf_stream_generator gen({.num_updates = 1'000'000,
+                               .num_distinct = 50'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = 42});
+    const auto stream = gen.generate();
+    for (const auto& u : stream) {
+        sketch.update(u.id, u.weight);
+    }
+    std::printf("%s\n", sketch.to_string().c_str());
+
+    // Point queries: estimate plus certified bounds.
+    const auto hot = stream.front().id;
+    std::printf("item %llu: estimate=%llu in [%llu, %llu], max_error=%llu\n",
+                static_cast<unsigned long long>(hot),
+                static_cast<unsigned long long>(sketch.estimate(hot)),
+                static_cast<unsigned long long>(sketch.lower_bound(hot)),
+                static_cast<unsigned long long>(sketch.upper_bound(hot)),
+                static_cast<unsigned long long>(sketch.maximum_error()));
+
+    // Heavy hitters at phi = 1%: the no-false-negatives view returns every
+    // true phi-heavy item (plus possibly a few near-threshold ones); the
+    // no-false-positives view returns only certainly-heavy items.
+    const auto threshold = sketch.total_weight() / 100;
+    const auto generous = sketch.frequent_items(error_type::no_false_negatives, threshold);
+    const auto strict = sketch.frequent_items(error_type::no_false_positives, threshold);
+    std::printf("heavy hitters over %llu: %zu certain, %zu candidates\n",
+                static_cast<unsigned long long>(threshold), strict.size(), generous.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, strict.size()); ++i) {
+        std::printf("  #%zu  id=%llu  estimate=%llu  [%llu, %llu]\n", i + 1,
+                    static_cast<unsigned long long>(strict[i].id),
+                    static_cast<unsigned long long>(strict[i].estimate),
+                    static_cast<unsigned long long>(strict[i].lower_bound),
+                    static_cast<unsigned long long>(strict[i].upper_bound));
+    }
+
+    // Serialize / restore: the image is a portable little-endian byte string.
+    const auto bytes = sketch.serialize();
+    const auto restored =
+        frequent_items_sketch<std::uint64_t, std::uint64_t>::deserialize(bytes);
+    std::printf("serialized %zu bytes; restored sketch agrees: %s\n", bytes.size(),
+                restored.estimate(hot) == sketch.estimate(hot) ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/// Rolling-window analytics: the §3 motivating deployment — "a company keeps
+/// a separate summary for data obtained in each 1-hour period over the
+/// course of several years ... summaries can then be seamlessly merged to
+/// answer approximate queries about the data of interest."
+///
+/// This example keeps one sketch per epoch (a "minute" of traffic) and
+/// answers "top talkers over the last W minutes" at query time by merging
+/// the W most recent epoch sketches — merging is cheap enough (O(k),
+/// in place on a scratch copy) to do per query.
+///
+///   build/examples/rolling_window
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "core/frequent_items_sketch.h"
+#include "net/ipv4.h"
+#include "stream/generators.h"
+
+int main() {
+    using namespace freq;
+    using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+    constexpr std::uint32_t k = 2048;
+    constexpr int window_epochs = 5;
+    constexpr int total_epochs = 12;
+
+    std::deque<sketch_u64> epochs;  // most recent at the back
+
+    for (int epoch = 0; epoch < total_epochs; ++epoch) {
+        // Each epoch sees fresh traffic; epochs 6-8 contain a burst from one
+        // source, which must surface in windows covering them and age out
+        // afterwards.
+        sketch_u64 summary(
+            sketch_config{.max_counters = k, .seed = static_cast<std::uint64_t>(epoch)});
+        caida_like_generator gen({.num_updates = 300'000,
+                                  .num_flows = 60'000,
+                                  .seed = 100 + static_cast<std::uint64_t>(epoch)});
+        for (const auto& pkt : gen.generate()) {
+            summary.update(pkt.id, pkt.weight);
+        }
+        if (epoch >= 6 && epoch <= 8) {
+            const auto attacker = *net::parse_ipv4("203.0.113.99");
+            for (int i = 0; i < 30'000; ++i) {
+                summary.update(attacker, 12'000);
+            }
+        }
+        epochs.push_back(std::move(summary));
+        if (epochs.size() > total_epochs) {
+            epochs.pop_front();
+        }
+
+        // Query: merge the last `window_epochs` summaries into a scratch
+        // sketch (the stored epoch summaries stay untouched).
+        const int have = static_cast<int>(epochs.size());
+        const int from = std::max(0, have - window_epochs);
+        sketch_u64 window(sketch_config{.max_counters = k, .seed = 999});
+        for (int i = from; i < have; ++i) {
+            window.merge(epochs[i]);
+        }
+        const auto top = window.top_items(3);
+        std::printf("epoch %2d | window [%2d, %2d) | top talkers:", epoch, from, have);
+        for (const auto& r : top) {
+            std::printf("  %s=%0.2fMbit",
+                        net::format_ipv4(static_cast<std::uint32_t>(r.id)).c_str(),
+                        static_cast<double>(r.estimate) / 1e6);
+        }
+        std::printf("%s\n", (epoch >= 6 && epoch <= 10) ? "   <- burst in window" : "");
+    }
+
+    std::printf("\nNote how 203.0.113.99 enters the top list at epoch 6 and ages out once"
+                " the window slides past epoch 8 + %d.\n", window_epochs - 1);
+    return 0;
+}

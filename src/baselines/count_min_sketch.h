@@ -1,0 +1,147 @@
+#ifndef FREQ_BASELINES_COUNT_MIN_SKETCH_H
+#define FREQ_BASELINES_COUNT_MIN_SKETCH_H
+
+/// \file count_min_sketch.h
+/// The Count-Min sketch of Cormode & Muthukrishnan [9] — the canonical
+/// *linear sketch* for point queries. Included because §1.3 of the paper
+/// reports confirming Cormode & Hadjieleftheriou's finding that counter-
+/// based algorithms beat sketches on space/speed/accuracy for insertion
+/// streams; the `ablate_sketch_vs_counter` bench reproduces that
+/// confirmation against this implementation.
+///
+/// Structure: depth d rows of width w counters; row j increments slot
+/// h_j(i) by Δ; the point estimate is the minimum over rows (always an
+/// overestimate). Guarantees: with w = ceil(e/ε) and d = ceil(ln(1/δ)),
+/// error ≤ ε·N with probability ≥ 1 − δ per query.
+///
+/// The optional *conservative update* refinement increments each row only
+/// up to the current point estimate plus Δ — slower but strictly more
+/// accurate; exposed so the bench can show even the strengthened sketch
+/// loses to the counter-based algorithms at equal space.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/contracts.h"
+#include "hashing/hash.h"
+#include "stream/update.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+class count_min_sketch {
+public:
+    using key_type = K;
+    using weight_type = W;
+
+    struct config {
+        std::uint32_t width = 2048;   ///< w — counters per row (rounded to pow2)
+        std::uint32_t depth = 4;      ///< d — number of rows
+        bool conservative = false;    ///< conservative-update refinement
+        std::uint64_t seed = 0;
+    };
+
+    /// Sizes the sketch for error ≤ epsilon·N with failure probability delta.
+    static config for_error(double epsilon, double delta, std::uint64_t seed = 0) {
+        FREQ_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        FREQ_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        config cfg;
+        cfg.width = static_cast<std::uint32_t>(ceil_pow2(
+            static_cast<std::uint64_t>(std::ceil(2.718281828 / epsilon))));
+        cfg.depth = static_cast<std::uint32_t>(std::ceil(std::log(1.0 / delta)));
+        cfg.seed = seed;
+        return cfg;
+    }
+
+    explicit count_min_sketch(const config& cfg) : cfg_(cfg) {
+        FREQ_REQUIRE(cfg.width >= 2, "count_min width must be >= 2");
+        FREQ_REQUIRE(cfg.depth >= 1, "count_min depth must be >= 1");
+        cfg_.width = static_cast<std::uint32_t>(ceil_pow2(cfg.width));
+        mask_ = cfg_.width - 1;
+        rows_.assign(static_cast<std::size_t>(cfg_.width) * cfg_.depth, W{0});
+    }
+
+    void update(K id, W weight = W{1}) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+        }
+        if (weight == W{0}) {
+            return;
+        }
+        total_weight_ += weight;
+        if (!cfg_.conservative) {
+            for (std::uint32_t j = 0; j < cfg_.depth; ++j) {
+                rows_[slot(id, j)] += weight;
+            }
+            return;
+        }
+        // Conservative update: raise each row only to max(row, est + weight).
+        const W target = estimate(id) + weight;
+        for (std::uint32_t j = 0; j < cfg_.depth; ++j) {
+            W& cell = rows_[slot(id, j)];
+            cell = std::max(cell, target);
+        }
+    }
+
+    void consume(const update_stream<K, W>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    /// Point estimate: min over rows. Never underestimates.
+    W estimate(K id) const {
+        W best = std::numeric_limits<W>::max();
+        for (std::uint32_t j = 0; j < cfg_.depth; ++j) {
+            best = std::min(best, rows_[slot(id, j)]);
+        }
+        return best;
+    }
+
+    W upper_bound(K id) const { return estimate(id); }
+    /// CM gives no nontrivial per-item lower bound.
+    W lower_bound(K) const { return W{0}; }
+
+    W total_weight() const noexcept { return total_weight_; }
+    std::uint32_t width() const noexcept { return cfg_.width; }
+    std::uint32_t depth() const noexcept { return cfg_.depth; }
+
+    std::size_t memory_bytes() const noexcept { return rows_.size() * sizeof(W); }
+
+    static std::size_t bytes_for(std::uint32_t width, std::uint32_t depth) noexcept {
+        return static_cast<std::size_t>(ceil_pow2(width)) * depth * sizeof(W);
+    }
+
+    /// Linear-sketch mergeability: cellwise addition (requires identical
+    /// configuration including seed).
+    void merge(const count_min_sketch& other) {
+        FREQ_REQUIRE(cfg_.width == other.cfg_.width && cfg_.depth == other.cfg_.depth &&
+                         cfg_.seed == other.cfg_.seed,
+                     "count_min merge requires identical configuration");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            rows_[i] += other.rows_[i];
+        }
+        total_weight_ += other.total_weight_;
+    }
+
+private:
+    std::size_t slot(K id, std::uint32_t row) const noexcept {
+        const std::uint64_t h =
+            table_hash(static_cast<std::uint64_t>(id), cfg_.seed * 1315423911ULL + row);
+        return static_cast<std::size_t>(row) * cfg_.width +
+               (static_cast<std::uint32_t>(h) & mask_);
+    }
+
+    config cfg_;
+    std::uint32_t mask_ = 0;
+    std::vector<W> rows_;
+    W total_weight_{0};
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_COUNT_MIN_SKETCH_H

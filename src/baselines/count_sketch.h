@@ -1,0 +1,119 @@
+#ifndef FREQ_BASELINES_COUNT_SKETCH_H
+#define FREQ_BASELINES_COUNT_SKETCH_H
+
+/// \file count_sketch.h
+/// The Count sketch of Charikar, Chen & Farach-Colton [6]: d rows of w
+/// counters, each update (i, Δ) adds s_j(i)·Δ to slot h_j(i) where s_j is a
+/// ±1 hash; the estimate is the *median* over rows of s_j(i)·row_j[h_j(i)].
+///
+/// Unlike Count-Min the estimate is unbiased (errors in both directions)
+/// with error O(||f||₂/√w) per row — better on heavy-tailed streams, at the
+/// cost of signed counters and median computation. Present for the §1.3
+/// sketch-vs-counter comparison; not recommended for the paper's target
+/// workloads (that is the point the bench makes).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/contracts.h"
+#include "hashing/hash.h"
+#include "stream/update.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t>
+class count_sketch {
+public:
+    using key_type = K;
+    using weight_type = std::uint64_t;
+
+    struct config {
+        std::uint32_t width = 2048;  ///< counters per row (rounded to pow2)
+        std::uint32_t depth = 5;     ///< number of rows (odd keeps medians simple)
+        std::uint64_t seed = 0;
+    };
+
+    explicit count_sketch(const config& cfg) : cfg_(cfg) {
+        FREQ_REQUIRE(cfg.width >= 2, "count_sketch width must be >= 2");
+        FREQ_REQUIRE(cfg.depth >= 1, "count_sketch depth must be >= 1");
+        cfg_.width = static_cast<std::uint32_t>(ceil_pow2(cfg.width));
+        mask_ = cfg_.width - 1;
+        rows_.assign(static_cast<std::size_t>(cfg_.width) * cfg_.depth, 0);
+        scratch_.resize(cfg_.depth);
+    }
+
+    void update(K id, std::uint64_t weight = 1) {
+        if (weight == 0) {
+            return;
+        }
+        total_weight_ += weight;
+        for (std::uint32_t j = 0; j < cfg_.depth; ++j) {
+            const auto [idx, sgn] = cell(id, j);
+            rows_[idx] += sgn * static_cast<std::int64_t>(weight);
+        }
+    }
+
+    void consume(const update_stream<K, std::uint64_t>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    /// Median-of-rows estimate, clamped to [0, N] (frequencies are known to
+    /// be non-negative and at most the stream weight).
+    std::uint64_t estimate(K id) const {
+        auto& vals = scratch_;  // mutable scratch: estimate() is logically const
+        for (std::uint32_t j = 0; j < cfg_.depth; ++j) {
+            const auto [idx, sgn] = cell(id, j);
+            vals[j] = sgn * rows_[idx];
+        }
+        std::nth_element(vals.begin(), vals.begin() + cfg_.depth / 2, vals.end());
+        const std::int64_t med = vals[cfg_.depth / 2];
+        if (med < 0) {
+            return 0;
+        }
+        const auto clamped = static_cast<std::uint64_t>(med);
+        return clamped > total_weight_ ? total_weight_ : clamped;
+    }
+
+    std::uint64_t total_weight() const noexcept { return total_weight_; }
+    std::size_t memory_bytes() const noexcept { return rows_.size() * sizeof(std::int64_t); }
+
+    static std::size_t bytes_for(std::uint32_t width, std::uint32_t depth) noexcept {
+        return static_cast<std::size_t>(ceil_pow2(width)) * depth * sizeof(std::int64_t);
+    }
+
+    /// Linear-sketch mergeability: cellwise addition.
+    void merge(const count_sketch& other) {
+        FREQ_REQUIRE(cfg_.width == other.cfg_.width && cfg_.depth == other.cfg_.depth &&
+                         cfg_.seed == other.cfg_.seed,
+                     "count_sketch merge requires identical configuration");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            rows_[i] += other.rows_[i];
+        }
+        total_weight_ += other.total_weight_;
+    }
+
+private:
+    std::pair<std::size_t, std::int64_t> cell(K id, std::uint32_t row) const noexcept {
+        const std::uint64_t h =
+            table_hash(static_cast<std::uint64_t>(id), cfg_.seed * 2654435761ULL + row);
+        const std::size_t idx = static_cast<std::size_t>(row) * cfg_.width +
+                                (static_cast<std::uint32_t>(h) & mask_);
+        // An untouched high bit supplies the ±1 sign hash.
+        const std::int64_t sgn = (h >> 63) != 0 ? 1 : -1;
+        return {idx, sgn};
+    }
+
+    config cfg_;
+    std::uint32_t mask_ = 0;
+    std::vector<std::int64_t> rows_;
+    mutable std::vector<std::int64_t> scratch_;
+    std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_COUNT_SKETCH_H

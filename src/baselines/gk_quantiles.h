@@ -1,0 +1,231 @@
+#ifndef FREQ_BASELINES_GK_QUANTILES_H
+#define FREQ_BASELINES_GK_QUANTILES_H
+
+/// \file gk_quantiles.h
+/// Greenwald & Khanna's ε-approximate quantile summary — the representative
+/// of the third algorithm class in Cormode & Hadjieleftheriou's study
+/// ("counter-based, quantile, and sketch", §1.3 of the paper). A quantile
+/// summary answers rank queries within ±εn, and therefore point-frequency
+/// queries within ±2εn: the frequency of x is the width of the rank
+/// interval its occurrences occupy.
+///
+/// Included so `ablate_sketch_vs_counter` can reproduce the full §1.3
+/// comparison. Like the classic analysis we treat unit-weight updates (the
+/// weighted generalization of GK is its own research topic — one more
+/// reason the paper builds on counter-based algorithms instead).
+///
+/// Summary structure: sorted tuples (v, g, Δ); the i-th tuple covers ranks
+/// (Σ_{j<=i} g_j − g_i, Σ_{j<=i} g_j + Δ_i]. Following standard practice,
+/// inserts are buffered and merged in sorted batches of 1/(2ε) (tuple-at-
+/// a-time vector insertion would be quadratic); a compress pass then merges
+/// neighbours whose combined coverage stays under the 2εn budget, keeping
+/// O((1/ε)·log(εn)) tuples.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace freq {
+
+template <typename V = std::uint64_t>
+class gk_quantiles {
+public:
+    using value_type = V;
+
+    explicit gk_quantiles(double epsilon) : epsilon_(epsilon) {
+        FREQ_REQUIRE(epsilon > 0.0 && epsilon < 0.5, "epsilon must be in (0, 0.5)");
+        batch_size_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(1.0 / (2.0 * epsilon)));
+        pending_.reserve(batch_size_);
+    }
+
+    /// Inserts one observation (a unit-weight update). Amortized cost
+    /// O(s/B + log B) where s is the summary size and B the batch size.
+    void update(V v) {
+        pending_.push_back(v);
+        ++count_;
+        if (pending_.size() >= batch_size_) {
+            flush();
+        }
+    }
+
+    /// Number of observations so far (n).
+    std::uint64_t count() const noexcept { return count_; }
+    double epsilon() const noexcept { return epsilon_; }
+
+    std::size_t num_tuples() {
+        flush();
+        return tuples_.size();
+    }
+
+    std::size_t memory_bytes() const noexcept {
+        return tuples_.capacity() * sizeof(tuple) + pending_.capacity() * sizeof(V) +
+               prefix_.capacity() * sizeof(std::uint64_t);
+    }
+
+    /// Value whose rank is within εn of q·n. Precondition: count() > 0.
+    V quantile(double q) {
+        FREQ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+        FREQ_REQUIRE(count_ > 0, "quantile of an empty summary");
+        flush();
+        const double target = q * static_cast<double>(count_);
+        const double slack = epsilon_ * static_cast<double>(count_);
+        std::uint64_t r_min = 0;
+        for (const auto& t : tuples_) {
+            r_min += t.g;
+            if (static_cast<double>(r_min + t.delta) >= target - slack) {
+                return t.value;
+            }
+        }
+        return tuples_.back().value;
+    }
+
+    /// Rank interval occupied by value v: upper rank estimates for values
+    /// strictly below v and for values at or below v (both ±εn accurate).
+    struct rank_interval {
+        std::uint64_t below;
+        std::uint64_t at;
+    };
+
+    rank_interval ranks(V v) {
+        flush();
+        // Binary search over the sorted tuples; prefix sums of g are cached
+        // after each flush so a rank query is O(log s).
+        const auto lo = std::lower_bound(
+            tuples_.begin(), tuples_.end(), v,
+            [](const tuple& t, V value) { return t.value < value; });
+        const auto hi = std::upper_bound(
+            tuples_.begin(), tuples_.end(), v,
+            [](V value, const tuple& t) { return value < t.value; });
+        std::uint64_t below = 0;
+        if (lo != tuples_.begin()) {
+            const auto i = static_cast<std::size_t>(lo - tuples_.begin()) - 1;
+            below = prefix_[i] + tuples_[i].delta;
+        }
+        std::uint64_t at = below;
+        if (hi != lo) {
+            const auto i = static_cast<std::size_t>(hi - tuples_.begin()) - 1;
+            at = prefix_[i] + tuples_[i].delta;
+        }
+        return {below, at};
+    }
+
+    /// Point-frequency estimate for v: the width of its rank interval.
+    /// |estimate − f_v| <= 2εn.
+    std::uint64_t estimate(V v) {
+        const auto r = ranks(v);
+        return r.at > r.below ? r.at - r.below : 0;
+    }
+
+    /// Candidate φ-heavy items: every distinct summary value whose rank
+    /// interval is wide enough. Contains all true φ-heavy items (their
+    /// interval cannot shrink below (φ − 2ε)n).
+    std::vector<V> heavy_hitters(double phi) {
+        FREQ_REQUIRE(phi > 2.0 * epsilon_, "phi must exceed 2*epsilon");
+        flush();
+        const double threshold = (phi - 2.0 * epsilon_) * static_cast<double>(count_);
+        std::vector<V> out;
+        // Single pass: accumulate the rank interval per distinct value.
+        std::uint64_t prefix = 0;
+        std::size_t i = 0;
+        while (i < tuples_.size()) {
+            const V v = tuples_[i].value;
+            const std::uint64_t below = prefix + (i > 0 ? tuples_[i - 1].delta : 0);
+            std::uint64_t at = below;
+            while (i < tuples_.size() && tuples_[i].value == v) {
+                prefix += tuples_[i].g;
+                at = prefix + tuples_[i].delta;
+                ++i;
+            }
+            if (static_cast<double>(at > below ? at - below : 0) >= threshold) {
+                out.push_back(v);
+            }
+        }
+        return out;
+    }
+
+private:
+    struct tuple {
+        V value;
+        std::uint64_t g;      ///< min-rank increment over the predecessor
+        std::uint64_t delta;  ///< max-rank slack
+    };
+
+    std::uint64_t max_delta() const noexcept {
+        return static_cast<std::uint64_t>(2.0 * epsilon_ * static_cast<double>(count_));
+    }
+
+    /// Sort the pending batch, merge it into the summary in one linear
+    /// pass, then compress.
+    void flush() {
+        if (pending_.empty()) {
+            return;
+        }
+        std::sort(pending_.begin(), pending_.end());
+        const std::uint64_t budget = max_delta();
+        std::vector<tuple> merged;
+        merged.reserve(tuples_.size() + pending_.size());
+        std::size_t ti = 0;
+        std::size_t pi = 0;
+        while (ti < tuples_.size() || pi < pending_.size()) {
+            if (pi >= pending_.size() ||
+                (ti < tuples_.size() && tuples_[ti].value <= pending_[pi])) {
+                merged.push_back(tuples_[ti++]);
+            } else {
+                // A new observation: extremes get delta 0, interior the
+                // current budget (the classic GK insert rule).
+                const bool extreme = merged.empty() || ti >= tuples_.size();
+                merged.push_back(tuple{pending_[pi++], 1, extreme ? 0 : budget});
+            }
+        }
+        tuples_ = std::move(merged);
+        pending_.clear();
+        compress();
+        rebuild_prefix();
+    }
+
+    /// Merge neighbours whose combined span fits the 2εn budget. One sweep
+    /// from the back (the classic formulation), preserving the first and
+    /// last tuples (exact min/max).
+    void compress() {
+        if (tuples_.size() < 3) {
+            return;
+        }
+        const std::uint64_t budget = max_delta();
+        std::size_t write = tuples_.size() - 1;
+        for (std::size_t i = tuples_.size() - 1; i-- > 1;) {
+            tuple& succ = tuples_[write];
+            const tuple& cur = tuples_[i];
+            if (cur.g + succ.g + succ.delta <= budget) {
+                succ.g += cur.g;  // absorb cur into its successor
+            } else {
+                tuples_[--write] = cur;
+            }
+        }
+        tuples_[--write] = tuples_[0];
+        tuples_.erase(tuples_.begin(), tuples_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+
+    void rebuild_prefix() {
+        prefix_.resize(tuples_.size());
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < tuples_.size(); ++i) {
+            acc += tuples_[i].g;
+            prefix_[i] = acc;
+        }
+    }
+
+    double epsilon_;
+    std::size_t batch_size_;
+    std::uint64_t count_ = 0;
+    std::vector<tuple> tuples_;
+    std::vector<std::uint64_t> prefix_;
+    std::vector<V> pending_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_GK_QUANTILES_H

@@ -1,0 +1,135 @@
+#ifndef FREQ_BASELINES_LOSSY_COUNTING_H
+#define FREQ_BASELINES_LOSSY_COUNTING_H
+
+/// \file lossy_counting.h
+/// Manku & Motwani's Lossy Counting [15] — the third classic counter-based
+/// algorithm in the §1.3 survey lineage. The stream is processed in buckets
+/// of width ceil(1/ε); at each bucket boundary, every counter whose
+/// (count + admission-error) no longer exceeds the bucket index is evicted.
+/// Guarantees: estimates underestimate by at most ε·N, and space is
+/// O((1/ε)·log(εN)) — worse than Misra-Gries' O(1/ε), which is why the
+/// paper's line of work starts from MG instead.
+///
+/// Extended here to weighted updates in the natural way (weight counts as Δ
+/// toward both the counter and the bucket clock), preserving the ε·N error
+/// bound with N the weighted stream length.
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/contracts.h"
+#include "stream/update.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t>
+class lossy_counting {
+public:
+    using key_type = K;
+    using weight_type = std::uint64_t;
+
+    explicit lossy_counting(double epsilon) : epsilon_(epsilon) {
+        FREQ_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        bucket_width_ = static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
+        counters_.reserve(2 * bucket_width_);
+    }
+
+    void update(K id, std::uint64_t weight = 1) {
+        if (weight == 0) {
+            return;
+        }
+        total_weight_ += weight;
+        const auto it = counters_.find(id);
+        if (it != counters_.end()) {
+            it->second.count += weight;
+        } else {
+            // New entries may have been missed for up to (bucket - 1) mass.
+            counters_.emplace(id, entry{weight, current_bucket_ - 1});
+        }
+        // Bucket boundary: prune everything provably below the watermark.
+        const std::uint64_t bucket = total_weight_ / bucket_width_ + 1;
+        if (bucket != current_bucket_) {
+            current_bucket_ = bucket;
+            prune();
+        }
+    }
+
+    void consume(const update_stream<K, std::uint64_t>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    /// Underestimates by at most epsilon * N.
+    std::uint64_t estimate(K id) const {
+        const auto it = counters_.find(id);
+        return it == counters_.end() ? 0 : it->second.count;
+    }
+
+    std::uint64_t lower_bound(K id) const { return estimate(id); }
+
+    std::uint64_t upper_bound(K id) const {
+        const auto it = counters_.find(id);
+        return it == counters_.end()
+                   ? static_cast<std::uint64_t>(epsilon_ * static_cast<double>(total_weight_))
+                   : it->second.count + it->second.error;
+    }
+
+    /// Items with estimate >= (phi - epsilon) * N: contains every phi-heavy
+    /// item (the classic Lossy Counting output guarantee).
+    std::vector<K> heavy_hitters(double phi) const {
+        FREQ_REQUIRE(phi > epsilon_, "phi must exceed epsilon for a meaningful answer");
+        const double threshold = (phi - epsilon_) * static_cast<double>(total_weight_);
+        std::vector<K> out;
+        for (const auto& [id, e] : counters_) {
+            if (static_cast<double>(e.count) >= threshold) {
+                out.push_back(id);
+            }
+        }
+        return out;
+    }
+
+    double epsilon() const noexcept { return epsilon_; }
+    std::uint64_t total_weight() const noexcept { return total_weight_; }
+    std::size_t num_counters() const noexcept { return counters_.size(); }
+
+    /// Hash-map storage model (node-based): the O((1/ε)log(εN)) entry count
+    /// is the quantity of interest; bytes approximate a node-based map.
+    std::size_t memory_bytes() const noexcept {
+        return counters_.size() * (sizeof(K) + sizeof(entry) + 2 * sizeof(void*));
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        for (const auto& [id, e] : counters_) {
+            f(id, e.count);
+        }
+    }
+
+private:
+    struct entry {
+        std::uint64_t count;
+        std::uint64_t error;  ///< max undercount at admission time (Δ in [15])
+    };
+
+    void prune() {
+        for (auto it = counters_.begin(); it != counters_.end();) {
+            if (it->second.count + it->second.error <= current_bucket_ - 1) {
+                it = counters_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    double epsilon_;
+    std::uint64_t bucket_width_ = 1;
+    std::uint64_t current_bucket_ = 1;
+    std::unordered_map<K, entry> counters_;
+    std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_LOSSY_COUNTING_H

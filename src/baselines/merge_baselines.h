@@ -1,0 +1,136 @@
+#ifndef FREQ_BASELINES_MERGE_BASELINES_H
+#define FREQ_BASELINES_MERGE_BASELINES_H
+
+/// \file merge_baselines.h
+/// The two prior-work merge procedures the paper races against in Fig. 4
+/// (§3.1, §4.5). Both merge two summaries of capacities k1 and k2 into a
+/// fresh summary of capacity k = k1:
+///
+///  * **ach_sort_merge** — Agarwal et al. [ACH+13] as §3.1 describes its
+///    natural implementation: add the counters of both summaries in a
+///    scratch hash table of capacity k1 + k2, *sort* all pairs by count,
+///    keep the top k. Ω((k1+k2)·log(k1+k2)) time, and ~2.5× the space of
+///    the in-place procedure (scratch table + fresh output summary).
+///
+///  * **hoa61_merge** — the paper's proposed Quickselect variant of the
+///    same procedure (named for Hoare's 1961 Find in Fig. 4): identify the
+///    k-th largest combined counter with Quickselect, then make one pass
+///    keeping the counters at least that large. O(k1 + k2) time, same
+///    scratch space.
+///
+/// Offset handling: the paper's summaries carry the §2.3.1 offset. The
+/// merged offset is offset1 + offset2 plus the largest *discarded* combined
+/// counter (zero when nothing is discarded), which preserves the invariant
+/// that upper_bound(i) = c(i) + offset never undershoots f_i — including
+/// for items whose counters the merge dropped.
+///
+/// The in-place Algorithm 5 merge these baselines are compared against is
+/// frequent_items_sketch::merge().
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+#include "select/quickselect.h"
+#include "table/counter_table.h"
+
+namespace freq {
+
+namespace detail {
+
+/// Step 1-2 of §3.1's procedure: accumulate both summaries' raw counters
+/// into a scratch table of capacity k1 + k2 and dump them into a vector.
+template <typename K, typename W>
+std::vector<std::pair<K, W>> combine_counters(const frequent_items_sketch<K, W>& a,
+                                              const frequent_items_sketch<K, W>& b) {
+    counter_table<K, W> scratch(a.capacity() + b.capacity());
+    a.for_each([&](K id, W c) { scratch.upsert(id, c); });
+    b.for_each([&](K id, W c) { scratch.upsert(id, c); });
+    std::vector<std::pair<K, W>> rows;
+    rows.reserve(scratch.size());
+    scratch.for_each([&](K id, W c) { rows.emplace_back(id, c); });
+    return rows;
+}
+
+}  // namespace detail
+
+/// Scratch-table bytes the §3.1 baselines allocate on top of the inputs —
+/// reported next to Fig. 4 results (the paper: "they consume 2.5x more
+/// space than our procedure").
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+std::size_t merge_scratch_bytes(std::uint32_t k1, std::uint32_t k2) {
+    return counter_table<K, W>::bytes_for(k1 + k2) +
+           static_cast<std::size_t>(k1 + k2) * sizeof(std::pair<K, W>);
+}
+
+/// Agarwal et al. [ACH+13] sort-based merge (see file comment).
+template <typename K, typename W>
+frequent_items_sketch<K, W> ach_sort_merge(const frequent_items_sketch<K, W>& a,
+                                           const frequent_items_sketch<K, W>& b) {
+    auto rows = detail::combine_counters(a, b);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    const std::uint32_t k = a.capacity();
+    W dropped{0};
+    if (rows.size() > k) {
+        dropped = rows[k].second;
+        rows.resize(k);
+    }
+    return frequent_items_sketch<K, W>::from_raw(
+        a.config(), std::span<const std::pair<K, W>>(rows),
+        a.maximum_error() + b.maximum_error() + dropped,
+        a.total_weight() + b.total_weight());
+}
+
+/// Quickselect-based variant of the [ACH+13] merge (§3.1's improvement,
+/// "Hoa61" in Fig. 4).
+template <typename K, typename W>
+frequent_items_sketch<K, W> hoa61_merge(const frequent_items_sketch<K, W>& a,
+                                        const frequent_items_sketch<K, W>& b) {
+    auto rows = detail::combine_counters(a, b);
+    const std::uint32_t k = a.capacity();
+    W dropped{0};
+    if (rows.size() > k) {
+        // Threshold = k-th largest combined counter; keep counters above it,
+        // then fill remaining slots with threshold-valued ties so exactly k
+        // survive (ties make ">= threshold" alone overshoot).
+        std::vector<W> values;
+        values.reserve(rows.size());
+        for (const auto& r : rows) {
+            values.push_back(r.second);
+        }
+        const W threshold = quickselect_largest(std::span<W>(values), k - 1);
+        std::vector<std::pair<K, W>> kept;
+        kept.reserve(k);
+        std::size_t ties_allowed = k;
+        for (const auto& r : rows) {
+            if (r.second > threshold) {
+                kept.push_back(r);
+                --ties_allowed;
+            }
+        }
+        for (const auto& r : rows) {
+            if (r.second == threshold && ties_allowed > 0) {
+                kept.push_back(r);
+                --ties_allowed;
+            } else if (r.second <= threshold) {
+                // Track the true largest discarded counter so the offset
+                // matches the sort-based implementation exactly.
+                dropped = std::max(dropped, r.second);
+            }
+        }
+        rows = std::move(kept);
+    }
+    return frequent_items_sketch<K, W>::from_raw(
+        a.config(), std::span<const std::pair<K, W>>(rows),
+        a.maximum_error() + b.maximum_error() + dropped,
+        a.total_weight() + b.total_weight());
+}
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_MERGE_BASELINES_H

@@ -1,0 +1,90 @@
+#ifndef FREQ_BASELINES_MISRA_GRIES_H
+#define FREQ_BASELINES_MISRA_GRIES_H
+
+/// \file misra_gries.h
+/// Algorithm 1 of the paper: the classic Misra-Gries algorithm for unit
+/// weight updates [MG82], implemented over a hash table exactly as §1.3.2
+/// prescribes. Guarantees (Lemma 1): 0 ≤ f_i − f̂_i ≤ N/(k+1), and the
+/// stronger tail bound of Lemma 2. Amortized O(1) per unit update.
+///
+/// This is a *reference baseline*: the test suite uses it to validate the
+/// classical guarantees and the Agarwal et al. isomorphism against Space
+/// Saving; the weighted algorithms are elsewhere.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t>
+class misra_gries {
+public:
+    using key_type = K;
+    using weight_type = std::uint64_t;
+
+    explicit misra_gries(std::uint32_t max_counters) : max_counters_(max_counters) {
+        FREQ_REQUIRE(max_counters >= 1, "misra_gries needs at least one counter");
+        counters_.reserve(max_counters + 1);
+    }
+
+    /// Processes a unit update (i, +1).
+    void update(K id) {
+        ++total_weight_;
+        const auto it = counters_.find(id);
+        if (it != counters_.end()) {
+            ++it->second;
+            return;
+        }
+        if (counters_.size() < max_counters_) {
+            counters_.emplace(id, 1);
+            return;
+        }
+        decrement_counters();
+        // Note the classic algorithm drops the arriving item entirely when
+        // all counters are taken (Algorithm 1, lines 9-10).
+    }
+
+    /// f̂_i: the counter when assigned, else 0 (Algorithm 1, Estimate()).
+    std::uint64_t estimate(K id) const {
+        const auto it = counters_.find(id);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    std::uint64_t total_weight() const noexcept { return total_weight_; }
+    std::uint32_t capacity() const noexcept { return max_counters_; }
+    std::size_t num_counters() const noexcept { return counters_.size(); }
+    std::uint64_t num_decrements() const noexcept { return num_decrements_; }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        for (const auto& [id, c] : counters_) {
+            f(id, c);
+        }
+    }
+
+private:
+    /// Algorithm 1, DecrementCounters(): subtract one from every counter and
+    /// unassign the zeroed ones.
+    void decrement_counters() {
+        for (auto it = counters_.begin(); it != counters_.end();) {
+            if (--it->second == 0) {
+                it = counters_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        ++num_decrements_;
+    }
+
+    std::uint32_t max_counters_;
+    std::unordered_map<K, std::uint64_t> counters_;
+    std::uint64_t total_weight_ = 0;
+    std::uint64_t num_decrements_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_MISRA_GRIES_H

@@ -1,0 +1,94 @@
+#ifndef FREQ_BASELINES_RTUC_H
+#define FREQ_BASELINES_RTUC_H
+
+/// \file rtuc.h
+/// Reduce-To-Unit-Case adapters (§1.3.4 / §1.3.5 of the paper): a weighted
+/// update (i, Δ) is processed as Δ unit updates, for integer Δ. Cost grows
+/// linearly with Δ — exactly the shortcoming the paper's algorithm removes —
+/// so these adapters exist for the isomorphism property tests
+/// (RBMC ≡ RTUC-MG and MHE ≡ RTUC-SS, §1.4) and for small-weight
+/// micro-benchmarks, never for production use.
+
+#include <cstdint>
+
+#include "baselines/misra_gries.h"
+#include "baselines/space_saving_heap.h"
+#include "common/contracts.h"
+#include "stream/update.h"
+
+namespace freq {
+
+/// Feeds Δ unit updates into any unit-update algorithm exposing update(id).
+template <typename Inner>
+class rtuc {
+public:
+    using key_type = typename Inner::key_type;
+    using weight_type = std::uint64_t;
+
+    template <typename... Args>
+    explicit rtuc(Args&&... args) : inner_(std::forward<Args>(args)...) {}
+
+    void update(key_type id, std::uint64_t weight = 1) {
+        FREQ_REQUIRE(weight <= (1u << 24),
+                     "rtuc expands weights into unit updates; this weight is impractical");
+        for (std::uint64_t j = 0; j < weight; ++j) {
+            inner_.update(id);
+        }
+    }
+
+    void consume(const update_stream<key_type, std::uint64_t>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    auto estimate(key_type id) const { return inner_.estimate(id); }
+
+    Inner& inner() noexcept { return inner_; }
+    const Inner& inner() const noexcept { return inner_; }
+
+private:
+    Inner inner_;
+};
+
+/// RTUC-MG (§1.3.4): unit-expanded Misra-Gries.
+template <typename K = std::uint64_t>
+using rtuc_mg = rtuc<misra_gries<K>>;
+
+/// RTUC-SS (§1.3.5): unit-expanded Space Saving. The unit-update overload of
+/// space_saving_heap::update makes it directly usable here.
+template <typename K = std::uint64_t>
+class rtuc_ss {
+public:
+    using key_type = K;
+    using weight_type = std::uint64_t;
+
+    explicit rtuc_ss(std::uint32_t max_counters, std::uint64_t seed = 0)
+        : inner_(max_counters, seed) {}
+
+    void update(K id, std::uint64_t weight = 1) {
+        FREQ_REQUIRE(weight <= (1u << 24),
+                     "rtuc expands weights into unit updates; this weight is impractical");
+        for (std::uint64_t j = 0; j < weight; ++j) {
+            inner_.update(id, 1);
+        }
+    }
+
+    void consume(const update_stream<K, std::uint64_t>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    std::uint64_t estimate(K id) const { return inner_.estimate(id); }
+
+    space_saving_heap<K, std::uint64_t>& inner() noexcept { return inner_; }
+    const space_saving_heap<K, std::uint64_t>& inner() const noexcept { return inner_; }
+
+private:
+    space_saving_heap<K, std::uint64_t> inner_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_RTUC_H

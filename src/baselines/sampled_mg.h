@@ -1,0 +1,113 @@
+#ifndef FREQ_BASELINES_SAMPLED_MG_H
+#define FREQ_BASELINES_SAMPLED_MG_H
+
+/// \file sampled_mg.h
+/// The paper's §5 weighted adaptation of Bhattacharyya, Dey & Woodruff's
+/// "simple" (φ, ε)-heavy-hitter algorithm: sample the stream at rate p and
+/// feed the sampled mass into a small counter-based summary; report scaled
+/// estimates.
+///
+/// A weighted update (i, Δ) contributes Binomial(Δ, p) sampled units,
+/// generated in O(1 + Δp) expected time by summing Geometric(p) skip
+/// lengths — exactly the geometric-random-variable construction §5 sketches.
+/// The inner summary is the paper's own weighted sketch, so the adaptation
+/// "carries over in a black-box manner" as §5 claims.
+///
+/// Estimates are unbiased up to the inner summary's deterministic error:
+///   E[estimate(i)] ≈ f_i, with sampling noise O(sqrt(f_i / p)).
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+#include "random/distributions.h"
+#include "random/xoshiro.h"
+#include "stream/update.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t>
+class sampled_mg {
+public:
+    using key_type = K;
+    using weight_type = std::uint64_t;
+
+    struct config {
+        double sampling_probability = 0.01;  ///< p
+        std::uint32_t max_counters = 256;    ///< k = O(1/ε) inner counters
+        std::uint64_t seed = 0;
+    };
+
+    /// Sizes the algorithm for a (φ, ε) guarantee with failure probability
+    /// \p delta on a stream of expected weighted length \p expected_weight:
+    /// p = min(1, 4·ln(1/δ) / (ε²·N)), k = ceil(4/ε)  (cf. [BDW16] §3).
+    static config for_stream(double epsilon, double delta, double expected_weight) {
+        FREQ_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        FREQ_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        FREQ_REQUIRE(expected_weight > 0.0, "expected stream weight must be positive");
+        config cfg;
+        const double p = 4.0 * std::log(1.0 / delta) / (epsilon * epsilon * expected_weight);
+        cfg.sampling_probability = p < 1.0 ? p : 1.0;
+        cfg.max_counters = static_cast<std::uint32_t>(std::ceil(4.0 / epsilon));
+        return cfg;
+    }
+
+    explicit sampled_mg(const config& cfg)
+        : cfg_(cfg),
+          skip_(cfg.sampling_probability),
+          rng_(mix64(cfg.seed ^ 0x6a09e667f3bcc909ULL)),
+          inner_(sketch_config{.max_counters = cfg.max_counters, .seed = cfg.seed}) {}
+
+    void update(K id, std::uint64_t weight = 1) {
+        total_weight_ += weight;
+        std::uint64_t sampled = 0;
+        if (cfg_.sampling_probability >= 1.0) {
+            sampled = weight;
+        } else {
+            // Count Bernoulli(p) successes among `weight` trials by walking
+            // geometric skip lengths — O(1 + weight·p) expected.
+            std::uint64_t remaining = weight;
+            for (;;) {
+                const std::uint64_t g = skip_(rng_);
+                if (g > remaining) {
+                    break;
+                }
+                remaining -= g;
+                ++sampled;
+            }
+        }
+        if (sampled > 0) {
+            inner_.update(id, sampled);
+        }
+    }
+
+    void consume(const update_stream<K, std::uint64_t>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    /// Sample-scaled frequency estimate.
+    double estimate(K id) const {
+        return static_cast<double>(inner_.estimate(id)) / cfg_.sampling_probability;
+    }
+
+    std::uint64_t total_weight() const noexcept { return total_weight_; }
+    std::uint64_t sampled_weight() const noexcept { return inner_.total_weight(); }
+    const config& cfg() const noexcept { return cfg_; }
+    const frequent_items_sketch<K, std::uint64_t>& inner() const noexcept { return inner_; }
+
+    std::size_t memory_bytes() const noexcept { return inner_.memory_bytes(); }
+
+private:
+    config cfg_;
+    geometric_skip skip_;
+    xoshiro256ss rng_;
+    frequent_items_sketch<K, std::uint64_t> inner_;
+    std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_SAMPLED_MG_H

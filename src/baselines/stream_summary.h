@@ -1,0 +1,270 @@
+#ifndef FREQ_BASELINES_STREAM_SUMMARY_H
+#define FREQ_BASELINES_STREAM_SUMMARY_H
+
+/// \file stream_summary.h
+/// Metwally et al.'s Stream-Summary data structure (**SSL** in Cormode &
+/// Hadjieleftheriou's study and §1.3.3 of the paper): Space Saving for unit
+/// weight updates in worst-case O(1) time.
+///
+/// Buckets of equal-count counters form a doubly linked list in ascending
+/// count order; each bucket owns a doubly linked list of counters. A unit
+/// increment moves a counter to the adjacent (count + 1) bucket; an eviction
+/// recycles a counter of the minimum bucket. The paper includes SSL for the
+/// unweighted comparison and notes (§1.3.5) that it "does not naturally
+/// extend to the case of weighted updates" — a weighted increment would need
+/// to *search* for the destination bucket, losing O(1) — so this type only
+/// accepts unit updates, and its very existence documents that limitation.
+///
+/// Nodes and buckets live in index-linked pools (no per-update allocation,
+/// pointer-free), and the pointer overhead the paper mentions ("will more
+/// than double the space usage") is visible in memory_bytes().
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "table/flat_index.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t>
+class stream_summary {
+public:
+    using key_type = K;
+    using weight_type = std::uint64_t;
+
+    explicit stream_summary(std::uint32_t max_counters, std::uint64_t seed = 0)
+        : max_counters_(max_counters), index_(max_counters, seed) {
+        FREQ_REQUIRE(max_counters >= 1, "stream_summary needs at least one counter");
+        nodes_.reserve(max_counters);
+        // Worst case: every counter in its own bucket, plus one in flight
+        // while a counter migrates between buckets.
+        buckets_.reserve(max_counters + 1);
+    }
+
+    /// Processes a unit update (i, +1) in worst-case O(1).
+    void update(K id) {
+        ++total_weight_;
+        if (const std::uint32_t* pos = index_.find(id)) {
+            increment(*pos);
+            return;
+        }
+        if (nodes_.size() < max_counters_) {
+            const auto node = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.push_back(counter{id, 0, nil, nil, nil});
+            index_.put(id, node);
+            attach_with_count(node, 1);
+            return;
+        }
+        // Evict a counter of the minimum bucket (Algorithm 2, lines 10-12).
+        const std::uint32_t bucket = bucket_head_;
+        const std::uint32_t node = buckets_[bucket].members;
+        index_.erase(nodes_[node].id);
+        nodes_[node].id = id;
+        nodes_[node].error = buckets_[bucket].count;
+        index_.put(id, node);
+        increment(node);
+    }
+
+    /// Counter value when tracked; the minimum counter once the summary is
+    /// full (Algorithm 2's Estimate()); 0 before that.
+    std::uint64_t estimate(K id) const {
+        if (const std::uint32_t* pos = index_.find(id)) {
+            return count_of(*pos);
+        }
+        return nodes_.size() < max_counters_ ? 0 : min_counter();
+    }
+
+    std::uint64_t upper_bound(K id) const { return estimate(id); }
+
+    std::uint64_t lower_bound(K id) const {
+        if (const std::uint32_t* pos = index_.find(id)) {
+            return count_of(*pos) - nodes_[*pos].error;
+        }
+        return 0;
+    }
+
+    std::uint64_t min_counter() const {
+        return bucket_head_ == nil ? 0 : buckets_[bucket_head_].count;
+    }
+
+    std::uint64_t total_weight() const noexcept { return total_weight_; }
+    std::uint32_t capacity() const noexcept { return max_counters_; }
+    std::uint32_t num_counters() const noexcept {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    std::size_t memory_bytes() const noexcept {
+        return nodes_.capacity() * sizeof(counter) +
+               buckets_.capacity() * sizeof(bucket_node) + index_.memory_bytes();
+    }
+
+    static std::size_t bytes_for(std::uint32_t k) noexcept {
+        return static_cast<std::size_t>(k) * sizeof(counter) +
+               static_cast<std::size_t>(k + 1) * sizeof(bucket_node) +
+               flat_index<K, std::uint32_t>::bytes_for(k);
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        for (const auto& n : nodes_) {
+            f(n.id, count_of_node(n));
+        }
+    }
+
+    /// Walks buckets in ascending count order — test hook for the structural
+    /// invariants (bucket ordering, membership consistency).
+    template <typename F>
+    void for_each_bucket(F&& f) const {
+        for (std::uint32_t b = bucket_head_; b != nil; b = buckets_[b].next) {
+            std::uint32_t members = 0;
+            for (std::uint32_t n = buckets_[b].members; n != nil; n = nodes_[n].next) {
+                ++members;
+            }
+            f(buckets_[b].count, members);
+        }
+    }
+
+private:
+    static constexpr std::uint32_t nil = 0xffffffffu;
+
+    // Counts live on buckets (the defining trick of Stream-Summary: a unit
+    // increment is a bucket hop, not an arithmetic update on the node).
+    struct counter {
+        K id;
+        std::uint64_t error;
+        std::uint32_t bucket;
+        std::uint32_t prev;
+        std::uint32_t next;
+    };
+
+    struct bucket_node {
+        std::uint64_t count;
+        std::uint32_t members;  // head of the counter list
+        std::uint32_t prev;
+        std::uint32_t next;
+    };
+
+    std::uint64_t count_of(std::uint32_t node) const {
+        return buckets_[nodes_[node].bucket].count;
+    }
+    std::uint64_t count_of_node(const counter& n) const { return buckets_[n.bucket].count; }
+
+    /// Moves \p node from its bucket to the (count + 1) bucket, creating or
+    /// deleting buckets as needed. O(1): the destination is either the next
+    /// bucket or a brand new neighbour.
+    void increment(std::uint32_t node) {
+        const std::uint32_t old_bucket = nodes_[node].bucket;
+        const std::uint64_t new_count = buckets_[old_bucket].count + 1;
+        const std::uint32_t succ = buckets_[old_bucket].next;
+        detach_from_bucket(node);
+        if (succ != nil && buckets_[succ].count == new_count) {
+            push_member(succ, node);
+        } else {
+            // Insert a fresh bucket right after old_bucket (which may have
+            // just been freed if node was its only member).
+            const std::uint32_t nb = alloc_bucket(new_count);
+            link_bucket_before(nb, succ);
+            push_member(nb, node);
+        }
+    }
+
+    void attach_with_count(std::uint32_t node, std::uint64_t count) {
+        if (bucket_head_ != nil && buckets_[bucket_head_].count == count) {
+            push_member(bucket_head_, node);
+            return;
+        }
+        FREQ_EXPECTS(bucket_head_ == nil || buckets_[bucket_head_].count > count);
+        const std::uint32_t nb = alloc_bucket(count);
+        link_bucket_before(nb, bucket_head_);
+        push_member(nb, node);
+    }
+
+    void push_member(std::uint32_t bucket, std::uint32_t node) {
+        counter& n = nodes_[node];
+        n.bucket = bucket;
+        n.prev = nil;
+        n.next = buckets_[bucket].members;
+        if (n.next != nil) {
+            nodes_[n.next].prev = node;
+        }
+        buckets_[bucket].members = node;
+    }
+
+    void detach_from_bucket(std::uint32_t node) {
+        counter& n = nodes_[node];
+        bucket_node& b = buckets_[n.bucket];
+        if (n.prev != nil) {
+            nodes_[n.prev].next = n.next;
+        } else {
+            b.members = n.next;
+        }
+        if (n.next != nil) {
+            nodes_[n.next].prev = n.prev;
+        }
+        if (b.members == nil) {
+            unlink_bucket(n.bucket);
+        }
+        n.prev = n.next = nil;
+        n.bucket = nil;
+    }
+
+    std::uint32_t alloc_bucket(std::uint64_t count) {
+        std::uint32_t b;
+        if (bucket_free_ != nil) {
+            b = bucket_free_;
+            bucket_free_ = buckets_[b].next;
+        } else {
+            b = static_cast<std::uint32_t>(buckets_.size());
+            buckets_.push_back({});
+        }
+        buckets_[b] = bucket_node{count, nil, nil, nil};
+        return b;
+    }
+
+    /// Links \p b immediately before \p succ (succ = nil appends at the tail
+    /// ... of an empty position; callers always pass the correct neighbour).
+    void link_bucket_before(std::uint32_t b, std::uint32_t succ) {
+        std::uint32_t pred = succ == nil ? bucket_tail_ : buckets_[succ].prev;
+        buckets_[b].prev = pred;
+        buckets_[b].next = succ;
+        if (pred != nil) {
+            buckets_[pred].next = b;
+        } else {
+            bucket_head_ = b;
+        }
+        if (succ != nil) {
+            buckets_[succ].prev = b;
+        } else {
+            bucket_tail_ = b;
+        }
+    }
+
+    void unlink_bucket(std::uint32_t b) {
+        if (buckets_[b].prev != nil) {
+            buckets_[buckets_[b].prev].next = buckets_[b].next;
+        } else {
+            bucket_head_ = buckets_[b].next;
+        }
+        if (buckets_[b].next != nil) {
+            buckets_[buckets_[b].next].prev = buckets_[b].prev;
+        } else {
+            bucket_tail_ = buckets_[b].prev;
+        }
+        buckets_[b].next = bucket_free_;
+        bucket_free_ = b;
+    }
+
+    std::uint32_t max_counters_;
+    std::vector<counter> nodes_;
+    std::vector<bucket_node> buckets_;
+    flat_index<K, std::uint32_t> index_;
+    std::uint32_t bucket_head_ = nil;
+    std::uint32_t bucket_tail_ = nil;
+    std::uint32_t bucket_free_ = nil;
+    std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_STREAM_SUMMARY_H

@@ -1,0 +1,29 @@
+#ifndef FREQ_COMMON_BITS_H
+#define FREQ_COMMON_BITS_H
+
+/// \file bits.h
+/// Small bit-manipulation helpers shared by the hash table and hashing code.
+
+#include <bit>
+#include <cstdint>
+
+namespace freq {
+
+/// True when \p x is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two that is >= \p x (x = 0 maps to 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+    return std::bit_ceil(x == 0 ? std::uint64_t{1} : x);
+}
+
+/// Floor of log2(x). Precondition: x > 0.
+constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+}  // namespace freq
+
+#endif  // FREQ_COMMON_BITS_H

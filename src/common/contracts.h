@@ -1,0 +1,50 @@
+#ifndef FREQ_COMMON_CONTRACTS_H
+#define FREQ_COMMON_CONTRACTS_H
+
+/// \file contracts.h
+/// Precondition / invariant checking used throughout the library.
+///
+/// Two levels of checking are provided:
+///  * FREQ_REQUIRE   — validates arguments of public API entry points and
+///                     throws std::invalid_argument; always enabled.
+///  * FREQ_EXPECTS / FREQ_ENSURES — internal invariants, cheap enough to
+///                     keep enabled in release builds; violations indicate
+///                     a bug inside the library and throw std::logic_error.
+
+#include <stdexcept>
+#include <string>
+
+namespace freq::detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* what) {
+    throw std::invalid_argument(std::string("libfreq: requirement failed: ") + what +
+                                " (" + expr + ")");
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line) {
+    throw std::logic_error(std::string("libfreq: internal invariant violated at ") + file +
+                           ":" + std::to_string(line) + ": " + expr);
+}
+
+}  // namespace freq::detail
+
+/// Validate a caller-supplied argument; throws std::invalid_argument on failure.
+#define FREQ_REQUIRE(cond, what)                              \
+    do {                                                      \
+        if (!(cond)) {                                        \
+            ::freq::detail::throw_requirement(#cond, (what)); \
+        }                                                     \
+    } while (0)
+
+/// Internal precondition (Expects) — a failure is a library bug.
+#define FREQ_EXPECTS(cond)                                                 \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::freq::detail::throw_invariant(#cond, __FILE__, __LINE__);    \
+        }                                                                  \
+    } while (0)
+
+/// Internal postcondition (Ensures) — a failure is a library bug.
+#define FREQ_ENSURES(cond) FREQ_EXPECTS(cond)
+
+#endif  // FREQ_COMMON_CONTRACTS_H

@@ -1,0 +1,397 @@
+#ifndef FREQ_CORE_FREQUENT_ITEMS_SKETCH_H
+#define FREQ_CORE_FREQUENT_ITEMS_SKETCH_H
+
+/// \file frequent_items_sketch.h
+/// The paper's primary contribution: the Reduce-By-Sample-Median (SMED)
+/// extension of Misra-Gries to weighted streams — Algorithm 4 plus the §2.3
+/// implementation details — with the O(k) in-place merge of Algorithm 5.
+///
+/// Summary of the algorithm:
+///  * k counters live in a linear-probing hash table (counter_table).
+///  * update(i, Δ): increment i's counter, or claim a free counter, or — if
+///    all k counters are live — run DecrementCounters(): sample l counters,
+///    take the q-quantile c* of the sample (q = 0.5 by default), subtract c*
+///    from every counter, discard the non-positive ones, and give i a
+///    counter of Δ − c* when Δ > c*. Amortized O(1) per update (Theorem 3).
+///  * Estimates use the §2.3.1 offset hybrid: `offset` accumulates all c*
+///    values, tracked items report c(i) + offset (the SS-style aggressive
+///    estimate, exact for items never evicted), untracked items report 0
+///    (the MG-style estimate, exact for items never seen).
+///  * merge(other): feed the other summary's raw counters through update()
+///    starting at a random slot, then add its offset (Algorithm 5 +
+///    Theorem 5). In place, O(k), zero allocation.
+///
+/// Accuracy (Theorem 4): with q = 0.5 and l = 1024, for any j < k/3,
+///     0 ≤ f_i − lower_bound(i) ≤ N^res(j) / (0.33·k − j)
+/// with probability ≥ 1 − 1.5e-8 for streams of length up to 1e20 (§2.3.2).
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/contracts.h"
+#include "core/sketch_config.h"
+#include "random/xoshiro.h"
+#include "select/quickselect.h"
+#include "stream/update.h"
+#include "table/counter_table.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+class frequent_items_sketch {
+public:
+    using key_type = K;
+    using weight_type = W;
+
+    /// One reported heavy hitter (see frequent_items()).
+    struct row {
+        K id;
+        W estimate;     ///< §2.3.1 hybrid estimate (= upper bound for tracked items)
+        W lower_bound;  ///< raw counter: never exceeds the true frequency
+        W upper_bound;  ///< counter + offset: never below the true frequency
+
+        friend bool operator==(const row&, const row&) = default;
+    };
+
+    /// Sketch with k = \p max_counters and the paper's default policy
+    /// (sample median of l = 1024, i.e. SMED).
+    explicit frequent_items_sketch(std::uint32_t max_counters)
+        : frequent_items_sketch(sketch_config{.max_counters = max_counters}) {}
+
+    explicit frequent_items_sketch(const sketch_config& cfg)
+        : cfg_(cfg),
+          table_(cfg.max_counters, cfg.seed),
+          rng_(mix64(cfg.seed ^ 0xa076'1d64'78bd'642fULL)) {
+        FREQ_REQUIRE(cfg.max_counters >= 1, "sketch needs at least one counter");
+        FREQ_REQUIRE(cfg.decrement_quantile >= 0.0 && cfg.decrement_quantile < 1.0,
+                     "decrement quantile must be in [0, 1)");
+        // The upper bound keeps hostile serialized images (untrusted input in
+        // the §3 merging architecture) from driving huge allocations.
+        FREQ_REQUIRE(cfg.sample_size >= 1 && cfg.sample_size <= (1u << 20),
+                     "sample size must be in [1, 2^20]");
+        sample_buf_.resize(cfg.sample_size);
+    }
+
+    // --- stream ingestion ---------------------------------------------------
+
+    /// Processes the weighted update (id, weight). Amortized O(1).
+    /// weight = 0 is a no-op; negative weights are rejected (§1.3's note:
+    /// handle deletions with a second sketch, not negative updates).
+    void update(K id, W weight) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+        }
+        if (weight == W{0}) {
+            return;
+        }
+        total_weight_ += weight;
+        ingest(id, weight);
+    }
+
+    /// Unit-weight convenience overload.
+    void update(K id) { update(id, W{1}); }
+
+    void consume(const update_stream<K, W>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    // --- queries -------------------------------------------------------------
+
+    /// The §2.3.1 hybrid estimate: c(i) + offset when tracked, else 0.
+    W estimate(K id) const {
+        const W* c = table_.find(id);
+        return c != nullptr ? *c + offset_ : W{0};
+    }
+
+    /// Never exceeds the true frequency f_i.
+    W lower_bound(K id) const {
+        const W* c = table_.find(id);
+        return c != nullptr ? *c : W{0};
+    }
+
+    /// Never below the true frequency f_i.
+    W upper_bound(K id) const {
+        const W* c = table_.find(id);
+        return c != nullptr ? *c + offset_ : offset_;
+    }
+
+    /// The accumulated offset: an a-posteriori bound on the error of any
+    /// estimate (upper_bound − lower_bound ≤ maximum_error() always).
+    W maximum_error() const noexcept { return offset_; }
+
+    /// N — total weight of all processed updates (including merged streams).
+    W total_weight() const noexcept { return total_weight_; }
+
+    std::uint32_t num_counters() const noexcept { return table_.size(); }
+    std::uint32_t capacity() const noexcept { return table_.capacity(); }
+    bool empty() const noexcept { return table_.empty(); }
+    const sketch_config& config() const noexcept { return cfg_; }
+
+    /// Bytes of counter storage (the equal-space comparisons of §4.3 budget
+    /// on this figure; the sample buffer is excluded as the paper's space
+    /// accounting counts summary state, and the buffer is O(l) = O(1)).
+    std::size_t memory_bytes() const noexcept { return table_.memory_bytes(); }
+
+    /// Storage cost for a hypothetical sketch with k counters — used by the
+    /// benches to size algorithms for equal-space comparisons.
+    static std::size_t bytes_for(std::uint32_t k) noexcept {
+        return counter_table<K, W>::bytes_for(k);
+    }
+
+    /// Number of DecrementCounters() executions so far (instrumentation:
+    /// Lemma 3 / Theorem 3 assert this is O(n/k)).
+    std::uint64_t num_decrements() const noexcept { return num_decrements_; }
+
+    /// All items whose bound (chosen by \p et) strictly exceeds \p threshold,
+    /// sorted by descending estimate. With et = no_false_negatives and
+    /// threshold = φ·N this returns every (φ, ε)-heavy hitter (§1.2).
+    std::vector<row> frequent_items(error_type et, W threshold) const {
+        std::vector<row> out;
+        table_.for_each([&](K id, W c) {
+            const W lb = c;
+            const W ub = c + offset_;
+            const W bound = et == error_type::no_false_positives ? lb : ub;
+            if (bound > threshold) {
+                out.push_back(row{id, ub, lb, ub});
+            }
+        });
+        std::sort(out.begin(), out.end(),
+                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
+        return out;
+    }
+
+    /// Threshold-free overload using maximum_error() as the threshold, the
+    /// tightest value for which the chosen guarantee is meaningful.
+    std::vector<row> frequent_items(error_type et) const {
+        return frequent_items(et, offset_);
+    }
+
+    /// The (up to) m tracked items with the largest estimates, in descending
+    /// order — the "top talkers" convenience query. No threshold guarantee:
+    /// ranks within maximum_error() of each other may be swapped relative to
+    /// the true ordering.
+    std::vector<row> top_items(std::size_t m) const {
+        std::vector<row> out;
+        out.reserve(table_.size());
+        table_.for_each([&](K id, W c) { out.push_back(row{id, c + offset_, c, c + offset_}); });
+        std::sort(out.begin(), out.end(),
+                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
+        if (out.size() > m) {
+            out.resize(m);
+        }
+        return out;
+    }
+
+    /// Visits every tracked (id, raw_counter) pair.
+    template <typename F>
+    void for_each(F&& f) const {
+        table_.for_each(std::forward<F>(f));
+    }
+
+    // --- merging (Algorithm 5) -----------------------------------------------
+
+    /// Merges \p other into this sketch: each of the other summary's raw
+    /// counters becomes one weighted update here, iterated from a random
+    /// slot (§3.2's note — front-to-back iteration with a shared hash
+    /// function would overpopulate the front of this table), then offsets
+    /// add. O(k) time, no allocation, arbitrary aggregation trees supported
+    /// (Theorem 5).
+    void merge(const frequent_items_sketch& other) {
+        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
+        const W combined_weight = total_weight_ + other.total_weight_;
+        if (!other.table_.empty()) {
+            const auto start =
+                static_cast<std::uint32_t>(rng_.below(other.table_.num_slots()));
+            other.table_.for_each_from(start, [&](K id, W c) { ingest(id, c); });
+        }
+        offset_ += other.offset_;
+        total_weight_ = combined_weight;
+    }
+
+    // --- serialization ---------------------------------------------------------
+
+    /// Portable little-endian encoding; stable across platforms.
+    std::vector<std::uint8_t> serialize() const {
+        byte_writer w;
+        w.reserve(48 + static_cast<std::size_t>(table_.size()) * (sizeof(K) + 8));
+        w.put_u32(serde_magic);
+        w.put_u8(serde_version);
+        w.put_u8(sizeof(K));
+        w.put_u8(weight_code());
+        w.put_u8(0);  // reserved flags
+        w.put_u32(cfg_.max_counters);
+        w.put_u32(cfg_.sample_size);
+        w.put_f64(cfg_.decrement_quantile);
+        w.put_u64(cfg_.seed);
+        put_weight(w, offset_);
+        put_weight(w, total_weight_);
+        w.put_u32(table_.size());
+        table_.for_each([&](K id, W c) {
+            w.put_u64(static_cast<std::uint64_t>(id));
+            put_weight(w, c);
+        });
+        return std::move(w).take();
+    }
+
+    /// Reconstructs a sketch from bytes. \p max_accepted_counters guards
+    /// resource consumption when the bytes are untrusted (the §3 merging
+    /// architecture ships sketches across machines): an image whose declared
+    /// capacity exceeds the bound is rejected *before* any table allocation,
+    /// so hostile input cannot force multi-gigabyte allocations.
+    static frequent_items_sketch deserialize(const std::uint8_t* data, std::size_t size,
+                                             std::uint32_t max_accepted_counters = 1u << 28) {
+        byte_reader r(data, size);
+        FREQ_REQUIRE(r.get_u32() == serde_magic, "not a frequent_items_sketch image");
+        FREQ_REQUIRE(r.get_u8() == serde_version, "unsupported sketch serialization version");
+        FREQ_REQUIRE(r.get_u8() == sizeof(K), "sketch image has a different key width");
+        FREQ_REQUIRE(r.get_u8() == weight_code(), "sketch image has a different weight type");
+        r.get_u8();  // reserved
+        sketch_config cfg;
+        cfg.max_counters = r.get_u32();
+        FREQ_REQUIRE(cfg.max_counters <= max_accepted_counters,
+                     "sketch image capacity exceeds the caller's acceptance bound");
+        cfg.sample_size = r.get_u32();
+        cfg.decrement_quantile = r.get_f64();
+        cfg.seed = r.get_u64();
+        frequent_items_sketch s(cfg);
+        s.offset_ = get_weight(r);
+        s.total_weight_ = get_weight(r);
+        const std::uint32_t n = r.get_u32();
+        FREQ_REQUIRE(n <= cfg.max_counters, "sketch image counter count exceeds capacity");
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const K id = static_cast<K>(r.get_u64());
+            const W c = get_weight(r);
+            FREQ_REQUIRE(c > W{0}, "sketch image contains a non-positive counter");
+            FREQ_REQUIRE(s.table_.find(id) == nullptr, "sketch image contains a duplicate id");
+            s.table_.upsert(id, c);
+        }
+        return s;
+    }
+
+    static frequent_items_sketch deserialize(const std::vector<std::uint8_t>& bytes) {
+        return deserialize(bytes.data(), bytes.size());
+    }
+
+    /// Builds a sketch directly from raw (id, counter) rows, bypassing the
+    /// update path — used by the §3.1 merge baselines, which compute the
+    /// merged counter set themselves. Rows must hold distinct ids and
+    /// positive counters, and there must be at most cfg.max_counters of them.
+    static frequent_items_sketch from_raw(const sketch_config& cfg,
+                                          std::span<const std::pair<K, W>> rows, W offset,
+                                          W total_weight) {
+        FREQ_REQUIRE(rows.size() <= cfg.max_counters,
+                     "from_raw row count exceeds sketch capacity");
+        frequent_items_sketch s(cfg);
+        for (const auto& [id, c] : rows) {
+            FREQ_REQUIRE(c > W{0}, "from_raw counters must be positive");
+            FREQ_REQUIRE(s.table_.find(id) == nullptr, "from_raw ids must be distinct");
+            s.table_.upsert(id, c);
+        }
+        s.offset_ = offset;
+        s.total_weight_ = total_weight;
+        return s;
+    }
+
+    /// One-line human-readable summary (examples / debugging).
+    std::string to_string() const {
+        return "frequent_items_sketch(k=" + std::to_string(cfg_.max_counters) +
+               ", counters=" + std::to_string(table_.size()) +
+               ", N=" + std::to_string(static_cast<double>(total_weight_)) +
+               ", max_error=" + std::to_string(static_cast<double>(offset_)) +
+               ", decrements=" + std::to_string(num_decrements_) + ")";
+    }
+
+private:
+    static constexpr std::uint32_t serde_magic = 0x4b535146;  // "FQSK"
+    static constexpr std::uint8_t serde_version = 1;
+
+    static constexpr std::uint8_t weight_code() {
+        return std::is_floating_point_v<W> ? 1 : 0;
+    }
+
+    static void put_weight(byte_writer& w, W v) {
+        if constexpr (std::is_floating_point_v<W>) {
+            w.put_f64(static_cast<double>(v));
+        } else {
+            w.put_u64(static_cast<std::uint64_t>(v));
+        }
+    }
+
+    static W get_weight(byte_reader& r) {
+        if constexpr (std::is_floating_point_v<W>) {
+            return static_cast<W>(r.get_f64());
+        } else {
+            return static_cast<W>(r.get_u64());
+        }
+    }
+
+    /// Algorithm 4's Update(), minus N bookkeeping (merge() feeds raw
+    /// counters through this path without double-counting stream weight).
+    void ingest(K id, W weight) {
+        if (W* c = table_.find(id)) {
+            *c += weight;
+            return;
+        }
+        if (!table_.full()) {
+            table_.upsert(id, weight);
+            return;
+        }
+        const W cstar = decrement_counters();
+        if (weight > cstar) {
+            table_.upsert(id, weight - cstar);
+        }
+    }
+
+    /// Algorithm 4's DecrementCounters(): sample l live counters with
+    /// replacement, subtract the configured sample quantile from every
+    /// counter, and drop the non-positive ones. Returns c*.
+    W decrement_counters() {
+        const std::uint32_t slots = table_.num_slots();
+        for (auto& sample : sample_buf_) {
+            std::uint32_t s;
+            do {
+                s = static_cast<std::uint32_t>(rng_.below(slots));
+            } while (!table_.slot_occupied(s));
+            sample = table_.slot_value(s);
+        }
+        const W cstar = quickselect_quantile(std::span<W>(sample_buf_), cfg_.decrement_quantile);
+        FREQ_ENSURES(cstar > W{0});
+        table_.decrement_all(cstar);
+        offset_ += cstar;
+        ++num_decrements_;
+        return cstar;
+    }
+
+    sketch_config cfg_;
+    counter_table<K, W> table_;
+    xoshiro256ss rng_;
+    std::vector<W> sample_buf_;
+    W offset_{0};
+    W total_weight_{0};
+    std::uint64_t num_decrements_ = 0;
+};
+
+/// The deployed configuration (k counters, sample median): SMED of §4.
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+frequent_items_sketch<K, W> make_smed(std::uint32_t k, std::uint64_t seed = 0) {
+    return frequent_items_sketch<K, W>(
+        sketch_config{.max_counters = k, .decrement_quantile = 0.5, .seed = seed});
+}
+
+/// The sample-minimum variant: SMIN of §4 (slow but nearly RBMC-accurate).
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+frequent_items_sketch<K, W> make_smin(std::uint32_t k, std::uint64_t seed = 0) {
+    return frequent_items_sketch<K, W>(
+        sketch_config{.max_counters = k, .decrement_quantile = 0.0, .seed = seed});
+}
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_FREQUENT_ITEMS_SKETCH_H

@@ -1,0 +1,156 @@
+#ifndef FREQ_CORE_MED_EXACT_SKETCH_H
+#define FREQ_CORE_MED_EXACT_SKETCH_H
+
+/// \file med_exact_sketch.h
+/// Algorithm 3 of the paper — the "initial proposal" MED: the Reduce-By-
+/// Median-Counter extension of Misra-Gries, which decrements by the *exact*
+/// k*-th largest counter value (k* = k/2 by default) computed with
+/// Quickselect over a scratch copy of all counters.
+///
+/// The paper keeps this algorithm for exposition and then abandons it for
+/// SMED (Algorithm 4) because of two concrete costs, both deliberately
+/// preserved here so the ablation bench can measure them (§2.2):
+///  * an extra k words of scratch space during every DecrementCounters(),
+///    nearly doubling peak memory;
+///  * an extra full pass over the summary per decrement to find the k*-th
+///    largest counter.
+///
+/// Its compensating virtue is determinism: Theorem 2's error bound
+///     0 ≤ f_i − lower_bound(i) ≤ N^res(j) / (k* − j)   for all j < k*
+/// holds unconditionally (no sampling failure probability), which the test
+/// suite exercises directly.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.h"
+#include "select/quickselect.h"
+#include "stream/update.h"
+#include "table/counter_table.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+class med_exact_sketch {
+public:
+    using key_type = K;
+    using weight_type = W;
+
+    /// \param max_counters  k
+    /// \param rank          k* — decrement by the k*-th largest counter
+    ///                      (counting multiplicity); defaults to k/2.
+    explicit med_exact_sketch(std::uint32_t max_counters, std::uint32_t rank = 0,
+                              std::uint64_t seed = 0)
+        : table_(max_counters, seed),
+          rank_(rank == 0 ? std::max<std::uint32_t>(1, max_counters / 2) : rank) {
+        FREQ_REQUIRE(max_counters >= 1, "sketch needs at least one counter");
+        FREQ_REQUIRE(rank_ >= 1 && rank_ <= max_counters, "k* must be in [1, k]");
+        scratch_.reserve(max_counters);
+    }
+
+    void update(K id, W weight) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+        }
+        if (weight == W{0}) {
+            return;
+        }
+        total_weight_ += weight;
+        ingest(id, weight);
+    }
+
+    void update(K id) { update(id, W{1}); }
+
+    void consume(const update_stream<K, W>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    /// Offset hybrid estimate, as in frequent_items_sketch (§2.3.1).
+    W estimate(K id) const {
+        const W* c = table_.find(id);
+        return c != nullptr ? *c + offset_ : W{0};
+    }
+
+    /// The Algorithm 3 estimate: the raw counter (never exceeds f_i).
+    W lower_bound(K id) const {
+        const W* c = table_.find(id);
+        return c != nullptr ? *c : W{0};
+    }
+
+    W upper_bound(K id) const {
+        const W* c = table_.find(id);
+        return c != nullptr ? *c + offset_ : offset_;
+    }
+
+    W maximum_error() const noexcept { return offset_; }
+    W total_weight() const noexcept { return total_weight_; }
+    std::uint32_t num_counters() const noexcept { return table_.size(); }
+    std::uint32_t capacity() const noexcept { return table_.capacity(); }
+    std::uint32_t rank() const noexcept { return rank_; }
+    std::uint64_t num_decrements() const noexcept { return num_decrements_; }
+
+    /// Table bytes plus the scratch buffer Algorithm 3 needs — the §2.2
+    /// "extra k words" show up here, unlike in frequent_items_sketch.
+    std::size_t memory_bytes() const noexcept {
+        return table_.memory_bytes() + scratch_.capacity() * sizeof(W);
+    }
+
+    template <typename F>
+    void for_each(F&& f) const {
+        table_.for_each(std::forward<F>(f));
+    }
+
+    /// Algorithm 5 applied to MED — Theorem 5's setting.
+    void merge(const med_exact_sketch& other) {
+        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
+        const W combined_weight = total_weight_ + other.total_weight_;
+        other.table_.for_each([&](K id, W c) { ingest(id, c); });
+        offset_ += other.offset_;
+        total_weight_ = combined_weight;
+    }
+
+private:
+    void ingest(K id, W weight) {
+        if (W* c = table_.find(id)) {
+            *c += weight;
+            return;
+        }
+        if (!table_.full()) {
+            table_.upsert(id, weight);
+            return;
+        }
+        const W cstar = decrement_counters();
+        if (weight > cstar) {
+            table_.upsert(id, weight - cstar);
+        }
+    }
+
+    /// Lines 15-20 of Algorithm 3: c_{k*} = the k*-th largest counter value,
+    /// found by Quickselect over a scratch copy (the extra pass + extra k
+    /// words the paper calls out in §2.2).
+    W decrement_counters() {
+        scratch_.clear();
+        table_.for_each([&](K, W c) { scratch_.push_back(c); });
+        FREQ_EXPECTS(scratch_.size() == table_.capacity());
+        const W cstar = quickselect_largest(std::span<W>(scratch_), rank_ - 1);
+        FREQ_ENSURES(cstar > W{0});
+        table_.decrement_all(cstar);
+        offset_ += cstar;
+        ++num_decrements_;
+        return cstar;
+    }
+
+    counter_table<K, W> table_;
+    std::uint32_t rank_;
+    std::vector<W> scratch_;
+    W offset_{0};
+    W total_weight_{0};
+    std::uint64_t num_decrements_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_MED_EXACT_SKETCH_H

@@ -1,0 +1,74 @@
+#ifndef FREQ_CORE_PARALLEL_SUMMARIZE_H
+#define FREQ_CORE_PARALLEL_SUMMARIZE_H
+
+/// \file parallel_summarize.h
+/// The §3 "parallel and distributed" scenario as a library utility: a large
+/// in-memory stream is partitioned across worker threads, each thread builds
+/// an independent summary of its contiguous chunk, and the summaries merge
+/// (Algorithm 5) into one. Because merging is order-insensitive with respect
+/// to validity (Theorem 5 holds for any aggregation tree), the partitioning
+/// is arbitrary — contiguous chunks maximize per-thread locality.
+///
+/// Each worker gets a distinct hash seed (base seed + worker index), which
+/// both avoids the §3.2 shared-hash merge hazard and makes the workers'
+/// tables statistically independent.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+#include "stream/update.h"
+
+namespace freq {
+
+/// Summarizes \p stream with \p num_workers threads, each running an
+/// independent sketch with \p cfg capacity, then merges pairwise into one
+/// summary (balanced tree). The result is a valid summary of the entire
+/// stream with the usual merged-error bound (Theorem 5).
+template <typename K, typename W>
+frequent_items_sketch<K, W> parallel_summarize(const update_stream<K, W>& stream,
+                                               const sketch_config& cfg,
+                                               unsigned num_workers) {
+    FREQ_REQUIRE(num_workers >= 1, "need at least one worker");
+    const std::size_t n = stream.size();
+    const auto workers = static_cast<std::size_t>(num_workers);
+
+    std::vector<frequent_items_sketch<K, W>> parts;
+    parts.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        sketch_config local = cfg;
+        local.seed = cfg.seed + w;
+        parts.emplace_back(local);
+    }
+
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            threads.emplace_back([&, w] {
+                const std::size_t begin = n * w / workers;
+                const std::size_t end = n * (w + 1) / workers;
+                for (std::size_t i = begin; i < end; ++i) {
+                    parts[w].update(stream[i].id, stream[i].weight);
+                }
+            });
+        }
+        for (auto& t : threads) {
+            t.join();
+        }
+    }
+
+    // Balanced pairwise merge; strides double each round.
+    for (std::size_t stride = 1; stride < workers; stride *= 2) {
+        for (std::size_t i = 0; i + stride < workers; i += 2 * stride) {
+            parts[i].merge(parts[i + stride]);
+        }
+    }
+    return std::move(parts.front());
+}
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_PARALLEL_SUMMARIZE_H

@@ -1,0 +1,100 @@
+#ifndef FREQ_CORE_SIGNED_FREQUENT_ITEMS_H
+#define FREQ_CORE_SIGNED_FREQUENT_ITEMS_H
+
+/// \file signed_frequent_items.h
+/// Deletion support via sketch pairing — the construction described in the
+/// §1.3 Note of the paper: run one counter-based summary over the positive
+/// updates and a second over the absolute values of the negative updates;
+/// estimate f_i as the difference of the two estimates. By the triangle
+/// inequality the error is the sum of the two sketches' errors, i.e.
+/// proportional to Σ|Δ_j| instead of Σ Δ_j — suitable whenever deletions
+/// are a modest fraction of traffic (the strict turnstile regime where
+/// counter-based summaries can still beat linear sketches).
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::int64_t>
+class signed_frequent_items {
+    static_assert(std::is_signed_v<W>, "signed_frequent_items needs a signed weight type");
+    using magnitude = std::conditional_t<std::is_floating_point_v<W>, W, std::uint64_t>;
+
+public:
+    using key_type = K;
+    using weight_type = W;
+
+    explicit signed_frequent_items(std::uint32_t max_counters, std::uint64_t seed = 0)
+        : inserts_(sketch_config{.max_counters = max_counters, .seed = seed}),
+          deletes_(sketch_config{.max_counters = max_counters, .seed = seed + 1}) {}
+
+    /// Processes (id, weight) where weight may be negative (a deletion).
+    void update(K id, W weight) {
+        if (weight >= W{0}) {
+            inserts_.update(id, static_cast<magnitude>(weight));
+        } else {
+            deletes_.update(id, static_cast<magnitude>(-weight));
+        }
+    }
+
+    /// f̂_i = positive estimate − negative estimate (may be negative due to
+    /// estimation error even when the true frequency is non-negative).
+    W estimate(K id) const {
+        return static_cast<W>(inserts_.estimate(id)) - static_cast<W>(deletes_.estimate(id));
+    }
+
+    W lower_bound(K id) const {
+        return static_cast<W>(inserts_.lower_bound(id)) -
+               static_cast<W>(deletes_.upper_bound(id));
+    }
+
+    W upper_bound(K id) const {
+        return static_cast<W>(inserts_.upper_bound(id)) -
+               static_cast<W>(deletes_.lower_bound(id));
+    }
+
+    /// Combined error bound: the sum of both sketches' maximum errors
+    /// (triangle inequality, §1.3 Note).
+    W maximum_error() const {
+        return static_cast<W>(inserts_.maximum_error()) +
+               static_cast<W>(deletes_.maximum_error());
+    }
+
+    /// Net stream weight N = Σ Δ_j; gross weight is Σ |Δ_j|.
+    W net_weight() const {
+        return static_cast<W>(inserts_.total_weight()) -
+               static_cast<W>(deletes_.total_weight());
+    }
+    magnitude gross_weight() const {
+        return inserts_.total_weight() + deletes_.total_weight();
+    }
+
+    void merge(const signed_frequent_items& other) {
+        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
+        inserts_.merge(other.inserts_);
+        deletes_.merge(other.deletes_);
+    }
+
+    std::size_t memory_bytes() const noexcept {
+        return inserts_.memory_bytes() + deletes_.memory_bytes();
+    }
+
+    const frequent_items_sketch<K, magnitude>& insert_sketch() const noexcept {
+        return inserts_;
+    }
+    const frequent_items_sketch<K, magnitude>& delete_sketch() const noexcept {
+        return deletes_;
+    }
+
+private:
+    frequent_items_sketch<K, magnitude> inserts_;
+    frequent_items_sketch<K, magnitude> deletes_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_SIGNED_FREQUENT_ITEMS_H

@@ -1,0 +1,50 @@
+#ifndef FREQ_CORE_SKETCH_CONFIG_H
+#define FREQ_CORE_SKETCH_CONFIG_H
+
+/// \file sketch_config.h
+/// Tuning knobs of the frequent-items sketch (Algorithm 4 of the paper).
+
+#include <cstdint>
+
+namespace freq {
+
+/// How heavy-hitter extraction trades false positives against false
+/// negatives (§1.2's (φ, ε) guarantee; same contract as Apache DataSketches).
+enum class error_type {
+    /// Return only items whose *lower* bound clears the threshold: every
+    /// returned item is a true heavy hitter, but some true heavy hitters
+    /// near the threshold may be missed.
+    no_false_positives,
+    /// Return every item whose *upper* bound clears the threshold: all true
+    /// heavy hitters are returned, plus possibly a few near-threshold items.
+    no_false_negatives,
+};
+
+/// Configuration of frequent_items_sketch.
+///
+/// The defaults reproduce the paper's deployed configuration: decrement by
+/// the **median** (quantile 0.5) of **l = 1024** sampled counters (§2.3.2).
+/// Setting decrement_quantile = 0 yields the SMIN variant; intermediate
+/// values trace out the Fig. 3 speed/error tradeoff curve.
+struct sketch_config {
+    /// k — maximum number of tracked counters. The backing table allocates
+    /// ceil_pow2(4k/3) slots of 18 bytes each (§2.3.3).
+    std::uint32_t max_counters = 1024;
+
+    /// q ∈ [0, 1): which sample quantile DecrementCounters() subtracts.
+    /// 0.5 = SMED (the paper's algorithm), 0 = SMIN.
+    double decrement_quantile = 0.5;
+
+    /// l — number of counters sampled (with replacement) per decrement.
+    /// The paper's numerical analysis fixes 1024 (§2.3.2).
+    std::uint32_t sample_size = 1024;
+
+    /// Seeds both the table hash and the counter-sampling PRNG. Two sketches
+    /// constructed with different seeds use independent hash functions,
+    /// which §3.2's note recommends for merging.
+    std::uint64_t seed = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_SKETCH_CONFIG_H

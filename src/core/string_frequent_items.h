@@ -1,0 +1,110 @@
+#ifndef FREQ_CORE_STRING_FREQUENT_ITEMS_H
+#define FREQ_CORE_STRING_FREQUENT_ITEMS_H
+
+/// \file string_frequent_items.h
+/// Frequent items over string identifiers — the tf-idf / text-mining use
+/// case of §1.2 (real-valued weights over words) and the closest analogue of
+/// Apache DataSketches' generic frequent_items_sketch<std::string>.
+///
+/// Strings are fingerprinted to 64 bits (FNV-1a) so the hot path runs on the
+/// same parallel-array table as the integer sketch; a side dictionary
+/// remembers the spelling of currently-tracked fingerprints so results are
+/// human-readable. The dictionary is pruned lazily whenever it grows past
+/// 4x the sketch capacity, keeping memory O(k · avg string length).
+///
+/// Fingerprint collisions merge two strings' counts; at 64 bits the chance
+/// any pair among k tracked items collides is ~k²/2⁶⁵ (≈1e-11 for k = 2¹⁵),
+/// the standard trade DataSketches also makes for string keys.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frequent_items_sketch.h"
+#include "hashing/hash.h"
+
+namespace freq {
+
+template <typename W = double>
+class string_frequent_items {
+public:
+    using weight_type = W;
+
+    struct row {
+        std::string item;
+        W estimate;
+        W lower_bound;
+        W upper_bound;
+    };
+
+    explicit string_frequent_items(std::uint32_t max_counters, std::uint64_t seed = 0)
+        : sketch_(sketch_config{.max_counters = max_counters, .seed = seed}) {
+        dict_.reserve(max_counters * 2);
+    }
+
+    void update(std::string_view item, W weight = W{1}) {
+        const std::uint64_t fp = fnv1a64(item);
+        sketch_.update(fp, weight);
+        // Remember the spelling while the item is tracked.
+        if (sketch_.lower_bound(fp) > W{0}) {
+            dict_.try_emplace(fp, item);
+            if (dict_.size() > 4u * sketch_.capacity()) {
+                prune();
+            }
+        }
+    }
+
+    W estimate(std::string_view item) const { return sketch_.estimate(fnv1a64(item)); }
+    W lower_bound(std::string_view item) const { return sketch_.lower_bound(fnv1a64(item)); }
+    W upper_bound(std::string_view item) const { return sketch_.upper_bound(fnv1a64(item)); }
+    W maximum_error() const noexcept { return sketch_.maximum_error(); }
+    W total_weight() const noexcept { return sketch_.total_weight(); }
+    std::uint32_t capacity() const noexcept { return sketch_.capacity(); }
+    std::uint32_t num_counters() const noexcept { return sketch_.num_counters(); }
+
+    /// Heavy hitters with their spellings, sorted by descending estimate.
+    std::vector<row> frequent_items(error_type et, W threshold) const {
+        std::vector<row> out;
+        for (const auto& r : sketch_.frequent_items(et, threshold)) {
+            const auto it = dict_.find(r.id);
+            // Tracked items always have a dictionary entry (inserted on the
+            // update that admitted them and pruned only when untracked).
+            out.push_back(row{it != dict_.end() ? it->second : std::string("<unknown>"),
+                              r.estimate, r.lower_bound, r.upper_bound});
+        }
+        return out;
+    }
+
+    std::vector<row> frequent_items(error_type et) const {
+        return frequent_items(et, sketch_.maximum_error());
+    }
+
+    /// Sketch bytes plus dictionary footprint (keys + string storage).
+    std::size_t memory_bytes() const noexcept {
+        std::size_t dict_bytes = 0;
+        for (const auto& [fp, s] : dict_) {
+            dict_bytes += sizeof(fp) + sizeof(std::string) + s.capacity();
+        }
+        return sketch_.memory_bytes() + dict_bytes;
+    }
+
+private:
+    void prune() {
+        for (auto it = dict_.begin(); it != dict_.end();) {
+            if (sketch_.lower_bound(it->first) == W{0}) {
+                it = dict_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    frequent_items_sketch<std::uint64_t, W> sketch_;
+    std::unordered_map<std::uint64_t, std::string> dict_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_STRING_FREQUENT_ITEMS_H

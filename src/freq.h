@@ -1,0 +1,33 @@
+#ifndef FREQ_FREQ_H
+#define FREQ_FREQ_H
+
+/// \file freq.h
+/// Umbrella header: the public API of libfreq in one include.
+///
+///   #include "freq.h"
+///
+/// brings in the paper's sketch and every companion type. Individual
+/// headers remain includable on their own for faster builds.
+
+// The paper's contribution (Algorithms 3-5 + §2.3 engineering).
+#include "core/frequent_items_sketch.h"   // 64-bit identifiers (the fast path)
+#include "core/generic_frequent_items.h"  // arbitrary item types
+#include "core/med_exact_sketch.h"        // Algorithm 3 (deterministic variant)
+#include "core/parallel_summarize.h"      // §3 partition-then-merge utility
+#include "core/signed_frequent_items.h"   // §1.3 Note: deletion support
+#include "core/sketch_config.h"
+#include "core/string_frequent_items.h"   // string keys (tf-idf use case)
+
+// Applications built on the sketch (§1.2 / §6).
+#include "entropy/entropy_estimator.h"
+#include "hhh/hierarchical_heavy_hitters.h"
+
+// Workloads, ground truth and IO.
+#include "metrics/error.h"
+#include "metrics/space.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+#include "stream/trace_io.h"
+#include "stream/update.h"
+
+#endif  // FREQ_FREQ_H

@@ -1,0 +1,65 @@
+#ifndef FREQ_HASHING_HASH_H
+#define FREQ_HASHING_HASH_H
+
+/// \file hash.h
+/// Integer mixers and byte-string fingerprints.
+///
+/// The counter table (src/table) maps 64-bit identifiers to slots with a
+/// seeded finalizer-style mixer: identifiers in real traces (IPv4 addresses,
+/// user ids) are highly structured, so the raw low bits must never be used
+/// as a slot index. All mixers here are bijective on 64 bits, which keeps
+/// fingerprint collisions impossible for 64-bit keys.
+
+#include <cstdint>
+#include <string_view>
+
+namespace freq {
+
+/// Fmix64 finalizer from MurmurHash3 — fast, well-dispersed, bijective.
+constexpr std::uint64_t murmur_mix64(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/// SplitMix64 step: advances \p state and returns a mixed 64-bit value.
+/// Used both as a mixer and to expand a single seed into PRNG state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Stateless SplitMix64-style finalizer of a single value.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Seeded table hash: mixes \p key with \p seed so distinct sketches can
+/// use independent hash functions (required by the merge procedure's
+/// randomization note in §3.2 of the paper).
+constexpr std::uint64_t table_hash(std::uint64_t key, std::uint64_t seed) noexcept {
+    return murmur_mix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// FNV-1a over bytes; used to fingerprint string identifiers into the
+/// 64-bit key space the high-performance table operates on.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace freq
+
+#endif  // FREQ_HASHING_HASH_H

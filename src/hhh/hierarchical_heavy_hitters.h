@@ -1,0 +1,136 @@
+#ifndef FREQ_HHH_HIERARCHICAL_HEAVY_HITTERS_H
+#define FREQ_HHH_HIERARCHICAL_HEAVY_HITTERS_H
+
+/// \file hierarchical_heavy_hitters.h
+/// Hierarchical heavy hitters (HHH) over IPv4 source prefixes — the
+/// application the paper names first among uses of its sketch as a
+/// subroutine (§1.2, §6; Mitzenmacher, Steinke & Thaler [18], who built the
+/// same scheme on MHE — we substitute the paper's faster sketch, which is
+/// precisely the §6 "future work" integration).
+///
+/// Structure: one frequent-items sketch per prefix level (default the
+/// byte-boundary levels /32, /24, /16, /8, /0). Every packet updates each
+/// level with its masked source address. A query walks levels from the most
+/// specific upward and reports a prefix as an HHH when its *conditioned*
+/// count — its estimate minus the estimates of already-reported HHH
+/// descendants — clears φ·N. This is the discounted heuristic of [18]:
+/// false negatives are possible near the threshold but every reported
+/// prefix genuinely carries the claimed conditioned traffic up to sketch
+/// error.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+#include "net/ipv4.h"
+
+namespace freq::hhh {
+
+class hierarchical_heavy_hitters {
+public:
+    struct config {
+        /// Prefix lengths, any subset of [0, 32]; stored sorted descending
+        /// (most specific first).
+        std::vector<unsigned> levels = {32, 24, 16, 8};
+        std::uint32_t counters_per_level = 1024;  ///< k for each level's sketch
+        std::uint64_t seed = 0;
+    };
+
+    struct hhh_row {
+        std::uint32_t prefix;       ///< masked address
+        unsigned prefix_len;
+        std::uint64_t estimate;     ///< sketch estimate of the full prefix traffic
+        std::uint64_t conditioned;  ///< estimate minus reported descendants
+
+        std::string to_string() const { return net::format_prefix(prefix, prefix_len); }
+    };
+
+    explicit hierarchical_heavy_hitters(config cfg) : cfg_(std::move(cfg)) {
+        FREQ_REQUIRE(!cfg_.levels.empty(), "need at least one prefix level");
+        std::sort(cfg_.levels.begin(), cfg_.levels.end(), std::greater<>());
+        for (const unsigned l : cfg_.levels) {
+            FREQ_REQUIRE(l <= 32, "IPv4 prefix level must be <= 32");
+            sketches_.emplace_back(sketch_config{
+                .max_counters = cfg_.counters_per_level,
+                .seed = cfg_.seed + l + 1,
+            });
+        }
+        FREQ_REQUIRE(std::adjacent_find(cfg_.levels.begin(), cfg_.levels.end()) ==
+                         cfg_.levels.end(),
+                     "prefix levels must be distinct");
+    }
+
+    /// Feeds one packet: every level's sketch sees the masked address.
+    void update(std::uint32_t src_ip, std::uint64_t weight) {
+        if (weight == 0) {
+            return;
+        }
+        total_weight_ += weight;
+        for (std::size_t i = 0; i < cfg_.levels.size(); ++i) {
+            sketches_[i].update(net::prefix_of(src_ip, cfg_.levels[i]), weight);
+        }
+    }
+
+    std::uint64_t total_weight() const noexcept { return total_weight_; }
+
+    /// All levels' sketch bytes — the HHH memory cost is levels × sketch.
+    std::size_t memory_bytes() const noexcept {
+        std::size_t b = 0;
+        for (const auto& s : sketches_) {
+            b += s.memory_bytes();
+        }
+        return b;
+    }
+
+    /// Hierarchical heavy hitters at threshold φ (fraction of total traffic),
+    /// most specific prefixes first.
+    std::vector<hhh_row> query(double phi) const {
+        FREQ_REQUIRE(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+        const auto threshold =
+            static_cast<std::uint64_t>(phi * static_cast<double>(total_weight_));
+        std::vector<hhh_row> out;
+        // Walk levels most-specific-first, discounting reported descendants.
+        for (std::size_t i = 0; i < cfg_.levels.size(); ++i) {
+            const unsigned level = cfg_.levels[i];
+            const auto candidates =
+                sketches_[i].frequent_items(error_type::no_false_negatives, threshold);
+            for (const auto& cand : candidates) {
+                const auto prefix = static_cast<std::uint32_t>(cand.id);
+                std::uint64_t discount = 0;
+                for (const auto& r : out) {
+                    if (r.prefix_len > level &&
+                        net::prefix_of(r.prefix, level) == prefix) {
+                        discount += r.estimate;
+                    }
+                }
+                const std::uint64_t cond =
+                    cand.estimate > discount ? cand.estimate - discount : 0;
+                if (cond > threshold) {
+                    out.push_back(hhh_row{prefix, level, cand.estimate, cond});
+                }
+            }
+        }
+        return out;
+    }
+
+    /// Direct access to one level's sketch (diagnostics, tests).
+    const frequent_items_sketch<std::uint64_t, std::uint64_t>& level_sketch(
+        std::size_t i) const {
+        FREQ_REQUIRE(i < sketches_.size(), "level index out of range");
+        return sketches_[i];
+    }
+
+    const config& cfg() const noexcept { return cfg_; }
+
+private:
+    config cfg_;
+    std::vector<frequent_items_sketch<std::uint64_t, std::uint64_t>> sketches_;
+    std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace freq::hhh
+
+#endif  // FREQ_HHH_HIERARCHICAL_HEAVY_HITTERS_H

@@ -1,0 +1,88 @@
+#ifndef FREQ_METRICS_ERROR_H
+#define FREQ_METRICS_ERROR_H
+
+/// \file error.h
+/// Accuracy evaluation against exact ground truth — the measurements behind
+/// Fig. 2 (maximum estimate error) and Fig. 3 (error vs decrement quantile),
+/// plus heavy-hitter precision/recall for the (φ, ε) guarantee of §1.2.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/exact_counter.h"
+
+namespace freq {
+
+struct error_report {
+    double max_error = 0.0;        ///< max over all items of |f̂_i − f_i| (Fig. 2's metric)
+    double mean_error = 0.0;       ///< mean absolute error over distinct items
+    double max_overestimate = 0.0;   ///< max of f̂_i − f_i
+    double max_underestimate = 0.0;  ///< max of f_i − f̂_i
+    std::size_t items_evaluated = 0;
+};
+
+/// Evaluates \p sketch's estimate() against exact counts over every distinct
+/// item of the stream. Any algorithm exposing `estimate(id)` works: the
+/// sketches, the baselines, and the exact counter itself.
+template <typename Sketch, typename K, typename W>
+error_report evaluate_errors(const Sketch& sketch, const exact_counter<K, W>& exact) {
+    error_report r;
+    double total = 0.0;
+    for (const auto& [id, f] : exact.counts()) {
+        const double est = static_cast<double>(sketch.estimate(id));
+        const double truth = static_cast<double>(f);
+        const double err = est - truth;
+        r.max_error = std::max(r.max_error, std::abs(err));
+        r.max_overestimate = std::max(r.max_overestimate, err);
+        r.max_underestimate = std::max(r.max_underestimate, -err);
+        total += std::abs(err);
+        ++r.items_evaluated;
+    }
+    if (r.items_evaluated > 0) {
+        r.mean_error = total / static_cast<double>(r.items_evaluated);
+    }
+    return r;
+}
+
+struct hh_report {
+    double precision = 1.0;  ///< |returned ∩ true| / |returned|
+    double recall = 1.0;     ///< |returned ∩ true| / |true|
+    std::size_t num_true = 0;
+    std::size_t num_returned = 0;
+};
+
+/// Precision/recall of a returned heavy-hitter set against the true
+/// φ-heavy items (f_i ≥ phi·N).
+template <typename K, typename W>
+hh_report evaluate_heavy_hitters(const std::vector<K>& returned,
+                                 const exact_counter<K, W>& exact, double phi) {
+    // Compare in double so integer truncation of phi*N cannot admit items
+    // just below the threshold.
+    const double threshold = phi * static_cast<double>(exact.total_weight());
+    std::unordered_set<K> truth;
+    for (const auto& [id, f] : exact.counts()) {
+        if (static_cast<double>(f) >= threshold) {
+            truth.insert(id);
+        }
+    }
+    hh_report r;
+    r.num_true = truth.size();
+    r.num_returned = returned.size();
+    std::size_t hit = 0;
+    for (const K id : returned) {
+        hit += truth.count(id);
+    }
+    r.precision = returned.empty() ? 1.0
+                                   : static_cast<double>(hit) /
+                                         static_cast<double>(returned.size());
+    r.recall = truth.empty() ? 1.0
+                             : static_cast<double>(hit) / static_cast<double>(truth.size());
+    return r;
+}
+
+}  // namespace freq
+
+#endif  // FREQ_METRICS_ERROR_H

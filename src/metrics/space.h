@@ -1,0 +1,38 @@
+#ifndef FREQ_METRICS_SPACE_H
+#define FREQ_METRICS_SPACE_H
+
+/// \file space.h
+/// Space-budget helpers for the equal-space comparisons of §4.3: given a
+/// byte budget, find the largest number of counters an algorithm can afford
+/// under its own storage model (each algorithm exposes a static bytes_for(k)).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/contracts.h"
+
+namespace freq {
+
+/// Largest k with bytes_for(k) <= budget_bytes. \p bytes_for must be
+/// monotone non-decreasing in k (true of every algorithm here: storage
+/// grows with capacity).
+template <typename BytesFn>
+std::uint32_t max_counters_within(std::size_t budget_bytes, BytesFn&& bytes_for) {
+    FREQ_REQUIRE(bytes_for(1u) <= budget_bytes,
+                 "space budget cannot accommodate even one counter");
+    std::uint32_t lo = 1;          // feasible
+    std::uint32_t hi = 1u << 28;   // counter_table's capacity ceiling
+    while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+        if (bytes_for(mid) <= budget_bytes) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return lo;
+}
+
+}  // namespace freq
+
+#endif  // FREQ_METRICS_SPACE_H

@@ -1,0 +1,66 @@
+#include "net/ipv4.h"
+
+#include <array>
+
+#include "common/contracts.h"
+
+namespace freq::net {
+
+std::optional<std::uint32_t> parse_ipv4(const std::string& dotted) {
+    std::array<std::uint32_t, 4> octets{};
+    std::size_t octet = 0;
+    std::uint32_t value = 0;
+    bool have_digit = false;
+    for (const char c : dotted) {
+        if (c >= '0' && c <= '9') {
+            value = value * 10 + static_cast<std::uint32_t>(c - '0');
+            if (value > 255) {
+                return std::nullopt;
+            }
+            have_digit = true;
+        } else if (c == '.') {
+            if (!have_digit || octet >= 3) {
+                return std::nullopt;
+            }
+            octets[octet++] = value;
+            value = 0;
+            have_digit = false;
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (!have_digit || octet != 3) {
+        return std::nullopt;
+    }
+    octets[3] = value;
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+    return std::to_string(addr >> 24) + '.' + std::to_string((addr >> 16) & 0xff) + '.' +
+           std::to_string((addr >> 8) & 0xff) + '.' + std::to_string(addr & 0xff);
+}
+
+std::uint64_t decimal_encoding(std::uint32_t addr) {
+    const std::uint64_t a = addr >> 24;
+    const std::uint64_t b = (addr >> 16) & 0xff;
+    const std::uint64_t c = (addr >> 8) & 0xff;
+    const std::uint64_t d = addr & 0xff;
+    return ((a * 1000 + b) * 1000 + c) * 1000 + d;
+}
+
+std::uint32_t prefix_of(std::uint32_t addr, unsigned prefix_len) {
+    FREQ_REQUIRE(prefix_len <= 32, "IPv4 prefix length must be <= 32");
+    if (prefix_len == 0) {
+        return 0;
+    }
+    const std::uint32_t mask = prefix_len == 32 ? 0xffffffffu
+                                                : ~((1u << (32 - prefix_len)) - 1u);
+    return addr & mask;
+}
+
+std::string format_prefix(std::uint32_t addr, unsigned prefix_len) {
+    return format_ipv4(prefix_of(addr, prefix_len)) + '/' + std::to_string(prefix_len);
+}
+
+}  // namespace freq::net

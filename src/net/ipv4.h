@@ -1,0 +1,38 @@
+#ifndef FREQ_NET_IPV4_H
+#define FREQ_NET_IPV4_H
+
+/// \file ipv4.h
+/// IPv4 address helpers for the networking examples and the hierarchical
+/// heavy hitters module. The paper's preprocessing (§4.1) turns dotted-quad
+/// source addresses into integers "with decimal points excluded"; we provide
+/// both that encoding and the conventional 32-bit big-endian value.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace freq::net {
+
+/// Parses "a.b.c.d" into the conventional 32-bit value (a << 24 | ...).
+/// Returns nullopt on malformed input; never throws.
+std::optional<std::uint32_t> parse_ipv4(const std::string& dotted);
+
+/// Formats a 32-bit address as dotted-quad text.
+std::string format_ipv4(std::uint32_t addr);
+
+/// The paper's §4.1 identifier encoding: the dotted-quad with the dots
+/// removed, read as a decimal number — e.g. "10.1.2.3" -> 101023... is
+/// ambiguous in general, so the canonical form zero-pads each octet to three
+/// digits: "10.1.2.3" -> 010001002003 -> 10001002003.
+std::uint64_t decimal_encoding(std::uint32_t addr);
+
+/// Masks \p addr down to its length-\p prefix_len network prefix
+/// (prefix_len in [0, 32]).
+std::uint32_t prefix_of(std::uint32_t addr, unsigned prefix_len);
+
+/// Formats "a.b.c.d/len".
+std::string format_prefix(std::uint32_t addr, unsigned prefix_len);
+
+}  // namespace freq::net
+
+#endif  // FREQ_NET_IPV4_H

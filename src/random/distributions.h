@@ -1,0 +1,96 @@
+#ifndef FREQ_RANDOM_DISTRIBUTIONS_H
+#define FREQ_RANDOM_DISTRIBUTIONS_H
+
+/// \file distributions.h
+/// Small distribution helpers built on xoshiro256**: geometric skips for the
+/// Bhattacharyya §5 weighted sampler and the discrete packet-size mixture
+/// used by the CAIDA-like trace generator.
+
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/contracts.h"
+#include "random/xoshiro.h"
+
+namespace freq {
+
+/// Samples Geometric(p) on {1, 2, ...}: the number of Bernoulli(p) trials up
+/// to and including the first success. Used to "skip" stream updates in the
+/// sampled Misra-Gries algorithm (§5 of the paper) in O(1) time via inversion.
+class geometric_skip {
+public:
+    explicit geometric_skip(double p) : p_(p) {
+        FREQ_REQUIRE(p > 0.0 && p <= 1.0, "geometric skip probability must be in (0, 1]");
+        log1m_p_ = std::log1p(-p);
+    }
+
+    std::uint64_t operator()(xoshiro256ss& rng) const {
+        if (p_ >= 1.0) {
+            return 1;
+        }
+        // Inversion: ceil(log(U) / log(1-p)), U in (0, 1].
+        const double u = 1.0 - rng.unit_real();  // (0, 1]
+        const double g = std::ceil(std::log(u) / log1m_p_);
+        return g < 1.0 ? 1 : static_cast<std::uint64_t>(g);
+    }
+
+    double success_probability() const noexcept { return p_; }
+
+private:
+    double p_;
+    double log1m_p_;
+};
+
+/// Discrete distribution over a small set of (value, probability) atoms,
+/// sampled by linear CDF walk — the mixtures used here have <= 8 atoms so a
+/// walk beats alias-table setup cost and stays trivially verifiable.
+class discrete_mixture {
+public:
+    struct atom {
+        std::uint64_t value;
+        double probability;
+    };
+
+    explicit discrete_mixture(std::initializer_list<atom> atoms) : atoms_(atoms) {
+        FREQ_REQUIRE(atoms_.size() >= 1, "mixture needs at least one atom");
+        double total = 0.0;
+        for (const auto& a : atoms_) {
+            FREQ_REQUIRE(a.probability >= 0.0, "mixture probabilities must be non-negative");
+            total += a.probability;
+        }
+        FREQ_REQUIRE(total > 0.0, "mixture probabilities must not all be zero");
+        // Normalize so callers can pass unnormalized weights.
+        for (auto& a : atoms_) {
+            a.probability /= total;
+        }
+    }
+
+    std::uint64_t operator()(xoshiro256ss& rng) const {
+        double u = rng.unit_real();
+        for (const auto& a : atoms_) {
+            if (u < a.probability) {
+                return a.value;
+            }
+            u -= a.probability;
+        }
+        return atoms_.back().value;  // guard against accumulated rounding
+    }
+
+    /// Expected value of the mixture — used to report synthetic trace stats.
+    double mean() const noexcept {
+        double m = 0.0;
+        for (const auto& a : atoms_) {
+            m += static_cast<double>(a.value) * a.probability;
+        }
+        return m;
+    }
+
+private:
+    std::vector<atom> atoms_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_RANDOM_DISTRIBUTIONS_H

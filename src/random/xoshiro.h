@@ -1,0 +1,73 @@
+#ifndef FREQ_RANDOM_XOSHIRO_H
+#define FREQ_RANDOM_XOSHIRO_H
+
+/// \file xoshiro.h
+/// xoshiro256** PRNG (Blackman & Vigna). Deterministic given a seed, far
+/// faster than std::mt19937_64, and satisfies the UniformRandomBitGenerator
+/// concept so it composes with <random> distributions where needed.
+
+#include <cstdint>
+#include <limits>
+
+#include "hashing/hash.h"
+
+namespace freq {
+
+class xoshiro256ss {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words through SplitMix64, as the reference
+    /// implementation recommends (never leaves the state all-zero).
+    explicit xoshiro256ss(std::uint64_t seed = 0xfeedfacecafebeefULL) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& w : s_) {
+            w = splitmix64(sm);
+        }
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        const std::uint64_t x = (*this)();
+        const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double unit_real() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+        return lo + below(hi - lo + 1);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+}  // namespace freq
+
+#endif  // FREQ_RANDOM_XOSHIRO_H

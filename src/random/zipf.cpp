@@ -1,0 +1,64 @@
+#include "random/zipf.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace freq {
+
+namespace {
+
+/// (exp(x) - 1) / x, numerically stable near zero.
+double expm1_over_x(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0;
+}
+
+/// log1p(x) / x, numerically stable near zero.
+double log1p_over_x(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0;
+}
+
+}  // namespace
+
+zipf_distribution::zipf_distribution(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+    FREQ_REQUIRE(n >= 1, "zipf_distribution needs at least one rank");
+    FREQ_REQUIRE(alpha >= 0.0, "zipf_distribution skew must be non-negative");
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha));
+}
+
+// H(x) = integral of t^(-alpha) dt; expressed through expm1/log1p so the
+// alpha -> 1 limit is handled without a branch discontinuity.
+double zipf_distribution::h(double x) const {
+    const double log_x = std::log(x);
+    return expm1_over_x((1.0 - alpha_) * log_x) * log_x;
+}
+
+double zipf_distribution::h_inv(double x) const {
+    const double t = x * (1.0 - alpha_);
+    return std::exp(log1p_over_x(t) * x);
+}
+
+std::uint64_t zipf_distribution::operator()(xoshiro256ss& rng) const {
+    if (n_ == 1) {
+        return 1;
+    }
+    for (;;) {
+        const double u = h_n_ + rng.unit_real() * (h_x1_ - h_n_);
+        const double x = h_inv(u);
+        // Clamp to the valid rank range before the acceptance test; floating
+        // point drift can push x marginally outside [1, n].
+        double k = std::floor(x + 0.5);
+        if (k < 1.0) {
+            k = 1.0;
+        } else if (k > static_cast<double>(n_)) {
+            k = static_cast<double>(n_);
+        }
+        if (k - x <= s_ || u >= h(k + 0.5) - std::pow(k, -alpha_)) {
+            return static_cast<std::uint64_t>(k);
+        }
+    }
+}
+
+}  // namespace freq

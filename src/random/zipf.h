@@ -1,0 +1,44 @@
+#ifndef FREQ_RANDOM_ZIPF_H
+#define FREQ_RANDOM_ZIPF_H
+
+/// \file zipf.h
+/// Zipf(alpha) sampler over ranks {1, ..., n}: P(rank = r) ∝ r^(-alpha).
+///
+/// Implements Hörmann & Derflinger's rejection-inversion method, which has
+/// O(1) expected time per sample independent of n — the evaluation streams
+/// have n up to millions of distinct ranks, so a CDF table is not viable.
+/// Valid for alpha >= 0 (alpha = 0 degenerates to uniform); the paper's
+/// merge experiment uses alpha = 1.05 (§4.5).
+
+#include <cstdint>
+
+#include "random/xoshiro.h"
+
+namespace freq {
+
+class zipf_distribution {
+public:
+    /// \param n      number of ranks (must be >= 1)
+    /// \param alpha  skew parameter (must be >= 0)
+    zipf_distribution(std::uint64_t n, double alpha);
+
+    /// Draw a rank in [1, n].
+    std::uint64_t operator()(xoshiro256ss& rng) const;
+
+    std::uint64_t num_ranks() const noexcept { return n_; }
+    double alpha() const noexcept { return alpha_; }
+
+private:
+    double h(double x) const;          // integral of x^(-alpha)
+    double h_inv(double x) const;      // inverse of h
+
+    std::uint64_t n_;
+    double alpha_;
+    double h_x1_;        // h(1.5) - 1
+    double h_n_;         // h(n + 0.5)
+    double s_;           // shift constant
+};
+
+}  // namespace freq
+
+#endif  // FREQ_RANDOM_ZIPF_H

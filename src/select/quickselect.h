@@ -1,0 +1,112 @@
+#ifndef FREQ_SELECT_QUICKSELECT_H
+#define FREQ_SELECT_QUICKSELECT_H
+
+/// \file quickselect.h
+/// Hoare's Find [Hoa61]: selection of the r-th smallest / largest element of
+/// a scratch buffer, in expected O(n) time, in place.
+///
+/// This is the selection routine the paper relies on in three places:
+///  * Algorithm 3 (MED) — exact k*-th largest counter during a decrement;
+///  * Algorithm 4 (SMED) — quantile of the l sampled counters;
+///  * the "Hoa61" merge baseline of §3.1/§4.5 — k-th largest counter of the
+///    combined table.
+/// Partitioning uses median-of-three pivots with a random fallback to avoid
+/// the classic quadratic blowup on sorted or constant runs.
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/contracts.h"
+#include "random/xoshiro.h"
+
+namespace freq {
+
+namespace detail {
+
+template <typename T>
+std::size_t partition_around(std::span<T> v, std::size_t pivot_index) {
+    const T pivot = v[pivot_index];
+    std::swap(v[pivot_index], v[v.size() - 1]);
+    std::size_t store = 0;
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+        if (v[i] < pivot) {
+            std::swap(v[i], v[store]);
+            ++store;
+        }
+    }
+    std::swap(v[store], v[v.size() - 1]);
+    return store;
+}
+
+template <typename T>
+std::size_t median_of_three(std::span<T> v) {
+    const std::size_t a = 0, b = v.size() / 2, c = v.size() - 1;
+    if (v[a] < v[b]) {
+        if (v[b] < v[c]) return b;
+        return v[a] < v[c] ? c : a;
+    }
+    if (v[a] < v[c]) return a;
+    return v[b] < v[c] ? c : b;
+}
+
+}  // namespace detail
+
+/// Rearranges \p v so that the r-th smallest element (0-based) is at index r
+/// and returns it. Expected O(n); mutates the buffer.
+template <typename T>
+T quickselect_smallest(std::span<T> v, std::size_t r) {
+    FREQ_REQUIRE(!v.empty(), "quickselect on empty range");
+    FREQ_REQUIRE(r < v.size(), "quickselect rank out of range");
+    xoshiro256ss rng(0x9e3779b97f4a7c15ULL ^ v.size());
+    std::span<T> range = v;
+    std::size_t rank = r;
+    while (range.size() > 1) {
+        const std::size_t pivot_at = range.size() >= 8
+                                         ? detail::median_of_three(range)
+                                         : static_cast<std::size_t>(rng.below(range.size()));
+        const std::size_t mid = detail::partition_around(range, pivot_at);
+        if (rank == mid) {
+            return range[mid];
+        }
+        if (rank < mid) {
+            range = range.subspan(0, mid);
+        } else {
+            range = range.subspan(mid + 1);
+            rank -= mid + 1;
+        }
+        // Degenerate partitions (all-equal buffers) can stall median-of-three;
+        // fall back to a random pivot by re-entering the loop, which the rng
+        // pivot below handles for small ranges.
+        if (range.size() >= 8 && mid == 0) {
+            const std::size_t rnd = static_cast<std::size_t>(rng.below(range.size()));
+            std::swap(range[0], range[rnd]);
+        }
+    }
+    return range[0];
+}
+
+/// r-th largest (0-based: r = 0 is the maximum). Expected O(n); mutates \p v.
+template <typename T>
+T quickselect_largest(std::span<T> v, std::size_t r) {
+    FREQ_REQUIRE(r < v.size(), "quickselect rank out of range");
+    return quickselect_smallest(v, v.size() - 1 - r);
+}
+
+/// Quantile q in [0, 1] of the buffer: q = 0 is the minimum, q = 0.5 the
+/// median, q -> 1 the maximum. Used to implement the Fig. 3 decrement-quantile
+/// sweep (SMIN is q = 0, SMED is q = 0.5). Mutates \p v.
+template <typename T>
+T quickselect_quantile(std::span<T> v, double q) {
+    FREQ_REQUIRE(!v.empty(), "quantile of empty range");
+    FREQ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    auto rank = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+    if (rank >= v.size()) {
+        rank = v.size() - 1;
+    }
+    return quickselect_smallest(v, rank);
+}
+
+}  // namespace freq
+
+#endif  // FREQ_SELECT_QUICKSELECT_H

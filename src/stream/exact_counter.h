@@ -1,0 +1,93 @@
+#ifndef FREQ_STREAM_EXACT_COUNTER_H
+#define FREQ_STREAM_EXACT_COUNTER_H
+
+/// \file exact_counter.h
+/// Exact frequency oracle: the "trivial algorithm" of §4.1 that keeps one
+/// counter per distinct identifier. Used as ground truth by the error
+/// metrics, the tests, and the EXPERIMENTS harnesses — never by the sketches.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+class exact_counter {
+public:
+    using key_type = K;
+    using weight_type = W;
+
+    void update(K id, W weight) {
+        counts_[id] += weight;
+        total_weight_ += weight;
+        ++num_updates_;
+    }
+
+    void consume(const update_stream<K, W>& stream) {
+        for (const auto& u : stream) {
+            update(u.id, u.weight);
+        }
+    }
+
+    /// True frequency f_i (0 for identifiers that never appeared).
+    W frequency(K id) const {
+        const auto it = counts_.find(id);
+        return it == counts_.end() ? W{0} : it->second;
+    }
+
+    /// N — the weighted stream length.
+    W total_weight() const noexcept { return total_weight_; }
+    /// n — the number of updates.
+    std::uint64_t num_updates() const noexcept { return num_updates_; }
+    /// Number of distinct identifiers.
+    std::size_t num_distinct() const noexcept { return counts_.size(); }
+
+    const std::unordered_map<K, W>& counts() const noexcept { return counts_; }
+
+    /// Identifiers with f_i >= threshold — the true heavy hitter set.
+    std::vector<K> heavy_hitters(W threshold) const {
+        std::vector<K> out;
+        for (const auto& [id, f] : counts_) {
+            if (f >= threshold) {
+                out.push_back(id);
+            }
+        }
+        return out;
+    }
+
+    /// Top-j frequencies in descending order (for computing N^res(j)).
+    std::vector<W> top_frequencies(std::size_t j) const {
+        std::vector<W> freqs;
+        freqs.reserve(counts_.size());
+        for (const auto& [id, f] : counts_) {
+            freqs.push_back(f);
+        }
+        std::sort(freqs.begin(), freqs.end(), std::greater<>());
+        if (freqs.size() > j) {
+            freqs.resize(j);
+        }
+        return freqs;
+    }
+
+    /// N^res(j): total weight minus the j largest frequencies (Lemma 2).
+    W residual_weight(std::size_t j) const {
+        W top{0};
+        for (const W f : top_frequencies(j)) {
+            top += f;
+        }
+        return total_weight_ - top;
+    }
+
+private:
+    std::unordered_map<K, W> counts_;
+    W total_weight_{0};
+    std::uint64_t num_updates_ = 0;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_STREAM_EXACT_COUNTER_H

@@ -1,0 +1,172 @@
+#ifndef FREQ_STREAM_GENERATORS_H
+#define FREQ_STREAM_GENERATORS_H
+
+/// \file generators.h
+/// Synthetic workload generators for the evaluation harnesses.
+///
+/// The paper's experiments (§4.1) use the CAIDA Anonymized Internet Traces
+/// 2016 dataset, preprocessed into (source_ip, packet_size_in_bits) updates.
+/// That dataset is not redistributable, so `caida_like_generator` synthesizes
+/// a stream with the same relevant structure — a heavy-tailed (Zipf-like)
+/// source-IP popularity distribution and a small-packet-dominated size
+/// mixture — which the paper itself reports behaves "entirely similarly" to
+/// the real traces (§4.1 / §4.2). `zipf_stream_generator` reproduces the
+/// Fig. 4 merge workload: Zipf(alpha = 1.05) identifiers with uniform
+/// weights in [1, 10000] (§4.5). `rbmc_pathology_generator` builds the §1.3.4
+/// adversarial stream on which RBMC decrements on every update.
+///
+/// All generators are deterministic functions of their seed.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.h"
+#include "random/distributions.h"
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/update.h"
+
+namespace freq {
+
+/// Stream of Zipf-distributed identifiers with unit or uniform random
+/// weights. Identifier values are scrambled (mixed) so that rank order does
+/// not correlate with identifier value or hash slot.
+class zipf_stream_generator {
+public:
+    struct config {
+        std::uint64_t num_updates = 1'000'000;
+        std::uint64_t num_distinct = 100'000;  ///< size of the rank space
+        double alpha = 1.05;                   ///< Zipf skew (paper §4.5)
+        std::uint64_t min_weight = 1;          ///< inclusive
+        std::uint64_t max_weight = 10'000;     ///< inclusive; =min for unit streams
+        std::uint64_t seed = 1;
+    };
+
+    explicit zipf_stream_generator(const config& cfg)
+        : cfg_(cfg), rng_(cfg.seed), zipf_(cfg.num_distinct, cfg.alpha) {
+        FREQ_REQUIRE(cfg.num_distinct >= 1, "need at least one distinct identifier");
+        FREQ_REQUIRE(cfg.min_weight >= 1 && cfg.min_weight <= cfg.max_weight,
+                     "weight range must satisfy 1 <= min <= max");
+    }
+
+    /// Next update: id = scrambled Zipf rank, weight ~ Uniform[min, max].
+    update64 next() {
+        const std::uint64_t rank = zipf_(rng_);
+        const std::uint64_t id = mix64(rank ^ (cfg_.seed * 0x9e3779b97f4a7c15ULL));
+        const std::uint64_t w = cfg_.min_weight == cfg_.max_weight
+                                    ? cfg_.min_weight
+                                    : rng_.between(cfg_.min_weight, cfg_.max_weight);
+        return {id, w};
+    }
+
+    update_stream<std::uint64_t, std::uint64_t> generate() {
+        update_stream<std::uint64_t, std::uint64_t> out;
+        out.reserve(cfg_.num_updates);
+        for (std::uint64_t i = 0; i < cfg_.num_updates; ++i) {
+            out.push_back(next());
+        }
+        return out;
+    }
+
+    const config& cfg() const noexcept { return cfg_; }
+
+private:
+    config cfg_;
+    xoshiro256ss rng_;
+    zipf_distribution zipf_;
+};
+
+/// CAIDA-substitute packet-trace generator (see DESIGN.md §1).
+///
+/// Identifiers are synthetic IPv4 source addresses: `num_flows` distinct
+/// 32-bit addresses whose popularity follows Zipf(alpha). Weights are packet
+/// sizes **in bits**, drawn from a mixture dominated by ACK/control-size
+/// packets so the mean packet size lands near the paper's observed
+/// N/n ≈ 572 bits (§4.1: n ≈ 126.2e6, N ≈ 72.2e9).
+class caida_like_generator {
+public:
+    struct config {
+        std::uint64_t num_updates = 8'000'000;
+        std::uint64_t num_flows = 500'000;  ///< distinct source IPs
+        double alpha = 1.1;                 ///< source-IP popularity skew
+        std::uint64_t seed = 2016;
+    };
+
+    explicit caida_like_generator(const config& cfg)
+        : cfg_(cfg),
+          rng_(cfg.seed),
+          zipf_(cfg.num_flows, cfg.alpha),
+          // Packet sizes in bytes; scaled to bits below. The mixture is
+          // ~87% minimum-size packets plus a mid/MTU tail, mean ≈ 71 bytes.
+          size_bytes_({{40, 0.87}, {64, 0.10}, {576, 0.02}, {1500, 0.01}}) {
+        FREQ_REQUIRE(cfg.num_flows >= 1, "need at least one flow");
+    }
+
+    /// Next packet: id = synthetic IPv4 address (as a 64-bit value, matching
+    /// the paper's use of a 64-bit identifier type), weight = size in bits.
+    update64 next() {
+        const std::uint64_t rank = zipf_(rng_);
+        // Scramble rank -> a stable pseudo-random 32-bit address.
+        const std::uint64_t ip = mix64(rank ^ (cfg_.seed | 0x1)) & 0xffffffffULL;
+        const std::uint64_t bits = size_bytes_(rng_) * 8;
+        return {ip, bits};
+    }
+
+    update_stream<std::uint64_t, std::uint64_t> generate() {
+        update_stream<std::uint64_t, std::uint64_t> out;
+        out.reserve(cfg_.num_updates);
+        for (std::uint64_t i = 0; i < cfg_.num_updates; ++i) {
+            out.push_back(next());
+        }
+        return out;
+    }
+
+    /// Mean packet size in bits (for reporting trace stats).
+    double mean_weight_bits() const noexcept { return size_bytes_.mean() * 8; }
+
+    const config& cfg() const noexcept { return cfg_; }
+
+private:
+    config cfg_;
+    xoshiro256ss rng_;
+    zipf_distribution zipf_;
+    discrete_mixture size_bytes_;
+};
+
+/// The adversarial stream of §1.3.4: k updates of weight M to distinct
+/// items, followed by M unit-weight updates to fresh distinct items. RBMC
+/// performs a Θ(k) decrement on essentially every one of the last M updates;
+/// SMED decrements at most once every ~k/2 updates.
+class rbmc_pathology_generator {
+public:
+    struct config {
+        std::uint32_t k = 1024;          ///< number of heavy prefix items
+        std::uint64_t heavy_weight = 1'000'000;  ///< M
+        std::uint64_t seed = 7;
+    };
+
+    explicit rbmc_pathology_generator(const config& cfg) : cfg_(cfg) {}
+
+    update_stream<std::uint64_t, std::uint64_t> generate() const {
+        update_stream<std::uint64_t, std::uint64_t> out;
+        out.reserve(cfg_.k + cfg_.heavy_weight);
+        for (std::uint32_t i = 0; i < cfg_.k; ++i) {
+            out.push_back({mix64(cfg_.seed ^ i), cfg_.heavy_weight});
+        }
+        for (std::uint64_t j = 0; j < cfg_.heavy_weight; ++j) {
+            out.push_back({mix64((cfg_.seed + 1) * 0x2545f4914f6cdd1dULL + j) | (1ULL << 63),
+                           1});
+        }
+        return out;
+    }
+
+    const config& cfg() const noexcept { return cfg_; }
+
+private:
+    config cfg_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_STREAM_GENERATORS_H

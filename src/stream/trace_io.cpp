@@ -1,0 +1,116 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace freq {
+
+namespace {
+
+constexpr std::uint32_t trace_magic = 0x52545146;  // "FQTR" little-endian
+constexpr std::uint32_t trace_version = 1;
+
+struct file_closer {
+    void operator()(std::FILE* f) const noexcept {
+        if (f != nullptr) {
+            std::fclose(f);
+        }
+    }
+};
+using unique_file = std::unique_ptr<std::FILE, file_closer>;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw std::runtime_error("libfreq trace IO: " + what + ": " + path);
+}
+
+}  // namespace
+
+void write_trace(const std::string& path,
+                 const update_stream<std::uint64_t, std::uint64_t>& stream) {
+    unique_file f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        fail("cannot open for writing", path);
+    }
+    byte_writer header;
+    header.put_u32(trace_magic);
+    header.put_u32(trace_version);
+    header.put_u64(stream.size());
+    if (std::fwrite(header.bytes().data(), 1, header.size(), f.get()) != header.size()) {
+        fail("header write failed", path);
+    }
+    // Records are streamed through a fixed chunk buffer so multi-gigabyte
+    // traces never need a second in-memory copy.
+    constexpr std::size_t chunk_records = 64 * 1024;
+    byte_writer chunk;
+    chunk.reserve(chunk_records * 16);
+    std::size_t pending = 0;
+    auto flush = [&] {
+        if (pending == 0) {
+            return;
+        }
+        if (std::fwrite(chunk.bytes().data(), 1, chunk.size(), f.get()) != chunk.size()) {
+            fail("record write failed", path);
+        }
+        chunk = byte_writer{};
+        chunk.reserve(chunk_records * 16);
+        pending = 0;
+    };
+    for (const auto& u : stream) {
+        chunk.put_u64(u.id);
+        chunk.put_u64(u.weight);
+        if (++pending == chunk_records) {
+            flush();
+        }
+    }
+    flush();
+    if (std::fflush(f.get()) != 0) {
+        fail("flush failed", path);
+    }
+}
+
+update_stream<std::uint64_t, std::uint64_t> read_trace(const std::string& path) {
+    unique_file f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        fail("cannot open for reading", path);
+    }
+    std::vector<std::uint8_t> header_bytes(16);
+    if (std::fread(header_bytes.data(), 1, header_bytes.size(), f.get()) !=
+        header_bytes.size()) {
+        fail("truncated header", path);
+    }
+    byte_reader header(header_bytes);
+    if (header.get_u32() != trace_magic) {
+        fail("bad magic (not a FQTR trace)", path);
+    }
+    if (header.get_u32() != trace_version) {
+        fail("unsupported trace version", path);
+    }
+    const std::uint64_t count = header.get_u64();
+
+    update_stream<std::uint64_t, std::uint64_t> out;
+    out.reserve(count);
+    constexpr std::size_t chunk_records = 64 * 1024;
+    std::vector<std::uint8_t> buf(chunk_records * 16);
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t want =
+            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, chunk_records));
+        if (std::fread(buf.data(), 16, want, f.get()) != want) {
+            fail("truncated records", path);
+        }
+        byte_reader r(buf.data(), want * 16);
+        for (std::size_t i = 0; i < want; ++i) {
+            const std::uint64_t id = r.get_u64();
+            const std::uint64_t w = r.get_u64();
+            out.push_back({id, w});
+        }
+        remaining -= want;
+    }
+    return out;
+}
+
+}  // namespace freq

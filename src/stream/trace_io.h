@@ -1,0 +1,33 @@
+#ifndef FREQ_STREAM_TRACE_IO_H
+#define FREQ_STREAM_TRACE_IO_H
+
+/// \file trace_io.h
+/// A minimal binary trace format ("FQTR") for persisting preprocessed update
+/// streams, mirroring the paper's workflow of preprocessing pcap files into
+/// (identifier, weight) records once and re-running all algorithms on the
+/// same on-disk stream.
+///
+/// Layout (little-endian):
+///   magic   u32  'FQTR'
+///   version u32  (currently 1)
+///   count   u64  number of records
+///   records count × { id u64, weight u64 }
+
+#include <cstdint>
+#include <string>
+
+#include "stream/update.h"
+
+namespace freq {
+
+/// Writes \p stream to \p path; throws std::runtime_error on IO failure.
+void write_trace(const std::string& path,
+                 const update_stream<std::uint64_t, std::uint64_t>& stream);
+
+/// Reads a trace written by write_trace; throws std::runtime_error on IO
+/// failure or malformed header.
+update_stream<std::uint64_t, std::uint64_t> read_trace(const std::string& path);
+
+}  // namespace freq
+
+#endif  // FREQ_STREAM_TRACE_IO_H

@@ -1,0 +1,37 @@
+#ifndef FREQ_STREAM_UPDATE_H
+#define FREQ_STREAM_UPDATE_H
+
+/// \file update.h
+/// The stream update record (i_j, Δ_j) of §1.2: an item identifier and a
+/// positive weight. Unit-weight streams simply use weight = 1.
+
+#include <cstdint>
+#include <vector>
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+struct update {
+    using key_type = K;
+    using weight_type = W;
+
+    K id{};
+    W weight{};
+
+    friend bool operator==(const update&, const update&) = default;
+};
+
+/// The workhorse record of the evaluation: 64-bit identifiers (e.g. IPv4
+/// addresses widened for generality, exactly as §4.1 describes) and 64-bit
+/// integer weights (packet sizes in bits).
+using update64 = update<std::uint64_t, std::uint64_t>;
+
+/// Real-valued weights, e.g. tf-idf scores (§1.2).
+using update64d = update<std::uint64_t, double>;
+
+template <typename K, typename W>
+using update_stream = std::vector<update<K, W>>;
+
+}  // namespace freq
+
+#endif  // FREQ_STREAM_UPDATE_H

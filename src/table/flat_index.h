@@ -1,0 +1,146 @@
+#ifndef FREQ_TABLE_FLAT_INDEX_H
+#define FREQ_TABLE_FLAT_INDEX_H
+
+/// \file flat_index.h
+/// A flat open-addressing map from 64-bit keys to a small trivially-copyable
+/// value (heap positions, node indices). This is the hash index used by the
+/// min-heap Space-Saving (SSH/MHE) and Stream-Summary (SSL) baselines; using
+/// a flat probing table rather than a node-based std::unordered_map keeps
+/// the baseline comparisons fair — the paper's baselines were themselves
+/// carefully engineered.
+///
+/// Fixed capacity (the frequent-items algorithms bound live keys by k),
+/// linear probing, backward-shift deletion, no tombstones.
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/contracts.h"
+#include "hashing/hash.h"
+
+namespace freq {
+
+template <typename K, typename V>
+class flat_index {
+    static_assert(std::is_integral_v<K> && sizeof(K) <= 8, "keys are integral identifiers");
+    static_assert(std::is_trivially_copyable_v<V>, "values must be trivially copyable");
+
+public:
+    explicit flat_index(std::uint32_t max_items, std::uint64_t hash_seed = 0)
+        : max_items_(max_items), hash_seed_(hash_seed) {
+        FREQ_REQUIRE(max_items >= 1, "flat_index needs capacity for at least one entry");
+        const std::uint64_t want = (static_cast<std::uint64_t>(max_items) * 4 + 2) / 3;
+        num_slots_ = static_cast<std::uint32_t>(ceil_pow2(want));
+        mask_ = num_slots_ - 1;
+        keys_.resize(num_slots_);
+        values_.resize(num_slots_);
+        used_.assign(num_slots_, 0);
+    }
+
+    std::uint32_t size() const noexcept { return num_active_; }
+    std::uint32_t capacity() const noexcept { return max_items_; }
+    bool empty() const noexcept { return num_active_ == 0; }
+    bool full() const noexcept { return num_active_ == max_items_; }
+
+    std::size_t memory_bytes() const noexcept {
+        return static_cast<std::size_t>(num_slots_) * (sizeof(K) + sizeof(V) + 1);
+    }
+
+    /// Storage cost of a hypothetical index with capacity \p max_items,
+    /// computed without allocating.
+    static std::size_t bytes_for(std::uint32_t max_items) noexcept {
+        const std::uint64_t want = (static_cast<std::uint64_t>(max_items) * 4 + 2) / 3;
+        return static_cast<std::size_t>(ceil_pow2(want)) * (sizeof(K) + sizeof(V) + 1);
+    }
+
+    const V* find(K key) const noexcept {
+        std::uint32_t idx = home_slot(key);
+        while (used_[idx]) {
+            if (keys_[idx] == key) {
+                return &values_[idx];
+            }
+            idx = (idx + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    V* find(K key) noexcept {
+        return const_cast<V*>(static_cast<const flat_index*>(this)->find(key));
+    }
+
+    /// Inserts or overwrites. Precondition: when inserting a new key the
+    /// index must not be full.
+    void put(K key, V value) {
+        std::uint32_t idx = home_slot(key);
+        while (used_[idx]) {
+            if (keys_[idx] == key) {
+                values_[idx] = value;
+                return;
+            }
+            idx = (idx + 1) & mask_;
+        }
+        FREQ_EXPECTS(num_active_ < max_items_);
+        keys_[idx] = key;
+        values_[idx] = value;
+        used_[idx] = 1;
+        ++num_active_;
+    }
+
+    /// Removes \p key; returns true when it was present.
+    bool erase(K key) {
+        std::uint32_t idx = home_slot(key);
+        while (used_[idx]) {
+            if (keys_[idx] == key) {
+                used_[idx] = 0;
+                --num_active_;
+                backward_shift(idx);
+                return true;
+            }
+            idx = (idx + 1) & mask_;
+        }
+        return false;
+    }
+
+    void clear() noexcept {
+        used_.assign(num_slots_, 0);
+        num_active_ = 0;
+    }
+
+private:
+    std::uint32_t home_slot(K key) const noexcept {
+        return static_cast<std::uint32_t>(
+                   table_hash(static_cast<std::uint64_t>(key), hash_seed_)) &
+               mask_;
+    }
+
+    void backward_shift(std::uint32_t hole) {
+        std::uint32_t idx = (hole + 1) & mask_;
+        while (used_[idx]) {
+            const std::uint32_t dist = (idx - home_slot(keys_[idx])) & mask_;
+            const std::uint32_t gap = (idx - hole) & mask_;
+            if (dist >= gap) {
+                keys_[hole] = keys_[idx];
+                values_[hole] = values_[idx];
+                used_[hole] = 1;
+                used_[idx] = 0;
+                hole = idx;
+            }
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    std::uint32_t max_items_;
+    std::uint32_t num_slots_ = 0;
+    std::uint32_t mask_ = 0;
+    std::uint32_t num_active_ = 0;
+    std::uint64_t hash_seed_;
+    std::vector<K> keys_;
+    std::vector<V> values_;
+    std::vector<std::uint8_t> used_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_TABLE_FLAT_INDEX_H

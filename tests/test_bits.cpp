@@ -1,0 +1,63 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace freq {
+namespace {
+
+TEST(Bits, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(4));
+    EXPECT_FALSE(is_pow2(6));
+    EXPECT_TRUE(is_pow2(1ULL << 63));
+    EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, CeilPow2) {
+    EXPECT_EQ(ceil_pow2(0), 1u);
+    EXPECT_EQ(ceil_pow2(1), 1u);
+    EXPECT_EQ(ceil_pow2(2), 2u);
+    EXPECT_EQ(ceil_pow2(3), 4u);
+    EXPECT_EQ(ceil_pow2(4), 4u);
+    EXPECT_EQ(ceil_pow2(5), 8u);
+    EXPECT_EQ(ceil_pow2(1000), 1024u);
+    EXPECT_EQ(ceil_pow2(1024), 1024u);
+    EXPECT_EQ(ceil_pow2(1025), 2048u);
+}
+
+TEST(Bits, CeilPow2IsIdempotentOnPowers) {
+    for (unsigned shift = 0; shift < 40; ++shift) {
+        const std::uint64_t p = 1ULL << shift;
+        EXPECT_EQ(ceil_pow2(p), p);
+        EXPECT_TRUE(is_pow2(ceil_pow2(p + 1)));
+    }
+}
+
+TEST(Bits, FloorLog2) {
+    EXPECT_EQ(floor_log2(1), 0u);
+    EXPECT_EQ(floor_log2(2), 1u);
+    EXPECT_EQ(floor_log2(3), 1u);
+    EXPECT_EQ(floor_log2(4), 2u);
+    EXPECT_EQ(floor_log2(1023), 9u);
+    EXPECT_EQ(floor_log2(1024), 10u);
+    EXPECT_EQ(floor_log2(~0ULL), 63u);
+}
+
+// The 4k/3 table-sizing rule of §2.3.3, expressed through ceil_pow2:
+// the slot count must always exceed capacity (load factor < 1) and be a
+// power of two.
+TEST(Bits, TableSizingRuleKeepsLoadBelowOne) {
+    for (std::uint64_t k = 1; k <= 100'000; k = k * 3 / 2 + 1) {
+        const std::uint64_t want = (k * 4 + 2) / 3;
+        const std::uint64_t slots = ceil_pow2(want);
+        EXPECT_TRUE(is_pow2(slots));
+        EXPECT_GT(slots, k);
+        EXPECT_GE(slots * 3, k * 4);  // load factor at full <= 3/4
+    }
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,82 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace freq {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+    byte_writer w;
+    w.put_u8(0xab);
+    w.put_u16(0x1234);
+    w.put_u32(0xdeadbeef);
+    w.put_u64(0x0123456789abcdefULL);
+    w.put_i64(-42);
+    w.put_f64(3.141592653589793);
+
+    byte_reader r(w.bytes());
+    EXPECT_EQ(r.get_u8(), 0xab);
+    EXPECT_EQ(r.get_u16(), 0x1234);
+    EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.get_i64(), -42);
+    EXPECT_DOUBLE_EQ(r.get_f64(), 3.141592653589793);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, LittleEndianOnTheWire) {
+    byte_writer w;
+    w.put_u32(0x01020304);
+    const auto& b = w.bytes();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0x04);
+    EXPECT_EQ(b[1], 0x03);
+    EXPECT_EQ(b[2], 0x02);
+    EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Bytes, FloatSpecialValuesSurvive) {
+    byte_writer w;
+    w.put_f64(std::numeric_limits<double>::infinity());
+    w.put_f64(-0.0);
+    w.put_f64(std::numeric_limits<double>::denorm_min());
+    byte_reader r(w.bytes());
+    EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::infinity());
+    const double neg_zero = r.get_f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+    byte_writer w;
+    w.put_u32(7);
+    byte_reader r(w.bytes());
+    EXPECT_EQ(r.get_u16(), 7u);
+    EXPECT_THROW(r.get_u32(), std::out_of_range);
+}
+
+TEST(Bytes, RawByteBlocks) {
+    byte_writer w;
+    const char payload[] = "frequent items";
+    w.put_bytes(payload, sizeof(payload));
+    byte_reader r(w.bytes());
+    char out[sizeof(payload)] = {};
+    r.get_bytes(out, sizeof(out));
+    EXPECT_STREQ(out, payload);
+    char extra;
+    EXPECT_THROW(r.get_bytes(&extra, 1), std::out_of_range);
+}
+
+TEST(Bytes, EmptyReaderReportsZeroRemaining) {
+    byte_reader r(nullptr, 0);
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_THROW(r.get_u8(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace freq

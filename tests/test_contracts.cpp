@@ -1,0 +1,41 @@
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace freq {
+namespace {
+
+TEST(Contracts, RequireThrowsInvalidArgument) {
+    EXPECT_NO_THROW(FREQ_REQUIRE(true, "never fires"));
+    EXPECT_THROW(FREQ_REQUIRE(false, "argument was bad"), std::invalid_argument);
+}
+
+TEST(Contracts, RequireMessageNamesTheProblem) {
+    try {
+        FREQ_REQUIRE(1 == 2, "k must be positive");
+        FAIL() << "FREQ_REQUIRE did not throw";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("k must be positive"), std::string::npos);
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ExpectsThrowsLogicError) {
+    EXPECT_NO_THROW(FREQ_EXPECTS(2 + 2 == 4));
+    EXPECT_THROW(FREQ_EXPECTS(2 + 2 == 5), std::logic_error);
+    EXPECT_THROW(FREQ_ENSURES(false), std::logic_error);
+}
+
+TEST(Contracts, ExpectsMessageCarriesLocation) {
+    try {
+        FREQ_EXPECTS(false);
+        FAIL() << "FREQ_EXPECTS did not throw";
+    } catch (const std::logic_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace freq

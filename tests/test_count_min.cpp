@@ -1,0 +1,114 @@
+#include "baselines/count_min_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+using cm_u64 = count_min_sketch<std::uint64_t, std::uint64_t>;
+
+TEST(CountMin, RejectsBadConfig) {
+    EXPECT_THROW(cm_u64({.width = 1}), std::invalid_argument);
+    EXPECT_THROW(cm_u64({.width = 16, .depth = 0}), std::invalid_argument);
+    EXPECT_THROW(cm_u64::for_error(0.0, 0.1), std::invalid_argument);
+    EXPECT_THROW(cm_u64::for_error(0.1, 1.5), std::invalid_argument);
+}
+
+TEST(CountMin, ForErrorSizing) {
+    const auto cfg = cm_u64::for_error(0.001, 0.01);
+    EXPECT_GE(cfg.width, 2718u);  // e / epsilon
+    EXPECT_TRUE(is_pow2(cfg.width));
+    EXPECT_GE(cfg.depth, 4u);  // ln(100) ~ 4.6
+}
+
+TEST(CountMin, NeverUnderestimates) {
+    cm_u64 cm({.width = 512, .depth = 4, .seed = 1});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(2);
+    zipf_distribution zipf(5'000, 1.1);
+    for (int i = 0; i < 50'000; ++i) {
+        const auto id = zipf(rng);
+        const std::uint64_t w = rng.between(1, 100);
+        cm.update(id, w);
+        exact.update(id, w);
+    }
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_GE(cm.estimate(id), f) << id;
+    }
+}
+
+TEST(CountMin, ErrorWithinEpsilonN) {
+    const double epsilon = 0.005;
+    cm_u64 cm(cm_u64::for_error(epsilon, 0.01, /*seed=*/3));
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(4);
+    zipf_distribution zipf(20'000, 1.0);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto id = zipf(rng);
+        cm.update(id, 1);
+        exact.update(id, 1);
+    }
+    const double bound = epsilon * static_cast<double>(exact.total_weight());
+    std::size_t violations = 0;
+    for (const auto& [id, f] : exact.counts()) {
+        violations += static_cast<double>(cm.estimate(id) - f) > bound;
+    }
+    // Per-query failure probability is delta = 1%; allow a small multiple.
+    EXPECT_LE(violations, exact.num_distinct() / 20);
+}
+
+TEST(CountMin, ConservativeUpdateNeverWorse) {
+    cm_u64 plain({.width = 256, .depth = 4, .conservative = false, .seed = 5});
+    cm_u64 cons({.width = 256, .depth = 4, .conservative = true, .seed = 5});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(6);
+    zipf_distribution zipf(3'000, 1.1);
+    for (int i = 0; i < 50'000; ++i) {
+        const auto id = zipf(rng);
+        const std::uint64_t w = rng.between(1, 10);
+        plain.update(id, w);
+        cons.update(id, w);
+        exact.update(id, w);
+    }
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_GE(cons.estimate(id), f) << id;  // still an overestimate
+        ASSERT_LE(cons.estimate(id), plain.estimate(id)) << id;  // never worse
+    }
+}
+
+TEST(CountMin, MergeIsCellwiseAddition) {
+    cm_u64 a({.width = 128, .depth = 3, .seed = 7});
+    cm_u64 b({.width = 128, .depth = 3, .seed = 7});
+    a.update(1, 10);
+    b.update(1, 5);
+    b.update(2, 3);
+    a.merge(b);
+    EXPECT_GE(a.estimate(1), 15u);
+    EXPECT_GE(a.estimate(2), 3u);
+    EXPECT_EQ(a.total_weight(), 18u);
+
+    cm_u64 other({.width = 256, .depth = 3, .seed = 7});
+    EXPECT_THROW(a.merge(other), std::invalid_argument);
+}
+
+TEST(CountMin, ZeroWeightIsNoOp) {
+    cm_u64 cm({.width = 16, .depth = 2});
+    cm.update(1, 0);
+    EXPECT_EQ(cm.total_weight(), 0u);
+    EXPECT_EQ(cm.estimate(1), 0u);
+}
+
+TEST(CountMin, MemoryModelIsWidthTimesDepth) {
+    cm_u64 cm({.width = 1000, .depth = 5});  // width rounds to 1024
+    EXPECT_EQ(cm.memory_bytes(), 1024u * 5 * 8);
+    EXPECT_EQ(cm_u64::bytes_for(1000, 5), cm.memory_bytes());
+}
+
+}  // namespace
+}  // namespace freq

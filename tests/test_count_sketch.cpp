@@ -1,0 +1,106 @@
+#include "baselines/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+using cs_u64 = count_sketch<std::uint64_t>;
+
+TEST(CountSketch, RejectsBadConfig) {
+    EXPECT_THROW(cs_u64({.width = 1}), std::invalid_argument);
+    EXPECT_THROW(cs_u64({.width = 16, .depth = 0}), std::invalid_argument);
+}
+
+TEST(CountSketch, SingleItemIsExact) {
+    cs_u64 cs({.width = 64, .depth = 5, .seed = 1});
+    cs.update(42, 1000);
+    EXPECT_EQ(cs.estimate(42), 1000u);
+}
+
+TEST(CountSketch, EstimatesAreClampedToValidRange) {
+    cs_u64 cs({.width = 8, .depth = 3, .seed = 2});
+    xoshiro256ss rng(3);
+    for (int i = 0; i < 10'000; ++i) {
+        cs.update(rng.below(1'000), 1);
+    }
+    for (std::uint64_t id = 0; id < 2'000; ++id) {
+        const auto est = cs.estimate(id);
+        ASSERT_LE(est, cs.total_weight());
+    }
+}
+
+TEST(CountSketch, ErrorScalesWithL2Norm) {
+    // Heavy item among light noise: the estimate must land within a few
+    // standard deviations of sqrt(||f||_2^2 / width) per row.
+    const std::uint32_t width = 1024;
+    cs_u64 cs({.width = width, .depth = 5, .seed = 4});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(5);
+    for (int i = 0; i < 100'000; ++i) {
+        const std::uint64_t id = rng.below(20'000) + 10;
+        cs.update(id, 1);
+        exact.update(id, 1);
+    }
+    cs.update(7, 5'000);
+    exact.update(7, 5'000);
+    double l2_sq = 0;
+    for (const auto& [id, f] : exact.counts()) {
+        l2_sq += static_cast<double>(f) * static_cast<double>(f);
+    }
+    const double row_std = std::sqrt(l2_sq / width);
+    const double err = std::abs(static_cast<double>(cs.estimate(7)) - 5'000.0);
+    EXPECT_LE(err, 8.0 * row_std);
+}
+
+TEST(CountSketch, UnbiasedInBothDirections) {
+    // Unlike Count-Min, Count sketch errors go both ways: over a population
+    // of items both overestimates and underestimates must occur.
+    cs_u64 cs({.width = 64, .depth = 3, .seed = 6});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(7);
+    zipf_distribution zipf(2'000, 1.0);
+    for (int i = 0; i < 50'000; ++i) {
+        const auto id = zipf(rng);
+        cs.update(id, 1);
+        exact.update(id, 1);
+    }
+    std::size_t over = 0;
+    std::size_t under = 0;
+    for (const auto& [id, f] : exact.counts()) {
+        const auto est = cs.estimate(id);
+        over += est > f;
+        under += est < f;
+    }
+    EXPECT_GT(over, 0u);
+    EXPECT_GT(under, 0u);
+}
+
+TEST(CountSketch, MergeIsCellwiseAddition) {
+    cs_u64 a({.width = 128, .depth = 5, .seed = 8});
+    cs_u64 b({.width = 128, .depth = 5, .seed = 8});
+    a.update(1, 700);
+    b.update(1, 300);
+    a.merge(b);
+    EXPECT_EQ(a.estimate(1), 1000u);
+    EXPECT_EQ(a.total_weight(), 1000u);
+
+    cs_u64 mismatched({.width = 128, .depth = 5, .seed = 9});
+    EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+TEST(CountSketch, MemoryModel) {
+    cs_u64 cs({.width = 1024, .depth = 5});
+    EXPECT_EQ(cs.memory_bytes(), 1024u * 5 * 8);
+    EXPECT_EQ(cs_u64::bytes_for(1000, 5), cs.memory_bytes());
+}
+
+}  // namespace
+}  // namespace freq

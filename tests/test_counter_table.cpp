@@ -1,0 +1,271 @@
+#include "table/counter_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "random/xoshiro.h"
+
+namespace freq {
+namespace {
+
+using table_u64 = counter_table<std::uint64_t, std::uint64_t>;
+
+/// Structural invariant of §2.3.3: every occupied slot's state equals its
+/// probe distance + 1, and the probe path from the key's preferred slot to
+/// its current slot contains no empty cell (reachability).
+template <typename K, typename W>
+void check_invariants(const counter_table<K, W>& t) {
+    std::uint32_t active = 0;
+    for (std::uint32_t s = 0; s < t.num_slots(); ++s) {
+        if (!t.slot_occupied(s)) {
+            continue;
+        }
+        ++active;
+        const std::uint32_t home = t.home_slot(t.slot_key(s));
+        const std::uint32_t dist = (s - home) & (t.num_slots() - 1);
+        ASSERT_EQ(t.slot_state(s), dist + 1) << "state mismatch at slot " << s;
+        for (std::uint32_t d = 0; d < dist; ++d) {
+            ASSERT_TRUE(t.slot_occupied((home + d) & (t.num_slots() - 1)))
+                << "probe path broken for slot " << s;
+        }
+        ASSERT_GT(t.slot_value(s), W{0}) << "non-positive counter survived";
+    }
+    ASSERT_EQ(active, t.size());
+}
+
+TEST(CounterTable, RejectsBadCapacity) {
+    EXPECT_THROW(table_u64(0), std::invalid_argument);
+}
+
+TEST(CounterTable, SlotCountFollowsPaperRule) {
+    // L = ceil_pow2(4k/3): k=24576 -> 32768 slots -> 18*32768 bytes, the
+    // paper's "24 * k bytes" (§2.3.3).
+    table_u64 t(24576);
+    EXPECT_EQ(t.num_slots(), 32768u);
+    EXPECT_EQ(t.memory_bytes(), 18u * 32768u);
+    EXPECT_EQ(t.memory_bytes(), 24u * 24576u);
+    EXPECT_EQ(table_u64::bytes_for(24576), 24u * 24576u);
+}
+
+TEST(CounterTable, BytesForMatchesActualAllocation) {
+    for (const std::uint32_t k : {1u, 2u, 3u, 7u, 100u, 1024u, 10'000u}) {
+        EXPECT_EQ(table_u64(k).memory_bytes(), table_u64::bytes_for(k)) << "k=" << k;
+    }
+}
+
+TEST(CounterTable, InsertFindRoundTrip) {
+    table_u64 t(16);
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.find(42), nullptr);
+    EXPECT_TRUE(t.upsert(42, 7));
+    ASSERT_NE(t.find(42), nullptr);
+    EXPECT_EQ(*t.find(42), 7u);
+    EXPECT_FALSE(t.upsert(42, 3));  // existing key accumulates
+    EXPECT_EQ(*t.find(42), 10u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CounterTable, FillToCapacity) {
+    table_u64 t(100);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_FALSE(t.full());
+        t.upsert(i * 1000 + 1, i + 1);
+    }
+    EXPECT_TRUE(t.full());
+    EXPECT_EQ(t.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        ASSERT_NE(t.find(i * 1000 + 1), nullptr);
+        EXPECT_EQ(*t.find(i * 1000 + 1), i + 1);
+    }
+    check_invariants(t);
+}
+
+TEST(CounterTable, DecrementAllRemovesNonPositive) {
+    table_u64 t(8);
+    t.upsert(1, 5);
+    t.upsert(2, 10);
+    t.upsert(3, 3);
+    t.upsert(4, 3);
+    const auto erased = t.decrement_all(3);
+    EXPECT_EQ(erased, 2u);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.find(3), nullptr);
+    EXPECT_EQ(t.find(4), nullptr);
+    EXPECT_EQ(*t.find(1), 2u);
+    EXPECT_EQ(*t.find(2), 7u);
+    check_invariants(t);
+}
+
+TEST(CounterTable, DecrementAllOnEmptyTable) {
+    table_u64 t(8);
+    EXPECT_EQ(t.decrement_all(5), 0u);
+}
+
+TEST(CounterTable, DecrementEntireContents) {
+    table_u64 t(32);
+    for (std::uint64_t i = 1; i <= 32; ++i) {
+        t.upsert(i, 4);
+    }
+    EXPECT_EQ(t.decrement_all(4), 32u);
+    EXPECT_TRUE(t.empty());
+    check_invariants(t);
+    // The table must be fully reusable afterwards.
+    for (std::uint64_t i = 100; i < 132; ++i) {
+        t.upsert(i, 1);
+    }
+    EXPECT_EQ(t.size(), 32u);
+    check_invariants(t);
+}
+
+TEST(CounterTable, EraseSingleKey) {
+    table_u64 t(16);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        t.upsert(i, i + 1);
+    }
+    EXPECT_TRUE(t.erase(7));
+    EXPECT_FALSE(t.erase(7));
+    EXPECT_EQ(t.find(7), nullptr);
+    EXPECT_EQ(t.size(), 15u);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        if (i != 7) {
+            ASSERT_NE(t.find(i), nullptr) << i;
+        }
+    }
+    check_invariants(t);
+}
+
+TEST(CounterTable, ForEachVisitsEverythingOnce) {
+    table_u64 t(64);
+    std::uint64_t expected_sum = 0;
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+        t.upsert(i * 7919, i);
+        expected_sum += i;
+    }
+    std::uint64_t sum = 0;
+    std::uint32_t visits = 0;
+    t.for_each([&](std::uint64_t, std::uint64_t c) {
+        sum += c;
+        ++visits;
+    });
+    EXPECT_EQ(sum, expected_sum);
+    EXPECT_EQ(visits, 64u);
+}
+
+TEST(CounterTable, ForEachFromWrapsAround) {
+    table_u64 t(16);
+    for (std::uint64_t i = 1; i <= 16; ++i) {
+        t.upsert(i, i);
+    }
+    for (std::uint32_t start = 0; start < t.num_slots(); start += 5) {
+        std::uint32_t visits = 0;
+        t.for_each_from(start, [&](std::uint64_t, std::uint64_t) { ++visits; });
+        EXPECT_EQ(visits, 16u) << "start=" << start;
+    }
+}
+
+TEST(CounterTable, SeedChangesSlotAssignment) {
+    counter_table<std::uint64_t, std::uint64_t> a(1024, /*hash_seed=*/1);
+    counter_table<std::uint64_t, std::uint64_t> b(1024, /*hash_seed=*/2);
+    int differing = 0;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        differing += a.home_slot(k) != b.home_slot(k);
+    }
+    EXPECT_GT(differing, 950);
+}
+
+TEST(CounterTable, DoubleWeightsWork) {
+    counter_table<std::uint64_t, double> t(8);
+    t.upsert(1, 0.5);
+    t.upsert(2, 1.25);
+    t.decrement_all(0.5);
+    EXPECT_EQ(t.find(1), nullptr);  // exactly zero is non-positive
+    ASSERT_NE(t.find(2), nullptr);
+    EXPECT_DOUBLE_EQ(*t.find(2), 0.75);
+}
+
+TEST(CounterTable, ClearEmptiesTable) {
+    table_u64 t(8);
+    t.upsert(1, 1);
+    t.upsert(2, 2);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.find(1), nullptr);
+    t.upsert(3, 3);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+// Fuzz the full operation mix against a std::unordered_map oracle, checking
+// structural invariants as we go. This is the key correctness argument for
+// the in-place decrement-and-compact pass.
+class CounterTableFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CounterTableFuzz, MatchesOracleUnderRandomOperations) {
+    const std::uint32_t k = GetParam();
+    table_u64 t(k);
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    xoshiro256ss rng(k * 1234567 + 1);
+    // Keys drawn from a small pool force collisions and long probe runs.
+    const std::uint64_t key_pool = k * 2 + 3;
+
+    for (int step = 0; step < 30'000; ++step) {
+        const auto op = rng.below(100);
+        if (op < 70) {  // upsert
+            const std::uint64_t key = rng.below(key_pool);
+            const std::uint64_t w = rng.between(1, 50);
+            if (oracle.count(key) != 0 || oracle.size() < k) {
+                t.upsert(key, w);
+                oracle[key] += w;
+            }
+        } else if (op < 85) {  // decrement_all
+            const std::uint64_t amount = rng.between(1, 30);
+            const auto erased = t.decrement_all(amount);
+            std::size_t oracle_erased = 0;
+            for (auto it = oracle.begin(); it != oracle.end();) {
+                if (it->second <= amount) {
+                    it = oracle.erase(it);
+                    ++oracle_erased;
+                } else {
+                    it->second -= amount;
+                    ++it;
+                }
+            }
+            ASSERT_EQ(erased, oracle_erased) << "step " << step;
+        } else if (op < 95) {  // erase
+            const std::uint64_t key = rng.below(key_pool);
+            ASSERT_EQ(t.erase(key), oracle.erase(key) > 0) << "step " << step;
+        } else {  // point lookups
+            for (int probe = 0; probe < 5; ++probe) {
+                const std::uint64_t key = rng.below(key_pool);
+                const auto it = oracle.find(key);
+                const std::uint64_t* found = t.find(key);
+                if (it == oracle.end()) {
+                    ASSERT_EQ(found, nullptr) << "step " << step;
+                } else {
+                    ASSERT_NE(found, nullptr) << "step " << step;
+                    ASSERT_EQ(*found, it->second) << "step " << step;
+                }
+            }
+        }
+        if (step % 500 == 0) {
+            check_invariants(t);
+            ASSERT_EQ(t.size(), oracle.size());
+        }
+    }
+    // Final full comparison.
+    check_invariants(t);
+    ASSERT_EQ(t.size(), oracle.size());
+    for (const auto& [key, w] : oracle) {
+        const std::uint64_t* found = t.find(key);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, w);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CounterTableFuzz,
+                         ::testing::Values(1, 2, 3, 8, 31, 64, 257, 1024));
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,105 @@
+#include "random/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace freq {
+namespace {
+
+TEST(GeometricSkip, RejectsBadProbability) {
+    EXPECT_THROW(geometric_skip(0.0), std::invalid_argument);
+    EXPECT_THROW(geometric_skip(-0.1), std::invalid_argument);
+    EXPECT_THROW(geometric_skip(1.5), std::invalid_argument);
+    EXPECT_NO_THROW(geometric_skip(1.0));
+}
+
+TEST(GeometricSkip, ProbabilityOneAlwaysReturnsOne) {
+    geometric_skip g(1.0);
+    xoshiro256ss rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(g(rng), 1u);
+    }
+}
+
+TEST(GeometricSkip, MeanMatchesOneOverP) {
+    xoshiro256ss rng(2);
+    for (const double p : {0.5, 0.1, 0.01}) {
+        geometric_skip g(p);
+        double sum = 0;
+        constexpr int n = 200'000;
+        for (int i = 0; i < n; ++i) {
+            sum += static_cast<double>(g(rng));
+        }
+        EXPECT_NEAR(sum / n, 1.0 / p, 1.0 / p * 0.05) << "p = " << p;
+    }
+}
+
+TEST(GeometricSkip, SamplesArePositive) {
+    geometric_skip g(0.3);
+    xoshiro256ss rng(3);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_GE(g(rng), 1u);
+    }
+}
+
+// Binomial thinning via skips: the number of successes among `trials`
+// Bernoulli(p) trials — the §5 weighted-sampler construction — must have
+// mean trials*p.
+TEST(GeometricSkip, BinomialThinningHasCorrectMean) {
+    const double p = 0.05;
+    geometric_skip g(p);
+    xoshiro256ss rng(4);
+    constexpr std::uint64_t trials = 2000;
+    constexpr int reps = 20'000;
+    double total = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::uint64_t remaining = trials;
+        std::uint64_t successes = 0;
+        for (;;) {
+            const std::uint64_t skip = g(rng);
+            if (skip > remaining) {
+                break;
+            }
+            remaining -= skip;
+            ++successes;
+        }
+        total += static_cast<double>(successes);
+    }
+    EXPECT_NEAR(total / reps, trials * p, trials * p * 0.03);
+}
+
+TEST(DiscreteMixture, RejectsDegenerateInput) {
+    EXPECT_THROW(discrete_mixture({{1, -1.0}}), std::invalid_argument);
+    EXPECT_THROW(discrete_mixture({{1, 0.0}, {2, 0.0}}), std::invalid_argument);
+}
+
+TEST(DiscreteMixture, NormalizesWeights) {
+    discrete_mixture m({{10, 3.0}, {20, 1.0}});
+    EXPECT_NEAR(m.mean(), 0.75 * 10 + 0.25 * 20, 1e-9);
+}
+
+TEST(DiscreteMixture, EmpiricalFrequenciesMatch) {
+    discrete_mixture m({{40, 0.7}, {1500, 0.3}});
+    xoshiro256ss rng(5);
+    int small = 0;
+    constexpr int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        const auto v = m(rng);
+        ASSERT_TRUE(v == 40 || v == 1500);
+        small += v == 40;
+    }
+    EXPECT_NEAR(static_cast<double>(small) / n, 0.7, 0.01);
+}
+
+TEST(DiscreteMixture, SingleAtomIsConstant) {
+    discrete_mixture m({{99, 1.0}});
+    xoshiro256ss rng(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(m(rng), 99u);
+    }
+    EXPECT_DOUBLE_EQ(m.mean(), 99.0);
+}
+
+}  // namespace
+}  // namespace freq

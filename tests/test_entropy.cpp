@@ -1,0 +1,115 @@
+#include "entropy/entropy_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+namespace freq {
+namespace {
+
+double exact_entropy(const std::unordered_map<std::uint64_t, std::uint64_t>& counts,
+                     double n) {
+    double h = 0.0;
+    for (const auto& [id, f] : counts) {
+        const double p = static_cast<double>(f) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+TEST(Entropy, EmptyStreamIsZero) {
+    entropy_estimator e(64);
+    const auto r = e.estimate();
+    EXPECT_EQ(r.lower, 0.0);
+    EXPECT_EQ(r.upper, 0.0);
+    EXPECT_EQ(r.point, 0.0);
+}
+
+TEST(Entropy, SingleItemHasZeroEntropy) {
+    entropy_estimator e(64);
+    for (int i = 0; i < 1000; ++i) {
+        e.update(42, 10);
+    }
+    const auto r = e.estimate();
+    EXPECT_NEAR(r.point, 0.0, 1e-9);
+    EXPECT_NEAR(r.upper, 0.0, 1e-9);
+}
+
+TEST(Entropy, ExactWhenNothingEvicted) {
+    // Fewer distinct items than counters: the sketch is exact, so the
+    // interval must collapse onto the true entropy.
+    entropy_estimator e(128);
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    xoshiro256ss rng(1);
+    for (int i = 0; i < 10'000; ++i) {
+        const std::uint64_t id = rng.below(100);
+        e.update(id, 1);
+        counts[id] += 1;
+    }
+    const double truth = exact_entropy(counts, 10'000);
+    const auto r = e.estimate();
+    EXPECT_NEAR(r.point, truth, 1e-6);
+    EXPECT_LE(r.lower, truth + 1e-6);
+    EXPECT_GE(r.upper, truth - 1e-6);
+}
+
+TEST(Entropy, UniformOverUItemsIsLogU) {
+    entropy_estimator e(512);
+    for (std::uint64_t round = 0; round < 50; ++round) {
+        for (std::uint64_t id = 0; id < 256; ++id) {
+            e.update(id, 1);
+        }
+    }
+    const auto r = e.estimate();
+    EXPECT_NEAR(r.point, 8.0, 1e-6);  // log2(256)
+}
+
+class EntropyBracket : public ::testing::TestWithParam<double> {};
+
+TEST_P(EntropyBracket, IntervalContainsTruthUnderEviction) {
+    const double alpha = GetParam();
+    entropy_estimator e(256, /*seed=*/7);
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    xoshiro256ss rng(3);
+    zipf_distribution zipf(20'000, alpha);
+    constexpr int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+        const auto id = zipf(rng);
+        e.update(id, 1);
+        counts[id] += 1;
+    }
+    const double truth = exact_entropy(counts, n);
+    const auto r = e.estimate();
+    EXPECT_LE(r.lower, truth + 1e-6) << "alpha=" << alpha;
+    EXPECT_GE(r.upper, truth - 1e-6) << "alpha=" << alpha;
+    EXPECT_LE(r.lower, r.upper);
+    // For strongly skewed streams the interval should be informative (the
+    // heavy items carry most of the mass, so the residual bracket is tight).
+    if (alpha >= 1.5) {
+        EXPECT_LT(r.upper - r.lower, 8.0) << "alpha=" << alpha;
+        EXPECT_NEAR(r.point, truth, 3.0) << "alpha=" << alpha;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, EntropyBracket, ::testing::Values(1.0, 1.2, 1.5, 2.0));
+
+TEST(Entropy, SkewReducesEntropy) {
+    auto run = [](double alpha) {
+        entropy_estimator e(256);
+        xoshiro256ss rng(9);
+        zipf_distribution zipf(10'000, alpha);
+        for (int i = 0; i < 100'000; ++i) {
+            e.update(zipf(rng), 1);
+        }
+        return e.estimate().point;
+    };
+    EXPECT_GT(run(0.5), run(2.0));
+}
+
+}  // namespace
+}  // namespace freq

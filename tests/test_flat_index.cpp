@@ -1,0 +1,111 @@
+#include "table/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "random/xoshiro.h"
+
+namespace freq {
+namespace {
+
+using index_u32 = flat_index<std::uint64_t, std::uint32_t>;
+
+TEST(FlatIndex, RejectsBadCapacity) {
+    EXPECT_THROW(index_u32(0), std::invalid_argument);
+}
+
+TEST(FlatIndex, PutFindEraseRoundTrip) {
+    index_u32 idx(8);
+    EXPECT_EQ(idx.find(5), nullptr);
+    idx.put(5, 100);
+    ASSERT_NE(idx.find(5), nullptr);
+    EXPECT_EQ(*idx.find(5), 100u);
+    idx.put(5, 200);  // overwrite
+    EXPECT_EQ(*idx.find(5), 200u);
+    EXPECT_EQ(idx.size(), 1u);
+    EXPECT_TRUE(idx.erase(5));
+    EXPECT_FALSE(idx.erase(5));
+    EXPECT_EQ(idx.find(5), nullptr);
+    EXPECT_TRUE(idx.empty());
+}
+
+TEST(FlatIndex, FillToCapacity) {
+    index_u32 idx(64);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        idx.put(i * 31 + 7, static_cast<std::uint32_t>(i));
+    }
+    EXPECT_TRUE(idx.full());
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        ASSERT_NE(idx.find(i * 31 + 7), nullptr);
+        EXPECT_EQ(*idx.find(i * 31 + 7), i);
+    }
+}
+
+TEST(FlatIndex, EraseMiddleOfProbeRunKeepsOthersReachable) {
+    // Force a collision cluster, then erase from the middle of it.
+    index_u32 idx(16);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        idx.put(i, static_cast<std::uint32_t>(i));
+    }
+    for (std::uint64_t victim = 0; victim < 16; victim += 3) {
+        EXPECT_TRUE(idx.erase(victim));
+    }
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        if (i % 3 == 0) {
+            EXPECT_EQ(idx.find(i), nullptr) << i;
+        } else {
+            ASSERT_NE(idx.find(i), nullptr) << i;
+            EXPECT_EQ(*idx.find(i), i);
+        }
+    }
+}
+
+TEST(FlatIndex, ClearResets) {
+    index_u32 idx(8);
+    idx.put(1, 1);
+    idx.put(2, 2);
+    idx.clear();
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.find(1), nullptr);
+}
+
+class FlatIndexFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FlatIndexFuzz, MatchesOracle) {
+    const std::uint32_t k = GetParam();
+    flat_index<std::uint64_t, std::uint64_t> idx(k);
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    xoshiro256ss rng(k + 99);
+    const std::uint64_t key_pool = k * 2 + 1;
+
+    for (int step = 0; step < 30'000; ++step) {
+        const auto op = rng.below(100);
+        const std::uint64_t key = rng.below(key_pool);
+        if (op < 55) {
+            const std::uint64_t v = rng();
+            if (oracle.count(key) != 0 || oracle.size() < k) {
+                idx.put(key, v);
+                oracle[key] = v;
+            }
+        } else if (op < 80) {
+            ASSERT_EQ(idx.erase(key), oracle.erase(key) > 0) << "step " << step;
+        } else {
+            const auto it = oracle.find(key);
+            const auto* found = idx.find(key);
+            if (it == oracle.end()) {
+                ASSERT_EQ(found, nullptr) << "step " << step;
+            } else {
+                ASSERT_NE(found, nullptr) << "step " << step;
+                ASSERT_EQ(*found, it->second) << "step " << step;
+            }
+        }
+        ASSERT_EQ(idx.size(), oracle.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FlatIndexFuzz, ::testing::Values(1, 2, 5, 16, 130, 1024));
+
+}  // namespace
+}  // namespace freq

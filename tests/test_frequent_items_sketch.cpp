@@ -1,0 +1,321 @@
+#include "core/frequent_items_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+
+#include "metrics/error.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+TEST(FrequentItemsSketch, RejectsBadConfig) {
+    EXPECT_THROW(sketch_u64(sketch_config{.max_counters = 0}), std::invalid_argument);
+    EXPECT_THROW(sketch_u64(sketch_config{.max_counters = 8, .decrement_quantile = 1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(sketch_u64(sketch_config{.max_counters = 8, .decrement_quantile = -0.1}),
+                 std::invalid_argument);
+    EXPECT_THROW(sketch_u64(sketch_config{.max_counters = 8, .sample_size = 0}),
+                 std::invalid_argument);
+}
+
+TEST(FrequentItemsSketch, EmptySketchEstimatesZero) {
+    sketch_u64 s(64);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.estimate(123), 0u);
+    EXPECT_EQ(s.lower_bound(123), 0u);
+    EXPECT_EQ(s.upper_bound(123), 0u);
+    EXPECT_EQ(s.maximum_error(), 0u);
+    EXPECT_EQ(s.total_weight(), 0u);
+}
+
+TEST(FrequentItemsSketch, ZeroWeightIsNoOp) {
+    sketch_u64 s(8);
+    s.update(1, 0);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.total_weight(), 0u);
+}
+
+TEST(FrequentItemsSketch, NegativeWeightRejected) {
+    frequent_items_sketch<std::uint64_t, double> s(8);
+    EXPECT_THROW(s.update(1, -1.0), std::invalid_argument);
+}
+
+TEST(FrequentItemsSketch, ExactWhileUnderCapacity) {
+    sketch_u64 s(100);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        s.update(i, i + 1);
+    }
+    // No decrement ever ran, so everything is exact.
+    EXPECT_EQ(s.maximum_error(), 0u);
+    EXPECT_EQ(s.num_decrements(), 0u);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(s.estimate(i), i + 1);
+        EXPECT_EQ(s.lower_bound(i), i + 1);
+        EXPECT_EQ(s.upper_bound(i), i + 1);
+    }
+    EXPECT_EQ(s.total_weight(), 100u * 101u / 2);
+}
+
+TEST(FrequentItemsSketch, RepeatedUpdatesAccumulate) {
+    sketch_u64 s(8);
+    s.update(7, 5);
+    s.update(7, 3);
+    s.update(7);
+    EXPECT_EQ(s.estimate(7), 9u);
+    EXPECT_EQ(s.num_counters(), 1u);
+}
+
+// The fundamental bound: lower_bound <= f <= upper_bound for every item,
+// and upper - lower <= maximum_error, under heavy overflow.
+class SketchBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(SketchBounds, BracketsTrueFrequencies) {
+    const double quantile = GetParam();
+    sketch_u64 s(sketch_config{
+        .max_counters = 128, .decrement_quantile = quantile, .sample_size = 64, .seed = 5});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator gen({.num_updates = 60'000,
+                               .num_distinct = 5'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = 11});
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    EXPECT_GT(s.num_decrements(), 0u);
+    EXPECT_EQ(s.total_weight(), exact.total_weight());
+    for (const auto& [id, f] : exact.counts()) {
+        const auto lb = s.lower_bound(id);
+        const auto ub = s.upper_bound(id);
+        ASSERT_LE(lb, f) << "lower bound exceeded truth for " << id;
+        ASSERT_GE(ub, f) << "upper bound undershot truth for " << id;
+        ASSERT_LE(ub - lb, s.maximum_error());
+    }
+    // Untracked items: estimate 0 (MG-style exactness for absent items).
+    EXPECT_EQ(s.estimate(0xdeadbeefdeadbeefULL), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, SketchBounds, ::testing::Values(0.0, 0.25, 0.5, 0.9));
+
+// Theorem 4's shape: max error bounded by N^res(j) / (0.33 k - j). We test
+// the engineering constant from §2.3.2 with l = 1024 at j = 0.
+TEST(FrequentItemsSketch, ErrorWithinTheorem4Bound) {
+    constexpr std::uint32_t k = 256;
+    sketch_u64 s(sketch_config{.max_counters = k, .seed = 3});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator gen({.num_updates = 200'000,
+                               .num_distinct = 20'000,
+                               .alpha = 1.0,
+                               .min_weight = 1,
+                               .max_weight = 1000,
+                               .seed = 21});
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    const double bound =
+        static_cast<double>(exact.total_weight()) / (0.33 * static_cast<double>(k));
+    EXPECT_LE(static_cast<double>(s.maximum_error()), bound);
+    const auto report = evaluate_errors(s, exact);
+    EXPECT_LE(report.max_error, bound);
+}
+
+// Lemma 3 / Theorem 3: decrements are rare — at most one per ~k/3 updates
+// (with q = 0.5 the expected eviction fraction is half the table).
+TEST(FrequentItemsSketch, DecrementFrequencyIsAmortizedConstant) {
+    constexpr std::uint32_t k = 512;
+    sketch_u64 s(k);
+    zipf_stream_generator gen({.num_updates = 100'000,
+                               .num_distinct = 50'000,
+                               .alpha = 0.7,  // low skew -> many distinct items -> many misses
+                               .min_weight = 1,
+                               .max_weight = 10,
+                               .seed = 31});
+    std::uint64_t n = 0;
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        ++n;
+    }
+    ASSERT_GT(s.num_decrements(), 0u);
+    // Theorem 3's guarantee corresponds to >= k/3 updates between decrements;
+    // allow slack for sampling noise.
+    EXPECT_LE(s.num_decrements(), n / (k / 4));
+}
+
+TEST(FrequentItemsSketch, TracksHeavyHittersOnSkewedStream) {
+    sketch_u64 s(sketch_config{.max_counters = 64, .seed = 7});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator gen({.num_updates = 100'000,
+                               .num_distinct = 10'000,
+                               .alpha = 1.3,
+                               .min_weight = 1,
+                               .max_weight = 1,
+                               .seed = 41});
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    const double phi = 0.01;
+    const auto threshold =
+        static_cast<std::uint64_t>(phi * static_cast<double>(exact.total_weight()));
+    const auto rows = s.frequent_items(error_type::no_false_negatives, threshold);
+    std::unordered_set<std::uint64_t> returned;
+    for (const auto& r : rows) {
+        returned.insert(r.id);
+    }
+    // no_false_negatives: every true phi-heavy item must be present.
+    for (const auto id : exact.heavy_hitters(threshold)) {
+        EXPECT_TRUE(returned.count(id)) << "missed heavy hitter " << id;
+    }
+    // no_false_positives: every returned item must truly clear the threshold.
+    for (const auto& r : s.frequent_items(error_type::no_false_positives, threshold)) {
+        EXPECT_GE(exact.frequency(r.id), threshold) << "false positive " << r.id;
+    }
+}
+
+TEST(FrequentItemsSketch, FrequentItemsRowsAreSortedAndBounded) {
+    sketch_u64 s(32);
+    zipf_stream_generator gen({.num_updates = 20'000,
+                               .num_distinct = 2'000,
+                               .alpha = 1.2,
+                               .min_weight = 1,
+                               .max_weight = 50,
+                               .seed = 51});
+    s.consume(gen.generate());
+    const auto rows = s.frequent_items(error_type::no_false_negatives);
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        EXPECT_GE(rows[i].estimate, rows[i + 1].estimate);
+    }
+    for (const auto& r : rows) {
+        EXPECT_LE(r.lower_bound, r.upper_bound);
+        EXPECT_EQ(r.estimate, r.upper_bound);
+        EXPECT_LE(r.upper_bound - r.lower_bound, s.maximum_error());
+    }
+}
+
+TEST(FrequentItemsSketch, SerdeRoundTripPreservesEverything) {
+    sketch_u64 s(sketch_config{.max_counters = 128,
+                               .decrement_quantile = 0.4,
+                               .sample_size = 256,
+                               .seed = 77});
+    zipf_stream_generator gen({.num_updates = 50'000,
+                               .num_distinct = 5'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 200,
+                               .seed = 61});
+    const auto stream = gen.generate();
+    s.consume(stream);
+
+    const auto bytes = s.serialize();
+    const auto restored = sketch_u64::deserialize(bytes);
+
+    EXPECT_EQ(restored.total_weight(), s.total_weight());
+    EXPECT_EQ(restored.maximum_error(), s.maximum_error());
+    EXPECT_EQ(restored.num_counters(), s.num_counters());
+    EXPECT_EQ(restored.capacity(), s.capacity());
+    EXPECT_EQ(restored.config().decrement_quantile, s.config().decrement_quantile);
+    s.for_each([&](std::uint64_t id, std::uint64_t c) {
+        EXPECT_EQ(restored.lower_bound(id), c);
+        EXPECT_EQ(restored.estimate(id), s.estimate(id));
+    });
+}
+
+TEST(FrequentItemsSketch, SerdeRejectsCorruptImages) {
+    sketch_u64 s(16);
+    s.update(1, 5);
+    auto bytes = s.serialize();
+    // Bad magic.
+    auto corrupt = bytes;
+    corrupt[0] ^= 0xff;
+    EXPECT_THROW(sketch_u64::deserialize(corrupt), std::invalid_argument);
+    // Truncation.
+    EXPECT_THROW(sketch_u64::deserialize(bytes.data(), bytes.size() - 4), std::out_of_range);
+    // Wrong weight type.
+    using double_sketch = frequent_items_sketch<std::uint64_t, double>;
+    EXPECT_THROW(double_sketch::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(FrequentItemsSketch, SerdeOfEmptySketch) {
+    sketch_u64 s(32);
+    const auto restored = sketch_u64::deserialize(s.serialize());
+    EXPECT_TRUE(restored.empty());
+    EXPECT_EQ(restored.capacity(), 32u);
+}
+
+TEST(FrequentItemsSketch, DoubleWeightSketchWorks) {
+    frequent_items_sketch<std::uint64_t, double> s(64);
+    xoshiro256ss rng(1);
+    exact_counter<std::uint64_t, double> exact;
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t id = rng.below(1000);
+        const double w = rng.unit_real() * 10.0 + 0.01;
+        s.update(id, w);
+        exact.update(id, w);
+    }
+    EXPECT_NEAR(s.total_weight(), exact.total_weight(), exact.total_weight() * 1e-9);
+    for (const auto& [id, f] : exact.counts()) {
+        EXPECT_LE(s.lower_bound(id), f + 1e-6);
+        EXPECT_GE(s.upper_bound(id), f - 1e-6);
+    }
+    // Round-trip with doubles.
+    const auto restored =
+        frequent_items_sketch<std::uint64_t, double>::deserialize(s.serialize());
+    EXPECT_DOUBLE_EQ(restored.total_weight(), s.total_weight());
+}
+
+TEST(FrequentItemsSketch, FromRawValidatesInput) {
+    const sketch_config cfg{.max_counters = 4};
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> too_many{
+        {1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}};
+    EXPECT_THROW(sketch_u64::from_raw(cfg, too_many, 0, 5), std::invalid_argument);
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> dup{{1, 1}, {1, 2}};
+    EXPECT_THROW(sketch_u64::from_raw(cfg, dup, 0, 3), std::invalid_argument);
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> zero{{1, 0}};
+    EXPECT_THROW(sketch_u64::from_raw(cfg, zero, 0, 0), std::invalid_argument);
+
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> good{{1, 10}, {2, 20}};
+    const auto s = sketch_u64::from_raw(cfg, good, 5, 35);
+    EXPECT_EQ(s.lower_bound(1), 10u);
+    EXPECT_EQ(s.estimate(2), 25u);
+    EXPECT_EQ(s.maximum_error(), 5u);
+    EXPECT_EQ(s.total_weight(), 35u);
+}
+
+TEST(FrequentItemsSketch, ToStringMentionsKeyFigures) {
+    sketch_u64 s(16);
+    s.update(1, 3);
+    const auto str = s.to_string();
+    EXPECT_NE(str.find("k=16"), std::string::npos);
+    EXPECT_NE(str.find("counters=1"), std::string::npos);
+}
+
+// SMIN (quantile 0) must be at least as accurate as SMED on the same data,
+// per the Fig. 3 monotonicity (error grows with quantile).
+TEST(FrequentItemsSketch, SminNoLessAccurateThanHighQuantile) {
+    auto run = [](double q) {
+        sketch_u64 s(sketch_config{
+            .max_counters = 128, .decrement_quantile = q, .sample_size = 128, .seed = 13});
+        zipf_stream_generator gen({.num_updates = 80'000,
+                                   .num_distinct = 8'000,
+                                   .alpha = 1.0,
+                                   .min_weight = 1,
+                                   .max_weight = 100,
+                                   .seed = 71});
+        s.consume(gen.generate());
+        return s.maximum_error();
+    };
+    EXPECT_LE(run(0.0), run(0.9));
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,126 @@
+#include "stream/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+TEST(ZipfStreamGenerator, RejectsBadConfig) {
+    EXPECT_THROW(zipf_stream_generator({.num_distinct = 0}), std::invalid_argument);
+    EXPECT_THROW(zipf_stream_generator({.min_weight = 0}), std::invalid_argument);
+    EXPECT_THROW(zipf_stream_generator({.min_weight = 10, .max_weight = 5}),
+                 std::invalid_argument);
+}
+
+TEST(ZipfStreamGenerator, DeterministicGivenSeed) {
+    zipf_stream_generator a({.num_updates = 1'000, .seed = 9});
+    zipf_stream_generator b({.num_updates = 1'000, .seed = 9});
+    EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(ZipfStreamGenerator, RespectsWeightRange) {
+    zipf_stream_generator gen(
+        {.num_updates = 10'000, .num_distinct = 100, .min_weight = 5, .max_weight = 9, .seed = 1});
+    for (const auto& u : gen.generate()) {
+        ASSERT_GE(u.weight, 5u);
+        ASSERT_LE(u.weight, 9u);
+    }
+}
+
+TEST(ZipfStreamGenerator, UnitWeightsWhenMinEqualsMax) {
+    zipf_stream_generator gen(
+        {.num_updates = 1'000, .num_distinct = 50, .min_weight = 1, .max_weight = 1, .seed = 2});
+    for (const auto& u : gen.generate()) {
+        ASSERT_EQ(u.weight, 1u);
+    }
+}
+
+TEST(ZipfStreamGenerator, DistinctCountBoundedByConfig) {
+    zipf_stream_generator gen({.num_updates = 50'000, .num_distinct = 200, .seed = 3});
+    std::unordered_set<std::uint64_t> ids;
+    for (const auto& u : gen.generate()) {
+        ids.insert(u.id);
+    }
+    EXPECT_LE(ids.size(), 200u);
+    EXPECT_GT(ids.size(), 100u);  // most ranks appear at this length
+}
+
+TEST(ZipfStreamGenerator, IdsAreScrambled) {
+    // Identifier values must not be the raw ranks 1..n — that would make
+    // hash-slot position correlate with popularity.
+    zipf_stream_generator gen({.num_updates = 1'000, .num_distinct = 100, .seed = 4});
+    int small_ids = 0;
+    for (const auto& u : gen.generate()) {
+        small_ids += u.id <= 100;
+    }
+    EXPECT_LT(small_ids, 5);
+}
+
+TEST(CaidaLikeGenerator, MatchesPaperShape) {
+    caida_like_generator gen({.num_updates = 200'000, .num_flows = 20'000, .seed = 5});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    for (const auto& u : gen.generate()) {
+        exact.update(u.id, u.weight);
+    }
+    EXPECT_EQ(exact.num_updates(), 200'000u);
+    // Mean packet size near the paper's N/n ≈ 572 bits.
+    const double mean = static_cast<double>(exact.total_weight()) /
+                        static_cast<double>(exact.num_updates());
+    EXPECT_GT(mean, 350.0);
+    EXPECT_LT(mean, 900.0);
+    EXPECT_NEAR(mean, gen.mean_weight_bits(), gen.mean_weight_bits() * 0.05);
+    // Heavy-tailed: the top 1% of flows must carry a large share of packets.
+    const auto top = exact.top_frequencies(exact.num_distinct() / 100);
+    std::uint64_t top_weight = 0;
+    for (const auto f : top) {
+        top_weight += f;
+    }
+    EXPECT_GT(static_cast<double>(top_weight),
+              0.2 * static_cast<double>(exact.total_weight()));
+}
+
+TEST(CaidaLikeGenerator, IdentifiersAreIpv4Range) {
+    caida_like_generator gen({.num_updates = 10'000, .num_flows = 1'000, .seed = 6});
+    for (const auto& u : gen.generate()) {
+        EXPECT_LE(u.id, 0xffffffffULL);  // universe m = 2^32 (§4.1)
+    }
+}
+
+TEST(CaidaLikeGenerator, WeightsAreValidPacketBitSizes) {
+    caida_like_generator gen({.num_updates = 10'000, .num_flows = 1'000, .seed = 7});
+    for (const auto& u : gen.generate()) {
+        EXPECT_GE(u.weight, 40u * 8);
+        EXPECT_LE(u.weight, 1500u * 8);
+        EXPECT_EQ(u.weight % 8, 0u);  // whole bytes
+    }
+}
+
+TEST(CaidaLikeGenerator, DeterministicGivenSeed) {
+    caida_like_generator a({.num_updates = 5'000, .seed = 8});
+    caida_like_generator b({.num_updates = 5'000, .seed = 8});
+    EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(RbmcPathologyGenerator, ShapeMatchesSection134) {
+    rbmc_pathology_generator gen({.k = 10, .heavy_weight = 500, .seed = 1});
+    const auto stream = gen.generate();
+    ASSERT_EQ(stream.size(), 510u);
+    std::unordered_set<std::uint64_t> ids;
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(stream[i].weight, 500u);
+        ids.insert(stream[i].id);
+    }
+    for (std::size_t i = 10; i < stream.size(); ++i) {
+        EXPECT_EQ(stream[i].weight, 1u);
+        ids.insert(stream[i].id);
+    }
+    EXPECT_EQ(ids.size(), 510u);  // all items distinct
+}
+
+}  // namespace
+}  // namespace freq

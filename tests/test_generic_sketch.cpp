@@ -1,0 +1,139 @@
+#include "core/generic_frequent_items.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+namespace freq {
+namespace {
+
+// A non-integral item type: a flow key (src, dst) pair.
+struct flow_key {
+    std::uint32_t src;
+    std::uint32_t dst;
+    friend bool operator==(const flow_key&, const flow_key&) = default;
+};
+
+struct flow_key_hash {
+    std::size_t operator()(const flow_key& f) const noexcept {
+        return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(f.src) << 32) | f.dst);
+    }
+};
+
+TEST(GenericSketch, RejectsZeroCapacity) {
+    using sketch = generic_frequent_items<std::string>;
+    EXPECT_THROW(sketch(0), std::invalid_argument);
+}
+
+TEST(GenericSketch, StringItemsRoundTrip) {
+    generic_frequent_items<std::string> s(16);
+    s.update("alpha", 10);
+    s.update("beta", 5);
+    s.update("alpha", 2);
+    EXPECT_EQ(s.estimate("alpha"), 12u);
+    EXPECT_EQ(s.estimate("beta"), 5u);
+    EXPECT_EQ(s.estimate("gamma"), 0u);
+    EXPECT_EQ(s.total_weight(), 17u);
+}
+
+TEST(GenericSketch, StructItemsWithCustomHash) {
+    generic_frequent_items<flow_key, std::uint64_t, flow_key_hash> s(32);
+    const flow_key heavy{0x0a000001, 0x08080808};
+    xoshiro256ss rng(3);
+    for (int i = 0; i < 50'000; ++i) {
+        if (i % 3 == 0) {
+            s.update(heavy, 1500);
+        } else {
+            s.update(flow_key{static_cast<std::uint32_t>(rng()),
+                              static_cast<std::uint32_t>(rng())},
+                     100);
+        }
+    }
+    // The dominant flow must be tracked and bracketed.
+    EXPECT_GT(s.lower_bound(heavy), 0u);
+    EXPECT_GE(s.upper_bound(heavy), 50'000 / 3 * 1500u);
+    const auto rows = s.frequent_items(error_type::no_false_negatives);
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows[0].item, heavy);
+}
+
+TEST(GenericSketch, BoundsBracketTruthUnderEviction) {
+    generic_frequent_items<std::string> s(64);
+    std::unordered_map<std::string, std::uint64_t> truth;
+    xoshiro256ss rng(5);
+    zipf_distribution zipf(3'000, 1.1);
+    for (int i = 0; i < 60'000; ++i) {
+        const std::string item = "item_" + std::to_string(zipf(rng));
+        const std::uint64_t w = rng.between(1, 40);
+        s.update(item, w);
+        truth[item] += w;
+    }
+    EXPECT_GT(s.num_decrements(), 0u);
+    for (const auto& [item, f] : truth) {
+        ASSERT_LE(s.lower_bound(item), f) << item;
+        ASSERT_GE(s.upper_bound(item), f) << item;
+    }
+}
+
+// Theorem 2 with k* = k/2 holds deterministically for the generic sketch
+// (exact median decrement).
+TEST(GenericSketch, Theorem2BoundHolds) {
+    constexpr std::uint32_t k = 128;
+    generic_frequent_items<std::uint64_t> s(k);
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    std::uint64_t n_weight = 0;
+    xoshiro256ss rng(7);
+    zipf_distribution zipf(5'000, 1.0);
+    for (int i = 0; i < 80'000; ++i) {
+        const auto id = zipf(rng);
+        const std::uint64_t w = rng.between(1, 100);
+        s.update(id, w);
+        truth[id] += w;
+        n_weight += w;
+    }
+    const double bound = static_cast<double>(n_weight) / (k / 2.0);
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(static_cast<double>(f - s.lower_bound(id)), bound + 1e-9) << id;
+    }
+}
+
+TEST(GenericSketch, MergeAcrossSketches) {
+    generic_frequent_items<std::string> a(32);
+    generic_frequent_items<std::string> b(32);
+    std::unordered_map<std::string, std::uint64_t> truth;
+    xoshiro256ss rng(9);
+    zipf_distribution zipf(500, 1.2);
+    for (int i = 0; i < 20'000; ++i) {
+        const std::string item = "w" + std::to_string(zipf(rng));
+        if (i % 2 == 0) {
+            a.update(item, 3);
+        } else {
+            b.update(item, 3);
+        }
+        truth[item] += 3;
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total_weight(), 60'000u);
+    for (const auto& [item, f] : truth) {
+        ASSERT_LE(a.lower_bound(item), f) << item;
+        ASSERT_GE(a.upper_bound(item), f) << item;
+    }
+    EXPECT_THROW(a.merge(a), std::invalid_argument);
+}
+
+TEST(GenericSketch, CapacityIsRespected) {
+    generic_frequent_items<std::string> s(8);
+    for (int i = 0; i < 10'000; ++i) {
+        s.update("unique_" + std::to_string(i), 1);
+    }
+    EXPECT_LE(s.num_counters(), 8u);
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,130 @@
+#include "baselines/gk_quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+TEST(GkQuantiles, RejectsBadParameters) {
+    EXPECT_THROW(gk_quantiles<std::uint64_t>(0.0), std::invalid_argument);
+    EXPECT_THROW(gk_quantiles<std::uint64_t>(0.5), std::invalid_argument);
+    gk_quantiles<std::uint64_t> gk(0.01);
+    EXPECT_THROW(gk.quantile(0.5), std::invalid_argument);  // empty
+    EXPECT_THROW(gk.quantile(-0.1), std::invalid_argument);
+    EXPECT_THROW(gk.heavy_hitters(0.01), std::invalid_argument);  // phi <= 2eps
+}
+
+TEST(GkQuantiles, ExactForTinyInputs) {
+    gk_quantiles<std::uint64_t> gk(0.1);
+    for (const std::uint64_t v : {5u, 1u, 9u, 3u, 7u}) {
+        gk.update(v);
+    }
+    EXPECT_EQ(gk.quantile(0.0), 1u);
+    EXPECT_EQ(gk.quantile(1.0), 9u);
+    EXPECT_EQ(gk.count(), 5u);
+}
+
+class GkRankAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(GkRankAccuracy, QuantilesWithinEpsilonN) {
+    const double eps = GetParam();
+    gk_quantiles<std::uint64_t> gk(eps);
+    xoshiro256ss rng(7);
+    constexpr std::uint64_t n = 50'000;
+    std::vector<std::uint64_t> all;
+    all.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t v = rng.below(1'000'000);
+        gk.update(v);
+        all.push_back(v);
+    }
+    std::sort(all.begin(), all.end());
+    for (double q = 0.05; q < 1.0; q += 0.09) {
+        const auto got = gk.quantile(q);
+        // True rank of the returned value must be within eps*n of q*n.
+        const auto lo = std::lower_bound(all.begin(), all.end(), got) - all.begin();
+        const auto hi = std::upper_bound(all.begin(), all.end(), got) - all.begin();
+        const double target = q * static_cast<double>(n);
+        const double slack = 2.0 * eps * static_cast<double>(n) + 1;
+        EXPECT_GE(static_cast<double>(hi), target - slack) << "q=" << q << " eps=" << eps;
+        EXPECT_LE(static_cast<double>(lo), target + slack) << "q=" << q << " eps=" << eps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, GkRankAccuracy, ::testing::Values(0.05, 0.01, 0.002));
+
+TEST(GkQuantiles, SummarySizeStaysSublinear) {
+    gk_quantiles<std::uint64_t> gk(0.01);
+    xoshiro256ss rng(9);
+    for (int i = 0; i < 200'000; ++i) {
+        gk.update(rng());  // all-distinct worst case
+    }
+    // O((1/eps) * log(eps n)) ~ 100 * 11 = 1100; generous factor allowed.
+    EXPECT_LT(gk.num_tuples(), 6'000u);
+}
+
+TEST(GkQuantiles, PointFrequencyWithinTwoEpsilonN) {
+    const double eps = 0.005;
+    gk_quantiles<std::uint64_t> gk(eps);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(11);
+    zipf_distribution zipf(1'000, 1.2);
+    constexpr int n = 60'000;
+    for (int i = 0; i < n; ++i) {
+        const auto id = zipf(rng);
+        gk.update(id);
+        exact.update(id, 1);
+    }
+    const double bound = 2.0 * eps * n + 1;
+    for (const auto& [id, f] : exact.counts()) {
+        const double err = std::abs(static_cast<double>(gk.estimate(id)) -
+                                    static_cast<double>(f));
+        ASSERT_LE(err, bound) << "id " << id;
+    }
+}
+
+TEST(GkQuantiles, HeavyHittersContainTruth) {
+    const double eps = 0.002;
+    const double phi = 0.02;
+    gk_quantiles<std::uint64_t> gk(eps);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(13);
+    zipf_distribution zipf(5'000, 1.4);
+    constexpr int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        const auto id = zipf(rng);
+        gk.update(id);
+        exact.update(id, 1);
+    }
+    const auto returned = gk.heavy_hitters(phi);
+    const auto threshold = static_cast<std::uint64_t>(phi * n);
+    for (const auto id : exact.heavy_hitters(threshold)) {
+        EXPECT_NE(std::find(returned.begin(), returned.end(), id), returned.end())
+            << "missed heavy hitter " << id;
+    }
+}
+
+TEST(GkQuantiles, MonotoneQuantiles) {
+    gk_quantiles<std::uint64_t> gk(0.01);
+    xoshiro256ss rng(17);
+    for (int i = 0; i < 30'000; ++i) {
+        gk.update(rng.below(10'000));
+    }
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const auto v = gk.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+}  // namespace
+}  // namespace freq

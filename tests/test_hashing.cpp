@@ -1,0 +1,81 @@
+#include "hashing/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace freq {
+namespace {
+
+TEST(Hashing, MixersAreDeterministic) {
+    EXPECT_EQ(murmur_mix64(12345), murmur_mix64(12345));
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    EXPECT_EQ(table_hash(12345, 7), table_hash(12345, 7));
+}
+
+TEST(Hashing, MixersSeparateAdjacentKeys) {
+    // Structured identifiers (sequential IPs, user ids) must not land in
+    // adjacent slots; check the mixed values differ in the low bits.
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        EXPECT_NE(murmur_mix64(k) & 0xffff, murmur_mix64(k + 1) & 0xffff) << k;
+    }
+}
+
+TEST(Hashing, MurmurMixIsInjectiveOnSample) {
+    std::unordered_set<std::uint64_t> seen;
+    for (std::uint64_t k = 0; k < 200'000; ++k) {
+        EXPECT_TRUE(seen.insert(murmur_mix64(k)).second) << "collision at " << k;
+    }
+}
+
+TEST(Hashing, TableHashDependsOnSeed) {
+    int differing = 0;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        if (table_hash(k, 1) != table_hash(k, 2)) {
+            ++differing;
+        }
+    }
+    // Distinct seeds must give (essentially) independent hash functions —
+    // the §3.2 merge note relies on this.
+    EXPECT_GT(differing, 990);
+}
+
+TEST(Hashing, SplitmixAdvancesState) {
+    std::uint64_t s1 = 42;
+    std::uint64_t s2 = 42;
+    const auto a = splitmix64(s1);
+    const auto b = splitmix64(s1);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, splitmix64(s2));  // same seed, same first output
+}
+
+TEST(Hashing, LowBitsOfMixAreBalanced) {
+    // Count the population of each of the low 10 bits over mixed sequential
+    // keys; each bit should be set roughly half the time.
+    constexpr int n = 1 << 16;
+    int ones[10] = {};
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t h = murmur_mix64(k);
+        for (int b = 0; b < 10; ++b) {
+            ones[b] += (h >> b) & 1;
+        }
+    }
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_NEAR(static_cast<double>(ones[b]) / n, 0.5, 0.02) << "bit " << b;
+    }
+}
+
+TEST(Hashing, Fnv1aMatchesKnownVectors) {
+    // Reference vectors for 64-bit FNV-1a.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hashing, Fnv1aDistinguishesNearbyStrings) {
+    EXPECT_NE(fnv1a64("10.0.0.1"), fnv1a64("10.0.0.2"));
+    EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+}  // namespace
+}  // namespace freq

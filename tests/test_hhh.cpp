@@ -1,0 +1,114 @@
+#include "hhh/hierarchical_heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "random/xoshiro.h"
+
+namespace freq::hhh {
+namespace {
+
+std::uint32_t ip(const std::string& dotted) { return *net::parse_ipv4(dotted); }
+
+TEST(Hhh, RejectsBadConfig) {
+    EXPECT_THROW(hierarchical_heavy_hitters({.levels = {}}), std::invalid_argument);
+    EXPECT_THROW(hierarchical_heavy_hitters({.levels = {33}}), std::invalid_argument);
+    EXPECT_THROW(hierarchical_heavy_hitters({.levels = {8, 8}}), std::invalid_argument);
+    hierarchical_heavy_hitters h({.levels = {16}});
+    EXPECT_THROW(h.query(0.0), std::invalid_argument);
+    EXPECT_THROW(h.query(1.0), std::invalid_argument);
+}
+
+TEST(Hhh, SingleHeavySourceReportedAtHostLevel) {
+    hierarchical_heavy_hitters h({.levels = {32, 24, 16, 8}, .counters_per_level = 64});
+    xoshiro256ss rng(1);
+    // One host sends 60% of traffic; the rest is spread widely.
+    for (int i = 0; i < 10'000; ++i) {
+        if (rng.below(100) < 60) {
+            h.update(ip("10.1.2.3"), 100);
+        } else {
+            h.update(static_cast<std::uint32_t>(rng()), 100);
+        }
+    }
+    const auto rows = h.query(0.2);
+    ASSERT_FALSE(rows.empty());
+    // The /32 must be the first (most specific) report.
+    EXPECT_EQ(rows[0].prefix_len, 32u);
+    EXPECT_EQ(rows[0].prefix, ip("10.1.2.3"));
+    // Ancestors of the heavy host must NOT be re-reported: once the /32 is
+    // discounted, the /24 carries almost nothing.
+    for (const auto& r : rows) {
+        if (r.prefix_len == 24) {
+            EXPECT_NE(net::prefix_of(r.prefix, 24), ip("10.1.2.0")) << r.to_string();
+        }
+    }
+}
+
+TEST(Hhh, DistributedSubnetDetectedOnlyAtSubnetLevel) {
+    hierarchical_heavy_hitters h({.levels = {32, 24, 16}, .counters_per_level = 128});
+    xoshiro256ss rng(2);
+    // 40% of traffic comes from 10.5.7.0/24 but spread over all 256 hosts —
+    // no single /32 is heavy; the /24 must surface it.
+    for (int i = 0; i < 30'000; ++i) {
+        if (rng.below(100) < 40) {
+            h.update(ip("10.5.7.0") + static_cast<std::uint32_t>(rng.below(256)), 10);
+        } else {
+            h.update(static_cast<std::uint32_t>(rng()), 10);
+        }
+    }
+    const auto rows = h.query(0.1);
+    bool found_subnet = false;
+    for (const auto& r : rows) {
+        EXPECT_NE(r.prefix_len, 32u) << "no host should be heavy: " << r.to_string();
+        if (r.prefix_len == 24 && r.prefix == ip("10.5.7.0")) {
+            found_subnet = true;
+            EXPECT_GT(static_cast<double>(r.conditioned),
+                      0.3 * static_cast<double>(h.total_weight()) * 0.8);
+        }
+    }
+    EXPECT_TRUE(found_subnet);
+}
+
+TEST(Hhh, ConditionedCountsDiscountDescendants) {
+    hierarchical_heavy_hitters h({.levels = {32, 16}, .counters_per_level = 32});
+    // Two heavy hosts inside the same /16, plus noise in that /16.
+    for (int i = 0; i < 1000; ++i) {
+        h.update(ip("172.16.1.1"), 50);
+        h.update(ip("172.16.2.2"), 50);
+        h.update(ip("172.16.3.3") + static_cast<std::uint32_t>(i % 100), 1);
+    }
+    const auto rows = h.query(0.05);
+    std::uint64_t host_estimates = 0;
+    for (const auto& r : rows) {
+        if (r.prefix_len == 32) {
+            host_estimates += r.estimate;
+        }
+    }
+    for (const auto& r : rows) {
+        if (r.prefix_len == 16) {
+            EXPECT_EQ(r.prefix, ip("172.16.0.0"));
+            // Conditioned = total /16 traffic minus both reported hosts.
+            EXPECT_LT(r.conditioned, r.estimate);
+            EXPECT_LE(r.conditioned + host_estimates, r.estimate + 1000);
+        }
+    }
+}
+
+TEST(Hhh, TotalWeightAndMemoryAccounting) {
+    hierarchical_heavy_hitters h({.levels = {32, 24}, .counters_per_level = 16});
+    h.update(ip("1.2.3.4"), 7);
+    h.update(ip("1.2.3.5"), 3);
+    EXPECT_EQ(h.total_weight(), 10u);
+    EXPECT_EQ(h.memory_bytes(), h.level_sketch(0).memory_bytes() * 2);
+    EXPECT_EQ(h.level_sketch(0).total_weight(), 10u);
+    EXPECT_EQ(h.level_sketch(1).total_weight(), 10u);
+}
+
+TEST(Hhh, LevelsSortedMostSpecificFirst) {
+    hierarchical_heavy_hitters h({.levels = {8, 32, 16}, .counters_per_level = 8});
+    EXPECT_EQ(h.cfg().levels, (std::vector<unsigned>{32, 16, 8}));
+}
+
+}  // namespace
+}  // namespace freq::hhh

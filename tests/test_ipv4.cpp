@@ -1,0 +1,73 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace freq::net {
+namespace {
+
+TEST(Ipv4, ParseValidAddresses) {
+    EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+    EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xffffffffu);
+    EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0a000001u);
+    EXPECT_EQ(parse_ipv4("192.168.1.42"), (192u << 24) | (168u << 16) | (1u << 8) | 42u);
+}
+
+TEST(Ipv4, ParseRejectsMalformedInput) {
+    EXPECT_EQ(parse_ipv4(""), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3.4.5"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("256.0.0.1"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3."), std::nullopt);
+    EXPECT_EQ(parse_ipv4(".1.2.3"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("a.b.c.d"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1..2.3"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3.4 "), std::nullopt);
+}
+
+TEST(Ipv4, FormatRoundTrip) {
+    for (const std::uint32_t addr : {0u, 0xffffffffu, 0x0a000001u, 0xc0a8012au, 0x7f000001u}) {
+        const auto parsed = parse_ipv4(format_ipv4(addr));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, addr);
+    }
+}
+
+TEST(Ipv4, DecimalEncodingMatchesPaperPreprocessing) {
+    // §4.1: "the source IP with decimal points excluded" (zero-padded form).
+    EXPECT_EQ(decimal_encoding(*parse_ipv4("10.1.2.3")), 10001002003ULL);
+    EXPECT_EQ(decimal_encoding(*parse_ipv4("255.255.255.255")), 255255255255ULL);
+    EXPECT_EQ(decimal_encoding(*parse_ipv4("0.0.0.0")), 0ULL);
+    EXPECT_EQ(decimal_encoding(*parse_ipv4("1.0.0.1")), 1000000001ULL);
+}
+
+TEST(Ipv4, DecimalEncodingIsInjective) {
+    // Zero-padding makes the encoding collision-free — spot check pairs that
+    // would collide without padding ("1.23.4.5" vs "12.3.4.5").
+    EXPECT_NE(decimal_encoding(*parse_ipv4("1.23.4.5")),
+              decimal_encoding(*parse_ipv4("12.3.4.5")));
+    EXPECT_NE(decimal_encoding(*parse_ipv4("1.2.34.5")),
+              decimal_encoding(*parse_ipv4("12.3.4.5")));
+}
+
+TEST(Ipv4, PrefixMasking) {
+    const auto addr = *parse_ipv4("192.168.213.77");
+    EXPECT_EQ(prefix_of(addr, 32), addr);
+    EXPECT_EQ(prefix_of(addr, 24), *parse_ipv4("192.168.213.0"));
+    EXPECT_EQ(prefix_of(addr, 16), *parse_ipv4("192.168.0.0"));
+    EXPECT_EQ(prefix_of(addr, 8), *parse_ipv4("192.0.0.0"));
+    EXPECT_EQ(prefix_of(addr, 0), 0u);
+    EXPECT_EQ(prefix_of(addr, 25), (addr & 0xffffff80u));
+}
+
+TEST(Ipv4, PrefixLengthValidated) {
+    EXPECT_THROW(prefix_of(0, 33), std::invalid_argument);
+}
+
+TEST(Ipv4, FormatPrefix) {
+    EXPECT_EQ(format_prefix(*parse_ipv4("10.20.30.40"), 16), "10.20.0.0/16");
+    EXPECT_EQ(format_prefix(*parse_ipv4("10.20.30.40"), 32), "10.20.30.40/32");
+    EXPECT_EQ(format_prefix(*parse_ipv4("10.20.30.40"), 0), "0.0.0.0/0");
+}
+
+}  // namespace
+}  // namespace freq::net

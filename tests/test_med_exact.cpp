@@ -1,0 +1,165 @@
+#include "core/med_exact_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+using med_u64 = med_exact_sketch<std::uint64_t, std::uint64_t>;
+
+TEST(MedExact, RejectsBadParameters) {
+    EXPECT_THROW(med_u64(0), std::invalid_argument);
+    EXPECT_THROW(med_u64(8, 9), std::invalid_argument);  // k* > k
+}
+
+TEST(MedExact, DefaultRankIsHalfK) {
+    med_u64 s(100);
+    EXPECT_EQ(s.rank(), 50u);
+    med_u64 s1(1);
+    EXPECT_EQ(s1.rank(), 1u);
+}
+
+TEST(MedExact, ExactWhileUnderCapacity) {
+    med_u64 s(32);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        s.update(i, 10 * (i + 1));
+    }
+    EXPECT_EQ(s.num_decrements(), 0u);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        EXPECT_EQ(s.estimate(i), 10 * (i + 1));
+    }
+}
+
+TEST(MedExact, DecrementEvictsAtLeastRankCounters) {
+    // k = 8, k* = 4: after overflow at least 4 counters must free up
+    // (Lemma 3's eviction argument).
+    med_u64 s(8, 4);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        s.update(i, 100);
+    }
+    s.update(99, 1);  // forces a decrement of the 4th largest = 100
+    EXPECT_EQ(s.num_decrements(), 1u);
+    EXPECT_EQ(s.num_counters(), 0u);  // all counters were equal -> all evicted
+    EXPECT_EQ(s.maximum_error(), 100u);
+}
+
+TEST(MedExact, LargeWeightSurvivesDecrement) {
+    med_u64 s(4, 2);
+    s.update(1, 10);
+    s.update(2, 20);
+    s.update(3, 30);
+    s.update(4, 40);
+    // New item with weight > c_{k*} = 30 gets a counter of 50 - 30 = 20.
+    s.update(5, 50);
+    EXPECT_EQ(s.lower_bound(5), 20u);
+    EXPECT_EQ(s.maximum_error(), 30u);
+    // Counters 10, 20, 30 died; 40 -> 10.
+    EXPECT_EQ(s.lower_bound(4), 10u);
+    EXPECT_EQ(s.lower_bound(1), 0u);
+}
+
+// Theorem 2, tested literally: for every j < k*,
+//   0 <= f_i - lower_bound(i) <= N^res(j) / (k* - j).
+class MedTheorem2 : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(MedTheorem2, TailGuaranteeHolds) {
+    const auto [k, alpha] = GetParam();
+    med_u64 s(k);  // k* = k/2
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator gen({.num_updates = 50'000,
+                               .num_distinct = 5'000,
+                               .alpha = alpha,
+                               .min_weight = 1,
+                               .max_weight = 500,
+                               .seed = k * 10 + 1});
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    const std::uint32_t kstar = s.rank();
+    for (std::uint32_t j = 0; j < kstar; j += std::max(1u, kstar / 8)) {
+        const double bound = static_cast<double>(exact.residual_weight(j)) /
+                             static_cast<double>(kstar - j);
+        for (const auto& [id, f] : exact.counts()) {
+            const auto lb = s.lower_bound(id);
+            ASSERT_LE(lb, f);
+            ASSERT_LE(static_cast<double>(f - lb), bound + 1e-9)
+                << "j=" << j << " id=" << id;
+        }
+    }
+    // The offset tracks total decrement mass, so it bounds every error too.
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_GE(s.upper_bound(id), f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MedTheorem2,
+                         ::testing::Combine(::testing::Values(16u, 64u, 128u, 256u),
+                                            ::testing::Values(0.8, 1.1, 1.5)));
+
+// Lemma 3: decrements happen at most once every k* updates.
+TEST(MedExact, DecrementsAreSpacedByRank) {
+    constexpr std::uint32_t k = 64;
+    med_u64 s(k);  // k* = 32
+    zipf_stream_generator gen({.num_updates = 40'000,
+                               .num_distinct = 20'000,
+                               .alpha = 0.5,
+                               .min_weight = 1,
+                               .max_weight = 5,
+                               .seed = 17});
+    std::uint64_t n = 0;
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        ++n;
+    }
+    ASSERT_GT(s.num_decrements(), 0u);
+    EXPECT_LE(s.num_decrements(), n / s.rank() + 1);
+}
+
+TEST(MedExact, MergePreservesTheorem5Bound) {
+    constexpr std::uint32_t k = 64;
+    med_u64 a(k);
+    med_u64 b(k);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator ga({.num_updates = 20'000,
+                              .num_distinct = 3'000,
+                              .alpha = 1.1,
+                              .min_weight = 1,
+                              .max_weight = 100,
+                              .seed = 100});
+    zipf_stream_generator gb({.num_updates = 20'000,
+                              .num_distinct = 3'000,
+                              .alpha = 1.1,
+                              .min_weight = 1,
+                              .max_weight = 100,
+                              .seed = 200});
+    for (const auto& u : ga.generate()) {
+        a.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    for (const auto& u : gb.generate()) {
+        b.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total_weight(), exact.total_weight());
+    // Theorem 5: f_i - lower_bound <= (N - C)/k*.
+    std::uint64_t c_sum = 0;
+    a.for_each([&](std::uint64_t, std::uint64_t c) { c_sum += c; });
+    const double bound = static_cast<double>(exact.total_weight() - c_sum) /
+                         static_cast<double>(a.rank());
+    for (const auto& [id, f] : exact.counts()) {
+        const auto lb = a.lower_bound(id);
+        ASSERT_LE(lb, f);
+        ASSERT_LE(static_cast<double>(f - lb), bound + 1e-9);
+        ASSERT_GE(a.upper_bound(id), f);
+    }
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,230 @@
+/// Property suite for Algorithm 5 beyond the basic cases in test_merge.cpp:
+/// asymmetric capacities, order independence of validity, double weights,
+/// the O(min(k1,k2))-ish amortized claim of §3.2, and merge-after-serde.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/frequent_items_sketch.h"
+#include "random/xoshiro.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+struct cap_case {
+    std::uint32_t k_target;
+    std::uint32_t k_source;
+};
+
+class AsymmetricMerge : public ::testing::TestWithParam<cap_case> {};
+
+// §3.2 allows summaries of different capacities: small-into-large and
+// large-into-small must both keep the bounds of the *target's* capacity.
+TEST_P(AsymmetricMerge, BoundsHoldForAnyCapacityPair) {
+    const auto [k_target, k_source] = GetParam();
+    sketch_u64 target(sketch_config{.max_counters = k_target, .seed = 1});
+    sketch_u64 source(sketch_config{.max_counters = k_source, .seed = 2});
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+
+    zipf_stream_generator g1({.num_updates = 15'000,
+                              .num_distinct = 1'500,
+                              .alpha = 1.1,
+                              .min_weight = 1,
+                              .max_weight = 100,
+                              .seed = 11});
+    zipf_stream_generator g2({.num_updates = 15'000,
+                              .num_distinct = 1'500,
+                              .alpha = 1.1,
+                              .min_weight = 1,
+                              .max_weight = 100,
+                              .seed = 22});
+    for (const auto& u : g1.generate()) {
+        target.update(u.id, u.weight);
+        truth[u.id] += u.weight;
+    }
+    for (const auto& u : g2.generate()) {
+        source.update(u.id, u.weight);
+        truth[u.id] += u.weight;
+    }
+    target.merge(source);
+    EXPECT_LE(target.num_counters(), k_target);
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(target.lower_bound(id), f) << id;
+        ASSERT_GE(target.upper_bound(id), f) << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacityPairs, AsymmetricMerge,
+                         ::testing::Values(cap_case{128, 128}, cap_case{256, 32},
+                                           cap_case{32, 256}, cap_case{1, 64},
+                                           cap_case{64, 1}, cap_case{7, 13}));
+
+TEST(MergeProperties, MergeDirectionDoesNotBreakValidity) {
+    // a.merge(b) and b.merge(a) generally produce different summaries (the
+    // paper's merge is not symmetric) — but both must be *valid* for the
+    // union stream.
+    auto build = [](std::uint64_t seed) {
+        sketch_u64 s(sketch_config{.max_counters = 64, .seed = seed});
+        zipf_stream_generator gen({.num_updates = 20'000,
+                                   .num_distinct = 2'000,
+                                   .alpha = 1.05,
+                                   .min_weight = 1,
+                                   .max_weight = 1000,
+                                   .seed = seed * 7});
+        s.consume(gen.generate());
+        return s;
+    };
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    for (const std::uint64_t seed : {3u, 4u}) {
+        zipf_stream_generator gen({.num_updates = 20'000,
+                                   .num_distinct = 2'000,
+                                   .alpha = 1.05,
+                                   .min_weight = 1,
+                                   .max_weight = 1000,
+                                   .seed = seed * 7});
+        for (const auto& u : gen.generate()) {
+            truth[u.id] += u.weight;
+        }
+    }
+    auto ab = build(3);
+    {
+        const auto b = build(4);
+        ab.merge(b);
+    }
+    auto ba = build(4);
+    {
+        const auto a = build(3);
+        ba.merge(a);
+    }
+    EXPECT_EQ(ab.total_weight(), ba.total_weight());
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(ab.lower_bound(id), f);
+        ASSERT_GE(ab.upper_bound(id), f);
+        ASSERT_LE(ba.lower_bound(id), f);
+        ASSERT_GE(ba.upper_bound(id), f);
+    }
+}
+
+TEST(MergeProperties, DoubleWeightMerge) {
+    frequent_items_sketch<std::uint64_t, double> a(64);
+    frequent_items_sketch<std::uint64_t, double> b(64);
+    xoshiro256ss rng(5);
+    std::unordered_map<std::uint64_t, double> truth;
+    for (int i = 0; i < 30'000; ++i) {
+        const std::uint64_t id = rng.below(3'000);
+        const double w = rng.unit_real() * 5.0 + 0.001;
+        if (i % 2 == 0) {
+            a.update(id, w);
+        } else {
+            b.update(id, w);
+        }
+        truth[id] += w;
+    }
+    a.merge(b);
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(a.lower_bound(id), f + 1e-6) << id;
+        ASSERT_GE(a.upper_bound(id), f - 1e-6) << id;
+    }
+}
+
+TEST(MergeProperties, MergeOfDeserializedSketches) {
+    // The §3 query-time scenario: summaries arrive as bytes, get restored,
+    // and merge immediately. Serialization does not persist the sampling
+    // RNG's position, so the merged summaries need not be bit-identical —
+    // but the deterministic state (N) must match exactly and the error
+    // bookkeeping must land within sampling noise.
+    sketch_u64 a(sketch_config{.max_counters = 64, .seed = 9});
+    sketch_u64 b(sketch_config{.max_counters = 64, .seed = 10});
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    zipf_stream_generator ga({.num_updates = 10'000, .num_distinct = 800, .seed = 31});
+    zipf_stream_generator gb({.num_updates = 10'000, .num_distinct = 800, .seed = 32});
+    for (const auto& u : ga.generate()) {
+        a.update(u.id, u.weight);
+        truth[u.id] += u.weight;
+    }
+    for (const auto& u : gb.generate()) {
+        b.update(u.id, u.weight);
+        truth[u.id] += u.weight;
+    }
+
+    auto direct = a;
+    direct.merge(b);
+
+    auto restored_a = sketch_u64::deserialize(a.serialize());
+    const auto restored_b = sketch_u64::deserialize(b.serialize());
+    restored_a.merge(restored_b);
+
+    EXPECT_EQ(direct.total_weight(), restored_a.total_weight());
+    EXPECT_NEAR(static_cast<double>(direct.maximum_error()),
+                static_cast<double>(restored_a.maximum_error()),
+                0.05 * static_cast<double>(direct.maximum_error()));
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(restored_a.lower_bound(id), f) << id;
+        ASSERT_GE(restored_a.upper_bound(id), f) << id;
+    }
+}
+
+TEST(MergeProperties, RepeatedAbsorptionOfSmallSummaries) {
+    // §3.2's amortized claim: merging Ω(k/k') summaries of size k' into one
+    // size-k summary costs O(k') amortized each. We verify the *behavioural*
+    // consequence: the decrement count grows linearly in absorbed weight,
+    // not in the number of merges.
+    constexpr std::uint32_t k = 256;
+    sketch_u64 target(sketch_config{.max_counters = k, .seed = 1});
+    std::uint64_t total_absorbed = 0;
+    for (int m = 0; m < 200; ++m) {
+        sketch_u64 small(sketch_config{.max_counters = 8, .seed = static_cast<std::uint64_t>(m)});
+        zipf_stream_generator gen({.num_updates = 200,
+                                   .num_distinct = 150,
+                                   .alpha = 0.9,
+                                   .min_weight = 1,
+                                   .max_weight = 10,
+                                   .seed = 100 + static_cast<std::uint64_t>(m)});
+        small.consume(gen.generate());
+        total_absorbed += small.total_weight();
+        target.merge(small);
+    }
+    EXPECT_EQ(target.total_weight(), total_absorbed);
+    // Each merge feeds <= 8 counters; decrements happen at most once per
+    // ~k/3 fed counters, so 200 merges * 8 counters / (k/3) ~ 19 decrements.
+    EXPECT_LE(target.num_decrements(), 60u);
+}
+
+TEST(MergeProperties, ChainOfHundredMerges) {
+    // Theorem 5 over a deep chain: error must stay bounded by (N - C)/k*,
+    // not grow per merge step (the failure mode of Berinde et al.'s bound).
+    constexpr std::uint32_t k = 128;
+    sketch_u64 acc(sketch_config{.max_counters = k, .seed = 77});
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    for (int m = 0; m < 100; ++m) {
+        sketch_u64 shard(sketch_config{.max_counters = k, .seed = static_cast<std::uint64_t>(m)});
+        zipf_stream_generator gen({.num_updates = 2'000,
+                                   .num_distinct = 500,
+                                   .alpha = 1.2,
+                                   .min_weight = 1,
+                                   .max_weight = 100,
+                                   .seed = 500 + static_cast<std::uint64_t>(m)});
+        for (const auto& u : gen.generate()) {
+            shard.update(u.id, u.weight);
+            truth[u.id] += u.weight;
+        }
+        acc.merge(shard);
+    }
+    std::uint64_t c_sum = 0;
+    acc.for_each([&](std::uint64_t, std::uint64_t c) { c_sum += c; });
+    const double bound =
+        static_cast<double>(acc.total_weight() - c_sum) / (0.33 * static_cast<double>(k));
+    for (const auto& [id, f] : truth) {
+        const auto lb = acc.lower_bound(id);
+        ASSERT_LE(lb, f);
+        ASSERT_LE(static_cast<double>(f - lb), bound + 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace freq

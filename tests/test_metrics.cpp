@@ -1,0 +1,144 @@
+#include "metrics/error.h"
+#include "metrics/space.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "baselines/space_saving_heap.h"
+#include "core/frequent_items_sketch.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+// A fake "sketch" with a programmable estimate function.
+struct fake_sketch {
+    std::unordered_map<std::uint64_t, std::uint64_t> estimates;
+    std::uint64_t estimate(std::uint64_t id) const {
+        const auto it = estimates.find(id);
+        return it == estimates.end() ? 0 : it->second;
+    }
+};
+
+TEST(ErrorMetrics, ExactSketchHasZeroError) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 10);
+    exact.update(2, 20);
+    fake_sketch s{{{1, 10}, {2, 20}}};
+    const auto r = evaluate_errors(s, exact);
+    EXPECT_EQ(r.max_error, 0.0);
+    EXPECT_EQ(r.mean_error, 0.0);
+    EXPECT_EQ(r.items_evaluated, 2u);
+}
+
+TEST(ErrorMetrics, DirectionalErrorsSeparated) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 10);  // estimate 13: overestimate by 3
+    exact.update(2, 20);  // estimate 15: underestimate by 5
+    fake_sketch s{{{1, 13}, {2, 15}}};
+    const auto r = evaluate_errors(s, exact);
+    EXPECT_DOUBLE_EQ(r.max_error, 5.0);
+    EXPECT_DOUBLE_EQ(r.max_overestimate, 3.0);
+    EXPECT_DOUBLE_EQ(r.max_underestimate, 5.0);
+    EXPECT_DOUBLE_EQ(r.mean_error, 4.0);
+}
+
+TEST(ErrorMetrics, MissingItemCountsAsZeroEstimate) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(7, 42);
+    fake_sketch s;
+    const auto r = evaluate_errors(s, exact);
+    EXPECT_DOUBLE_EQ(r.max_error, 42.0);
+    EXPECT_DOUBLE_EQ(r.max_underestimate, 42.0);
+}
+
+TEST(HeavyHitterMetrics, PerfectReturnScoresOne) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 100);
+    exact.update(2, 100);
+    exact.update(3, 1);
+    const auto r = evaluate_heavy_hitters<std::uint64_t, std::uint64_t>({1, 2}, exact, 0.2);
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_EQ(r.num_true, 2u);
+}
+
+TEST(HeavyHitterMetrics, FalsePositiveLowersPrecision) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 100);
+    exact.update(3, 1);
+    const auto r = evaluate_heavy_hitters<std::uint64_t, std::uint64_t>({1, 3}, exact, 0.5);
+    EXPECT_DOUBLE_EQ(r.precision, 0.5);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(HeavyHitterMetrics, MissLowersRecall) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 100);
+    exact.update(2, 100);
+    const auto r = evaluate_heavy_hitters<std::uint64_t, std::uint64_t>({1}, exact, 0.3);
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 0.5);
+}
+
+TEST(HeavyHitterMetrics, EmptySetsScoreOneByConvention) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 1);
+    exact.update(2, 1);  // no item reaches 99% of N, so the true set is empty
+    const auto r = evaluate_heavy_hitters<std::uint64_t, std::uint64_t>({}, exact, 0.99);
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_EQ(r.num_true, 0u);
+}
+
+TEST(SpaceBudget, FindsLargestAffordableK) {
+    using sketch = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+    const std::size_t budget = sketch::bytes_for(4096);
+    const auto k = max_counters_within(budget, sketch::bytes_for);
+    EXPECT_GE(sketch::bytes_for(k), sketch::bytes_for(4096));
+    EXPECT_LE(sketch::bytes_for(k), budget);
+    // One more counter would cross a power-of-two slot boundary eventually:
+    // the result must be maximal.
+    EXPECT_GT(sketch::bytes_for(k + 1), budget);
+}
+
+TEST(SpaceBudget, DifferentModelsGiveDifferentK) {
+    using sketch = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+    using heap = space_saving_heap<std::uint64_t, std::uint64_t>;
+    const std::size_t budget = sketch::bytes_for(8192);
+    const auto k_sketch = max_counters_within(budget, sketch::bytes_for);
+    const auto k_heap = max_counters_within(budget, heap::bytes_for);
+    // The heap's extra index/entry overhead affords fewer counters — the
+    // §4.3 equal-space handicap for MHE.
+    EXPECT_LT(k_heap, k_sketch);
+}
+
+TEST(SpaceBudget, ImpossibleBudgetRejected) {
+    using sketch = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+    EXPECT_THROW(max_counters_within(1, sketch::bytes_for), std::invalid_argument);
+}
+
+TEST(ExactCounter, ResidualWeight) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 100);
+    exact.update(2, 50);
+    exact.update(3, 10);
+    EXPECT_EQ(exact.residual_weight(0), 160u);
+    EXPECT_EQ(exact.residual_weight(1), 60u);
+    EXPECT_EQ(exact.residual_weight(2), 10u);
+    EXPECT_EQ(exact.residual_weight(3), 0u);
+    EXPECT_EQ(exact.residual_weight(99), 0u);
+}
+
+TEST(ExactCounter, HeavyHittersThreshold) {
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.update(1, 100);
+    exact.update(2, 49);
+    exact.update(3, 50);
+    const auto hh = exact.heavy_hitters(50);
+    EXPECT_EQ(hh.size(), 2u);
+}
+
+}  // namespace
+}  // namespace freq

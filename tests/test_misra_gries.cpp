@@ -1,0 +1,125 @@
+#include "baselines/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+TEST(MisraGries, RejectsBadCapacity) {
+    EXPECT_THROW(misra_gries<std::uint64_t>(0), std::invalid_argument);
+}
+
+TEST(MisraGries, ExactUnderCapacity) {
+    misra_gries<std::uint64_t> mg(10);
+    for (int rep = 0; rep < 5; ++rep) {
+        for (std::uint64_t i = 0; i < 10; ++i) {
+            mg.update(i);
+        }
+    }
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(mg.estimate(i), 5u);
+    }
+    EXPECT_EQ(mg.num_decrements(), 0u);
+}
+
+TEST(MisraGries, TextbookDecrement) {
+    // k = 2 counters, stream: a a b c. The c update decrements a and b.
+    misra_gries<std::uint64_t> mg(2);
+    mg.update(1);
+    mg.update(1);
+    mg.update(2);
+    mg.update(3);
+    EXPECT_EQ(mg.estimate(1), 1u);  // 2 - 1
+    EXPECT_EQ(mg.estimate(2), 0u);  // evicted
+    EXPECT_EQ(mg.estimate(3), 0u);  // never admitted
+    EXPECT_EQ(mg.num_decrements(), 1u);
+}
+
+TEST(MisraGries, MajorityElementAlwaysSurvives) {
+    // The classic k=1 case (Boyer-Moore majority): an absolute majority
+    // item always retains a positive counter.
+    misra_gries<std::uint64_t> mg(1);
+    xoshiro256ss rng(3);
+    int majority = 0;
+    for (int i = 0; i < 10'001; ++i) {
+        if (rng.below(100) < 55) {
+            mg.update(7777);
+            ++majority;
+        } else {
+            mg.update(rng.below(1000));
+        }
+    }
+    if (majority > 10'001 / 2) {
+        EXPECT_GT(mg.estimate(7777), 0u);
+    }
+}
+
+// Lemma 1: 0 <= f_i - estimate <= N/(k+1), for every item and several k.
+class MgLemma1 : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MgLemma1, ErrorBoundHolds) {
+    const std::uint32_t k = GetParam();
+    misra_gries<std::uint64_t> mg(k);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(k);
+    zipf_distribution zipf(2'000, 1.1);
+    constexpr std::uint64_t n = 50'000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto id = zipf(rng);
+        mg.update(id);
+        exact.update(id, 1);
+    }
+    const double bound = static_cast<double>(n) / (k + 1);
+    for (const auto& [id, f] : exact.counts()) {
+        const auto est = mg.estimate(id);
+        ASSERT_LE(est, f) << id;
+        ASSERT_LE(static_cast<double>(f - est), bound) << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MgLemma1, ::testing::Values(1, 2, 8, 64, 512));
+
+// Lemma 2 (Berinde et al. tail bound): f_i - est <= N^res(j)/(k + 1 - j).
+TEST(MisraGries, Lemma2TailBoundHolds) {
+    constexpr std::uint32_t k = 128;
+    misra_gries<std::uint64_t> mg(k);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(9);
+    zipf_distribution zipf(10'000, 1.5);  // highly skewed: tail bound is sharp
+    for (int i = 0; i < 100'000; ++i) {
+        const auto id = zipf(rng);
+        mg.update(id);
+        exact.update(id, 1);
+    }
+    for (const std::uint32_t j : {0u, 8u, 32u, 100u}) {
+        const double bound = static_cast<double>(exact.residual_weight(j)) /
+                             static_cast<double>(k + 1 - j);
+        for (const auto& [id, f] : exact.counts()) {
+            ASSERT_LE(static_cast<double>(f - mg.estimate(id)), bound) << "j=" << j;
+        }
+    }
+}
+
+TEST(MisraGries, CounterSumNeverExceedsStreamLength) {
+    misra_gries<std::uint64_t> mg(16);
+    xoshiro256ss rng(5);
+    std::uint64_t n = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        mg.update(rng.below(100));
+        ++n;
+        std::uint64_t sum = 0;
+        mg.for_each([&](std::uint64_t, std::uint64_t c) { sum += c; });
+        ASSERT_LE(sum, n);
+        ASSERT_LE(mg.num_counters(), 16u);
+    }
+}
+
+}  // namespace
+}  // namespace freq

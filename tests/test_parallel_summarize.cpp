@@ -1,0 +1,86 @@
+#include "core/parallel_summarize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+TEST(ParallelSummarize, RejectsZeroWorkers) {
+    update_stream<std::uint64_t, std::uint64_t> stream;
+    EXPECT_THROW(parallel_summarize(stream, sketch_config{.max_counters = 8}, 0),
+                 std::invalid_argument);
+}
+
+TEST(ParallelSummarize, EmptyStream) {
+    update_stream<std::uint64_t, std::uint64_t> stream;
+    const auto s = parallel_summarize(stream, sketch_config{.max_counters = 8}, 4);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.total_weight(), 0u);
+}
+
+class ParallelWorkers : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelWorkers, MatchesExactTotalsAndBounds) {
+    const unsigned workers = GetParam();
+    zipf_stream_generator gen({.num_updates = 120'000,
+                               .num_distinct = 8'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = workers});
+    const auto stream = gen.generate();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+
+    const auto s =
+        parallel_summarize(stream, sketch_config{.max_counters = 256, .seed = 7}, workers);
+    EXPECT_EQ(s.total_weight(), exact.total_weight());
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_LE(s.lower_bound(id), f) << id;
+        ASSERT_GE(s.upper_bound(id), f) << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelWorkers, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(ParallelSummarize, HeavyHittersSurviveParallelism) {
+    // The dominant item must be found regardless of how the stream is
+    // chunked across workers.
+    update_stream<std::uint64_t, std::uint64_t> stream;
+    xoshiro256ss rng(5);
+    for (int i = 0; i < 100'000; ++i) {
+        if (i % 4 == 0) {
+            stream.push_back({42, 100});
+        } else {
+            stream.push_back({rng() | (1ULL << 50), 30});
+        }
+    }
+    const auto s = parallel_summarize(stream, sketch_config{.max_counters = 64}, 8);
+    const auto rows = s.frequent_items(error_type::no_false_negatives,
+                                       s.total_weight() / 10);
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows[0].id, 42u);
+}
+
+TEST(ParallelSummarize, SingleWorkerEqualsSequentialSketch) {
+    zipf_stream_generator gen({.num_updates = 30'000, .num_distinct = 2'000, .seed = 9});
+    const auto stream = gen.generate();
+    const sketch_config cfg{.max_counters = 128, .seed = 3};
+    const auto parallel = parallel_summarize(stream, cfg, 1);
+    frequent_items_sketch<std::uint64_t, std::uint64_t> sequential(cfg);
+    sequential.consume(stream);
+    EXPECT_EQ(parallel.total_weight(), sequential.total_weight());
+    EXPECT_EQ(parallel.maximum_error(), sequential.maximum_error());
+    EXPECT_EQ(parallel.num_counters(), sequential.num_counters());
+    sequential.for_each([&](std::uint64_t id, std::uint64_t c) {
+        EXPECT_EQ(parallel.lower_bound(id), c);
+    });
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,131 @@
+#include "select/quickselect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "random/xoshiro.h"
+
+namespace freq {
+namespace {
+
+TEST(Quickselect, RejectsBadArguments) {
+    std::vector<int> v{1, 2, 3};
+    std::vector<int> empty;
+    EXPECT_THROW(quickselect_smallest(std::span<int>(empty), 0), std::invalid_argument);
+    EXPECT_THROW(quickselect_smallest(std::span<int>(v), 3), std::invalid_argument);
+    EXPECT_THROW(quickselect_quantile(std::span<int>(v), -0.1), std::invalid_argument);
+    EXPECT_THROW(quickselect_quantile(std::span<int>(v), 1.1), std::invalid_argument);
+}
+
+TEST(Quickselect, SingleElement) {
+    std::vector<int> v{42};
+    EXPECT_EQ(quickselect_smallest(std::span<int>(v), 0), 42);
+    EXPECT_EQ(quickselect_largest(std::span<int>(v), 0), 42);
+}
+
+TEST(Quickselect, SmallKnownInput) {
+    std::vector<int> v{5, 1, 4, 2, 3};
+    EXPECT_EQ(quickselect_smallest(std::span<int>(v), 0), 1);
+    v = {5, 1, 4, 2, 3};
+    EXPECT_EQ(quickselect_smallest(std::span<int>(v), 2), 3);
+    v = {5, 1, 4, 2, 3};
+    EXPECT_EQ(quickselect_largest(std::span<int>(v), 0), 5);
+    v = {5, 1, 4, 2, 3};
+    EXPECT_EQ(quickselect_largest(std::span<int>(v), 1), 4);
+}
+
+TEST(Quickselect, AllEqualElements) {
+    std::vector<std::uint64_t> v(1000, 7);
+    for (const std::size_t r : {0ul, 499ul, 999ul}) {
+        auto copy = v;
+        EXPECT_EQ(quickselect_smallest(std::span<std::uint64_t>(copy), r), 7u);
+    }
+}
+
+TEST(Quickselect, SortedAndReversedInputs) {
+    std::vector<int> asc(2000);
+    std::iota(asc.begin(), asc.end(), 0);
+    auto desc = asc;
+    std::reverse(desc.begin(), desc.end());
+    for (const std::size_t r : {0ul, 1ul, 999ul, 1998ul, 1999ul}) {
+        auto a = asc;
+        auto d = desc;
+        EXPECT_EQ(quickselect_smallest(std::span<int>(a), r), static_cast<int>(r));
+        EXPECT_EQ(quickselect_smallest(std::span<int>(d), r), static_cast<int>(r));
+    }
+}
+
+// Property sweep: on random buffers of many sizes, every rank agrees with
+// the sorted order (the reference implementation).
+class QuickselectProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuickselectProperty, AgreesWithSortedOrder) {
+    const std::size_t n = GetParam();
+    xoshiro256ss rng(n * 7919 + 1);
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) {
+        x = rng.below(n / 2 + 2);  // force duplicates
+    }
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t r = 0; r < n; r += std::max<std::size_t>(1, n / 17)) {
+        auto copy = v;
+        EXPECT_EQ(quickselect_smallest(std::span<std::uint64_t>(copy), r), sorted[r])
+            << "n=" << n << " r=" << r;
+    }
+    // Largest is the mirror view.
+    auto copy = v;
+    EXPECT_EQ(quickselect_largest(std::span<std::uint64_t>(copy), 0), sorted.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuickselectProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64, 257, 1024, 4096));
+
+TEST(Quickselect, PartitionLeavesSelectedAtRank) {
+    xoshiro256ss rng(5);
+    std::vector<std::uint64_t> v(500);
+    for (auto& x : v) {
+        x = rng.below(1000);
+    }
+    const std::size_t r = 123;
+    const auto val = quickselect_smallest(std::span<std::uint64_t>(v), r);
+    EXPECT_EQ(v[r], val);
+    for (std::size_t i = 0; i < r; ++i) {
+        EXPECT_LE(v[i], val);
+    }
+    for (std::size_t i = r; i < v.size(); ++i) {
+        EXPECT_GE(v[i], val);
+    }
+}
+
+TEST(QuickselectQuantile, EndpointsAndMedian) {
+    std::vector<int> v{9, 3, 7, 1, 5};
+    auto c = v;
+    EXPECT_EQ(quickselect_quantile(std::span<int>(c), 0.0), 1);  // minimum = SMIN
+    c = v;
+    EXPECT_EQ(quickselect_quantile(std::span<int>(c), 0.5), 5);  // median = SMED
+    c = v;
+    EXPECT_EQ(quickselect_quantile(std::span<int>(c), 0.999), 9);
+}
+
+TEST(QuickselectQuantile, MonotoneInQ) {
+    xoshiro256ss rng(8);
+    std::vector<std::uint64_t> v(1024);
+    for (auto& x : v) {
+        x = rng.below(1 << 20);
+    }
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.1) {
+        auto copy = v;
+        const auto val = quickselect_quantile(std::span<std::uint64_t>(copy), q);
+        EXPECT_GE(val, prev) << "q=" << q;
+        prev = val;
+    }
+}
+
+}  // namespace
+}  // namespace freq

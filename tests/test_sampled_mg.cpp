@@ -1,0 +1,88 @@
+#include "baselines/sampled_mg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+TEST(SampledMg, ForStreamValidatesParameters) {
+    EXPECT_THROW(sampled_mg<>::for_stream(0.0, 0.01, 1e6), std::invalid_argument);
+    EXPECT_THROW(sampled_mg<>::for_stream(0.1, 1.5, 1e6), std::invalid_argument);
+    EXPECT_THROW(sampled_mg<>::for_stream(0.1, 0.01, 0.0), std::invalid_argument);
+}
+
+TEST(SampledMg, ForStreamSizesSensibly) {
+    const auto cfg = sampled_mg<>::for_stream(0.01, 0.01, 1e9);
+    EXPECT_LE(cfg.sampling_probability, 1.0);
+    EXPECT_GT(cfg.sampling_probability, 0.0);
+    EXPECT_EQ(cfg.max_counters, 400u);  // ceil(4 / 0.01)
+    // Tiny stream: sampling rate saturates at 1.
+    const auto dense = sampled_mg<>::for_stream(0.5, 0.5, 10.0);
+    EXPECT_DOUBLE_EQ(dense.sampling_probability, 1.0);
+}
+
+TEST(SampledMg, ProbabilityOnePassesEverythingThrough) {
+    sampled_mg<> s({.sampling_probability = 1.0, .max_counters = 64, .seed = 1});
+    s.update(7, 100);
+    s.update(7, 23);
+    EXPECT_DOUBLE_EQ(s.estimate(7), 123.0);
+    EXPECT_EQ(s.sampled_weight(), 123u);
+}
+
+TEST(SampledMg, SampledMassIsNearPTimesN) {
+    sampled_mg<> s({.sampling_probability = 0.02, .max_counters = 1024, .seed = 2});
+    zipf_stream_generator gen({.num_updates = 50'000,
+                               .num_distinct = 2'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = 3});
+    std::uint64_t n_weight = 0;
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        n_weight += u.weight;
+    }
+    const double expected = 0.02 * static_cast<double>(n_weight);
+    EXPECT_NEAR(static_cast<double>(s.sampled_weight()), expected, expected * 0.10);
+}
+
+TEST(SampledMg, HeavyItemEstimatesAreNearTruth) {
+    sampled_mg<> s({.sampling_probability = 0.05, .max_counters = 512, .seed = 4});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator gen({.num_updates = 200'000,
+                               .num_distinct = 5'000,
+                               .alpha = 1.3,
+                               .min_weight = 1,
+                               .max_weight = 10,
+                               .seed = 5});
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    // For the top items, relative error should be small: sampling noise is
+    // O(sqrt(f/p)) and the inner sketch is generously sized.
+    std::uint64_t checked = 0;
+    for (const auto& [id, f] : exact.counts()) {
+        if (f >= exact.total_weight() / 100) {
+            EXPECT_NEAR(s.estimate(id), static_cast<double>(f),
+                        0.25 * static_cast<double>(f))
+                << "id " << id;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(SampledMg, MemoryIsInnerSketchOnly) {
+    sampled_mg<> s({.sampling_probability = 0.01, .max_counters = 128, .seed = 6});
+    EXPECT_EQ(s.memory_bytes(),
+              (frequent_items_sketch<std::uint64_t, std::uint64_t>::bytes_for(128)));
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,107 @@
+/// Robustness of deserialization against corrupt and adversarial input:
+/// random bytes, random mutations of valid images, and truncations must all
+/// throw cleanly (std::invalid_argument / std::out_of_range / logic_error),
+/// never crash or hang — a sketch arriving over the network is untrusted
+/// input in the §3 merging architecture.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequent_items_sketch.h"
+#include "random/xoshiro.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+std::vector<std::uint8_t> valid_image() {
+    sketch_u64 s(sketch_config{.max_counters = 64, .seed = 1});
+    zipf_stream_generator gen({.num_updates = 20'000, .num_distinct = 2'000, .seed = 2});
+    s.consume(gen.generate());
+    return s.serialize();
+}
+
+bool try_deserialize(const std::vector<std::uint8_t>& bytes) {
+    try {
+        // The acceptance bound is the untrusted-input API: a mutated
+        // capacity field must be rejected before any allocation.
+        const auto s = sketch_u64::deserialize(bytes.data(), bytes.size(), 1u << 16);
+        // If it parsed, basic invariants must hold.
+        EXPECT_LE(s.num_counters(), s.capacity());
+        return true;
+    } catch (const std::invalid_argument&) {
+        return false;
+    } catch (const std::out_of_range&) {
+        return false;
+    } catch (const std::logic_error&) {
+        return false;
+    } catch (const std::bad_alloc&) {
+        ADD_FAILURE() << "deserialize allocated past the acceptance bound";
+        return false;
+    }
+}
+
+TEST(SerdeFuzz, RandomBytesNeverCrash) {
+    xoshiro256ss rng(1);
+    for (int trial = 0; trial < 2'000; ++trial) {
+        std::vector<std::uint8_t> junk(rng.below(200));
+        for (auto& b : junk) {
+            b = static_cast<std::uint8_t>(rng());
+        }
+        try_deserialize(junk);  // must not crash; outcome irrelevant
+    }
+}
+
+TEST(SerdeFuzz, EveryTruncationOfValidImageThrows) {
+    const auto image = valid_image();
+    for (std::size_t len = 0; len < image.size(); ++len) {
+        std::vector<std::uint8_t> cut(image.begin(), image.begin() + len);
+        EXPECT_FALSE(try_deserialize(cut)) << "truncation at " << len << " parsed";
+    }
+}
+
+TEST(SerdeFuzz, SingleByteMutationsNeverCrash) {
+    const auto image = valid_image();
+    xoshiro256ss rng(3);
+    for (int trial = 0; trial < 3'000; ++trial) {
+        auto mutated = image;
+        const auto pos = static_cast<std::size_t>(rng.below(mutated.size()));
+        mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        try_deserialize(mutated);  // parsed-or-thrown both fine; no crash
+    }
+}
+
+TEST(SerdeFuzz, MultiByteMutationsNeverCrash) {
+    const auto image = valid_image();
+    xoshiro256ss rng(4);
+    for (int trial = 0; trial < 1'000; ++trial) {
+        auto mutated = image;
+        const auto flips = 1 + rng.below(16);
+        for (std::uint64_t f = 0; f < flips; ++f) {
+            mutated[rng.below(mutated.size())] = static_cast<std::uint8_t>(rng());
+        }
+        try_deserialize(mutated);
+    }
+}
+
+TEST(SerdeFuzz, ValidImageStillParsesAfterFuzzRuns) {
+    // Sanity: the fuzz helpers themselves must accept the genuine image.
+    EXPECT_TRUE(try_deserialize(valid_image()));
+}
+
+TEST(SerdeFuzz, AcceptanceBoundRejectsOversizedCapacity) {
+    sketch_u64 big(sketch_config{.max_counters = 1u << 12, .seed = 1});
+    big.update(1, 5);
+    const auto image = big.serialize();
+    // Default bound accepts it; a tight caller bound rejects it cleanly.
+    EXPECT_NO_THROW(sketch_u64::deserialize(image.data(), image.size()));
+    EXPECT_THROW(sketch_u64::deserialize(image.data(), image.size(), /*max=*/1u << 10),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,92 @@
+#include "core/signed_frequent_items.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+namespace freq {
+namespace {
+
+using signed_u64 = signed_frequent_items<std::uint64_t, std::int64_t>;
+
+TEST(SignedSketch, ExactWithoutOverflow) {
+    signed_u64 s(64);
+    s.update(1, 100);
+    s.update(1, -30);
+    s.update(2, 50);
+    s.update(3, -5);  // net negative: allowed in the turnstile model
+    EXPECT_EQ(s.estimate(1), 70);
+    EXPECT_EQ(s.estimate(2), 50);
+    EXPECT_EQ(s.estimate(3), -5);
+    EXPECT_EQ(s.net_weight(), 115);
+    EXPECT_EQ(s.gross_weight(), 185u);
+    EXPECT_EQ(s.maximum_error(), 0);
+}
+
+TEST(SignedSketch, BoundsBracketTruthUnderEviction) {
+    signed_u64 s(128, /*seed=*/3);
+    std::unordered_map<std::uint64_t, std::int64_t> truth;
+    xoshiro256ss rng(5);
+    zipf_distribution zipf(5'000, 1.1);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto id = zipf(rng);
+        // Strict turnstile: delete only what was inserted (25% deletions).
+        std::int64_t w;
+        if (rng.below(4) == 0 && truth[id] > 0) {
+            w = -static_cast<std::int64_t>(rng.between(1, truth[id] > 20 ? 20 : truth[id]));
+        } else {
+            w = static_cast<std::int64_t>(rng.between(1, 50));
+        }
+        s.update(id, w);
+        truth[id] += w;
+    }
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(s.lower_bound(id), f) << id;
+        ASSERT_GE(s.upper_bound(id), f) << id;
+        // Triangle inequality: |estimate - truth| <= combined max error.
+        ASSERT_LE(std::abs(s.estimate(id) - f), s.maximum_error()) << id;
+    }
+}
+
+TEST(SignedSketch, MergeCombinesBothDirections) {
+    signed_u64 a(64);
+    signed_u64 b(64);
+    a.update(1, 100);
+    a.update(2, -40);
+    b.update(1, -60);
+    b.update(3, 25);
+    a.merge(b);
+    EXPECT_EQ(a.estimate(1), 40);
+    EXPECT_EQ(a.estimate(2), -40);
+    EXPECT_EQ(a.estimate(3), 25);
+    EXPECT_EQ(a.net_weight(), 25);
+    EXPECT_THROW(a.merge(a), std::invalid_argument);
+}
+
+TEST(SignedSketch, MemoryIsTwoSketches) {
+    signed_u64 s(256);
+    EXPECT_EQ(s.memory_bytes(),
+              s.insert_sketch().memory_bytes() + s.delete_sketch().memory_bytes());
+}
+
+TEST(SignedSketch, HeavySurvivorAfterMassDeletions) {
+    // Insert two heavy items, delete one almost entirely: the survivor must
+    // dominate the estimates.
+    signed_u64 s(32);
+    for (int i = 0; i < 1000; ++i) {
+        s.update(111, 10);
+        s.update(222, 10);
+    }
+    for (int i = 0; i < 999; ++i) {
+        s.update(222, -10);
+    }
+    EXPECT_EQ(s.estimate(111), 10'000);
+    EXPECT_EQ(s.estimate(222), 10);
+}
+
+}  // namespace
+}  // namespace freq

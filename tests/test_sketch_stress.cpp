@@ -1,0 +1,159 @@
+/// Stress and edge-case suite for the core sketch: randomized operation
+/// mixes (update / merge / serialize+restore) checked against an exact
+/// oracle, extreme identifiers and weights, and tiny-capacity corners.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "core/frequent_items_sketch.h"
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+namespace freq {
+namespace {
+
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+void assert_bounds_hold(const sketch_u64& s,
+                        const std::unordered_map<std::uint64_t, std::uint64_t>& truth) {
+    for (const auto& [id, f] : truth) {
+        ASSERT_LE(s.lower_bound(id), f) << id;
+        ASSERT_GE(s.upper_bound(id), f) << id;
+    }
+}
+
+TEST(SketchStress, CapacityOneSketch) {
+    // k = 1 is the degenerate Boyer-Moore-like corner: one counter, every
+    // collision decrements. All invariants must still hold.
+    sketch_u64 s(sketch_config{.max_counters = 1, .sample_size = 4, .seed = 1});
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    xoshiro256ss rng(2);
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t id = rng.below(5);
+        const std::uint64_t w = rng.between(1, 10);
+        s.update(id, w);
+        truth[id] += w;
+    }
+    EXPECT_LE(s.num_counters(), 1u);
+    assert_bounds_hold(s, truth);
+}
+
+TEST(SketchStress, ExtremeIdentifiers) {
+    sketch_u64 s(16);
+    const std::uint64_t ids[] = {0, 1, std::numeric_limits<std::uint64_t>::max(),
+                                 std::numeric_limits<std::uint64_t>::max() - 1, 0x8000000000000000ULL};
+    for (const auto id : ids) {
+        s.update(id, id % 97 + 1);
+    }
+    for (const auto id : ids) {
+        EXPECT_EQ(s.estimate(id), id % 97 + 1) << id;
+    }
+}
+
+TEST(SketchStress, LargeWeightsNoOverflow) {
+    // Weights near 2^40: sums stay far below 2^64 but exercise wide counters.
+    sketch_u64 s(8);
+    const std::uint64_t big = 1ULL << 40;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        s.update(i % 12, big);
+    }
+    EXPECT_EQ(s.total_weight(), 100 * big);
+    std::uint64_t covered = 0;
+    s.for_each([&](std::uint64_t, std::uint64_t c) { covered += c; });
+    EXPECT_LE(covered, s.total_weight());
+    EXPECT_GT(covered, 0u);
+}
+
+TEST(SketchStress, SingleHeavyItemAmongNoise) {
+    // A 20% heavy item must never be evicted regardless of noise volume.
+    sketch_u64 s(sketch_config{.max_counters = 64, .seed = 5});
+    xoshiro256ss rng(6);
+    std::uint64_t heavy_total = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        if (rng.below(5) == 0) {
+            s.update(7777, 100);
+            heavy_total += 100;
+        } else {
+            s.update(rng() | (1ULL << 40), rng.between(1, 150));
+        }
+    }
+    EXPECT_GT(s.lower_bound(7777), 0u) << "heavy item evicted";
+    EXPECT_LE(s.lower_bound(7777), heavy_total);
+    EXPECT_GE(s.upper_bound(7777), heavy_total);
+}
+
+// Randomized lifecycle: interleave updates, serde round-trips, and merges of
+// side-sketches, always against the oracle.
+class SketchLifecycle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SketchLifecycle, OperationsPreserveBounds) {
+    const std::uint64_t seed = GetParam();
+    sketch_u64 main_sketch(sketch_config{.max_counters = 96, .seed = seed});
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    xoshiro256ss rng(seed * 31 + 7);
+    zipf_distribution zipf(2'000, 1.1);
+
+    for (int phase = 0; phase < 6; ++phase) {
+        // Direct updates.
+        for (int i = 0; i < 5'000; ++i) {
+            const auto id = zipf(rng);
+            const std::uint64_t w = rng.between(1, 60);
+            main_sketch.update(id, w);
+            truth[id] += w;
+        }
+        // Serde round trip mid-stream: state must be preserved exactly.
+        const auto image = main_sketch.serialize();
+        main_sketch = sketch_u64::deserialize(image);
+        // Merge in a side batch.
+        sketch_u64 side(sketch_config{.max_counters = 48, .seed = seed + phase + 1});
+        for (int i = 0; i < 3'000; ++i) {
+            const auto id = zipf(rng) + 10'000;  // partially disjoint id space
+            const std::uint64_t w = rng.between(1, 40);
+            side.update(id, w);
+            truth[id] += w;
+        }
+        main_sketch.merge(side);
+        assert_bounds_hold(main_sketch, truth);
+    }
+    // Total weight is conserved exactly through every operation.
+    std::uint64_t n = 0;
+    for (const auto& [id, f] : truth) {
+        n += f;
+    }
+    EXPECT_EQ(main_sketch.total_weight(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SketchLifecycle, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SketchStress, ManyConsecutiveDecrements) {
+    // Every update is a miss with a full table: the decrement machinery runs
+    // thousands of times; counters must stay consistent and positive.
+    sketch_u64 s(sketch_config{.max_counters = 32, .sample_size = 16, .seed = 9});
+    for (std::uint64_t i = 0; i < 50'000; ++i) {
+        s.update(i, 1 + (i % 3));  // all-distinct ids
+    }
+    EXPECT_GT(s.num_decrements(), 100u);
+    s.for_each([&](std::uint64_t, std::uint64_t c) { EXPECT_GT(c, 0u); });
+    EXPECT_LE(s.num_counters(), 32u);
+}
+
+TEST(SketchStress, EstimateConsistencyAfterHeavyChurn) {
+    // upper - lower == offset for tracked items; estimates equal upper.
+    sketch_u64 s(sketch_config{.max_counters = 64, .seed = 11});
+    xoshiro256ss rng(12);
+    for (int i = 0; i < 100'000; ++i) {
+        s.update(rng.below(10'000), rng.between(1, 20));
+    }
+    ASSERT_GT(s.maximum_error(), 0u);
+    s.for_each([&](std::uint64_t id, std::uint64_t c) {
+        EXPECT_EQ(s.lower_bound(id), c);
+        EXPECT_EQ(s.upper_bound(id) - s.lower_bound(id), s.maximum_error());
+        EXPECT_EQ(s.estimate(id), s.upper_bound(id));
+    });
+}
+
+}  // namespace
+}  // namespace freq

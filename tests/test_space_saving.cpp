@@ -1,0 +1,145 @@
+#include "baselines/space_saving_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+#include "stream/exact_counter.h"
+
+namespace freq {
+namespace {
+
+using ss_u64 = space_saving_heap<std::uint64_t, std::uint64_t>;
+
+TEST(SpaceSaving, RejectsBadCapacity) {
+    EXPECT_THROW(ss_u64(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactUnderCapacity) {
+    ss_u64 ss(9);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        ss.update(i, i + 1);
+    }
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(ss.estimate(i), i + 1);
+        EXPECT_EQ(ss.lower_bound(i), i + 1);
+    }
+    // A counter remains unassigned -> untracked items estimate 0.
+    EXPECT_EQ(ss.estimate(999), 0u);
+    // Once all counters are taken, untracked items estimate the minimum
+    // counter (Algorithm 2's Estimate()).
+    ss.update(8, 100);
+    EXPECT_EQ(ss.estimate(999), ss.min_counter());
+    EXPECT_EQ(ss.min_counter(), 1u);
+}
+
+TEST(SpaceSaving, EvictionTakesOverMinCounter) {
+    // Algorithm 2, lines 10-12: the newcomer inherits min + weight.
+    ss_u64 ss(2);
+    ss.update(1, 10);
+    ss.update(2, 5);
+    ss.update(3, 2);  // evicts item 2 (count 5): count becomes 7, error 5
+    EXPECT_EQ(ss.estimate(3), 7u);
+    EXPECT_EQ(ss.lower_bound(3), 2u);
+    EXPECT_EQ(ss.estimate(1), 10u);
+    // Untracked item estimates the min counter.
+    EXPECT_EQ(ss.estimate(2), ss.min_counter());
+}
+
+TEST(SpaceSaving, CounterSumEqualsStreamWeight) {
+    // SS never loses mass: the counters always sum to exactly N.
+    ss_u64 ss(16);
+    xoshiro256ss rng(7);
+    std::uint64_t n_weight = 0;
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t w = rng.between(1, 50);
+        ss.update(rng.below(500), w);
+        n_weight += w;
+        if (i % 1000 == 999) {
+            std::uint64_t sum = 0;
+            ss.for_each([&](std::uint64_t, std::uint64_t c) { sum += c; });
+            ASSERT_EQ(sum, n_weight);
+        }
+    }
+}
+
+TEST(SpaceSaving, EstimateIsAlwaysUpperBound) {
+    ss_u64 ss(64);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(11);
+    zipf_distribution zipf(5'000, 1.1);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto id = zipf(rng);
+        const std::uint64_t w = rng.between(1, 20);
+        ss.update(id, w);
+        exact.update(id, w);
+    }
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_GE(ss.estimate(id), f) << id;          // overestimate property
+        ASSERT_LE(ss.lower_bound(id), f) << id;       // error-adjusted lower bound
+    }
+}
+
+// The SS error bound: f_i <= c(i) <= f_i + N/k for tracked items.
+class SsErrorBound : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SsErrorBound, OverestimateWithinNOverK) {
+    const std::uint32_t k = GetParam();
+    ss_u64 ss(k);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    xoshiro256ss rng(k * 3 + 1);
+    zipf_distribution zipf(3'000, 1.0);
+    std::uint64_t n_weight = 0;
+    for (int i = 0; i < 60'000; ++i) {
+        const auto id = zipf(rng);
+        ss.update(id, 1);
+        exact.update(id, 1);
+        ++n_weight;
+    }
+    const double bound = static_cast<double>(n_weight) / k;
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_LE(static_cast<double>(ss.estimate(id)) - static_cast<double>(f), bound);
+    }
+    // The min counter itself is bounded by N/k.
+    EXPECT_LE(static_cast<double>(ss.min_counter()), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SsErrorBound, ::testing::Values(8, 64, 256, 1024));
+
+TEST(SpaceSaving, HeapIndexStaysConsistent) {
+    // After heavy churn, every heap entry must be findable through the index
+    // with the right position — exercised indirectly by estimate lookups.
+    ss_u64 ss(32);
+    xoshiro256ss rng(13);
+    for (int i = 0; i < 50'000; ++i) {
+        ss.update(rng.below(200), rng.between(1, 10));
+    }
+    std::uint64_t min_seen = std::numeric_limits<std::uint64_t>::max();
+    ss.for_each([&](std::uint64_t id, std::uint64_t c) {
+        EXPECT_EQ(ss.estimate(id), c);
+        min_seen = std::min(min_seen, c);
+    });
+    EXPECT_EQ(ss.min_counter(), min_seen);  // root really is the minimum
+}
+
+TEST(SpaceSaving, MemoryModelCountsHeapAndIndex) {
+    EXPECT_GT(ss_u64::bytes_for(1024), 1024u * 24u);  // strictly more than entries alone
+    ss_u64 ss(1024);
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        ss.update(i, 1);
+    }
+    EXPECT_EQ(ss.memory_bytes(), ss_u64::bytes_for(1024));
+}
+
+TEST(SpaceSaving, ZeroWeightIsNoOp) {
+    ss_u64 ss(4);
+    ss.update(1, 0);
+    EXPECT_EQ(ss.num_counters(), 0u);
+    EXPECT_EQ(ss.total_weight(), 0u);
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,94 @@
+#include "core/string_frequent_items.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+namespace freq {
+namespace {
+
+TEST(StringSketch, BasicUpdateAndEstimate) {
+    string_frequent_items<double> s(64);
+    s.update("network", 2.5);
+    s.update("stream", 1.0);
+    s.update("network", 0.5);
+    EXPECT_DOUBLE_EQ(s.estimate("network"), 3.0);
+    EXPECT_DOUBLE_EQ(s.estimate("stream"), 1.0);
+    EXPECT_DOUBLE_EQ(s.estimate("absent"), 0.0);
+    EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+}
+
+TEST(StringSketch, FrequentItemsCarrySpellings) {
+    string_frequent_items<double> s(16);
+    for (int i = 0; i < 100; ++i) {
+        s.update("alpha", 10.0);
+        s.update("beta", 5.0);
+        s.update("gamma", 1.0);
+    }
+    const auto rows = s.frequent_items(error_type::no_false_negatives, 100.0);
+    ASSERT_GE(rows.size(), 2u);
+    EXPECT_EQ(rows[0].item, "alpha");
+    EXPECT_EQ(rows[1].item, "beta");
+    EXPECT_DOUBLE_EQ(rows[0].estimate, 1000.0);
+}
+
+TEST(StringSketch, TfIdfStyleRealWeights) {
+    // The §1.2 motivation: words weighted by tf-idf scores (real values).
+    string_frequent_items<double> s(32);
+    const std::pair<const char*, double> doc[] = {
+        {"the", 0.01}, {"sketch", 4.2}, {"the", 0.01}, {"frequent", 3.7},
+        {"items", 3.1}, {"the", 0.01},  {"sketch", 4.2}};
+    for (const auto& [word, w] : doc) {
+        s.update(word, w);
+    }
+    EXPECT_GT(s.estimate("sketch"), s.estimate("the"));
+    EXPECT_NEAR(s.estimate("sketch"), 8.4, 1e-9);
+}
+
+TEST(StringSketch, BoundsBracketTruthUnderEviction) {
+    string_frequent_items<std::uint64_t> s(32, /*seed=*/5);
+    std::unordered_map<std::string, std::uint64_t> truth;
+    xoshiro256ss rng(7);
+    zipf_distribution zipf(2'000, 1.2);
+    for (int i = 0; i < 60'000; ++i) {
+        const std::string word = "w" + std::to_string(zipf(rng));
+        s.update(word, 1);
+        truth[word] += 1;
+    }
+    for (const auto& [word, f] : truth) {
+        ASSERT_LE(s.lower_bound(word), f) << word;
+        ASSERT_GE(s.upper_bound(word), f) << word;
+    }
+}
+
+TEST(StringSketch, DictionaryIsPrunedUnderChurn) {
+    // Stream many distinct strings through a tiny sketch: the dictionary
+    // must stay O(k), not O(distinct).
+    string_frequent_items<std::uint64_t> s(16);
+    for (int i = 0; i < 50'000; ++i) {
+        s.update("unique_" + std::to_string(i), 1);
+    }
+    // 16 counters, dictionary pruned at 4x capacity: memory stays small.
+    EXPECT_LT(s.memory_bytes(), 64u * 1024u);
+}
+
+TEST(StringSketch, FrequentItemsSortedByEstimate) {
+    string_frequent_items<std::uint64_t> s(8);
+    s.update("big", 100);
+    s.update("mid", 50);
+    s.update("small", 10);
+    const auto rows = s.frequent_items(error_type::no_false_positives, 5);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].item, "big");
+    EXPECT_EQ(rows[1].item, "mid");
+    EXPECT_EQ(rows[2].item, "small");
+    for (const auto& r : rows) {
+        EXPECT_LE(r.lower_bound, r.upper_bound);
+    }
+}
+
+}  // namespace
+}  // namespace freq

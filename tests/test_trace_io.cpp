@@ -1,0 +1,73 @@
+#include "stream/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+class TraceIo : public ::testing::Test {
+protected:
+    void SetUp() override {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("freq_trace_test_" + std::to_string(::getpid()) + ".fqtr"))
+                    .string();
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(TraceIo, RoundTripEmptyStream) {
+    write_trace(path_, {});
+    EXPECT_TRUE(read_trace(path_).empty());
+}
+
+TEST_F(TraceIo, RoundTripSmallStream) {
+    const update_stream<std::uint64_t, std::uint64_t> stream = {
+        {1, 100}, {0xffffffffffffffffULL, 1}, {42, 0x123456789abcULL}};
+    write_trace(path_, stream);
+    EXPECT_EQ(read_trace(path_), stream);
+}
+
+TEST_F(TraceIo, RoundTripLargeStreamAcrossChunks) {
+    // > 64k records forces multiple write/read chunks.
+    zipf_stream_generator gen({.num_updates = 200'000, .num_distinct = 10'000, .seed = 3});
+    const auto stream = gen.generate();
+    write_trace(path_, stream);
+    EXPECT_EQ(read_trace(path_), stream);
+}
+
+TEST_F(TraceIo, MissingFileThrows) {
+    EXPECT_THROW(read_trace("/nonexistent/dir/trace.fqtr"), std::runtime_error);
+}
+
+TEST_F(TraceIo, BadMagicRejected) {
+    {
+        std::FILE* f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char garbage[32] = "not a trace file at all........";
+        std::fwrite(garbage, 1, sizeof(garbage), f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIo, TruncatedRecordsRejected) {
+    const update_stream<std::uint64_t, std::uint64_t> stream = {{1, 1}, {2, 2}, {3, 3}};
+    write_trace(path_, stream);
+    // Chop the last 8 bytes off.
+    std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 8);
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIo, UnwritablePathThrows) {
+    EXPECT_THROW(write_trace("/nonexistent/dir/trace.fqtr", {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,91 @@
+#include "random/xoshiro.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace freq {
+namespace {
+
+TEST(Xoshiro, DeterministicGivenSeed) {
+    xoshiro256ss a(123);
+    xoshiro256ss b(123);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+    xoshiro256ss a(1);
+    xoshiro256ss b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        equal += a() == b();
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+    xoshiro256ss rng(7);
+    for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(rng.below(bound), bound);
+        }
+    }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+    xoshiro256ss rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.below(1), 0u);
+    }
+}
+
+TEST(Xoshiro, BetweenIsInclusive) {
+    xoshiro256ss rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, UnitRealInHalfOpenInterval) {
+    xoshiro256ss rng(13);
+    double sum = 0;
+    for (int i = 0; i < 100'000; ++i) {
+        const double u = rng.unit_real();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+    xoshiro256ss rng(17);
+    constexpr std::uint64_t buckets = 16;
+    constexpr int n = 160'000;
+    std::vector<int> hist(buckets, 0);
+    for (int i = 0; i < n; ++i) {
+        ++hist[rng.below(buckets)];
+    }
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+        EXPECT_NEAR(hist[b], n / buckets, n / buckets * 0.1) << "bucket " << b;
+    }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<xoshiro256ss>);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace freq

@@ -1,0 +1,99 @@
+#include "random/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace freq {
+namespace {
+
+TEST(Zipf, RejectsBadParameters) {
+    EXPECT_THROW(zipf_distribution(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(zipf_distribution(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, SingleRankAlwaysReturnsOne) {
+    zipf_distribution z(1, 1.5);
+    xoshiro256ss rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(z(rng), 1u);
+    }
+}
+
+TEST(Zipf, SamplesStayInRange) {
+    zipf_distribution z(1000, 1.05);
+    xoshiro256ss rng(2);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto r = z(rng);
+        ASSERT_GE(r, 1u);
+        ASSERT_LE(r, 1000u);
+    }
+}
+
+// Empirical frequency of rank r should track r^(-alpha): check the ratio of
+// rank-1 to rank-2 and rank-1 to rank-4 counts.
+class ZipfShape : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfShape, RankFrequenciesFollowPowerLaw) {
+    const double alpha = GetParam();
+    zipf_distribution z(10'000, alpha);
+    xoshiro256ss rng(42);
+    std::map<std::uint64_t, int> hist;
+    constexpr int n = 400'000;
+    for (int i = 0; i < n; ++i) {
+        ++hist[z(rng)];
+    }
+    const double c1 = hist[1];
+    const double c2 = hist[2];
+    const double c4 = hist[4];
+    ASSERT_GT(c1, 0);
+    ASSERT_GT(c2, 0);
+    ASSERT_GT(c4, 0);
+    EXPECT_NEAR(c1 / c2, std::pow(2.0, alpha), std::pow(2.0, alpha) * 0.15);
+    EXPECT_NEAR(c1 / c4, std::pow(4.0, alpha), std::pow(4.0, alpha) * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfShape, ::testing::Values(0.8, 1.0, 1.05, 1.3, 2.0));
+
+TEST(Zipf, AlphaZeroIsUniform) {
+    zipf_distribution z(100, 0.0);
+    xoshiro256ss rng(3);
+    std::vector<int> hist(101, 0);
+    constexpr int n = 500'000;
+    for (int i = 0; i < n; ++i) {
+        ++hist[z(rng)];
+    }
+    for (int r = 1; r <= 100; ++r) {
+        EXPECT_NEAR(hist[r], n / 100, n / 100 * 0.15) << "rank " << r;
+    }
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+    xoshiro256ss rng(4);
+    auto top10_share = [&rng](double alpha) {
+        zipf_distribution z(100'000, alpha);
+        int top = 0;
+        constexpr int n = 200'000;
+        for (int i = 0; i < n; ++i) {
+            top += z(rng) <= 10;
+        }
+        return static_cast<double>(top) / n;
+    };
+    const double low = top10_share(0.8);
+    const double high = top10_share(1.5);
+    EXPECT_LT(low, high);
+}
+
+TEST(Zipf, DeterministicGivenSeed) {
+    zipf_distribution z(5000, 1.1);
+    xoshiro256ss a(99);
+    xoshiro256ss b(99);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(z(a), z(b));
+    }
+}
+
+}  // namespace
+}  // namespace freq
