@@ -1,0 +1,149 @@
+/// Sharded-engine ingest throughput: one producer thread pushes a Zipf(1.1)
+/// stream through stream_engine at 1/2/4/8 shards, against two
+/// single-threaded baselines — element-wise frequent_items_sketch::update
+/// (the pre-engine ingestion path) and the batched update(span) fast path.
+///
+/// Emits a table on stdout and machine-readable BENCH_engine.json in the
+/// working directory (wired into CI). Acceptance target: 4 shards >= 2x the
+/// element-wise single-thread baseline on a machine with >= 4 cores; on
+/// smaller machines the JSON records hardware_threads so the consumer can
+/// gate on it.
+///
+///   build/bench_engine              # FREQ_BENCH_SCALE scales the stream
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/frequent_items_sketch.h"
+#include "engine/stream_engine.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace freq;
+using stream_t = update_stream<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint32_t k = 4096;
+
+double time_elementwise(const stream_t& stream) {
+    frequent_items_sketch<std::uint64_t, std::uint64_t> sketch(
+        sketch_config{.max_counters = k, .seed = 1});
+    bench::stopwatch sw;
+    for (const auto& u : stream) {
+        sketch.update(u.id, u.weight);
+    }
+    const double s = sw.seconds();
+    std::printf("  (elementwise sketch: %s)\n", sketch.to_string().c_str());
+    return s;
+}
+
+double time_batched(const stream_t& stream) {
+    frequent_items_sketch<std::uint64_t, std::uint64_t> sketch(
+        sketch_config{.max_counters = k, .seed = 1});
+    constexpr std::size_t batch = 512;
+    bench::stopwatch sw;
+    for (std::size_t i = 0; i < stream.size(); i += batch) {
+        const std::size_t take = std::min(batch, stream.size() - i);
+        sketch.update(std::span<const update64>(stream.data() + i, take));
+    }
+    return sw.seconds();
+}
+
+struct engine_run {
+    std::uint32_t shards;
+    double seconds;
+    std::uint64_t ring_full_stalls;
+};
+
+engine_run time_engine(const stream_t& stream, std::uint32_t shards) {
+    engine_config cfg;
+    cfg.num_shards = shards;
+    cfg.num_producers = 1;
+    cfg.sketch = sketch_config{.max_counters = k, .seed = 1};
+    stream_engine<> engine(cfg);
+    bench::stopwatch sw;
+    {
+        auto producer = engine.make_producer();
+        producer.push(std::span<const update64>(stream.data(), stream.size()));
+        producer.flush();
+    }
+    engine.flush();
+    const double s = sw.seconds();
+    const auto st = engine.stats();
+    engine.stop();
+    return {shards, s, st.ring_full_stalls};
+}
+
+}  // namespace
+
+int main() {
+    const std::uint64_t n = bench::scaled(4'000'000);
+    zipf_stream_generator gen({.num_updates = n,
+                               .num_distinct = n / 10,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = 2024});
+    const auto stream = gen.generate();
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("engine ingest bench: n=%llu zipf(1.1) hardware_threads=%u\n",
+                static_cast<unsigned long long>(n), hw);
+
+    const double base_s = time_elementwise(stream);
+    const double batched_s = time_batched(stream);
+    const double base_rate = static_cast<double>(n) / base_s / 1e6;
+    const double batched_rate = static_cast<double>(n) / batched_s / 1e6;
+
+    bench::print_header("engine ingest throughput (Mupd/s)",
+                        "config                rate     speedup  stalls");
+    std::printf("%-20s %7.2f %9.2fx %7s\n", "1 thread, update()", base_rate, 1.0, "-");
+    std::printf("%-20s %7.2f %9.2fx %7s\n", "1 thread, batched", batched_rate,
+                batched_rate / base_rate, "-");
+
+    std::vector<engine_run> runs;
+    for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+        runs.push_back(time_engine(stream, shards));
+        const auto& r = runs.back();
+        const double rate = static_cast<double>(n) / r.seconds / 1e6;
+        std::printf("engine, %u shard(s)%*s %7.2f %9.2fx %7llu\n", r.shards,
+                    r.shards >= 10 ? 1 : 2, "", rate, rate / base_rate,
+                    static_cast<unsigned long long>(r.ring_full_stalls));
+    }
+
+    const double four_shard_rate =
+        static_cast<double>(n) / runs[2].seconds / 1e6;
+    bench::check(hw < 4 || four_shard_rate >= 2.0 * base_rate,
+                 "4-shard engine >= 2x single-thread update() throughput "
+                 "(gated on >= 4 hardware threads)");
+
+    // Machine-readable record for CI trend tracking.
+    FILE* json = std::fopen("BENCH_engine.json", "w");
+    if (json != nullptr) {
+        std::fprintf(json, "{\n");
+        std::fprintf(json, "  \"bench\": \"engine_ingest\",\n");
+        std::fprintf(json, "  \"stream\": {\"n\": %llu, \"alpha\": 1.1, \"k\": %u},\n",
+                     static_cast<unsigned long long>(n), k);
+        std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json, "  \"single_thread_update_mups\": %.3f,\n", base_rate);
+        std::fprintf(json, "  \"single_thread_batched_mups\": %.3f,\n", batched_rate);
+        std::fprintf(json, "  \"engine\": [\n");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const double rate = static_cast<double>(n) / runs[i].seconds / 1e6;
+            std::fprintf(json,
+                         "    {\"shards\": %u, \"mups\": %.3f, \"speedup_vs_update\": "
+                         "%.3f, \"ring_full_stalls\": %llu}%s\n",
+                         runs[i].shards, rate, rate / base_rate,
+                         static_cast<unsigned long long>(runs[i].ring_full_stalls),
+                         i + 1 < runs.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_engine.json\n");
+    }
+    return 0;
+}

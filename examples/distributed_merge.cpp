@@ -1,16 +1,23 @@
-/// Distributed aggregation: the §3 motivating scenario. A large stream is
-/// partitioned across "machines" (here: shards), each machine summarizes its
-/// partition independently, the summaries travel as serialized byte strings,
-/// and an aggregator merges them — over an arbitrary tree — into one summary
-/// of the whole dataset. No machine ever sees more than its own shard.
+/// Distributed aggregation: the §3 motivating scenario on the sharded
+/// ingestion engine. "Machines" are concurrent producer threads, each
+/// pushing its own partition into the engine's per-shard SPSC rings; shard
+/// workers summarize in parallel, and snapshot() folds the shard summaries
+/// with the Algorithm 5 merge into one summary of the whole dataset — while
+/// ingestion is still running, without ever blocking the producers.
 ///
-///   build/examples/distributed_merge [num_shards]
+/// The final snapshot is also shipped through the serialized wire format,
+/// demonstrating that engine snapshots are ordinary sketches (they merge,
+/// serialize, and ship exactly like the §3 per-machine summaries).
+///
+///   build/distributed_merge [num_producers] [num_shards]
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "core/frequent_items_sketch.h"
+#include "engine/stream_engine.h"
 #include "stream/exact_counter.h"
 #include "stream/generators.h"
 
@@ -18,59 +25,88 @@ int main(int argc, char** argv) {
     using namespace freq;
     using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
 
-    const int shards = argc > 1 ? std::atoi(argv[1]) : 16;
+    const int producers = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int shards = argc > 2 ? std::atoi(argv[2]) : 4;
     constexpr std::uint32_t k = 2048;
+    constexpr std::uint64_t updates_per_producer = 500'000;
 
-    // "Machines": each consumes its own partition and serializes its summary.
-    std::vector<std::vector<std::uint8_t>> wire_images;
-    exact_counter<std::uint64_t, std::uint64_t> exact;  // omniscient observer, demo only
-    std::size_t wire_bytes = 0;
-    for (int m = 0; m < shards; ++m) {
-        sketch_u64 local(sketch_config{.max_counters = k, .seed = static_cast<std::uint64_t>(m)});
-        zipf_stream_generator gen({.num_updates = 500'000,
-                                   .num_distinct = 100'000,
-                                   .alpha = 1.05,
-                                   .min_weight = 1,
-                                   .max_weight = 10'000,
-                                   .seed = 9000 + static_cast<std::uint64_t>(m)});
-        for (const auto& u : gen.generate()) {
-            local.update(u.id, u.weight);
-            exact.update(u.id, u.weight);
-        }
-        wire_images.push_back(local.serialize());
-        wire_bytes += wire_images.back().size();
-    }
-    std::printf("%d machines summarized %llu total updates; shipped %zu KiB of sketches\n",
-                shards, static_cast<unsigned long long>(exact.num_updates()),
-                wire_bytes / 1024);
+    engine_config cfg;
+    cfg.num_shards = static_cast<std::uint32_t>(shards);
+    cfg.num_producers = static_cast<std::uint32_t>(producers);
+    cfg.sketch = sketch_config{.max_counters = k, .seed = 42};
+    stream_engine<> engine(cfg);
 
-    // Aggregator: deserialize and merge pairwise in a balanced tree
-    // (Theorem 5: the bound holds for any aggregation tree).
-    std::vector<sketch_u64> level;
-    level.reserve(wire_images.size());
-    for (const auto& img : wire_images) {
-        level.push_back(sketch_u64::deserialize(img));
-    }
-    while (level.size() > 1) {
-        std::vector<sketch_u64> next;
-        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
-            level[i].merge(level[i + 1]);
-            next.push_back(std::move(level[i]));
+    // Each "machine" generates and pushes its own partition concurrently.
+    // The exact counter is an omniscient observer for the demo only.
+    std::vector<exact_counter<std::uint64_t, std::uint64_t>> observers(
+        static_cast<std::size_t>(producers));
+    {
+        std::vector<stream_engine<>::producer> handles;
+        handles.reserve(static_cast<std::size_t>(producers));
+        for (int p = 0; p < producers; ++p) {
+            handles.push_back(engine.make_producer());
         }
-        if (level.size() % 2 == 1) {
-            next.push_back(std::move(level.back()));
+        std::vector<std::thread> threads;
+        for (int p = 0; p < producers; ++p) {
+            threads.emplace_back([&, p] {
+                zipf_stream_generator gen({.num_updates = updates_per_producer,
+                                           .num_distinct = 100'000,
+                                           .alpha = 1.05,
+                                           .min_weight = 1,
+                                           .max_weight = 10'000,
+                                           .seed = 9000 + static_cast<std::uint64_t>(p)});
+                for (std::uint64_t i = 0; i < updates_per_producer; ++i) {
+                    const auto u = gen.next();
+                    handles[static_cast<std::size_t>(p)].push(u.id, u.weight);
+                    observers[static_cast<std::size_t>(p)].update(u.id, u.weight);
+                }
+                handles[static_cast<std::size_t>(p)].flush();
+            });
         }
-        level = std::move(next);
-    }
-    const sketch_u64& global = level.front();
 
-    std::printf("merged summary: %s\n", global.to_string().c_str());
+        // A live snapshot while the producers are mid-stream: readers never
+        // block writers — snapshot() clones each shard's O(k) summary and
+        // merges the clones.
+        const auto live = engine.snapshot();
+        std::printf("live snapshot while ingesting: %s\n", live.to_string().c_str());
+
+        for (auto& t : threads) {
+            t.join();
+        }
+    }
+    engine.flush();  // barrier: every pushed update is applied
+
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    for (const auto& obs : observers) {
+        for (const auto& [id, f] : obs.counts()) {
+            exact.update(id, f);
+        }
+    }
+
+    const auto st = engine.stats();
+    std::printf("%d producers x %llu updates through %d shards: "
+                "%llu applied in %llu batches, %llu full-ring stalls\n",
+                producers, static_cast<unsigned long long>(updates_per_producer), shards,
+                static_cast<unsigned long long>(st.updates_applied),
+                static_cast<unsigned long long>(st.batches_applied),
+                static_cast<unsigned long long>(st.ring_full_stalls));
+
+    // The stream-complete snapshot: one summary of the union of all
+    // partitions (Theorem 5 — valid for any aggregation shape).
+    const auto global = engine.snapshot();
+    std::printf("merged snapshot: %s\n", global.to_string().c_str());
     std::printf("N check: merged=%llu exact=%llu\n",
                 static_cast<unsigned long long>(global.total_weight()),
                 static_cast<unsigned long long>(exact.total_weight()));
 
+    // Snapshots are ordinary sketches: ship one over the wire and reload.
+    const auto wire = global.serialize();
+    const auto reloaded = sketch_u64::deserialize(wire);
+    std::printf("wire roundtrip: %zu bytes, N=%llu\n", wire.size(),
+                static_cast<unsigned long long>(reloaded.total_weight()));
+
     // Validate: bounds bracket the truth for the global top items.
-    const auto rows = global.frequent_items(error_type::no_false_negatives);
+    const auto rows = reloaded.frequent_items(error_type::no_false_negatives);
     std::printf("\nglobal heavy hitters (top 8 of %zu):\n", rows.size());
     std::printf("%20s %14s %14s %14s  ok\n", "id", "lower", "true", "upper");
     int shown = 0;

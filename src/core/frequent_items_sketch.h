@@ -96,10 +96,43 @@ public:
     /// Unit-weight convenience overload.
     void update(K id) { update(id, W{1}); }
 
-    void consume(const update_stream<K, W>& stream) {
-        for (const auto& u : stream) {
-            update(u.id, u.weight);
+    /// Batched fast path: processes a whole run of updates with the
+    /// per-call bookkeeping hoisted out of the loop — total weight
+    /// accumulates in a register and is folded into the sketch once, and
+    /// table probes are software-pipelined by prefetching a few items
+    /// ahead (counter_table::prefetch). Semantically identical to calling
+    /// update(id, weight) for each element in order; this is the path the
+    /// sharded engine's workers drain ring batches through.
+    void update(std::span<const freq::update<K, W>> batch) {
+        // Validate the whole batch before touching any state, so a rejected
+        // weight cannot leave the sketch with counters not yet reflected in
+        // total_weight_ (the element-wise path validates-then-mutates per
+        // element; this keeps the all-or-nothing boundary at the batch).
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            for (const auto& u : batch) {
+                FREQ_REQUIRE(u.weight >= W{0}, "update weights must be non-negative");
+            }
         }
+        static constexpr std::size_t lookahead = 8;
+        const std::size_t n = batch.size();
+        W added{0};
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + lookahead < n) {
+                table_.prefetch(batch[i + lookahead].id);
+            }
+            const K id = batch[i].id;
+            const W weight = batch[i].weight;
+            if (weight == W{0}) {
+                continue;
+            }
+            added += weight;
+            ingest(id, weight);
+        }
+        total_weight_ += added;
+    }
+
+    void consume(const update_stream<K, W>& stream) {
+        update(std::span<const freq::update<K, W>>(stream.data(), stream.size()));
     }
 
     // --- queries -------------------------------------------------------------

@@ -2,71 +2,51 @@
 #define FREQ_CORE_PARALLEL_SUMMARIZE_H
 
 /// \file parallel_summarize.h
-/// The §3 "parallel and distributed" scenario as a library utility: a large
-/// in-memory stream is partitioned across worker threads, each thread builds
-/// an independent summary of its contiguous chunk, and the summaries merge
-/// (Algorithm 5) into one. Because merging is order-insensitive with respect
-/// to validity (Theorem 5 holds for any aggregation tree), the partitioning
-/// is arbitrary — contiguous chunks maximize per-thread locality.
+/// The §3 "parallel and distributed" scenario as a library utility, now a
+/// thin wrapper over the sharded ingestion engine (engine/stream_engine.h):
+/// the in-memory stream is pushed through one producer handle, the engine's
+/// workers build per-shard summaries concurrently, and snapshot() folds them
+/// with the Algorithm 5 merge into one summary of the entire stream
+/// (Theorem 5 holds for any aggregation tree, so the key-partitioning the
+/// engine applies is as valid as the old contiguous chunking).
 ///
-/// Each worker gets a distinct hash seed (base seed + worker index), which
-/// both avoids the §3.2 shared-hash merge hazard and makes the workers'
-/// tables statistically independent.
+/// Each shard gets a distinct sketch seed (base seed + shard index), which
+/// both avoids the §3.2 shared-hash merge hazard and makes the shards'
+/// tables statistically independent. With num_workers == 1 the result is
+/// bit-identical to a sequential frequent_items_sketch over the stream.
 
-#include <cstdint>
-#include <thread>
-#include <vector>
+#include <span>
 
 #include "common/contracts.h"
 #include "core/frequent_items_sketch.h"
+#include "engine/stream_engine.h"
 #include "stream/update.h"
 
 namespace freq {
 
-/// Summarizes \p stream with \p num_workers threads, each running an
-/// independent sketch with \p cfg capacity, then merges pairwise into one
-/// summary (balanced tree). The result is a valid summary of the entire
-/// stream with the usual merged-error bound (Theorem 5).
+/// Summarizes \p stream with \p num_workers engine shards, each running an
+/// independent sketch with \p cfg capacity, then merges the shard summaries
+/// into one. The result is a valid summary of the entire stream with the
+/// usual merged-error bound (Theorem 5).
 template <typename K, typename W>
 frequent_items_sketch<K, W> parallel_summarize(const update_stream<K, W>& stream,
                                                const sketch_config& cfg,
                                                unsigned num_workers) {
     FREQ_REQUIRE(num_workers >= 1, "need at least one worker");
-    const std::size_t n = stream.size();
-    const auto workers = static_cast<std::size_t>(num_workers);
-
-    std::vector<frequent_items_sketch<K, W>> parts;
-    parts.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        sketch_config local = cfg;
-        local.seed = cfg.seed + w;
-        parts.emplace_back(local);
-    }
-
+    engine_config ecfg;
+    ecfg.num_shards = num_workers;
+    ecfg.num_producers = 1;
+    ecfg.sketch = cfg;
+    stream_engine<K, W> engine(ecfg);
     {
-        std::vector<std::thread> threads;
-        threads.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w) {
-            threads.emplace_back([&, w] {
-                const std::size_t begin = n * w / workers;
-                const std::size_t end = n * (w + 1) / workers;
-                for (std::size_t i = begin; i < end; ++i) {
-                    parts[w].update(stream[i].id, stream[i].weight);
-                }
-            });
-        }
-        for (auto& t : threads) {
-            t.join();
-        }
+        auto producer = engine.make_producer();
+        producer.push(std::span<const update<K, W>>(stream.data(), stream.size()));
+        producer.flush();
     }
-
-    // Balanced pairwise merge; strides double each round.
-    for (std::size_t stride = 1; stride < workers; stride *= 2) {
-        for (std::size_t i = 0; i + stride < workers; i += 2 * stride) {
-            parts[i].merge(parts[i + stride]);
-        }
-    }
-    return std::move(parts.front());
+    engine.flush();
+    auto result = engine.snapshot();
+    engine.stop();
+    return result;
 }
 
 }  // namespace freq

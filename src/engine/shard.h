@@ -1,0 +1,125 @@
+#ifndef FREQ_ENGINE_SHARD_H
+#define FREQ_ENGINE_SHARD_H
+
+/// \file shard.h
+/// One shard of the sharded ingestion engine: a set of inbound SPSC rings
+/// (one per registered producer), a frequent_items_sketch covering the
+/// shard's key sub-space, and the worker-side drain loop that moves updates
+/// from the rings into the sketch in batches.
+///
+/// Threading contract:
+///  * ring(p).try_push(...)  — producer p only.
+///  * drain()                — the shard's single worker thread only.
+///  * clone_sketch()         — any thread; takes the sketch mutex.
+///
+/// The sketch mutex is held only while a drained batch is applied or while
+/// the sketch is being cloned for a snapshot, never while waiting on a ring
+/// — so queries clone O(k) state and ingestion resumes immediately; readers
+/// never traverse live sketch state.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+#include "core/sketch_config.h"
+#include "engine/spsc_ring.h"
+#include "stream/update.h"
+
+namespace freq {
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+class engine_shard {
+public:
+    using update_type = update<K, W>;
+
+    /// \param cfg            per-shard sketch configuration (already seeded
+    ///                       distinctly per shard by the engine — §3.2).
+    /// \param num_producers  how many inbound SPSC rings to create.
+    /// \param ring_capacity  slots per ring (rounded up to a power of two).
+    /// \param batch_size     maximum updates applied per sketch lock.
+    engine_shard(const sketch_config& cfg, std::size_t num_producers,
+                 std::size_t ring_capacity, std::size_t batch_size)
+        : sketch_(cfg), batch_size_(batch_size) {
+        FREQ_REQUIRE(num_producers >= 1, "shard needs at least one producer ring");
+        FREQ_REQUIRE(batch_size >= 1, "shard batch size must be positive");
+        rings_.reserve(num_producers);
+        for (std::size_t p = 0; p < num_producers; ++p) {
+            rings_.push_back(std::make_unique<spsc_ring<update_type>>(ring_capacity));
+        }
+        batch_buf_.resize(batch_size);
+    }
+
+    /// Inbound ring for producer \p p.
+    spsc_ring<update_type>& ring(std::size_t p) noexcept { return *rings_[p]; }
+    std::size_t num_rings() const noexcept { return rings_.size(); }
+
+    // --- worker side ---------------------------------------------------------
+
+    /// Drains up to one batch from the inbound rings (round-robin across
+    /// producers for fairness) and applies it to the sketch under the lock.
+    /// Returns the number of updates applied; 0 means every ring was empty.
+    std::size_t drain() {
+        std::size_t n = 0;
+        const std::size_t r = rings_.size();
+        for (std::size_t i = 0; i < r && n < batch_size_; ++i) {
+            const std::size_t p = (next_ring_ + i) % r;
+            n += rings_[p]->try_pop(batch_buf_.data() + n, batch_size_ - n);
+        }
+        next_ring_ = (next_ring_ + 1) % r;
+        if (n > 0) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                sketch_.update(std::span<const update_type>(batch_buf_.data(), n));
+            }
+            applied_.fetch_add(n, std::memory_order_release);
+            batches_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return n;
+    }
+
+    // --- snapshot / flush support -------------------------------------------
+
+    /// O(k) copy of the shard sketch, taken under the sketch mutex so a
+    /// snapshot never observes a half-applied batch.
+    frequent_items_sketch<K, W> clone_sketch() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return sketch_;
+    }
+
+    /// Total updates ever enqueued into this shard's rings (sum of producer
+    /// cursors) vs. total applied to the sketch. The engine's flush barrier
+    /// waits until applied() catches up with enqueued().
+    std::uint64_t enqueued() const noexcept {
+        std::uint64_t total = 0;
+        for (const auto& r : rings_) {
+            total += r->pushed();
+        }
+        return total;
+    }
+    std::uint64_t applied() const noexcept { return applied_.load(std::memory_order_acquire); }
+    std::uint64_t batches_applied() const noexcept {
+        return batches_.load(std::memory_order_relaxed);
+    }
+
+private:
+    frequent_items_sketch<K, W> sketch_;
+    mutable std::mutex mutex_;  ///< guards sketch_ (drain vs. clone_sketch)
+
+    std::vector<std::unique_ptr<spsc_ring<update_type>>> rings_;
+    std::vector<update_type> batch_buf_;  ///< worker-local drain scratch
+    std::size_t batch_size_;
+    std::size_t next_ring_ = 0;  ///< round-robin fairness cursor
+
+    std::atomic<std::uint64_t> applied_{0};
+    std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace freq
+
+#endif  // FREQ_ENGINE_SHARD_H

@@ -1,0 +1,347 @@
+#ifndef FREQ_ENGINE_STREAM_ENGINE_H
+#define FREQ_ENGINE_STREAM_ENGINE_H
+
+/// \file stream_engine.h
+/// The sharded concurrent ingestion engine — the §3 partition-then-merge
+/// architecture as a running system instead of a batch utility.
+///
+/// Topology:
+///
+///   producer 0 ──┐ staging ┌─ ring[0][s] ─┐
+///   producer 1 ──┤ buffers ├─ ring[1][s] ─┼─► worker s ─► sketch s ──┐
+///      ...       │  (key-  │     ...      │   (batched drain)        ├─► snapshot()
+///   producer P ──┘ routed) └─ ring[P][s] ─┘                          │   = clone + merge
+///                                             ... one per shard ...──┘     (Algorithm 5)
+///
+///  * Keys are routed to shards by an independent hash, so each shard's
+///    sketch summarizes a fixed sub-space of keys and Theorem 4 applies per
+///    shard; the merged snapshot obeys the merged-error bound of Theorem 5.
+///  * Producer → shard hand-off uses bounded SPSC rings (spsc_ring.h): one
+///    ring per (producer, shard) pair keeps every ring single-producer /
+///    single-consumer and therefore wait-free. A full ring pushes back on
+///    its producer (bounded memory); producers stage small per-shard runs
+///    so ring synchronization is amortized over whole batches.
+///  * Each shard worker drains its rings in batches and applies them with
+///    the sketch's batched update() fast path. Queries never traverse live
+///    sketch state: snapshot() clones each shard's O(k) summary under a
+///    brief lock and folds the clones with the in-place O(k) merge —
+///    readers never block writers for more than one O(k) copy.
+///
+/// Sizing guidance (see README "Engine" section): shard count S should not
+/// exceed the physical core budget for ingestion; each shard's sketch keeps
+/// its own k counters, so the merged snapshot carries the union (up to k
+/// live counters after folding) and the snapshot error bound grows with the
+/// *sum* of shard offsets — prefer fewer, larger shards when query accuracy
+/// at small k matters, more shards when raw ingest rate matters.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/frequent_items_sketch.h"
+#include "core/sketch_config.h"
+#include "engine/shard.h"
+#include "engine/spsc_ring.h"
+#include "hashing/hash.h"
+#include "stream/update.h"
+
+namespace freq {
+
+/// Tuning knobs of stream_engine.
+struct engine_config {
+    /// S — number of shards, i.e. worker threads and per-shard sketches.
+    std::uint32_t num_shards = 4;
+
+    /// P — number of producer handles the engine hands out; one SPSC ring
+    /// exists per (producer, shard) pair.
+    std::uint32_t num_producers = 1;
+
+    /// Slots per ring, rounded up to a power of two. Bounded memory:
+    /// total queued updates never exceed P * S * ring_capacity.
+    std::size_t ring_capacity = 4096;
+
+    /// Maximum updates a worker applies to its sketch per lock acquisition.
+    std::size_t drain_batch = 512;
+
+    /// Updates a producer stages per shard before pushing the run into the
+    /// shard's ring (amortizes ring synchronization).
+    std::size_t producer_batch = 128;
+
+    /// Per-shard sketch configuration. Shard s runs with seed + s so the
+    /// shards' hash functions are independent (§3.2's merge note).
+    sketch_config sketch{};
+};
+
+/// Aggregate engine statistics (monotonic; racy-but-consistent reads).
+struct engine_stats {
+    std::uint64_t updates_enqueued = 0;  ///< pushed into rings by producers
+    std::uint64_t updates_applied = 0;   ///< applied to shard sketches
+    std::uint64_t batches_applied = 0;   ///< sketch lock acquisitions by workers
+    std::uint64_t ring_full_stalls = 0;  ///< producer yields due to full rings
+};
+
+template <typename K = std::uint64_t, typename W = std::uint64_t>
+class stream_engine {
+public:
+    using update_type = update<K, W>;
+    using sketch_type = frequent_items_sketch<K, W>;
+
+    /// A single-threaded ingestion handle. Each producer owns one SPSC ring
+    /// per shard plus per-shard staging buffers; distinct producers may run
+    /// on distinct threads concurrently, but one producer instance must not
+    /// be shared across threads. Destruction flushes staged updates.
+    /// Lifetime: a producer holds a pointer into its engine and must be
+    /// destroyed before it; push/flush after stop() drop instead of block.
+    class producer {
+    public:
+        producer(producer&& other) noexcept
+            : engine_(other.engine_),
+              slot_(other.slot_),
+              stages_(std::move(other.stages_)),
+              stalls_(other.stalls_) {
+            other.engine_ = nullptr;
+        }
+        producer(const producer&) = delete;
+        producer& operator=(const producer&) = delete;
+        producer& operator=(producer&&) = delete;
+
+        ~producer() {
+            if (engine_ != nullptr) {
+                flush();
+            }
+        }
+
+        /// Routes one weighted update to its shard's staging buffer.
+        /// Weights are validated here, in the caller's thread, so a bad
+        /// update surfaces as a catchable exception instead of unwinding a
+        /// shard worker (which would terminate the process).
+        void push(K id, W weight) {
+            if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+                FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+            }
+            const std::uint32_t s = engine_->shard_of(id);
+            auto& stage = stages_[s];
+            stage.push_back(update_type{id, weight});
+            if (stage.size() >= engine_->cfg_.producer_batch) {
+                publish(s);
+            }
+        }
+
+        void push(const update_type& u) { push(u.id, u.weight); }
+
+        /// Routes a whole batch (the bulk-load path).
+        void push(std::span<const update_type> batch) {
+            for (const auto& u : batch) {
+                push(u.id, u.weight);
+            }
+        }
+
+        /// Publishes every staged update into the shard rings. After flush()
+        /// returns, all of this producer's updates are visible to the
+        /// workers (though not necessarily applied yet — see engine flush()).
+        void flush() {
+            for (std::uint32_t s = 0; s < stages_.size(); ++s) {
+                if (!stages_[s].empty()) {
+                    publish(s);
+                }
+            }
+        }
+
+        /// Producer-observed backpressure events (full-ring yields).
+        std::uint64_t ring_full_stalls() const noexcept { return stalls_; }
+
+    private:
+        friend class stream_engine;
+
+        producer(stream_engine* engine, std::uint32_t slot) : engine_(engine), slot_(slot) {
+            stages_.resize(engine_->cfg_.num_shards);
+            for (auto& s : stages_) {
+                s.reserve(engine_->cfg_.producer_batch);
+            }
+        }
+
+        /// Pushes shard \p s's staged run into its ring, yielding while full.
+        /// If the engine has been stopped (its workers are gone, so a full
+        /// ring would never drain) the remaining staged updates are dropped
+        /// rather than livelocking — pushing after stop() is a contract
+        /// violation, but the destructor-flush must stay safe against it.
+        void publish(std::uint32_t s) {
+            auto& ring = engine_->shards_[s]->ring(slot_);
+            std::span<const update_type> pending(stages_[s]);
+            while (!pending.empty()) {
+                if (engine_->stopping_.load(std::memory_order_acquire)) {
+                    break;
+                }
+                const std::size_t n = ring.try_push(pending);
+                pending = pending.subspan(n);
+                if (!pending.empty()) {
+                    ++stalls_;
+                    engine_->stalls_.fetch_add(1, std::memory_order_relaxed);
+                    std::this_thread::yield();
+                }
+            }
+            stages_[s].clear();
+        }
+
+        stream_engine* engine_;
+        std::uint32_t slot_;
+        std::vector<std::vector<update_type>> stages_;  ///< one staging run per shard
+        std::uint64_t stalls_ = 0;
+    };
+
+    explicit stream_engine(const engine_config& cfg) : cfg_(cfg) {
+        FREQ_REQUIRE(cfg.num_shards >= 1, "engine needs at least one shard");
+        FREQ_REQUIRE(cfg.num_shards <= 4096, "engine shard count limited to 4096");
+        FREQ_REQUIRE(cfg.num_producers >= 1, "engine needs at least one producer slot");
+        FREQ_REQUIRE(cfg.num_producers <= 4096, "engine producer count limited to 4096");
+        shards_.reserve(cfg.num_shards);
+        for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+            sketch_config local = cfg.sketch;
+            local.seed = cfg.sketch.seed + s;
+            shards_.push_back(std::make_unique<engine_shard<K, W>>(
+                local, cfg.num_producers, cfg.ring_capacity, cfg.drain_batch));
+        }
+        route_salt_ = murmur_mix64(cfg.sketch.seed ^ 0x5368'6172'6445'6e67ULL);
+        workers_.reserve(cfg.num_shards);
+        try {
+            for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+                workers_.emplace_back([this, s] { worker_loop(s); });
+            }
+        } catch (...) {
+            // Thread spawn failed partway: stop and join the workers that
+            // did start, so unwinding never destroys a joinable thread.
+            stopping_.store(true, std::memory_order_release);
+            for (auto& w : workers_) {
+                if (w.joinable()) {
+                    w.join();
+                }
+            }
+            throw;
+        }
+    }
+
+    stream_engine(const stream_engine&) = delete;
+    stream_engine& operator=(const stream_engine&) = delete;
+
+    ~stream_engine() { stop(); }
+
+    const engine_config& config() const noexcept { return cfg_; }
+    std::uint32_t num_shards() const noexcept { return cfg_.num_shards; }
+
+    /// Which shard serves \p id. Routing hash is independent of every
+    /// shard's table hash (different mixer family and salt), so shard
+    /// membership does not correlate with slot placement.
+    std::uint32_t shard_of(K id) const noexcept {
+        return static_cast<std::uint32_t>(
+            mix64(static_cast<std::uint64_t>(id) ^ route_salt_) % cfg_.num_shards);
+    }
+
+    /// Hands out the next producer slot. At most num_producers calls.
+    producer make_producer() {
+        const std::uint32_t slot = next_producer_.fetch_add(1, std::memory_order_relaxed);
+        FREQ_REQUIRE(slot < cfg_.num_producers,
+                     "make_producer called more times than cfg.num_producers");
+        return producer(this, slot);
+    }
+
+    /// Barrier: returns once every update already published to the rings
+    /// (i.e. after the producers' flush()) has been applied to a shard
+    /// sketch. Callers that need stream-complete snapshots flush producers,
+    /// then the engine, then snapshot.
+    void flush() {
+        FREQ_REQUIRE(!stopping_.load(std::memory_order_acquire),
+                     "flush() on a stopped engine");
+        for (const auto& shard : shards_) {
+            const std::uint64_t target = shard->enqueued();
+            while (shard->applied() < target) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    /// A consistent point-in-time summary of everything applied so far:
+    /// clones each shard's sketch (brief per-shard lock, O(k) copy) and
+    /// folds the clones with the in-place Algorithm 5 merge. Never blocks
+    /// ingestion beyond the per-shard copy. Valid summary of the union of
+    /// shard sub-streams by Theorem 5.
+    sketch_type snapshot() const {
+        sketch_type merged = shards_[0]->clone_sketch();
+        for (std::size_t s = 1; s < shards_.size(); ++s) {
+            const sketch_type part = shards_[s]->clone_sketch();
+            merged.merge(part);
+        }
+        return merged;
+    }
+
+    /// Drains every ring, stops the workers and joins them. Idempotent;
+    /// called by the destructor. Producers must not push after stop().
+    void stop() {
+        bool expected = false;
+        if (!stopping_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+            return;
+        }
+        for (auto& w : workers_) {
+            if (w.joinable()) {
+                w.join();
+            }
+        }
+    }
+
+    engine_stats stats() const noexcept {
+        engine_stats st;
+        for (const auto& shard : shards_) {
+            st.updates_enqueued += shard->enqueued();
+            st.updates_applied += shard->applied();
+            st.batches_applied += shard->batches_applied();
+        }
+        st.ring_full_stalls = stalls_.load(std::memory_order_relaxed);
+        return st;
+    }
+
+private:
+    void worker_loop(std::uint32_t s) {
+        engine_shard<K, W>& shard = *shards_[s];
+        std::uint32_t idle_streak = 0;
+        for (;;) {
+            const std::size_t n = shard.drain();
+            if (n > 0) {
+                idle_streak = 0;
+                continue;
+            }
+            if (stopping_.load(std::memory_order_acquire)) {
+                // Stop only once the rings stay empty: drain() returned 0
+                // after the stop flag was visible, and producers are done.
+                if (shard.applied() >= shard.enqueued()) {
+                    return;
+                }
+                continue;
+            }
+            // Idle backoff: yield first (cheap on a contended box), then
+            // sleep briefly so idle shards do not starve producers of CPU.
+            if (++idle_streak < 64) {
+                std::this_thread::yield();
+            } else {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+            }
+        }
+    }
+
+    engine_config cfg_;
+    std::uint64_t route_salt_ = 0;
+    std::vector<std::unique_ptr<engine_shard<K, W>>> shards_;
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint32_t> next_producer_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace freq
+
+#endif  // FREQ_ENGINE_STREAM_ENGINE_H

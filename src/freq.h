@@ -18,6 +18,11 @@
 #include "core/sketch_config.h"
 #include "core/string_frequent_items.h"   // string keys (tf-idf use case)
 
+// The sharded concurrent ingestion engine (§3 scaled to a running system).
+#include "engine/shard.h"
+#include "engine/spsc_ring.h"
+#include "engine/stream_engine.h"
+
 // Applications built on the sketch (§1.2 / §6).
 #include "entropy/entropy_estimator.h"
 #include "hhh/hierarchical_heavy_hitters.h"

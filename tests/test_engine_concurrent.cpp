@@ -1,0 +1,331 @@
+/// Concurrency tests for the sharded ingestion engine: multi-producer
+/// ingestion must reproduce the sequential sketch's guarantees (Theorem 4's
+/// error envelope, exact totals, bracketing bounds), snapshots must be safe
+/// and valid while ingestion is running, and the whole pipeline must be
+/// deterministic for a fixed producer order.
+
+#include "engine/stream_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/frequent_items_sketch.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+
+update_stream<std::uint64_t, std::uint64_t> zipf11_stream(std::uint64_t n,
+                                                          std::uint64_t seed) {
+    zipf_stream_generator gen({.num_updates = n,
+                               .num_distinct = n / 10,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = seed});
+    return gen.generate();
+}
+
+TEST(StreamEngine, ConfigValidation) {
+    engine_config cfg;
+    cfg.num_shards = 0;
+    EXPECT_THROW({ stream_engine<> e(cfg); }, std::invalid_argument);
+    cfg.num_shards = 1;
+    cfg.num_producers = 0;
+    EXPECT_THROW({ stream_engine<> e(cfg); }, std::invalid_argument);
+}
+
+TEST(StreamEngine, MakeProducerOverAllocationThrows) {
+    engine_config cfg;
+    cfg.num_shards = 2;
+    cfg.num_producers = 1;
+    stream_engine<> engine(cfg);
+    auto p = engine.make_producer();
+    EXPECT_THROW(engine.make_producer(), std::invalid_argument);
+}
+
+TEST(StreamEngine, EmptyEngineSnapshots) {
+    engine_config cfg;
+    cfg.num_shards = 4;
+    stream_engine<> engine(cfg);
+    const auto snap = engine.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_EQ(snap.total_weight(), 0u);
+}
+
+TEST(StreamEngine, ShardRoutingIsTotalAndStable) {
+    engine_config cfg;
+    cfg.num_shards = 5;  // deliberately not a power of two
+    stream_engine<> engine(cfg);
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+        const auto s = engine.shard_of(id);
+        EXPECT_LT(s, 5u);
+        EXPECT_EQ(s, engine.shard_of(id));  // stable
+    }
+}
+
+// Invalid weights must be rejected in the *caller's* thread at push() —
+// were they validated worker-side, the exception would unwind a shard
+// worker and terminate the process.
+TEST(StreamEngine, NegativeWeightRejectedAtPush) {
+    engine_config cfg;
+    cfg.num_shards = 2;
+    stream_engine<std::uint64_t, double> engine(cfg);
+    auto producer = engine.make_producer();
+    producer.push(1, 2.5);
+    EXPECT_THROW(producer.push(2, -1.0), std::invalid_argument);
+    producer.flush();
+    engine.flush();
+    const auto snap = engine.snapshot();
+    EXPECT_EQ(snap.total_weight(), 2.5);
+}
+
+// The tentpole acceptance test: P producer threads push a Zipf(1.1) stream
+// through a 4-shard engine; the merged snapshot must match a sequential
+// frequent_items_sketch over the same stream within the Theorem 4 error
+// envelope, and totals must be exact.
+TEST(StreamEngineConcurrent, SnapshotMatchesSequentialWithinTheorem4Bound) {
+    constexpr std::uint32_t k = 512;
+    constexpr std::uint64_t n = 400'000;
+    constexpr unsigned producers = 4;
+    const auto stream = zipf11_stream(n, 77);
+
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+    sketch_u64 sequential(sketch_config{.max_counters = k, .seed = 1});
+    sequential.consume(stream);
+
+    engine_config cfg;
+    cfg.num_shards = 4;
+    cfg.num_producers = producers;
+    cfg.sketch = sketch_config{.max_counters = k, .seed = 1};
+    stream_engine<> engine(cfg);
+    {
+        std::vector<stream_engine<>::producer> handles;
+        handles.reserve(producers);
+        for (unsigned p = 0; p < producers; ++p) {
+            handles.push_back(engine.make_producer());
+        }
+        std::vector<std::thread> threads;
+        for (unsigned p = 0; p < producers; ++p) {
+            threads.emplace_back([&, p] {
+                const std::size_t begin = stream.size() * p / producers;
+                const std::size_t end = stream.size() * (p + 1) / producers;
+                handles[p].push(std::span<const update64>(stream.data() + begin, end - begin));
+                handles[p].flush();
+            });
+        }
+        for (auto& t : threads) {
+            t.join();
+        }
+    }
+    engine.flush();
+    const auto snap = engine.snapshot();
+
+    // Totals are exact (no update lost or duplicated across rings/shards).
+    EXPECT_EQ(snap.total_weight(), exact.total_weight());
+
+    // Bounds bracket the truth for every key, exactly as for the
+    // sequential sketch (Theorems 4 + 5).
+    for (const auto& [id, f] : exact.counts()) {
+        ASSERT_LE(snap.lower_bound(id), f) << id;
+        ASSERT_GE(snap.upper_bound(id), f) << id;
+    }
+
+    // Theorem 4 envelope with j = 0 (N^res(0) = N), which survives merging
+    // because per-shard stream weights sum to N: offset_merged <=
+    // sum_s N_s / (0.33 k) = N / (0.33 k).
+    const double bound =
+        static_cast<double>(exact.total_weight()) / (0.33 * static_cast<double>(k));
+    EXPECT_LE(static_cast<double>(snap.maximum_error()), bound);
+    EXPECT_LE(static_cast<double>(sequential.maximum_error()), bound);
+
+    // Engine and sequential estimates agree within their combined error.
+    const auto tolerance = snap.maximum_error() + sequential.maximum_error();
+    for (const auto& r : sequential.top_items(50)) {
+        const auto engine_est = snap.estimate(r.id);
+        const auto hi = r.estimate + tolerance;
+        const auto lo = r.estimate > tolerance ? r.estimate - tolerance : 0;
+        ASSERT_GE(engine_est, lo) << r.id;
+        ASSERT_LE(engine_est, hi) << r.id;
+    }
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.updates_enqueued, n);
+    EXPECT_EQ(st.updates_applied, n);
+    EXPECT_GE(st.batches_applied, 1u);
+}
+
+// Snapshots taken *while* producers are pushing must always be internally
+// consistent summaries (monotone totals, bounds coherent with the final
+// exact counts), and must never deadlock or tear.
+TEST(StreamEngineConcurrent, LiveSnapshotsAreConsistent) {
+    constexpr std::uint32_t k = 256;
+    constexpr std::uint64_t n = 300'000;
+    const auto stream = zipf11_stream(n, 31);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+
+    engine_config cfg;
+    cfg.num_shards = 3;
+    cfg.num_producers = 1;
+    cfg.sketch = sketch_config{.max_counters = k, .seed = 5};
+    stream_engine<> engine(cfg);
+
+    std::atomic<bool> done{false};
+    std::vector<sketch_u64> snaps;
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            snaps.push_back(engine.snapshot());
+            std::this_thread::yield();
+        }
+    });
+
+    auto producer = engine.make_producer();
+    producer.push(std::span<const update64>(stream.data(), stream.size()));
+    producer.flush();
+    engine.flush();
+    done.store(true, std::memory_order_release);
+    reader.join();
+    snaps.push_back(engine.snapshot());
+
+    ASSERT_FALSE(snaps.empty());
+    std::uint64_t prev_total = 0;
+    for (const auto& snap : snaps) {
+        // Totals only grow (per-shard totals are monotone and merging sums
+        // them; the reader clones shards one by one, so a snapshot's total
+        // is bounded by what had been applied when its last shard was
+        // cloned — always <= the final total).
+        EXPECT_LE(snap.total_weight(), exact.total_weight());
+        EXPECT_LE(snap.maximum_error(),
+                  static_cast<std::uint64_t>(static_cast<double>(exact.total_weight()) /
+                                             (0.33 * static_cast<double>(k))));
+        // A mid-stream snapshot is a valid summary of a *prefix union*: its
+        // lower bounds can never exceed the final true frequency.
+        snap.for_each([&](std::uint64_t id, std::uint64_t c) {
+            EXPECT_LE(c, exact.frequency(id)) << id;
+        });
+        prev_total = std::max(prev_total, snap.total_weight());
+    }
+    // The final snapshot covers the full stream.
+    EXPECT_EQ(snaps.back().total_weight(), exact.total_weight());
+}
+
+// For a fixed producer order the engine is deterministic: batching
+// boundaries and worker timing must not leak into the result. (Batched
+// update is semantically identical to element-wise update, rings are FIFO,
+// and keys are partitioned per shard.)
+TEST(StreamEngineConcurrent, DeterministicForFixedProducerOrder) {
+    const auto stream = zipf11_stream(100'000, 13);
+    auto run = [&] {
+        engine_config cfg;
+        cfg.num_shards = 4;
+        cfg.sketch = sketch_config{.max_counters = 128, .seed = 3};
+        cfg.ring_capacity = 256;  // small ring: exercise backpressure too
+        stream_engine<> engine(cfg);
+        auto producer = engine.make_producer();
+        producer.push(std::span<const update64>(stream.data(), stream.size()));
+        producer.flush();
+        engine.flush();
+        return engine.snapshot();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.total_weight(), b.total_weight());
+    EXPECT_EQ(a.maximum_error(), b.maximum_error());
+    EXPECT_EQ(a.num_counters(), b.num_counters());
+    a.for_each([&](std::uint64_t id, std::uint64_t c) {
+        EXPECT_EQ(b.lower_bound(id), c) << id;
+    });
+}
+
+// Weighted heavy hitters survive sharding: the dominant key lands in one
+// shard and must dominate the merged snapshot.
+TEST(StreamEngineConcurrent, HeavyHitterSurvivesSharding) {
+    engine_config cfg;
+    cfg.num_shards = 8;
+    cfg.num_producers = 2;
+    cfg.sketch = sketch_config{.max_counters = 64, .seed = 2};
+    stream_engine<> engine(cfg);
+    {
+        auto p0 = engine.make_producer();
+        auto p1 = engine.make_producer();
+        std::thread t([&] {
+            xoshiro256ss rng(5);
+            for (int i = 0; i < 50'000; ++i) {
+                p1.push(rng() | (1ULL << 50), 30);
+            }
+            p1.flush();
+        });
+        for (int i = 0; i < 25'000; ++i) {
+            p0.push(42, 100);
+        }
+        p0.flush();
+        t.join();
+    }
+    engine.flush();
+    const auto snap = engine.snapshot();
+    const auto rows =
+        snap.frequent_items(error_type::no_false_negatives, snap.total_weight() / 10);
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows[0].id, 42u);
+}
+
+// The batched update path must be byte-for-byte equivalent to element-wise
+// updates (same rng consumption, same table state) — the engine and the
+// sequential API must never diverge on the same ordered stream.
+TEST(BatchedUpdate, EquivalentToElementwiseUpdates) {
+    const auto stream = zipf11_stream(80'000, 99);
+    const sketch_config cfg{.max_counters = 128, .seed = 11};
+    sketch_u64 batched(cfg);
+    sketch_u64 elementwise(cfg);
+    // Apply in irregular batch sizes, including empty and size-1 spans.
+    std::size_t i = 0;
+    std::size_t burst = 1;
+    while (i < stream.size()) {
+        const std::size_t take = std::min(burst, stream.size() - i);
+        batched.update(std::span<const update64>(stream.data() + i, take));
+        i += take;
+        burst = (burst * 7 + 3) % 1000;
+    }
+    for (const auto& u : stream) {
+        elementwise.update(u.id, u.weight);
+    }
+    EXPECT_EQ(batched.total_weight(), elementwise.total_weight());
+    EXPECT_EQ(batched.maximum_error(), elementwise.maximum_error());
+    EXPECT_EQ(batched.num_counters(), elementwise.num_counters());
+    EXPECT_EQ(batched.num_decrements(), elementwise.num_decrements());
+    elementwise.for_each([&](std::uint64_t id, std::uint64_t c) {
+        EXPECT_EQ(batched.lower_bound(id), c) << id;
+    });
+    // Zero weights are skipped in batches exactly as element-wise.
+    const update64 zeros[] = {{1, 0}, {2, 0}};
+    const auto before = batched.total_weight();
+    batched.update(std::span<const update64>(zeros, 2));
+    EXPECT_EQ(batched.total_weight(), before);
+}
+
+// A batch containing an invalid (negative) weight must be rejected before
+// any element is applied — no half-ingested batch may leave counters
+// unaccounted in total_weight().
+TEST(BatchedUpdate, RejectsNegativeWeightsAtomically) {
+    frequent_items_sketch<std::uint64_t, double> sketch(
+        sketch_config{.max_counters = 16, .seed = 1});
+    const update<std::uint64_t, double> bad[] = {{1, 5.0}, {2, -1.0}, {3, 7.0}};
+    EXPECT_THROW(sketch.update(std::span<const update<std::uint64_t, double>>(bad, 3)),
+                 std::invalid_argument);
+    EXPECT_TRUE(sketch.empty());
+    EXPECT_EQ(sketch.total_weight(), 0.0);
+    EXPECT_EQ(sketch.lower_bound(1), 0.0);
+}
+
+}  // namespace
+}  // namespace freq

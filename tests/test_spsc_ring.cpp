@@ -1,0 +1,148 @@
+#include "engine/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace freq {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+    EXPECT_EQ(spsc_ring<int>(2).capacity(), 2u);
+    EXPECT_EQ(spsc_ring<int>(3).capacity(), 4u);
+    EXPECT_EQ(spsc_ring<int>(1000).capacity(), 1024u);
+    EXPECT_EQ(spsc_ring<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRing, RejectsDegenerateCapacities) {
+    EXPECT_THROW(spsc_ring<int>(0), std::invalid_argument);
+    EXPECT_THROW(spsc_ring<int>(1), std::invalid_argument);
+}
+
+TEST(SpscRing, StartsEmpty) {
+    spsc_ring<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    int out = 0;
+    EXPECT_FALSE(ring.try_pop(out));
+    EXPECT_EQ(ring.pushed(), 0u);
+    EXPECT_EQ(ring.popped(), 0u);
+}
+
+TEST(SpscRing, PushPopSingle) {
+    spsc_ring<int> ring(8);
+    EXPECT_TRUE(ring.try_push(42));
+    EXPECT_EQ(ring.size(), 1u);
+    int out = 0;
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRejectsAndShortCounts) {
+    spsc_ring<int> ring(4);  // capacity exactly 4
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(ring.try_push(i));
+    }
+    EXPECT_FALSE(ring.try_push(99));  // full: single push rejected
+    const std::vector<int> more{5, 6};
+    EXPECT_EQ(ring.try_push(std::span<const int>(more)), 0u);  // full: batch pushes 0
+    EXPECT_EQ(ring.size(), 4u);
+
+    // Free one slot; a 2-element batch then short-counts to 1.
+    int out = 0;
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_EQ(ring.try_push(std::span<const int>(more)), 1u);
+    EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRing, BatchPopShortCountsWhenDraining) {
+    spsc_ring<int> ring(8);
+    const std::vector<int> in{1, 2, 3};
+    EXPECT_EQ(ring.try_push(std::span<const int>(in)), 3u);
+    int out[8] = {};
+    EXPECT_EQ(ring.try_pop(out, 8), 3u);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 2);
+    EXPECT_EQ(out[2], 3);
+    EXPECT_EQ(ring.try_pop(out, 8), 0u);
+}
+
+TEST(SpscRing, WrapAroundPreservesFifoOrder) {
+    // Drive the cursors far past the capacity so every slot index wraps
+    // repeatedly; FIFO order and content must survive.
+    spsc_ring<std::uint64_t> ring(8);
+    std::uint64_t next_in = 0;
+    std::uint64_t next_out = 0;
+    for (int round = 0; round < 1000; ++round) {
+        const std::size_t burst = 1 + (round % 7);
+        std::vector<std::uint64_t> in(burst);
+        std::iota(in.begin(), in.end(), next_in);
+        const std::size_t pushed = ring.try_push(std::span<const std::uint64_t>(in));
+        next_in += pushed;
+        std::uint64_t out[8];
+        const std::size_t popped = ring.try_pop(out, (round % 5) + 1);
+        for (std::size_t i = 0; i < popped; ++i) {
+            ASSERT_EQ(out[i], next_out++);
+        }
+    }
+    // Drain the tail.
+    std::uint64_t out;
+    while (ring.try_pop(out)) {
+        ASSERT_EQ(out, next_out++);
+    }
+    EXPECT_EQ(next_out, next_in);
+    EXPECT_EQ(ring.pushed(), next_in);
+    EXPECT_EQ(ring.popped(), next_in);
+}
+
+TEST(SpscRing, CursorsAreMonotonicTotals) {
+    spsc_ring<int> ring(4);
+    int out = 0;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(ring.try_push(i));
+        ASSERT_TRUE(ring.try_pop(out));
+        ASSERT_EQ(out, i);
+    }
+    EXPECT_EQ(ring.pushed(), 100u);
+    EXPECT_EQ(ring.popped(), 100u);
+}
+
+TEST(SpscRing, TwoThreadStress) {
+    // One producer, one consumer, a deliberately tiny ring so both full and
+    // empty edges are hit constantly. The consumer must observe exactly
+    // 0..n-1 in order.
+    constexpr std::uint64_t n = 200'000;
+    spsc_ring<std::uint64_t> ring(16);
+    std::thread producer([&] {
+        std::uint64_t v = 0;
+        while (v < n) {
+            if (ring.try_push(v)) {
+                ++v;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    std::uint64_t expect = 0;
+    std::uint64_t out = 0;
+    while (expect < n) {
+        if (ring.try_pop(out)) {
+            ASSERT_EQ(out, expect);
+            ++expect;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.pushed(), n);
+    EXPECT_EQ(ring.popped(), n);
+}
+
+}  // namespace
+}  // namespace freq
