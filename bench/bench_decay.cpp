@@ -1,0 +1,240 @@
+/// Lifetime-policy bench: plain vs exponential-fading vs epoch-window shards
+/// on a Zipf(1.1) stream whose hot set *drifts* — each epoch rotates the
+/// rank->id mapping, so yesterday's heavy hitters go cold. All three
+/// policies ingest through the same sharded engine (identical ring/drain
+/// path); the figure of merit is ingest throughput plus top-100 recall
+/// against the *recent* (policy-appropriate) ground truth:
+///
+///   plain    — recall vs the last-window truth exposes how a lifetime-less
+///              sketch clings to stale hot items;
+///   fading   — vs exact exponentially-decayed counts;
+///   windowed — vs exact counts over the last `window` epochs.
+///
+/// Emits a table on stdout and machine-readable BENCH_decay.json (archived
+/// by CI next to BENCH_engine.json).
+///
+///   build/bench_decay               # FREQ_BENCH_SCALE scales the stream
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/basic_frequent_items.h"
+#include "core/frequent_items_sketch.h"
+#include "core/lifetime_policy.h"
+#include "engine/stream_engine.h"
+#include "random/xoshiro.h"
+#include "random/zipf.h"
+
+namespace {
+
+using namespace freq;
+
+constexpr std::uint32_t k = 4096;
+constexpr std::uint32_t num_shards = 2;
+constexpr int epochs = 8;
+constexpr std::uint32_t window = 3;
+constexpr double rho = 0.5;
+constexpr std::size_t topn = 100;
+
+struct policy_result {
+    std::string name;
+    double seconds = 0.0;
+    double recall = 0.0;
+    double total_weight = 0.0;
+};
+
+/// Top-n ids of an exact (id -> weight) map.
+std::vector<std::uint64_t> exact_topn(
+    const std::unordered_map<std::uint64_t, double>& counts, std::size_t n) {
+    std::vector<std::pair<std::uint64_t, double>> rows(counts.begin(), counts.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < std::min(n, rows.size()); ++i) {
+        out.push_back(rows[i].first);
+    }
+    return out;
+}
+
+double recall_against(const std::vector<std::uint64_t>& sketch_ids,
+                      const std::vector<std::uint64_t>& truth) {
+    const std::unordered_set<std::uint64_t> got(sketch_ids.begin(), sketch_ids.end());
+    std::size_t hit = 0;
+    for (const auto id : truth) {
+        hit += got.count(id);
+    }
+    return truth.empty() ? 1.0 : static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+/// Runs one policy's engine over the epoch-sliced stream, ticking at each
+/// epoch boundary, and returns wall seconds + the merged snapshot's top-n.
+template <typename Sketch, typename W>
+std::pair<double, std::vector<std::uint64_t>> run_engine(
+    const std::vector<update_stream<std::uint64_t, std::uint64_t>>& epochs_traffic,
+    const sketch_config& scfg, double* total_weight_out) {
+    engine_config cfg;
+    cfg.num_shards = num_shards;
+    cfg.sketch = scfg;
+    stream_engine<std::uint64_t, W, Sketch> engine(cfg);
+    bench::stopwatch sw;
+    {
+        auto producer = engine.make_producer();
+        for (std::size_t e = 0; e < epochs_traffic.size(); ++e) {
+            for (const auto& u : epochs_traffic[e]) {
+                producer.push(u.id, static_cast<W>(u.weight));
+            }
+            producer.flush();
+            engine.flush();
+            if (e + 1 < epochs_traffic.size()) {
+                engine.advance_epoch();
+            }
+        }
+    }
+    const double s = sw.seconds();
+    const auto snap = engine.snapshot();
+    *total_weight_out = static_cast<double>(snap.total_weight());
+    std::vector<std::uint64_t> ids;
+    for (const auto& r : snap.top_items(topn)) {
+        ids.push_back(r.id);
+    }
+    return {s, ids};
+}
+
+}  // namespace
+
+int main() {
+    const std::uint64_t n = bench::scaled(4'000'000);
+    const std::uint64_t per_epoch = n / epochs;
+    const std::uint64_t distinct = std::max<std::uint64_t>(n / 10, 1'000);
+    // Rotating the zipf rank->id map by distinct/epochs per epoch replaces
+    // roughly the whole hot set over the run.
+    const std::uint64_t drift = distinct / epochs;
+
+    std::printf("decay bench: n=%llu zipf(1.1) distinct=%llu epochs=%d drift=%llu "
+                "rho=%.2f window=%u shards=%u k=%u\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(distinct), epochs,
+                static_cast<unsigned long long>(drift), rho, window, num_shards, k);
+
+    // Epoch-sliced traffic with a drifting hot set, plus exact references.
+    std::vector<update_stream<std::uint64_t, std::uint64_t>> traffic(epochs);
+    std::unordered_map<std::uint64_t, double> exact_decayed;
+    std::unordered_map<std::uint64_t, double> exact_window;
+    std::vector<std::unordered_map<std::uint64_t, double>> per_epoch_counts(epochs);
+    xoshiro256ss rng(4242);
+    zipf_distribution zipf(distinct, 1.1);
+    for (int e = 0; e < epochs; ++e) {
+        traffic[e].reserve(per_epoch);
+        for (std::uint64_t i = 0; i < per_epoch; ++i) {
+            const std::uint64_t rank = zipf(rng);
+            const std::uint64_t id =
+                1 + (rank - 1 + drift * static_cast<std::uint64_t>(e)) % distinct;
+            const std::uint64_t w = rng.between(1, 100);
+            traffic[e].push_back({id, w});
+            exact_decayed[id] += static_cast<double>(w);
+            per_epoch_counts[e][id] += static_cast<double>(w);
+        }
+        if (e + 1 < epochs) {
+            for (auto& [id, c] : exact_decayed) {
+                c *= rho;
+            }
+        }
+    }
+    for (int e = epochs - static_cast<int>(window); e < epochs; ++e) {
+        for (const auto& [id, w] : per_epoch_counts[e]) {
+            exact_window[id] += w;
+        }
+    }
+    const auto decayed_top = exact_topn(exact_decayed, topn);
+    const auto window_top = exact_topn(exact_window, topn);
+
+    std::vector<policy_result> results;
+
+    {
+        policy_result r{.name = "plain"};
+        auto [s, ids] = run_engine<frequent_items_sketch<std::uint64_t, std::uint64_t>,
+                                   std::uint64_t>(
+            traffic, sketch_config{.max_counters = k, .seed = 1}, &r.total_weight);
+        r.seconds = s;
+        // Plain has no lifetime: score it against the recent-window truth to
+        // expose the drift lag (its recall vs all-time truth is the plain
+        // engine bench's territory).
+        r.recall = recall_against(ids, window_top);
+        results.push_back(r);
+    }
+    {
+        policy_result r{.name = "fading"};
+        auto [s, ids] =
+            run_engine<fading_frequent_items<std::uint64_t, double>, double>(
+                traffic, sketch_config{.max_counters = k, .seed = 1, .decay = rho},
+                &r.total_weight);
+        r.seconds = s;
+        r.recall = recall_against(ids, decayed_top);
+        results.push_back(r);
+    }
+    {
+        policy_result r{.name = "windowed"};
+        auto [s, ids] =
+            run_engine<windowed_frequent_items<std::uint64_t, std::uint64_t>,
+                       std::uint64_t>(
+                traffic,
+                sketch_config{.max_counters = k, .seed = 1, .window_epochs = window},
+                &r.total_weight);
+        r.seconds = s;
+        r.recall = recall_against(ids, window_top);
+        results.push_back(r);
+    }
+
+    bench::print_header("lifetime policies on a drifting hot set",
+                        "policy      Mupd/s   top-100 recall   total weight");
+    for (const auto& r : results) {
+        std::printf("%-10s %7.2f %16.2f %14.4g\n", r.name.c_str(),
+                    static_cast<double>(n) / r.seconds / 1e6, r.recall, r.total_weight);
+    }
+
+    // The lifetime policies must track the drifting hot set materially
+    // better than the lifetime-less sketch.
+    bench::check(results[1].recall >= results[0].recall + 0.1,
+                 "fading recall beats plain-vs-recent-truth by >= 0.1");
+    bench::check(results[2].recall >= results[0].recall + 0.1,
+                 "windowed recall beats plain-vs-recent-truth by >= 0.1");
+    bench::check(results[1].recall >= 0.8, "fading top-100 recall >= 0.8");
+    bench::check(results[2].recall >= 0.8, "windowed top-100 recall >= 0.8");
+
+    FILE* json = std::fopen("BENCH_decay.json", "w");
+    if (json != nullptr) {
+        std::fprintf(json, "{\n");
+        std::fprintf(json, "  \"bench\": \"lifetime_policies\",\n");
+        std::fprintf(json,
+                     "  \"stream\": {\"n\": %llu, \"alpha\": 1.1, \"distinct\": %llu, "
+                     "\"epochs\": %d, \"drift_per_epoch\": %llu},\n",
+                     static_cast<unsigned long long>(n),
+                     static_cast<unsigned long long>(distinct), epochs,
+                     static_cast<unsigned long long>(drift));
+        std::fprintf(json,
+                     "  \"config\": {\"k\": %u, \"shards\": %u, \"decay\": %.2f, "
+                     "\"window_epochs\": %u},\n",
+                     k, num_shards, rho, window);
+        std::fprintf(json, "  \"policies\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& r = results[i];
+            std::fprintf(json,
+                         "    {\"policy\": \"%s\", \"mups\": %.3f, "
+                         "\"top100_recall\": %.4f, \"total_weight\": %.6g}%s\n",
+                         r.name.c_str(), static_cast<double>(n) / r.seconds / 1e6,
+                         r.recall, r.total_weight, i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_decay.json\n");
+    }
+    return 0;
+}

@@ -115,11 +115,20 @@ int main() {
                     static_cast<unsigned long long>(r.ring_full_stalls));
     }
 
+    // Acceptance: 4 shards >= 2x the element-wise single-thread baseline.
+    // On machines with < 4 hardware threads the measurement is still taken
+    // and recorded, but the check degrades to an explicit [INFO] line — it
+    // must never silently count as a PASS it did not earn.
     const double four_shard_rate =
         static_cast<double>(n) / runs[2].seconds / 1e6;
-    bench::check(hw < 4 || four_shard_rate >= 2.0 * base_rate,
-                 "4-shard engine >= 2x single-thread update() throughput "
-                 "(gated on >= 4 hardware threads)");
+    const bool accepted = four_shard_rate >= 2.0 * base_rate;
+    if (hw >= 4) {
+        bench::check(accepted, "4-shard engine >= 2x single-thread update() throughput");
+    } else {
+        std::printf("[INFO] 4-shard speedup %.2fx %s the 2x acceptance target — "
+                    "informational only: %u hardware thread(s) < 4 required for the gate\n",
+                    four_shard_rate / base_rate, accepted ? "meets" : "misses", hw);
+    }
 
     // Machine-readable record for CI trend tracking.
     FILE* json = std::fopen("BENCH_engine.json", "w");
@@ -129,6 +138,14 @@ int main() {
         std::fprintf(json, "  \"stream\": {\"n\": %llu, \"alpha\": 1.1, \"k\": %u},\n",
                      static_cast<unsigned long long>(n), k);
         std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json, "  \"shard_counts\": [");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            std::fprintf(json, "%u%s", runs[i].shards, i + 1 < runs.size() ? ", " : "");
+        }
+        std::fprintf(json, "],\n");
+        std::fprintf(json, "  \"acceptance\": {\"target_speedup\": 2.0, \"gated\": %s, "
+                     "\"met\": %s},\n",
+                     hw >= 4 ? "true" : "false", accepted ? "true" : "false");
         std::fprintf(json, "  \"single_thread_update_mups\": %.3f,\n", base_rate);
         std::fprintf(json, "  \"single_thread_batched_mups\": %.3f,\n", batched_rate);
         std::fprintf(json, "  \"engine\": [\n");

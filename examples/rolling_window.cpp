@@ -3,73 +3,85 @@
 /// course of several years ... summaries can then be seamlessly merged to
 /// answer approximate queries about the data of interest."
 ///
-/// This example keeps one sketch per epoch (a "minute" of traffic) and
-/// answers "top talkers over the last W minutes" at query time by merging
-/// the W most recent epoch sketches — merging is cheap enough (O(k),
-/// in place on a scratch copy) to do per query.
+/// This used to hand-roll a deque of per-epoch sketches; the epoch_window
+/// lifetime policy (core/lifetime_policy.h) now keeps that ring *inside* the
+/// sketch, and the sharded engine runs it concurrently: traffic streams
+/// through the same producer/ring/worker path as the plain engine,
+/// advance_epoch() rotates every shard's window at each epoch boundary
+/// (evicting the expired epoch exactly), and snapshot() epoch-aligns the
+/// shard windows into one `windowed_frequent_items` whose queries cover
+/// precisely the last `window_epochs` epochs.
 ///
-///   build/examples/rolling_window
+///   build/rolling_window
 
+#include <algorithm>
 #include <cstdio>
-#include <deque>
-#include <vector>
 
-#include "core/frequent_items_sketch.h"
+#include "core/basic_frequent_items.h"
+#include "engine/stream_engine.h"
 #include "net/ipv4.h"
 #include "stream/generators.h"
 
 int main() {
     using namespace freq;
-    using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
+    using window_sketch = windowed_frequent_items<std::uint64_t, std::uint64_t>;
 
     constexpr std::uint32_t k = 2048;
-    constexpr int window_epochs = 5;
-    constexpr int total_epochs = 12;
+    constexpr std::uint32_t window_epochs = 5;
+    constexpr int total_epochs = 14;  // burst (epochs 6-8) ages out at epoch 13
+    constexpr int last_burst_epoch = 8;
 
-    std::deque<sketch_u64> epochs;  // most recent at the back
+    engine_config cfg;
+    cfg.num_shards = 2;
+    cfg.sketch = sketch_config{
+        .max_counters = k, .seed = 0, .window_epochs = window_epochs};
+    stream_engine<std::uint64_t, std::uint64_t, window_sketch> engine(cfg);
+    auto producer = engine.make_producer();
 
     for (int epoch = 0; epoch < total_epochs; ++epoch) {
         // Each epoch sees fresh traffic; epochs 6-8 contain a burst from one
         // source, which must surface in windows covering them and age out
         // afterwards.
-        sketch_u64 summary(
-            sketch_config{.max_counters = k, .seed = static_cast<std::uint64_t>(epoch)});
         caida_like_generator gen({.num_updates = 300'000,
                                   .num_flows = 60'000,
                                   .seed = 100 + static_cast<std::uint64_t>(epoch)});
         for (const auto& pkt : gen.generate()) {
-            summary.update(pkt.id, pkt.weight);
+            producer.push(pkt.id, pkt.weight);
         }
-        if (epoch >= 6 && epoch <= 8) {
+        if (epoch >= 6 && epoch <= last_burst_epoch) {
             const auto attacker = *net::parse_ipv4("203.0.113.99");
             for (int i = 0; i < 30'000; ++i) {
-                summary.update(attacker, 12'000);
+                producer.push(attacker, 12'000);
             }
         }
-        epochs.push_back(std::move(summary));
-        if (epochs.size() > total_epochs) {
-            epochs.pop_front();
-        }
+        producer.flush();
+        engine.flush();
 
-        // Query: merge the last `window_epochs` summaries into a scratch
-        // sketch (the stored epoch summaries stay untouched).
-        const int have = static_cast<int>(epochs.size());
-        const int from = std::max(0, have - window_epochs);
-        sketch_u64 window(sketch_config{.max_counters = k, .seed = 999});
-        for (int i = from; i < have; ++i) {
-            window.merge(epochs[i]);
-        }
+        // Query: the merged snapshot covers exactly the last
+        // min(epoch + 1, window_epochs) epochs; no scratch deque, no manual
+        // merge loop.
+        const auto window = engine.snapshot();
         const auto top = window.top_items(3);
-        std::printf("epoch %2d | window [%2d, %2d) | top talkers:", epoch, from, have);
+        std::printf("epoch %2d | window covers last %2d epoch(s) | top talkers:", epoch,
+                    static_cast<int>(
+                        std::min<std::uint64_t>(window.now() + 1, window_epochs)));
         for (const auto& r : top) {
             std::printf("  %s=%0.2fMbit",
                         net::format_ipv4(static_cast<std::uint32_t>(r.id)).c_str(),
                         static_cast<double>(r.estimate) / 1e6);
         }
-        std::printf("%s\n", (epoch >= 6 && epoch <= 10) ? "   <- burst in window" : "");
+        const bool burst_in_window =
+            epoch >= 6 &&
+            epoch <= last_burst_epoch + static_cast<int>(window_epochs) - 1;
+        std::printf("%s\n", burst_in_window ? "   <- burst in window" : "");
+
+        // Epoch boundary: every shard rotates its ring, evicting the epoch
+        // that slides out of the window.
+        engine.advance_epoch();
     }
 
-    std::printf("\nNote how 203.0.113.99 enters the top list at epoch 6 and ages out once"
-                " the window slides past epoch 8 + %d.\n", window_epochs - 1);
+    std::printf("\nNote how 203.0.113.99 enters the top list at epoch 6 and ages out at"
+                " epoch %d, once the window slides past epoch %d.\n",
+                last_burst_epoch + static_cast<int>(window_epochs), last_burst_epoch);
     return 0;
 }

@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 
+#include "core/basic_frequent_items.h"
 #include "core/frequent_items_sketch.h"
 #include "engine/stream_engine.h"
 #include "metrics/error.h"
@@ -95,6 +96,46 @@ int main(int argc, char** argv) {
     std::printf("\nmax estimate error over all %zu sources: %.0f bits (certified bound: %llu)\n",
                 report.items_evaluated, report.max_error,
                 static_cast<unsigned long long>(sketch.maximum_error()));
+
+    // --- time-fading variant -------------------------------------------------
+    // The same engine with exponential_fading shards: each advance_epoch()
+    // halves the weight of everything seen so far, so the report ranks
+    // *recent* talkers. Here the trace is replayed in four "minutes" with a
+    // decay tick between them — sources active in the last minute dominate
+    // sources that went quiet, even when their all-time byte counts are
+    // smaller.
+    using fading_sketch = fading_frequent_items<std::uint64_t, double>;
+    engine_config fcfg;
+    fcfg.num_shards = 4;
+    fcfg.sketch = sketch_config{.max_counters = 4096, .seed = 7, .decay = 0.5};
+    stream_engine<std::uint64_t, double, fading_sketch> fading_engine(fcfg);
+    {
+        auto fp = fading_engine.make_producer();
+        const std::size_t quarter = trace.size() / 4;
+        for (int q = 0; q < 4; ++q) {
+            const std::size_t begin = quarter * static_cast<std::size_t>(q);
+            const std::size_t end = q == 3 ? trace.size() : begin + quarter;
+            for (std::size_t i = begin; i < end; ++i) {
+                fp.push(trace[i].id, static_cast<double>(trace[i].weight));
+            }
+            fp.flush();
+            fading_engine.flush();
+            if (q < 3) {
+                fading_engine.advance_epoch();  // everything so far fades by 1/2
+            }
+        }
+    }
+    const auto fading_snap = fading_engine.snapshot();
+    std::printf("\nrecent talkers (decay 0.5 per quarter-trace epoch, decayed Gbit):\n");
+    for (const auto& r : fading_snap.top_items(5)) {
+        std::printf("  %-18s %10.4f\n",
+                    net::format_ipv4(static_cast<std::uint32_t>(r.id)).c_str(),
+                    r.estimate / 1e9);
+    }
+    std::printf("decayed total: %.3f Gbit of %.3f Gbit all-time\n",
+                fading_snap.total_weight() / 1e9,
+                static_cast<double>(sketch.total_weight()) / 1e9);
+
     if (argc <= 1) {
         std::filesystem::remove(path);
     }

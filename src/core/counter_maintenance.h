@@ -1,0 +1,39 @@
+#ifndef FREQ_CORE_COUNTER_MAINTENANCE_H
+#define FREQ_CORE_COUNTER_MAINTENANCE_H
+
+/// \file counter_maintenance.h
+/// The one maintenance step every counter-based summary in this codebase
+/// shares — Algorithm 4's Update() skeleton: increment the item's counter if
+/// tracked, claim a free counter if one exists, otherwise reduce every
+/// counter by some c* and admit the remainder when it is positive.
+///
+/// The variants differ only in storage (parallel-array counter_table vs.
+/// node-based map) and in how c* is chosen (sampled quantile vs. exact
+/// median) — both are injected, so the admission logic exists exactly once.
+
+namespace freq::detail {
+
+/// \param store   counter storage providing find(id) -> W* (nullptr when
+///                untracked), full(), and upsert(id, w) for absent ids.
+/// \param reduce  invoked only when the store is full; must subtract some
+///                c* > 0 from every counter, erase the non-positive ones,
+///                and return c*.
+template <typename Store, typename K, typename W, typename Reduce>
+void claim_or_reduce(Store& store, const K& id, W weight, Reduce&& reduce) {
+    if (W* c = store.find(id)) {
+        *c += weight;
+        return;
+    }
+    if (!store.full()) {
+        store.upsert(id, weight);
+        return;
+    }
+    const W cstar = reduce();
+    if (weight > cstar) {
+        store.upsert(id, weight - cstar);
+    }
+}
+
+}  // namespace freq::detail
+
+#endif  // FREQ_CORE_COUNTER_MAINTENANCE_H

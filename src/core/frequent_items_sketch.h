@@ -24,249 +24,64 @@
 /// Accuracy (Theorem 4): with q = 0.5 and l = 1024, for any j < k/3,
 ///     0 ≤ f_i − lower_bound(i) ≤ N^res(j) / (0.33·k − j)
 /// with probability ≥ 1 − 1.5e-8 for streams of length up to 1e20 (§2.3.2).
+///
+/// The maintenance loop itself — claim/increment/decrement-by-sample-median,
+/// purge, merge — lives in the policy-templated core
+/// (core/basic_frequent_items.h); this class is the plain-lifetime
+/// instantiation (bit-identical to the pre-policy implementation) plus the
+/// portable serialization and raw-row construction the merge architecture
+/// uses. Time-fading and sliding-window lifetimes are the same core under
+/// exponential_fading / epoch_window (see core/lifetime_policy.h).
 
-#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/contracts.h"
+#include "core/basic_frequent_items.h"
 #include "core/sketch_config.h"
-#include "random/xoshiro.h"
-#include "select/quickselect.h"
-#include "stream/update.h"
-#include "table/counter_table.h"
 
 namespace freq {
 
 template <typename K = std::uint64_t, typename W = std::uint64_t>
-class frequent_items_sketch {
+class frequent_items_sketch : public basic_frequent_items<K, W, plain_lifetime> {
+    using base = basic_frequent_items<K, W, plain_lifetime>;
+
 public:
     using key_type = K;
     using weight_type = W;
-
-    /// One reported heavy hitter (see frequent_items()).
-    struct row {
-        K id;
-        W estimate;     ///< §2.3.1 hybrid estimate (= upper bound for tracked items)
-        W lower_bound;  ///< raw counter: never exceeds the true frequency
-        W upper_bound;  ///< counter + offset: never below the true frequency
-
-        friend bool operator==(const row&, const row&) = default;
-    };
+    using row = typename base::row;
 
     /// Sketch with k = \p max_counters and the paper's default policy
     /// (sample median of l = 1024, i.e. SMED).
-    explicit frequent_items_sketch(std::uint32_t max_counters)
-        : frequent_items_sketch(sketch_config{.max_counters = max_counters}) {}
+    explicit frequent_items_sketch(std::uint32_t max_counters) : base(max_counters) {}
 
-    explicit frequent_items_sketch(const sketch_config& cfg)
-        : cfg_(cfg),
-          table_(cfg.max_counters, cfg.seed),
-          rng_(mix64(cfg.seed ^ 0xa076'1d64'78bd'642fULL)) {
-        FREQ_REQUIRE(cfg.max_counters >= 1, "sketch needs at least one counter");
-        FREQ_REQUIRE(cfg.decrement_quantile >= 0.0 && cfg.decrement_quantile < 1.0,
-                     "decrement quantile must be in [0, 1)");
-        // The upper bound keeps hostile serialized images (untrusted input in
-        // the §3 merging architecture) from driving huge allocations.
-        FREQ_REQUIRE(cfg.sample_size >= 1 && cfg.sample_size <= (1u << 20),
-                     "sample size must be in [1, 2^20]");
-        sample_buf_.resize(cfg.sample_size);
-    }
-
-    // --- stream ingestion ---------------------------------------------------
-
-    /// Processes the weighted update (id, weight). Amortized O(1).
-    /// weight = 0 is a no-op; negative weights are rejected (§1.3's note:
-    /// handle deletions with a second sketch, not negative updates).
-    void update(K id, W weight) {
-        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
-            FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
-        }
-        if (weight == W{0}) {
-            return;
-        }
-        total_weight_ += weight;
-        ingest(id, weight);
-    }
-
-    /// Unit-weight convenience overload.
-    void update(K id) { update(id, W{1}); }
-
-    /// Batched fast path: processes a whole run of updates with the
-    /// per-call bookkeeping hoisted out of the loop — total weight
-    /// accumulates in a register and is folded into the sketch once, and
-    /// table probes are software-pipelined by prefetching a few items
-    /// ahead (counter_table::prefetch). Semantically identical to calling
-    /// update(id, weight) for each element in order; this is the path the
-    /// sharded engine's workers drain ring batches through.
-    void update(std::span<const freq::update<K, W>> batch) {
-        // Validate the whole batch before touching any state, so a rejected
-        // weight cannot leave the sketch with counters not yet reflected in
-        // total_weight_ (the element-wise path validates-then-mutates per
-        // element; this keeps the all-or-nothing boundary at the batch).
-        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
-            for (const auto& u : batch) {
-                FREQ_REQUIRE(u.weight >= W{0}, "update weights must be non-negative");
-            }
-        }
-        static constexpr std::size_t lookahead = 8;
-        const std::size_t n = batch.size();
-        W added{0};
-        for (std::size_t i = 0; i < n; ++i) {
-            if (i + lookahead < n) {
-                table_.prefetch(batch[i + lookahead].id);
-            }
-            const K id = batch[i].id;
-            const W weight = batch[i].weight;
-            if (weight == W{0}) {
-                continue;
-            }
-            added += weight;
-            ingest(id, weight);
-        }
-        total_weight_ += added;
-    }
-
-    void consume(const update_stream<K, W>& stream) {
-        update(std::span<const freq::update<K, W>>(stream.data(), stream.size()));
-    }
-
-    // --- queries -------------------------------------------------------------
-
-    /// The §2.3.1 hybrid estimate: c(i) + offset when tracked, else 0.
-    W estimate(K id) const {
-        const W* c = table_.find(id);
-        return c != nullptr ? *c + offset_ : W{0};
-    }
-
-    /// Never exceeds the true frequency f_i.
-    W lower_bound(K id) const {
-        const W* c = table_.find(id);
-        return c != nullptr ? *c : W{0};
-    }
-
-    /// Never below the true frequency f_i.
-    W upper_bound(K id) const {
-        const W* c = table_.find(id);
-        return c != nullptr ? *c + offset_ : offset_;
-    }
-
-    /// The accumulated offset: an a-posteriori bound on the error of any
-    /// estimate (upper_bound − lower_bound ≤ maximum_error() always).
-    W maximum_error() const noexcept { return offset_; }
-
-    /// N — total weight of all processed updates (including merged streams).
-    W total_weight() const noexcept { return total_weight_; }
-
-    std::uint32_t num_counters() const noexcept { return table_.size(); }
-    std::uint32_t capacity() const noexcept { return table_.capacity(); }
-    bool empty() const noexcept { return table_.empty(); }
-    const sketch_config& config() const noexcept { return cfg_; }
-
-    /// Bytes of counter storage (the equal-space comparisons of §4.3 budget
-    /// on this figure; the sample buffer is excluded as the paper's space
-    /// accounting counts summary state, and the buffer is O(l) = O(1)).
-    std::size_t memory_bytes() const noexcept { return table_.memory_bytes(); }
-
-    /// Storage cost for a hypothetical sketch with k counters — used by the
-    /// benches to size algorithms for equal-space comparisons.
-    static std::size_t bytes_for(std::uint32_t k) noexcept {
-        return counter_table<K, W>::bytes_for(k);
-    }
-
-    /// Number of DecrementCounters() executions so far (instrumentation:
-    /// Lemma 3 / Theorem 3 assert this is O(n/k)).
-    std::uint64_t num_decrements() const noexcept { return num_decrements_; }
-
-    /// All items whose bound (chosen by \p et) strictly exceeds \p threshold,
-    /// sorted by descending estimate. With et = no_false_negatives and
-    /// threshold = φ·N this returns every (φ, ε)-heavy hitter (§1.2).
-    std::vector<row> frequent_items(error_type et, W threshold) const {
-        std::vector<row> out;
-        table_.for_each([&](K id, W c) {
-            const W lb = c;
-            const W ub = c + offset_;
-            const W bound = et == error_type::no_false_positives ? lb : ub;
-            if (bound > threshold) {
-                out.push_back(row{id, ub, lb, ub});
-            }
-        });
-        std::sort(out.begin(), out.end(),
-                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
-        return out;
-    }
-
-    /// Threshold-free overload using maximum_error() as the threshold, the
-    /// tightest value for which the chosen guarantee is meaningful.
-    std::vector<row> frequent_items(error_type et) const {
-        return frequent_items(et, offset_);
-    }
-
-    /// The (up to) m tracked items with the largest estimates, in descending
-    /// order — the "top talkers" convenience query. No threshold guarantee:
-    /// ranks within maximum_error() of each other may be swapped relative to
-    /// the true ordering.
-    std::vector<row> top_items(std::size_t m) const {
-        std::vector<row> out;
-        out.reserve(table_.size());
-        table_.for_each([&](K id, W c) { out.push_back(row{id, c + offset_, c, c + offset_}); });
-        std::sort(out.begin(), out.end(),
-                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
-        if (out.size() > m) {
-            out.resize(m);
-        }
-        return out;
-    }
-
-    /// Visits every tracked (id, raw_counter) pair.
-    template <typename F>
-    void for_each(F&& f) const {
-        table_.for_each(std::forward<F>(f));
-    }
-
-    // --- merging (Algorithm 5) -----------------------------------------------
-
-    /// Merges \p other into this sketch: each of the other summary's raw
-    /// counters becomes one weighted update here, iterated from a random
-    /// slot (§3.2's note — front-to-back iteration with a shared hash
-    /// function would overpopulate the front of this table), then offsets
-    /// add. O(k) time, no allocation, arbitrary aggregation trees supported
-    /// (Theorem 5).
-    void merge(const frequent_items_sketch& other) {
-        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
-        const W combined_weight = total_weight_ + other.total_weight_;
-        if (!other.table_.empty()) {
-            const auto start =
-                static_cast<std::uint32_t>(rng_.below(other.table_.num_slots()));
-            other.table_.for_each_from(start, [&](K id, W c) { ingest(id, c); });
-        }
-        offset_ += other.offset_;
-        total_weight_ = combined_weight;
-    }
+    explicit frequent_items_sketch(const sketch_config& cfg) : base(cfg) {}
 
     // --- serialization ---------------------------------------------------------
 
     /// Portable little-endian encoding; stable across platforms.
     std::vector<std::uint8_t> serialize() const {
         byte_writer w;
-        w.reserve(48 + static_cast<std::size_t>(table_.size()) * (sizeof(K) + 8));
+        const sketch_config& cfg = this->config();
+        w.reserve(48 + static_cast<std::size_t>(this->num_counters()) * (sizeof(K) + 8));
         w.put_u32(serde_magic);
         w.put_u8(serde_version);
         w.put_u8(sizeof(K));
         w.put_u8(weight_code());
         w.put_u8(0);  // reserved flags
-        w.put_u32(cfg_.max_counters);
-        w.put_u32(cfg_.sample_size);
-        w.put_f64(cfg_.decrement_quantile);
-        w.put_u64(cfg_.seed);
-        put_weight(w, offset_);
-        put_weight(w, total_weight_);
-        w.put_u32(table_.size());
-        table_.for_each([&](K id, W c) {
+        w.put_u32(cfg.max_counters);
+        w.put_u32(cfg.sample_size);
+        w.put_f64(cfg.decrement_quantile);
+        w.put_u64(cfg.seed);
+        put_weight(w, this->offset_);
+        put_weight(w, this->total_weight_);
+        w.put_u32(this->num_counters());
+        this->for_each([&](K id, W c) {
             w.put_u64(static_cast<std::uint64_t>(id));
             put_weight(w, c);
         });
@@ -334,11 +149,11 @@ public:
 
     /// One-line human-readable summary (examples / debugging).
     std::string to_string() const {
-        return "frequent_items_sketch(k=" + std::to_string(cfg_.max_counters) +
-               ", counters=" + std::to_string(table_.size()) +
-               ", N=" + std::to_string(static_cast<double>(total_weight_)) +
-               ", max_error=" + std::to_string(static_cast<double>(offset_)) +
-               ", decrements=" + std::to_string(num_decrements_) + ")";
+        return "frequent_items_sketch(k=" + std::to_string(this->config().max_counters) +
+               ", counters=" + std::to_string(this->num_counters()) +
+               ", N=" + std::to_string(static_cast<double>(this->total_weight())) +
+               ", max_error=" + std::to_string(static_cast<double>(this->maximum_error())) +
+               ", decrements=" + std::to_string(this->num_decrements()) + ")";
     }
 
 private:
@@ -364,51 +179,6 @@ private:
             return static_cast<W>(r.get_u64());
         }
     }
-
-    /// Algorithm 4's Update(), minus N bookkeeping (merge() feeds raw
-    /// counters through this path without double-counting stream weight).
-    void ingest(K id, W weight) {
-        if (W* c = table_.find(id)) {
-            *c += weight;
-            return;
-        }
-        if (!table_.full()) {
-            table_.upsert(id, weight);
-            return;
-        }
-        const W cstar = decrement_counters();
-        if (weight > cstar) {
-            table_.upsert(id, weight - cstar);
-        }
-    }
-
-    /// Algorithm 4's DecrementCounters(): sample l live counters with
-    /// replacement, subtract the configured sample quantile from every
-    /// counter, and drop the non-positive ones. Returns c*.
-    W decrement_counters() {
-        const std::uint32_t slots = table_.num_slots();
-        for (auto& sample : sample_buf_) {
-            std::uint32_t s;
-            do {
-                s = static_cast<std::uint32_t>(rng_.below(slots));
-            } while (!table_.slot_occupied(s));
-            sample = table_.slot_value(s);
-        }
-        const W cstar = quickselect_quantile(std::span<W>(sample_buf_), cfg_.decrement_quantile);
-        FREQ_ENSURES(cstar > W{0});
-        table_.decrement_all(cstar);
-        offset_ += cstar;
-        ++num_decrements_;
-        return cstar;
-    }
-
-    sketch_config cfg_;
-    counter_table<K, W> table_;
-    xoshiro256ss rng_;
-    std::vector<W> sample_buf_;
-    W offset_{0};
-    W total_weight_{0};
-    std::uint64_t num_decrements_ = 0;
 };
 
 /// The deployed configuration (k counters, sample median): SMED of §4.

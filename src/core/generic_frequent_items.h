@@ -17,6 +17,11 @@
 ///
 /// Use `frequent_items_sketch` (64-bit keys) or `string_frequent_items`
 /// (fingerprinted strings) when they fit — they are several times faster.
+///
+/// The claim/increment/reduce admission step is the shared skeleton of
+/// core/counter_maintenance.h (the same loop the counter_table-backed core
+/// runs); only the storage (node map) and the c* selection (exact median)
+/// differ here.
 
 #include <algorithm>
 #include <cstdint>
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "common/contracts.h"
+#include "core/counter_maintenance.h"
 #include "core/sketch_config.h"
 #include "select/quickselect.h"
 
@@ -123,20 +129,24 @@ public:
     }
 
 private:
+    /// Adapts the node-based map to the storage concept of the shared
+    /// maintenance skeleton (core/counter_maintenance.h): find / full /
+    /// upsert-of-absent-id.
+    struct map_store {
+        std::unordered_map<T, W, Hash, Equal>& counters;
+        std::uint32_t max_counters;
+
+        W* find(const T& item) {
+            const auto it = counters.find(item);
+            return it == counters.end() ? nullptr : &it->second;
+        }
+        bool full() const { return counters.size() >= max_counters; }
+        void upsert(const T& item, W weight) { counters.emplace(item, weight); }
+    };
+
     void ingest(const T& item, W weight) {
-        const auto it = counters_.find(item);
-        if (it != counters_.end()) {
-            it->second += weight;
-            return;
-        }
-        if (counters_.size() < max_counters_) {
-            counters_.emplace(item, weight);
-            return;
-        }
-        const W cstar = decrement_counters();
-        if (weight > cstar) {
-            counters_.emplace(item, weight - cstar);
-        }
+        map_store store{counters_, max_counters_};
+        detail::claim_or_reduce(store, item, weight, [&] { return decrement_counters(); });
     }
 
     W decrement_counters() {

@@ -1,0 +1,115 @@
+#ifndef FREQ_CORE_LIFETIME_POLICY_H
+#define FREQ_CORE_LIFETIME_POLICY_H
+
+/// \file lifetime_policy.h
+/// Lifetime policies for the shared counter-maintenance core
+/// (basic_frequent_items): how tracked weight ages as the stream's logical
+/// clock advances. The counter engine is written once; a policy decides what
+/// a counter *means* over time.
+///
+///  * plain_lifetime — weight never ages. Bit-identical to the paper's
+///    Algorithm 4 sketch: every policy hook compiles away.
+///  * exponential_fading — time-fading counts (Cafaro et al., FDCMSS): after
+///    t ticks an update of weight w counts w·ρ^t. Implemented by *forward
+///    decay* (Cormode et al.): arrivals are scaled UP by the inverse decay
+///    accumulated so far, so ticking is O(1) — no per-counter timestamps and
+///    no decay sweep — and stored counters stay mutually comparable. Queries
+///    scale back down; a rare O(k) renormalization pass rebases the landmark
+///    before the inflation factor loses floating-point headroom.
+///  * epoch_window — sliding window of the last `window_epochs` ticks, kept
+///    as a ring of plain sub-summaries (the §3 "summary per 1-hour period"
+///    deployment); eviction drops expired epochs exactly.
+///
+/// plain_lifetime and exponential_fading instantiate the primary
+/// basic_frequent_items template (one counter_table); epoch_window selects
+/// its partial specialization (ring of plain cores, merge-on-query).
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.h"
+#include "core/sketch_config.h"
+
+namespace freq {
+
+/// Weight never ages; every hook is a no-op the optimizer deletes.
+struct plain_lifetime {
+    static constexpr bool decaying = false;
+    static constexpr bool windowed = false;
+
+    void configure(const sketch_config&) noexcept {}
+};
+
+/// Forward-decay bookkeeping for time-fading counts. Stored counters are in
+/// "landmark units": an arrival of weight w at tick t is stored as
+/// w·ρ^{−(t−base)}, so the true decayed value at the current tick is always
+/// stored·ρ^{now−base} = stored / inflation(). All stored values share the
+/// landmark, which keeps the decrement/purge/merge machinery untouched.
+class exponential_fading {
+public:
+    static constexpr bool decaying = true;
+    static constexpr bool windowed = false;
+
+    /// Renormalize once arrivals are inflated by 2^40: doubles keep ~53 bits
+    /// of mantissa, so counters retain ≥ 13 bits of headroom over any
+    /// realistic weight range between rebasing passes.
+    static constexpr double renorm_threshold = 1099511627776.0;  // 2^40
+
+    void configure(const sketch_config& cfg) {
+        FREQ_REQUIRE(cfg.decay > 0.0 && cfg.decay <= 1.0,
+                     "exponential_fading decay factor must be in (0, 1]");
+        decay_ = cfg.decay;
+    }
+
+    double decay() const noexcept { return decay_; }
+    std::uint64_t now() const noexcept { return now_; }
+
+    /// Multiplier taking a value in landmark units to its decayed value at
+    /// the current tick (and its inverse scales arrivals in).
+    double inflation() const noexcept { return inflation_; }
+
+    /// Advances the logical clock one tick. Returns true when the caller
+    /// must renormalize its stored values (multiply them by renormalize()).
+    bool tick() noexcept {
+        ++now_;
+        inflation_ /= decay_;
+        return inflation_ > renorm_threshold;
+    }
+
+    /// Rebases the landmark to the current tick and returns the factor the
+    /// caller must apply to every stored value (counters, offset, total).
+    double renormalize() noexcept {
+        const double factor = 1.0 / inflation_;
+        inflation_ = 1.0;
+        return factor;
+    }
+
+    /// Bulk clock advance after a renormalize(): the caller applies the
+    /// ρ^n decay to its stored values directly, so inflation stays at the
+    /// fresh landmark.
+    void jump(std::uint64_t epochs) noexcept { now_ += epochs; }
+
+    /// Factor converting \p other's stored values into this sketch's
+    /// landmark units. Precondition: now() >= other.now() (the caller ticks
+    /// itself forward first) and equal decay factors.
+    double align_factor(const exponential_fading& other) const noexcept {
+        return inflation_ * std::pow(decay_, static_cast<double>(now_ - other.now_)) /
+               other.inflation_;
+    }
+
+private:
+    double decay_ = 1.0;
+    double inflation_ = 1.0;
+    std::uint64_t now_ = 0;
+};
+
+/// Tag selecting the sliding-window specialization of basic_frequent_items:
+/// a ring of sketch_config::window_epochs plain sub-summaries, one per tick.
+struct epoch_window {
+    static constexpr bool decaying = false;
+    static constexpr bool windowed = true;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_LIFETIME_POLICY_H

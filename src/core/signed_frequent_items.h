@@ -10,27 +10,46 @@
 /// proportional to Σ|Δ_j| instead of Σ Δ_j — suitable whenever deletions
 /// are a modest fraction of traffic (the strict turnstile regime where
 /// counter-based summaries can still beat linear sketches).
+///
+/// A thin adapter over the policy-templated core: the Lifetime parameter
+/// (core/lifetime_policy.h) applies the same aging to both halves of the
+/// pair, so e.g. signed_frequent_items<K, double, exponential_fading> gives
+/// time-fading net counts with the pairing argument intact (the triangle
+/// inequality holds per tick).
 
 #include <cstdint>
 #include <type_traits>
 
 #include "common/contracts.h"
+#include "core/basic_frequent_items.h"
 #include "core/frequent_items_sketch.h"
+#include "core/lifetime_policy.h"
 
 namespace freq {
 
-template <typename K = std::uint64_t, typename W = std::int64_t>
+template <typename K = std::uint64_t, typename W = std::int64_t,
+          typename Lifetime = plain_lifetime>
 class signed_frequent_items {
     static_assert(std::is_signed_v<W>, "signed_frequent_items needs a signed weight type");
     using magnitude = std::conditional_t<std::is_floating_point_v<W>, W, std::uint64_t>;
+    /// Plain pairs keep the serialization-capable sketch type; other
+    /// lifetimes sit on the policy core directly.
+    using inner_sketch = std::conditional_t<std::is_same_v<Lifetime, plain_lifetime>,
+                                            frequent_items_sketch<K, magnitude>,
+                                            basic_frequent_items<K, magnitude, Lifetime>>;
 
 public:
     using key_type = K;
     using weight_type = W;
+    using lifetime_policy = Lifetime;
 
     explicit signed_frequent_items(std::uint32_t max_counters, std::uint64_t seed = 0)
-        : inserts_(sketch_config{.max_counters = max_counters, .seed = seed}),
-          deletes_(sketch_config{.max_counters = max_counters, .seed = seed + 1}) {}
+        : signed_frequent_items(sketch_config{.max_counters = max_counters, .seed = seed}) {}
+
+    /// Full-config constructor — needed to reach the lifetime knobs
+    /// (sketch_config::decay / window_epochs).
+    explicit signed_frequent_items(const sketch_config& cfg)
+        : inserts_(cfg), deletes_(shifted_seed(cfg)) {}
 
     /// Processes (id, weight) where weight may be negative (a deletion).
     void update(K id, W weight) {
@@ -39,6 +58,12 @@ public:
         } else {
             deletes_.update(id, static_cast<magnitude>(-weight));
         }
+    }
+
+    /// Advances both halves' logical clocks together (no-op for plain).
+    void tick(std::uint64_t epochs = 1) {
+        inserts_.tick(epochs);
+        deletes_.tick(epochs);
     }
 
     /// f̂_i = positive estimate − negative estimate (may be negative due to
@@ -83,16 +108,20 @@ public:
         return inserts_.memory_bytes() + deletes_.memory_bytes();
     }
 
-    const frequent_items_sketch<K, magnitude>& insert_sketch() const noexcept {
-        return inserts_;
-    }
-    const frequent_items_sketch<K, magnitude>& delete_sketch() const noexcept {
-        return deletes_;
-    }
+    const inner_sketch& insert_sketch() const noexcept { return inserts_; }
+    const inner_sketch& delete_sketch() const noexcept { return deletes_; }
 
 private:
-    frequent_items_sketch<K, magnitude> inserts_;
-    frequent_items_sketch<K, magnitude> deletes_;
+    /// The delete half runs with seed + 1 so the pair's tables use
+    /// independent hash functions (same convention as before the policy
+    /// layer).
+    static sketch_config shifted_seed(sketch_config cfg) {
+        cfg.seed += 1;
+        return cfg;
+    }
+
+    inner_sketch inserts_;
+    inner_sketch deletes_;
 };
 
 }  // namespace freq

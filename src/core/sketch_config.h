@@ -43,6 +43,20 @@ struct sketch_config {
     /// constructed with different seeds use independent hash functions,
     /// which §3.2's note recommends for merging.
     std::uint64_t seed = 0;
+
+    // --- lifetime-policy knobs (see core/lifetime_policy.h) -----------------
+    // Ignored by the plain policy, so every pre-policy construction site and
+    // designated initializer keeps its exact meaning.
+
+    /// ρ ∈ (0, 1] — per-tick survival factor for the exponential_fading
+    /// policy (FDCMSS-style time-fading counts): after t ticks an update
+    /// contributes weight·ρ^t. 1.0 disables fading.
+    double decay = 1.0;
+
+    /// Ring size (number of epoch sub-summaries) for the epoch_window
+    /// policy: queries cover the current epoch plus the window_epochs − 1
+    /// preceding ones; older epochs are evicted exactly.
+    std::uint32_t window_epochs = 4;
 };
 
 }  // namespace freq

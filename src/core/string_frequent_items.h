@@ -15,22 +15,40 @@
 /// Fingerprint collisions merge two strings' counts; at 64 bits the chance
 /// any pair among k tracked items collides is ~k²/2⁶⁵ (≈1e-11 for k = 2¹⁵),
 /// the standard trade DataSketches also makes for string keys.
+///
+/// The adapter is a thin layer over the policy-templated core: pick a
+/// Lifetime (core/lifetime_policy.h) to get plain, time-fading or
+/// sliding-window semantics over the same fingerprint + dictionary scheme —
+/// e.g. string_frequent_items<double, exponential_fading> for fading word
+/// counts. The plain default is the pre-policy sketch, unchanged.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "core/basic_frequent_items.h"
 #include "core/frequent_items_sketch.h"
+#include "core/lifetime_policy.h"
 #include "hashing/hash.h"
 
 namespace freq {
 
-template <typename W = double>
+template <typename W = double, typename Lifetime = plain_lifetime>
 class string_frequent_items {
+    /// The plain instantiation routes through frequent_items_sketch so the
+    /// serialization-capable type stays reachable; other lifetimes sit on
+    /// the policy core directly.
+    using inner_sketch =
+        std::conditional_t<std::is_same_v<Lifetime, plain_lifetime>,
+                           frequent_items_sketch<std::uint64_t, W>,
+                           basic_frequent_items<std::uint64_t, W, Lifetime>>;
+
 public:
     using weight_type = W;
+    using lifetime_policy = Lifetime;
 
     struct row {
         std::string item;
@@ -40,21 +58,41 @@ public:
     };
 
     explicit string_frequent_items(std::uint32_t max_counters, std::uint64_t seed = 0)
-        : sketch_(sketch_config{.max_counters = max_counters, .seed = seed}) {
-        dict_.reserve(max_counters * 2);
+        : string_frequent_items(sketch_config{.max_counters = max_counters, .seed = seed}) {}
+
+    /// Full-config constructor — needed to reach the lifetime knobs
+    /// (sketch_config::decay / window_epochs).
+    explicit string_frequent_items(const sketch_config& cfg) : sketch_(cfg) {
+        // Prune headroom must cover every simultaneously trackable
+        // fingerprint: a windowed sketch tracks up to k per live epoch, so a
+        // per-epoch-k threshold would leave the dictionary permanently over
+        // budget and re-scan it on nearly every update.
+        const std::uint64_t trackable =
+            static_cast<std::uint64_t>(cfg.max_counters) *
+            (Lifetime::windowed ? cfg.window_epochs : 1u);
+        prune_limit_ = 4ull * trackable;
+        dict_.reserve(cfg.max_counters * 2);
     }
 
     void update(std::string_view item, W weight = W{1}) {
         const std::uint64_t fp = fnv1a64(item);
         sketch_.update(fp, weight);
-        // Remember the spelling while the item is tracked.
-        if (sketch_.lower_bound(fp) > W{0}) {
-            dict_.try_emplace(fp, item);
-            if (dict_.size() > 4u * sketch_.capacity()) {
+        // Remember the spelling while the item is tracked. Known spellings
+        // skip the tracked-check entirely, and admission can only have
+        // happened in the current epoch, so a windowed sketch probes one
+        // epoch table, not all window_epochs of them (an id tracked only in
+        // an older epoch got its dictionary entry when that epoch admitted
+        // it, and prune() removes window-wide-untracked fingerprints only).
+        if (!dict_.contains(fp) && tracked_now(fp)) {
+            dict_.emplace(fp, item);
+            if (dict_.size() > prune_limit_) {
                 prune();
             }
         }
     }
+
+    /// Advances the lifetime policy's logical clock (no-op for plain).
+    void tick(std::uint64_t epochs = 1) { sketch_.tick(epochs); }
 
     W estimate(std::string_view item) const { return sketch_.estimate(fnv1a64(item)); }
     W lower_bound(std::string_view item) const { return sketch_.lower_bound(fnv1a64(item)); }
@@ -91,6 +129,16 @@ public:
     }
 
 private:
+    /// Whether the most recent update for \p fp can have admitted it — the
+    /// current epoch for a windowed sketch, the whole table otherwise.
+    bool tracked_now(std::uint64_t fp) const {
+        if constexpr (Lifetime::windowed) {
+            return sketch_.current_epoch().lower_bound(fp) > W{0};
+        } else {
+            return sketch_.lower_bound(fp) > W{0};
+        }
+    }
+
     void prune() {
         for (auto it = dict_.begin(); it != dict_.end();) {
             if (sketch_.lower_bound(it->first) == W{0}) {
@@ -101,8 +149,9 @@ private:
         }
     }
 
-    frequent_items_sketch<std::uint64_t, W> sketch_;
+    inner_sketch sketch_;
     std::unordered_map<std::uint64_t, std::string> dict_;
+    std::uint64_t prune_limit_ = 0;  ///< 4x the simultaneously trackable ids
 };
 
 }  // namespace freq

@@ -3,19 +3,25 @@
 
 /// \file shard.h
 /// One shard of the sharded ingestion engine: a set of inbound SPSC rings
-/// (one per registered producer), a frequent_items_sketch covering the
-/// shard's key sub-space, and the worker-side drain loop that moves updates
-/// from the rings into the sketch in batches.
+/// (one per registered producer), a sketch covering the shard's key
+/// sub-space, and the worker-side drain loop that moves updates from the
+/// rings into the sketch in batches.
+///
+/// The shard is templated on the sketch type, so the same
+/// ring/batched-drain machinery serves every lifetime policy: plain
+/// frequent_items_sketch (the default), basic_frequent_items with
+/// exponential_fading, or the epoch_window ring — anything constructible
+/// from a sketch_config with update(span), merge, tick and copy.
 ///
 /// Threading contract:
 ///  * ring(p).try_push(...)  — producer p only.
 ///  * drain()                — the shard's single worker thread only.
-///  * clone_sketch()         — any thread; takes the sketch mutex.
+///  * clone_sketch(), tick() — any thread; take the sketch mutex.
 ///
-/// The sketch mutex is held only while a drained batch is applied or while
-/// the sketch is being cloned for a snapshot, never while waiting on a ring
-/// — so queries clone O(k) state and ingestion resumes immediately; readers
-/// never traverse live sketch state.
+/// The sketch mutex is held only while a drained batch is applied, while
+/// the sketch is being cloned for a snapshot, or while the lifetime clock
+/// ticks — never while waiting on a ring — so queries clone O(k) state and
+/// ingestion resumes immediately; readers never traverse live sketch state.
 
 #include <atomic>
 #include <cstddef>
@@ -33,10 +39,12 @@
 
 namespace freq {
 
-template <typename K = std::uint64_t, typename W = std::uint64_t>
+template <typename K = std::uint64_t, typename W = std::uint64_t,
+          typename Sketch = frequent_items_sketch<K, W>>
 class engine_shard {
 public:
     using update_type = update<K, W>;
+    using sketch_type = Sketch;
 
     /// \param cfg            per-shard sketch configuration (already seeded
     ///                       distinctly per shard by the engine — §3.2).
@@ -83,13 +91,21 @@ public:
         return n;
     }
 
-    // --- snapshot / flush support -------------------------------------------
+    // --- snapshot / flush / lifetime support ---------------------------------
 
     /// O(k) copy of the shard sketch, taken under the sketch mutex so a
     /// snapshot never observes a half-applied batch.
-    frequent_items_sketch<K, W> clone_sketch() const {
+    Sketch clone_sketch() const {
         std::lock_guard<std::mutex> lock(mutex_);
         return sketch_;
+    }
+
+    /// Advances the sketch's lifetime clock (fading decay step / window
+    /// epoch rotation; no-op for the plain policy) under the sketch mutex,
+    /// so a tick never lands inside a half-applied batch.
+    void tick(std::uint64_t epochs = 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sketch_.tick(epochs);
     }
 
     /// Total updates ever enqueued into this shard's rings (sum of producer
@@ -108,8 +124,8 @@ public:
     }
 
 private:
-    frequent_items_sketch<K, W> sketch_;
-    mutable std::mutex mutex_;  ///< guards sketch_ (drain vs. clone_sketch)
+    Sketch sketch_;
+    mutable std::mutex mutex_;  ///< guards sketch_ (drain vs. clone_sketch/tick)
 
     std::vector<std::unique_ptr<spsc_ring<update_type>>> rings_;
     std::vector<update_type> batch_buf_;  ///< worker-local drain scratch

@@ -33,6 +33,22 @@
 /// live counters after folding) and the snapshot error bound grows with the
 /// *sum* of shard offsets — prefer fewer, larger shards when query accuracy
 /// at small k matters, more shards when raw ingest rate matters.
+///
+/// Lifetime policies: the engine is templated on the per-shard sketch type,
+/// so the same rings/workers/snapshot path serves plain, time-fading and
+/// sliding-window shards (core/lifetime_policy.h):
+///
+///   stream_engine<>                                           // plain
+///   stream_engine<std::uint64_t, double,
+///                 fading_frequent_items<std::uint64_t, double>>
+///   stream_engine<std::uint64_t, std::uint64_t,
+///                 windowed_frequent_items<>>
+///
+/// advance_epoch() ticks every shard's lifetime clock (decay step / window
+/// rotation; no-op for plain), and snapshot() folds shard clones with the
+/// policy-aware merge — fading clones align on the latest logical clock,
+/// windowed clones merge epoch-wise, dropping expired epochs exactly. The
+/// producer-facing ingestion API is identical for every policy.
 
 #include <atomic>
 #include <chrono>
@@ -87,11 +103,12 @@ struct engine_stats {
     std::uint64_t ring_full_stalls = 0;  ///< producer yields due to full rings
 };
 
-template <typename K = std::uint64_t, typename W = std::uint64_t>
+template <typename K = std::uint64_t, typename W = std::uint64_t,
+          typename Sketch = frequent_items_sketch<K, W>>
 class stream_engine {
 public:
     using update_type = update<K, W>;
-    using sketch_type = frequent_items_sketch<K, W>;
+    using sketch_type = Sketch;
 
     /// A single-threaded ingestion handle. Each producer owns one SPSC ring
     /// per shard plus per-shard staging buffers; distinct producers may run
@@ -205,7 +222,7 @@ public:
         for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
             sketch_config local = cfg.sketch;
             local.seed = cfg.sketch.seed + s;
-            shards_.push_back(std::make_unique<engine_shard<K, W>>(
+            shards_.push_back(std::make_unique<engine_shard<K, W, Sketch>>(
                 local, cfg.num_producers, cfg.ring_capacity, cfg.drain_batch));
         }
         route_salt_ = murmur_mix64(cfg.sketch.seed ^ 0x5368'6172'6445'6e67ULL);
@@ -266,6 +283,20 @@ public:
         }
     }
 
+    /// Advances every shard's lifetime clock by \p epochs ticks (decay step
+    /// for exponential_fading, epoch rotation for epoch_window, no-op for
+    /// plain). Each shard ticks under its sketch mutex, so a tick never
+    /// splits a drained batch; shards tick one after another, and the
+    /// policy-aware merge in snapshot() re-aligns clones should a snapshot
+    /// land between two shard ticks. Callers that need an exact epoch
+    /// boundary flush producers and the engine first (same discipline as a
+    /// stream-complete snapshot).
+    void advance_epoch(std::uint64_t epochs = 1) {
+        for (const auto& shard : shards_) {
+            shard->tick(epochs);
+        }
+    }
+
     /// A consistent point-in-time summary of everything applied so far:
     /// clones each shard's sketch (brief per-shard lock, O(k) copy) and
     /// folds the clones with the in-place Algorithm 5 merge. Never blocks
@@ -307,7 +338,7 @@ public:
 
 private:
     void worker_loop(std::uint32_t s) {
-        engine_shard<K, W>& shard = *shards_[s];
+        engine_shard<K, W, Sketch>& shard = *shards_[s];
         std::uint32_t idle_streak = 0;
         for (;;) {
             const std::size_t n = shard.drain();
@@ -335,7 +366,7 @@ private:
 
     engine_config cfg_;
     std::uint64_t route_salt_ = 0;
-    std::vector<std::unique_ptr<engine_shard<K, W>>> shards_;
+    std::vector<std::unique_ptr<engine_shard<K, W, Sketch>>> shards_;
     std::vector<std::thread> workers_;
     std::atomic<std::uint32_t> next_producer_{0};
     std::atomic<bool> stopping_{false};

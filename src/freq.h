@@ -10,8 +10,10 @@
 /// headers remain includable on their own for faster builds.
 
 // The paper's contribution (Algorithms 3-5 + §2.3 engineering).
+#include "core/basic_frequent_items.h"    // policy-templated counter core
 #include "core/frequent_items_sketch.h"   // 64-bit identifiers (the fast path)
 #include "core/generic_frequent_items.h"  // arbitrary item types
+#include "core/lifetime_policy.h"         // plain / fading / sliding-window
 #include "core/med_exact_sketch.h"        // Algorithm 3 (deterministic variant)
 #include "core/parallel_summarize.h"      // §3 partition-then-merge utility
 #include "core/signed_frequent_items.h"   // §1.3 Note: deletion support

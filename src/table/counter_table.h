@@ -187,6 +187,36 @@ public:
         return erased;
     }
 
+    /// Multiplies every counter by \p factor (> 0) in place — the
+    /// renormalization pass of the forward-decay lifetime policy, which
+    /// periodically rebases its landmark so inflated counters keep
+    /// floating-point headroom. Slot placement is key-driven, so scaling
+    /// never moves entries; counters that underflow to zero (possible only
+    /// for denormal values with a floating W) are erased afterwards.
+    void scale_all(double factor) {
+        static_assert(std::is_floating_point_v<W>,
+                      "scale_all is meaningful only for floating-point counters");
+        FREQ_REQUIRE(factor > 0.0, "scale_all factor must be positive");
+        bool underflow = false;
+        for (std::uint32_t i = 0; i < num_slots_; ++i) {
+            if (states_[i] != 0) {
+                values_[i] = static_cast<W>(values_[i] * factor);
+                underflow |= !(values_[i] > W{0});
+            }
+        }
+        if (underflow) {
+            std::vector<K> dead;
+            for (std::uint32_t i = 0; i < num_slots_; ++i) {
+                if (states_[i] != 0 && !(values_[i] > W{0})) {
+                    dead.push_back(keys_[i]);
+                }
+            }
+            for (const K key : dead) {
+                erase(key);
+            }
+        }
+    }
+
     /// Removes \p key if present, restoring the probing invariant by the
     /// standard backward-shift technique (no tombstones). Returns true when
     /// the key was present. Used by the RAP Space-Saving variant, which
