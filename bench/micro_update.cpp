@@ -2,12 +2,22 @@
 /// two stream mixes — hit-heavy (skewed Zipf: most updates increment an
 /// existing counter) and miss-heavy (near-uniform: most updates hit the
 /// overflow path). These are the per-operation numbers underlying Fig. 1.
+///
+/// Also measures the runtime façade's type-erasure cost (src/api/): the
+/// same hit-heavy ingest through freq::summarizer vs the direct template
+/// path, per-call and batched, recorded in BENCH_api.json with a <= 15%
+/// acceptance gate on the batched path (the one the engine and any serious
+/// loader uses; the per-call numbers are informational).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "api/builder.h"
 #include "baselines/rbmc.h"
 #include "baselines/space_saving_heap.h"
 #include "baselines/stream_summary.h"
@@ -104,6 +114,122 @@ void BM_SslUnitHitHeavy(benchmark::State& state) {
                             static_cast<std::int64_t>(stream.size()));
 }
 
+// --- façade vs direct template path (the BENCH_api.json series) --------------
+
+/// Direct per-call baseline: the same element-wise loop the façade's scalar
+/// update erases (BM_SmedHitHeavy is the batched baseline via consume()).
+void BM_DirectLoopHitHeavy(benchmark::State& state) {
+    const auto& stream = stream_for(true);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        frequent_items_sketch<std::uint64_t, std::uint64_t> s(
+            sketch_config{.max_counters = k, .seed = 1});
+        for (const auto& u : stream) {
+            s.update(u.id, u.weight);
+        }
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+void BM_FacadeBatchHitHeavy(benchmark::State& state) {
+    const auto& stream = stream_for(true);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        auto s = builder().max_counters(k).seed(1).build();
+        s.update(std::span<const update64>(stream.data(), stream.size()));
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+void BM_FacadeLoopHitHeavy(benchmark::State& state) {
+    const auto& stream = stream_for(true);
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        auto s = builder().max_counters(k).seed(1).build();
+        for (const auto& u : stream) {
+            s.update(u.id, static_cast<double>(u.weight));
+        }
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(stream.size()));
+}
+
+/// Captures per-iteration wall seconds of every run so main() can compute
+/// the façade/direct ratios after the normal console report.
+class capture_reporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const auto& r : runs) {
+            if (r.iterations > 0) {
+                seconds_[r.benchmark_name()] =
+                    r.real_accumulated_time / static_cast<double>(r.iterations);
+            }
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::map<std::string, double>& seconds() const { return seconds_; }
+
+private:
+    std::map<std::string, double> seconds_;
+};
+
+/// Emits BENCH_api.json when both façade series and their baselines ran.
+/// Under a --benchmark_filter that excludes them, nothing is written and a
+/// BENCH_api.json from a previous full run is left untouched.
+void write_api_json(const std::map<std::string, double>& s) {
+    constexpr double gate_pct = 15.0;
+    bool pass = true;
+    std::string points;
+    char line[512];
+    for (const int k : {1024, 16384}) {
+        const auto key = [&](const char* name) {
+            return std::string(name) + "/" + std::to_string(k);
+        };
+        const auto db = s.find(key("BM_SmedHitHeavy"));
+        const auto fb = s.find(key("BM_FacadeBatchHitHeavy"));
+        const auto dl = s.find(key("BM_DirectLoopHitHeavy"));
+        const auto fl = s.find(key("BM_FacadeLoopHitHeavy"));
+        if (db == s.end() || fb == s.end() || dl == s.end() || fl == s.end()) {
+            continue;
+        }
+        const double batch_pct = 100.0 * (fb->second - db->second) / db->second;
+        const double loop_pct = 100.0 * (fl->second - dl->second) / dl->second;
+        pass = pass && batch_pct <= gate_pct;
+        std::snprintf(line, sizeof(line),
+                      "%s\n    {\"k\": %d, \"direct_batch_s\": %.6f, "
+                      "\"facade_batch_s\": %.6f, \"batch_overhead_pct\": %.2f, "
+                      "\"direct_loop_s\": %.6f, \"facade_loop_s\": %.6f, "
+                      "\"loop_overhead_pct\": %.2f}",
+                      points.empty() ? "" : ",", k, db->second, fb->second, batch_pct,
+                      dl->second, fl->second, loop_pct);
+        points += line;
+        std::printf("[%s] facade batched ingest overhead at k=%d: %.2f%% (gate %.0f%%; "
+                    "per-call loop: %.2f%%)\n",
+                    batch_pct <= gate_pct ? "PASS" : "FAIL", k, batch_pct, gate_pct,
+                    loop_pct);
+    }
+    if (points.empty()) {
+        return;
+    }
+    FILE* json = std::fopen("BENCH_api.json", "w");
+    if (json == nullptr) {
+        return;
+    }
+    std::fprintf(json,
+                 "{\n  \"bench\": \"api_facade_overhead\",\n"
+                 "  \"stream\": \"hit_heavy_zipf_1M\",\n  \"points\": [%s\n  ],\n"
+                 "  \"acceptance\": {\"batch_overhead_le_15pct\": %s}\n}\n",
+                 points.c_str(), pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_api.json\n");
+}
+
 }  // namespace
 
 BENCHMARK(BM_SmedHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
@@ -112,5 +238,18 @@ BENCHMARK(BM_MheHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MheMissHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RbmcHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SslUnitHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DirectLoopHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FacadeBatchHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FacadeLoopHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    capture_reporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    write_api_json(reporter.seconds());
+    return 0;
+}

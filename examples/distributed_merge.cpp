@@ -1,80 +1,82 @@
-/// Distributed aggregation: the §3 motivating scenario on the sharded
-/// ingestion engine. "Machines" are concurrent producer threads, each
-/// pushing its own partition into the engine's per-shard SPSC rings; shard
-/// workers summarize in parallel, and snapshot() folds the shard summaries
-/// with the Algorithm 5 merge into one summary of the whole dataset — while
-/// ingestion is still running, without ever blocking the producers.
+/// Distributed aggregation: the §3 motivating scenario on the runtime
+/// façade. Two "datacenters" each run a sharded summarizer; "machines" are
+/// concurrent feeder threads pushing their partitions into the engine's
+/// per-shard SPSC rings. Each datacenter ships its summary as the unified
+/// envelope (summarizer::save()); the aggregator restores both from bytes
+/// alone — restore_summary() picks the instantiation from the envelope's
+/// descriptor, no compile-time knowledge of the senders — merges them with
+/// Algorithm 5, and answers threshold-mode queries under both §1.2
+/// guarantees against exact ground truth.
 ///
-/// The final snapshot is also shipped through the serialized wire format,
-/// demonstrating that engine snapshots are ordinary sketches (they merge,
-/// serialize, and ship exactly like the §3 per-machine summaries).
-///
-///   build/distributed_merge [num_producers] [num_shards]
+///   build/distributed_merge [producers_per_dc] [num_shards]
 
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
-#include "core/frequent_items_sketch.h"
-#include "engine/stream_engine.h"
+#include "api/builder.h"
 #include "stream/exact_counter.h"
 #include "stream/generators.h"
 
 int main(int argc, char** argv) {
     using namespace freq;
-    using sketch_u64 = frequent_items_sketch<std::uint64_t, std::uint64_t>;
 
-    const int producers = argc > 1 ? std::atoi(argv[1]) : 8;
-    const int shards = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int producers = argc > 1 ? std::atoi(argv[1]) : 4;
+    const int shards = argc > 2 ? std::atoi(argv[2]) : 2;
     constexpr std::uint32_t k = 2048;
     constexpr std::uint64_t updates_per_producer = 500'000;
+    constexpr int datacenters = 2;
 
-    engine_config cfg;
-    cfg.num_shards = static_cast<std::uint32_t>(shards);
-    cfg.num_producers = static_cast<std::uint32_t>(producers);
-    cfg.sketch = sketch_config{.max_counters = k, .seed = 42};
-    stream_engine<> engine(cfg);
-
-    // Each "machine" generates and pushes its own partition concurrently.
     // The exact counter is an omniscient observer for the demo only.
     std::vector<exact_counter<std::uint64_t, std::uint64_t>> observers(
-        static_cast<std::size_t>(producers));
-    {
-        std::vector<stream_engine<>::producer> handles;
-        handles.reserve(static_cast<std::size_t>(producers));
-        for (int p = 0; p < producers; ++p) {
-            handles.push_back(engine.make_producer());
-        }
+        static_cast<std::size_t>(datacenters * producers));
+
+    std::vector<summary_bytes> wire;  // one envelope per datacenter
+    for (int dc = 0; dc < datacenters; ++dc) {
+        // §3.2 recommends distinct hash seeds across merged summaries; the
+        // builder makes that a per-datacenter config knob.
+        auto summary = builder()
+                           .max_counters(k)
+                           .seed(42 + static_cast<std::uint64_t>(dc))
+                           .sharded(static_cast<std::uint32_t>(shards),
+                                    static_cast<std::uint32_t>(producers))
+                           .build();
+
         std::vector<std::thread> threads;
         for (int p = 0; p < producers; ++p) {
-            threads.emplace_back([&, p] {
+            threads.emplace_back([&, dc, p] {
+                auto feeder = summary.make_feeder();
+                const auto machine = static_cast<std::size_t>(dc * producers + p);
                 zipf_stream_generator gen({.num_updates = updates_per_producer,
                                            .num_distinct = 100'000,
                                            .alpha = 1.05,
                                            .min_weight = 1,
                                            .max_weight = 10'000,
-                                           .seed = 9000 + static_cast<std::uint64_t>(p)});
+                                           .seed = 9000 + machine});
                 for (std::uint64_t i = 0; i < updates_per_producer; ++i) {
                     const auto u = gen.next();
-                    handles[static_cast<std::size_t>(p)].push(u.id, u.weight);
-                    observers[static_cast<std::size_t>(p)].update(u.id, u.weight);
+                    feeder.push(u.id, static_cast<double>(u.weight));
+                    observers[machine].update(u.id, u.weight);
                 }
-                handles[static_cast<std::size_t>(p)].flush();
+                feeder.flush();
             });
         }
 
-        // A live snapshot while the producers are mid-stream: readers never
-        // block writers — snapshot() clones each shard's O(k) summary and
-        // merges the clones.
-        const auto live = engine.snapshot();
-        std::printf("live snapshot while ingesting: %s\n", live.to_string().c_str());
+        // A live snapshot while the feeders are mid-stream: readers never
+        // block writers — the engine clones each shard's O(k) summary and
+        // folds the clones.
+        const auto live = summary.snapshot();
+        std::printf("dc%d live snapshot while ingesting: %s\n", dc,
+                    live.to_string().c_str());
 
         for (auto& t : threads) {
             t.join();
         }
+        summary.flush();  // barrier: every pushed update is applied
+        std::printf("dc%d done: %s\n", dc, summary.to_string().c_str());
+        wire.push_back(summary.save());  // the envelope that ships to the aggregator
     }
-    engine.flush();  // barrier: every pushed update is applied
 
     exact_counter<std::uint64_t, std::uint64_t> exact;
     for (const auto& obs : observers) {
@@ -83,44 +85,39 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto st = engine.stats();
-    std::printf("%d producers x %llu updates through %d shards: "
-                "%llu applied in %llu batches, %llu full-ring stalls\n",
-                producers, static_cast<unsigned long long>(updates_per_producer), shards,
-                static_cast<unsigned long long>(st.updates_applied),
-                static_cast<unsigned long long>(st.batches_applied),
-                static_cast<unsigned long long>(st.ring_full_stalls));
-
-    // The stream-complete snapshot: one summary of the union of all
-    // partitions (Theorem 5 — valid for any aggregation shape).
-    const auto global = engine.snapshot();
-    std::printf("merged snapshot: %s\n", global.to_string().c_str());
-    std::printf("N check: merged=%llu exact=%llu\n",
-                static_cast<unsigned long long>(global.total_weight()),
+    // The aggregator: restore each envelope from bytes alone and fold.
+    std::printf("\naggregator received %d envelopes (%zu + %zu bytes)\n", datacenters,
+                wire[0].size(), wire[1].size());
+    auto global = restore_summary(wire[0]);
+    for (int dc = 1; dc < datacenters; ++dc) {
+        const auto part = restore_summary(wire[static_cast<std::size_t>(dc)]);
+        global.merge(part);
+    }
+    std::printf("merged summary: %s\n", global.to_string().c_str());
+    std::printf("N check: merged=%.0f exact=%llu\n", global.total_weight(),
                 static_cast<unsigned long long>(exact.total_weight()));
 
-    // Snapshots are ordinary sketches: ship one over the wire and reload.
-    const auto wire = global.serialize();
-    const auto reloaded = sketch_u64::deserialize(wire);
-    std::printf("wire roundtrip: %zu bytes, N=%llu\n", wire.size(),
-                static_cast<unsigned long long>(reloaded.total_weight()));
+    // Threshold-mode queries under both guarantees, phi = 0.1%.
+    const double threshold = 0.001 * global.total_weight();
+    const auto nfn = global.frequent_items(error_mode::no_false_negatives, threshold);
+    const auto nfp = global.frequent_items(error_mode::no_false_positives, threshold);
+    const auto truth = exact.heavy_hitters(static_cast<std::uint64_t>(threshold) + 1);
+    std::printf("\nphi=%.2f%%: %zu true heavy hitters; no-false-negatives returns %zu, "
+                "no-false-positives returns %zu\n",
+                100.0 * nfn.phi(), truth.size(), nfn.size(), nfp.size());
 
     // Validate: bounds bracket the truth for the global top items.
-    const auto rows = reloaded.frequent_items(error_type::no_false_negatives);
-    std::printf("\nglobal heavy hitters (top 8 of %zu):\n", rows.size());
+    std::printf("\nglobal heavy hitters (top 8 of %zu, %s):\n", nfn.size(),
+                nfn.to_string().c_str());
     std::printf("%20s %14s %14s %14s  ok\n", "id", "lower", "true", "upper");
     int shown = 0;
-    for (const auto& r : rows) {
+    for (const auto& r : nfn) {
         if (shown++ >= 8) {
             break;
         }
-        const auto truth = exact.frequency(r.id);
-        std::printf("%20llu %14llu %14llu %14llu  %s\n",
-                    static_cast<unsigned long long>(r.id),
-                    static_cast<unsigned long long>(r.lower_bound),
-                    static_cast<unsigned long long>(truth),
-                    static_cast<unsigned long long>(r.upper_bound),
-                    r.lower_bound <= truth && truth <= r.upper_bound ? "yes" : "NO");
+        const auto f = static_cast<double>(exact.frequency(r.id));
+        std::printf("%20s %14.0f %14.0f %14.0f  %s\n", r.item.c_str(), r.lower_bound, f,
+                    r.upper_bound, r.lower_bound <= f && f <= r.upper_bound ? "yes" : "NO");
     }
     return 0;
 }

@@ -1,6 +1,9 @@
 /// freq_cli — a command-line front end to the library, covering the full
-/// workflow the paper's evaluation used: synthesize/preprocess traces once,
-/// then run any algorithm over them and compare.
+/// workflow the paper's evaluation used (synthesize/preprocess traces once,
+/// then run any algorithm over them and compare) plus the runtime façade: the
+/// sketch/merge/query/report commands pick lifetime policy and knobs from
+/// flags via freq::builder, and summaries travel as the unified envelope, so
+/// one binary serves plain, time-fading and sliding-window deployments.
 ///
 /// Usage:
 ///   freq_cli gen   <out.fqtr> [--n N] [--flows F] [--alpha A] [--seed S]
@@ -9,17 +12,23 @@
 ///   freq_cli run   <trace.fqtr> [--algo smed|smin|rbmc|mhe|cm] [--k K]
 ///                  [--phi PHI] [--exact]
 ///   freq_cli sketch <trace.fqtr> <out.sk> [--k K]
+///                  [--policy plain|fading|window] [--decay R] [--window E]
+///                  [--tick-every N]
 ///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
 ///   freq_cli query <sketch.sk> <id> [...]
+///   freq_cli report <sketch.sk> [--phi PHI] [--mode nfp|nfn]
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "api/builder.h"
+#include "api/summarizer.h"
 #include "baselines/count_min_sketch.h"
 #include "baselines/rbmc.h"
 #include "baselines/space_saving_heap.h"
@@ -45,6 +54,11 @@ struct args {
     std::uint32_t k = 4096;
     double phi = 0.01;
     bool exact = false;
+    std::string policy = "plain";
+    double decay = 0.97;
+    std::uint32_t window = 4;
+    std::uint64_t tick_every = 0;  ///< 0 = never tick
+    std::string mode = "nfn";
 };
 
 args parse(int argc, char** argv) {
@@ -76,6 +90,16 @@ args parse(int argc, char** argv) {
             a.phi = std::atof(next().c_str());
         } else if (flag == "--exact") {
             a.exact = true;
+        } else if (flag == "--policy") {
+            a.policy = next();
+        } else if (flag == "--decay") {
+            a.decay = std::atof(next().c_str());
+        } else if (flag == "--window") {
+            a.window = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+        } else if (flag == "--tick-every") {
+            a.tick_every = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--mode") {
+            a.mode = next();
         } else {
             a.positional.push_back(flag);
         }
@@ -247,16 +271,57 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes)
               static_cast<std::streamsize>(bytes.size()));
 }
 
+/// The façade entry point: lifetime policy and knobs become a summarizer at
+/// runtime — the same dispatch a config-driven service would perform.
+summarizer build_from_flags(const args& a) {
+    builder b;
+    b.max_counters(a.k).seed(a.seed);
+    if (a.policy == "fading") {
+        b.fading(a.decay);
+    } else if (a.policy == "window") {
+        b.sliding_window(a.window);
+    } else if (a.policy != "plain") {
+        throw std::invalid_argument("unknown --policy " + a.policy +
+                                    " (expected plain|fading|window)");
+    }
+    return b.build();
+}
+
+error_mode mode_from_flags(const args& a) {
+    if (a.mode == "nfp") {
+        return error_mode::no_false_positives;
+    }
+    if (a.mode == "nfn") {
+        return error_mode::no_false_negatives;
+    }
+    throw std::invalid_argument("unknown --mode " + a.mode + " (expected nfp|nfn)");
+}
+
 int cmd_sketch(const args& a) {
     if (a.positional.size() < 2) {
         std::fprintf(stderr, "sketch: trace and output paths required\n");
         return 2;
     }
     const auto stream = read_trace(a.positional[0]);
-    sketch_u64 s(sketch_config{.max_counters = a.k, .seed = a.seed});
-    s.consume(stream);
-    write_file(a.positional[1], s.serialize());
-    std::printf("sketched %zu updates -> %s (%s)\n", stream.size(), a.positional[1].c_str(),
+    auto s = build_from_flags(a);
+    if (a.tick_every == 0) {
+        s.update(std::span<const update64>(stream.data(), stream.size()));
+    } else {
+        // Replay with a policy tick every --tick-every updates, so fading /
+        // windowed summaries age mid-trace the way a live deployment would.
+        std::size_t i = 0;
+        while (i < stream.size()) {
+            const std::size_t run = std::min<std::size_t>(a.tick_every, stream.size() - i);
+            s.update(std::span<const update64>(stream.data() + i, run));
+            i += run;
+            if (i < stream.size()) {
+                s.tick();
+            }
+        }
+    }
+    write_file(a.positional[1], s.save().bytes());
+    std::printf("sketched %zu updates -> %s (%s, %s)\n", stream.size(),
+                a.positional[1].c_str(), s.descriptor().to_string().c_str(),
                 s.to_string().c_str());
     return 0;
 }
@@ -266,12 +331,12 @@ int cmd_merge(const args& a) {
         std::fprintf(stderr, "merge: output and >= 2 input sketches required\n");
         return 2;
     }
-    auto acc = sketch_u64::deserialize(read_file(a.positional[1]));
+    auto acc = restore_summary(read_file(a.positional[1]));
     for (std::size_t i = 2; i < a.positional.size(); ++i) {
-        const auto next = sketch_u64::deserialize(read_file(a.positional[i]));
+        const auto next = restore_summary(read_file(a.positional[i]));
         acc.merge(next);
     }
-    write_file(a.positional[0], acc.serialize());
+    write_file(a.positional[0], acc.save().bytes());
     std::printf("merged %zu sketches -> %s (%s)\n", a.positional.size() - 1,
                 a.positional[0].c_str(), acc.to_string().c_str());
     return 0;
@@ -282,14 +347,39 @@ int cmd_query(const args& a) {
         std::fprintf(stderr, "query: sketch path and >= 1 id required\n");
         return 2;
     }
-    const auto s = sketch_u64::deserialize(read_file(a.positional[0]));
+    const auto s = restore_summary(read_file(a.positional[0]));
+    std::printf("%s\n", s.descriptor().to_string().c_str());
     for (std::size_t i = 1; i < a.positional.size(); ++i) {
         const std::uint64_t id = std::strtoull(a.positional[i].c_str(), nullptr, 10);
-        std::printf("%llu: estimate=%llu  bounds=[%llu, %llu]\n",
-                    static_cast<unsigned long long>(id),
-                    static_cast<unsigned long long>(s.estimate(id)),
-                    static_cast<unsigned long long>(s.lower_bound(id)),
-                    static_cast<unsigned long long>(s.upper_bound(id)));
+        std::printf("%llu: estimate=%.6g  bounds=[%.6g, %.6g]\n",
+                    static_cast<unsigned long long>(id), s.estimate(id), s.lower_bound(id),
+                    s.upper_bound(id));
+    }
+    return 0;
+}
+
+int cmd_report(const args& a) {
+    if (a.positional.empty()) {
+        std::fprintf(stderr, "report: sketch path required\n");
+        return 2;
+    }
+    const auto s = restore_summary(read_file(a.positional[0]));
+    const error_mode mode = mode_from_flags(a);
+    const auto rs = s.frequent_items(mode, a.phi * s.total_weight());
+    std::printf("%s\n%s\n", s.descriptor().to_string().c_str(), rs.to_string().c_str());
+    std::printf("guarantee: %s over threshold %.6g (phi=%.4g%%, N=%.6g, max_error=%.6g)\n",
+                rs.mode() == error_mode::no_false_positives
+                    ? "every row truly exceeds the threshold"
+                    : "no item above the threshold is missing",
+                rs.threshold(), 100.0 * rs.phi(), rs.total_weight(), rs.maximum_error());
+    std::printf("%20s %14s %14s %14s\n", "item", "estimate", "lower", "upper");
+    for (std::size_t i = 0; i < std::min<std::size_t>(20, rs.size()); ++i) {
+        const auto& row = rs[i];
+        std::printf("%20s %14.6g %14.6g %14.6g\n", row.item.c_str(), row.estimate,
+                    row.lower_bound, row.upper_bound);
+    }
+    if (rs.size() > 20) {
+        std::printf("  ... %zu more rows\n", rs.size() - 20);
     }
     return 0;
 }
@@ -299,8 +389,8 @@ int cmd_query(const args& a) {
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: freq_cli <gen|stats|run|sketch|merge|query> ... (see file "
-                     "header for flags)\n");
+                     "usage: freq_cli <gen|stats|run|sketch|merge|query|report> ... (see "
+                     "file header for flags)\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -312,6 +402,7 @@ int main(int argc, char** argv) {
         if (cmd == "sketch") return cmd_sketch(a);
         if (cmd == "merge") return cmd_merge(a);
         if (cmd == "query") return cmd_query(a);
+        if (cmd == "report") return cmd_report(a);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

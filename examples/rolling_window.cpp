@@ -3,40 +3,39 @@
 /// course of several years ... summaries can then be seamlessly merged to
 /// answer approximate queries about the data of interest."
 ///
-/// This used to hand-roll a deque of per-epoch sketches; the epoch_window
-/// lifetime policy (core/lifetime_policy.h) now keeps that ring *inside* the
-/// sketch, and the sharded engine runs it concurrently: traffic streams
-/// through the same producer/ring/worker path as the plain engine,
-/// advance_epoch() rotates every shard's window at each epoch boundary
-/// (evicting the expired epoch exactly), and snapshot() epoch-aligns the
-/// shard windows into one `windowed_frequent_items` whose queries cover
-/// precisely the last `window_epochs` epochs.
+/// This used to hand-roll a deque of per-epoch sketches; on the runtime
+/// façade the whole deployment is one builder line: .sliding_window(5)
+/// keeps the epoch ring *inside* the summary, .sharded(2) runs it through
+/// the concurrent engine, tick() rotates every shard's window at each epoch
+/// boundary (evicting the expired epoch exactly), and every query covers
+/// precisely the last `window_epochs` epochs. The per-epoch envelope save
+/// at the bottom shows windowed summaries shipping across machines exactly
+/// like plain ones (the epoch-ring serde of api/summary_bytes.h).
 ///
 ///   build/rolling_window
 
 #include <algorithm>
 #include <cstdio>
 
-#include "core/basic_frequent_items.h"
-#include "engine/stream_engine.h"
+#include "api/builder.h"
 #include "net/ipv4.h"
 #include "stream/generators.h"
 
 int main() {
     using namespace freq;
-    using window_sketch = windowed_frequent_items<std::uint64_t, std::uint64_t>;
 
     constexpr std::uint32_t k = 2048;
     constexpr std::uint32_t window_epochs = 5;
     constexpr int total_epochs = 14;  // burst (epochs 6-8) ages out at epoch 13
     constexpr int last_burst_epoch = 8;
 
-    engine_config cfg;
-    cfg.num_shards = 2;
-    cfg.sketch = sketch_config{
-        .max_counters = k, .seed = 0, .window_epochs = window_epochs};
-    stream_engine<std::uint64_t, std::uint64_t, window_sketch> engine(cfg);
-    auto producer = engine.make_producer();
+    auto window = builder()
+                      .max_counters(k)
+                      .seed(0)
+                      .sliding_window(window_epochs)
+                      .sharded(/*shards=*/2)
+                      .build();
+    auto feeder = window.make_feeder();
 
     for (int epoch = 0; epoch < total_epochs; ++epoch) {
         // Each epoch sees fresh traffic; epochs 6-8 contain a burst from one
@@ -46,21 +45,20 @@ int main() {
                                   .num_flows = 60'000,
                                   .seed = 100 + static_cast<std::uint64_t>(epoch)});
         for (const auto& pkt : gen.generate()) {
-            producer.push(pkt.id, pkt.weight);
+            feeder.push(pkt.id, static_cast<double>(pkt.weight));
         }
         if (epoch >= 6 && epoch <= last_burst_epoch) {
             const auto attacker = *net::parse_ipv4("203.0.113.99");
             for (int i = 0; i < 30'000; ++i) {
-                producer.push(attacker, 12'000);
+                feeder.push(attacker, 12'000.0);
             }
         }
-        producer.flush();
-        engine.flush();
+        feeder.flush();
+        window.flush();
 
-        // Query: the merged snapshot covers exactly the last
+        // Query: the result covers exactly the last
         // min(epoch + 1, window_epochs) epochs; no scratch deque, no manual
         // merge loop.
-        const auto window = engine.snapshot();
         const auto top = window.top_items(3);
         std::printf("epoch %2d | window covers last %2d epoch(s) | top talkers:", epoch,
                     static_cast<int>(
@@ -68,7 +66,7 @@ int main() {
         for (const auto& r : top) {
             std::printf("  %s=%0.2fMbit",
                         net::format_ipv4(static_cast<std::uint32_t>(r.id)).c_str(),
-                        static_cast<double>(r.estimate) / 1e6);
+                        r.estimate / 1e6);
         }
         const bool burst_in_window =
             epoch >= 6 &&
@@ -77,8 +75,18 @@ int main() {
 
         // Epoch boundary: every shard rotates its ring, evicting the epoch
         // that slides out of the window.
-        engine.advance_epoch();
+        window.tick();
     }
+
+    // Windowed summaries ship like plain ones: the envelope carries the
+    // epoch ring (absolute epoch numbers included), so the restored summary
+    // keeps evicting correctly as its clock advances.
+    const auto wire = window.save();
+    const auto reopened = restore_summary(wire);
+    std::printf("\nenvelope roundtrip: %zu bytes, %s, window N=%.3f Mbit, epoch %llu\n",
+                wire.size(), reopened.descriptor().to_string().c_str(),
+                reopened.total_weight() / 1e6,
+                static_cast<unsigned long long>(reopened.now()));
 
     std::printf("\nNote how 203.0.113.99 enters the top list at epoch 6 and ages out at"
                 " epoch %d, once the window slides past epoch %d.\n",

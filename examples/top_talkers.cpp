@@ -1,11 +1,11 @@
 /// Top talkers: the paper's own evaluation scenario (§4.1) as an
 /// application — find the source IPs sending the most *bytes* (weighted
 /// heavy hitters) over a packet trace, with 1/70th the memory of an exact
-/// table. Ingestion runs through the sharded concurrent engine: the trace
-/// is pushed by one producer into per-shard rings, shard workers summarize
-/// in parallel, and the report is a merged snapshot — the same code path a
-/// live monitoring deployment would use, including a mid-trace snapshot
-/// taken while packets are still flowing.
+/// table. The whole pipeline runs through the runtime façade (src/api/):
+/// freq::builder picks k, seed and engine sharding at runtime and hands
+/// back a freq::summarizer; ingestion streams through the sharded engine
+/// behind it; reports are threshold-mode result_sets carrying the N /
+/// error-envelope metadata a service would return to its callers.
 ///
 ///   build/top_talkers [trace.fqtr]
 ///
@@ -18,9 +18,7 @@
 #include <span>
 #include <string>
 
-#include "core/basic_frequent_items.h"
-#include "core/frequent_items_sketch.h"
-#include "engine/stream_engine.h"
+#include "api/builder.h"
 #include "metrics/error.h"
 #include "net/ipv4.h"
 #include "stream/exact_counter.h"
@@ -44,97 +42,87 @@ int main(int argc, char** argv) {
 
     // k = 4096 counters per shard = 144 KiB of counter storage each
     // (18 bytes x ceil_pow2(4k/3) = 8192 slots, §2.3.3); 4 shards drain
-    // the producer's rings in parallel.
-    engine_config cfg;
-    cfg.num_shards = 4;
-    cfg.sketch = sketch_config{.max_counters = 4096, .seed = 7};
-    stream_engine<> engine(cfg);
+    // the rings in parallel. All of it picked at runtime by the builder.
+    auto talker_summary =
+        builder().max_counters(4096).seed(7).sharded(/*shards=*/4).build();
 
     exact_counter<std::uint64_t, std::uint64_t> exact;  // ground truth for the demo
     {
-        auto producer = engine.make_producer();
         const std::size_t half = trace.size() / 2;
-        producer.push(std::span<const update64>(trace.data(), half));
-        // Live monitoring: query mid-trace without pausing ingestion.
-        const auto live = engine.snapshot();
+        talker_summary.update(std::span<const update64>(trace.data(), half));
+        // Live monitoring: query mid-trace without pausing ingestion — the
+        // snapshot is a standalone summarizer folded from the shard clones.
+        const auto live = talker_summary.snapshot();
         std::printf("mid-trace snapshot: %s\n", live.to_string().c_str());
-        producer.push(std::span<const update64>(trace.data() + half, trace.size() - half));
-        producer.flush();
+        talker_summary.update(
+            std::span<const update64>(trace.data() + half, trace.size() - half));
     }
-    engine.flush();
+    talker_summary.flush();  // barrier: every pushed update is applied
     for (const auto& pkt : trace) {
         exact.update(pkt.id, pkt.weight);  // weight = packet size in bits
     }
 
-    const auto sketch = engine.snapshot();
-    const auto st = engine.stats();
-    std::printf("engine: %u shards applied %llu updates in %llu batches (%llu stalls)\n",
-                engine.num_shards(), static_cast<unsigned long long>(st.updates_applied),
-                static_cast<unsigned long long>(st.batches_applied),
-                static_cast<unsigned long long>(st.ring_full_stalls));
+    // Fold once and query the standalone snapshot (engine-backed point
+    // queries would re-snapshot per call).
+    const auto sketch = talker_summary.snapshot();
+    std::printf("engine: %s\n", talker_summary.to_string().c_str());
 
     std::printf("\ntotal traffic: %.3f Gbit from %zu sources; snapshot memory: %zu KiB "
                 "(exact table would need ~%zu KiB)\n",
-                static_cast<double>(sketch.total_weight()) / 1e9, exact.num_distinct(),
+                sketch.total_weight() / 1e9, exact.num_distinct(),
                 sketch.memory_bytes() / 1024, exact.num_distinct() * 16 / 1024);
 
-    const auto threshold = sketch.total_weight() / 200;  // phi = 0.5%
-    const auto talkers = sketch.frequent_items(error_type::no_false_negatives, threshold);
-    std::printf("\ntop talkers (>= 0.5%% of traffic), estimate vs true:\n");
+    // Threshold-mode query: phi = 0.5% of N under the no-false-negatives
+    // guarantee — every true >= 0.5% talker is in the result_set.
+    const auto talkers = sketch.frequent_items(error_mode::no_false_negatives,
+                                               sketch.total_weight() / 200);
+    std::printf("\n%s\n", talkers.to_string().c_str());
+    std::printf("top talkers (>= %.2f%% of traffic), estimate vs true:\n",
+                100.0 * talkers.phi());
     std::printf("%-18s %14s %14s %9s\n", "source", "est. bits", "true bits", "err %");
     for (std::size_t i = 0; i < std::min<std::size_t>(10, talkers.size()); ++i) {
         const auto& t = talkers[i];
         const double truth = static_cast<double>(exact.frequency(t.id));
-        const double err = truth > 0 ? 100.0 * (static_cast<double>(t.estimate) - truth) / truth
-                                     : 0.0;
-        std::printf("%-18s %14llu %14.0f %8.2f%%\n",
-                    net::format_ipv4(static_cast<std::uint32_t>(t.id)).c_str(),
-                    static_cast<unsigned long long>(t.estimate), truth, err);
+        const double err = truth > 0 ? 100.0 * (t.estimate - truth) / truth : 0.0;
+        std::printf("%-18s %14.0f %14.0f %8.2f%%\n",
+                    net::format_ipv4(static_cast<std::uint32_t>(t.id)).c_str(), t.estimate,
+                    truth, err);
     }
 
     const auto report = evaluate_errors(sketch, exact);
-    std::printf("\nmax estimate error over all %zu sources: %.0f bits (certified bound: %llu)\n",
-                report.items_evaluated, report.max_error,
-                static_cast<unsigned long long>(sketch.maximum_error()));
+    std::printf("\nmax estimate error over all %zu sources: %.0f bits (certified bound: %.0f)\n",
+                report.items_evaluated, report.max_error, sketch.maximum_error());
 
     // --- time-fading variant -------------------------------------------------
-    // The same engine with exponential_fading shards: each advance_epoch()
-    // halves the weight of everything seen so far, so the report ranks
-    // *recent* talkers. Here the trace is replayed in four "minutes" with a
-    // decay tick between them — sources active in the last minute dominate
-    // sources that went quiet, even when their all-time byte counts are
-    // smaller.
-    using fading_sketch = fading_frequent_items<std::uint64_t, double>;
-    engine_config fcfg;
-    fcfg.num_shards = 4;
-    fcfg.sketch = sketch_config{.max_counters = 4096, .seed = 7, .decay = 0.5};
-    stream_engine<std::uint64_t, double, fading_sketch> fading_engine(fcfg);
+    // The same façade call with .fading(0.5): each tick() halves the weight
+    // of everything seen so far, so the report ranks *recent* talkers. Here
+    // the trace is replayed in four "minutes" with a decay tick between
+    // them — sources active in the last minute dominate sources that went
+    // quiet, even when their all-time byte counts are smaller.
+    auto recent_summary =
+        builder().max_counters(4096).seed(7).fading(0.5).sharded(4).build();
     {
-        auto fp = fading_engine.make_producer();
         const std::size_t quarter = trace.size() / 4;
         for (int q = 0; q < 4; ++q) {
             const std::size_t begin = quarter * static_cast<std::size_t>(q);
             const std::size_t end = q == 3 ? trace.size() : begin + quarter;
-            for (std::size_t i = begin; i < end; ++i) {
-                fp.push(trace[i].id, static_cast<double>(trace[i].weight));
-            }
-            fp.flush();
-            fading_engine.flush();
+            recent_summary.update(
+                std::span<const update64>(trace.data() + begin, end - begin));
+            recent_summary.flush();
             if (q < 3) {
-                fading_engine.advance_epoch();  // everything so far fades by 1/2
+                recent_summary.tick();  // everything so far fades by 1/2
             }
         }
     }
-    const auto fading_snap = fading_engine.snapshot();
+    const auto recent = recent_summary.snapshot();
     std::printf("\nrecent talkers (decay 0.5 per quarter-trace epoch, decayed Gbit):\n");
-    for (const auto& r : fading_snap.top_items(5)) {
+    for (const auto& r : recent.top_items(5)) {
         std::printf("  %-18s %10.4f\n",
                     net::format_ipv4(static_cast<std::uint32_t>(r.id)).c_str(),
                     r.estimate / 1e9);
     }
     std::printf("decayed total: %.3f Gbit of %.3f Gbit all-time\n",
-                fading_snap.total_weight() / 1e9,
-                static_cast<double>(sketch.total_weight()) / 1e9);
+                recent.total_weight() / 1e9, sketch.total_weight() / 1e9);
 
     if (argc <= 1) {
         std::filesystem::remove(path);

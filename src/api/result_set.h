@@ -1,0 +1,116 @@
+#ifndef FREQ_API_RESULT_SET_H
+#define FREQ_API_RESULT_SET_H
+
+/// \file result_set.h
+/// The façade's query result: a self-describing view over a threshold-mode
+/// heavy-hitter query. Where the template layer returns bare rows, a
+/// result_set also carries the metadata needed to *interpret* them — which
+/// error mode answered the query, the threshold it was run against, the
+/// stream weight N it is relative to, and the summary's a-posteriori error
+/// envelope — so a service endpoint can serialize the answer (or render a
+/// UI) without holding a reference back to the summary.
+///
+/// Error-mode semantics (§1.2's (φ, ε) guarantee; the same contract Apache
+/// DataSketches exposes):
+///
+///   no_false_positives — items whose *lower* bound clears the threshold.
+///       Every returned item truly exceeds it; near-threshold items may be
+///       missed (misses are confined to (threshold − max_error, threshold]).
+///   no_false_negatives — items whose *upper* bound clears the threshold.
+///       Every item truly above it is returned; some returned items may
+///       actually sit in (threshold − max_error, threshold].
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sketch_config.h"
+
+namespace freq {
+
+/// The façade's name for the query error mode. Identical to the template
+/// layer's error_type — `error_mode::no_false_positives` and
+/// `error_type::no_false_positives` interconvert freely.
+using error_mode = error_type;
+
+/// One reported heavy hitter, with the key spelled both ways: `id` is the
+/// 64-bit key (or the fingerprint, for text summaries) and `item` is the
+/// human-readable form (decimal digits for u64 keys, the spelling for text
+/// keys). Weights are presented as double across the façade; u64 counts are
+/// exact up to 2^53.
+struct result_row {
+    std::uint64_t id = 0;
+    std::string item;
+    double estimate = 0.0;     ///< §2.3.1 hybrid estimate (= upper bound)
+    double lower_bound = 0.0;  ///< never exceeds the true frequency
+    double upper_bound = 0.0;  ///< never below the true frequency
+};
+
+/// An immutable set of heavy-hitter rows plus the query's error envelope.
+class result_set {
+public:
+    result_set() = default;
+
+    result_set(error_mode mode, double threshold, double total_weight, double max_error,
+               std::vector<result_row> rows)
+        : rows_(std::move(rows)),
+          threshold_(threshold),
+          total_weight_(total_weight),
+          max_error_(max_error),
+          mode_(mode) {}
+
+    // --- rows (sorted by descending estimate) --------------------------------
+
+    const std::vector<result_row>& rows() const noexcept { return rows_; }
+    std::size_t size() const noexcept { return rows_.size(); }
+    bool empty() const noexcept { return rows_.empty(); }
+    const result_row& operator[](std::size_t i) const noexcept { return rows_[i]; }
+    auto begin() const noexcept { return rows_.begin(); }
+    auto end() const noexcept { return rows_.end(); }
+
+    // --- interpretation metadata ---------------------------------------------
+
+    /// Which guarantee this result was computed under.
+    error_mode mode() const noexcept { return mode_; }
+
+    /// The absolute-weight threshold the query ran against.
+    double threshold() const noexcept { return threshold_; }
+
+    /// The threshold as a fraction φ of the stream weight (0 when N = 0).
+    double phi() const noexcept {
+        return total_weight_ > 0.0 ? threshold_ / total_weight_ : 0.0;
+    }
+
+    /// N — the summary's total (policy-aged) stream weight at query time.
+    double total_weight() const noexcept { return total_weight_; }
+
+    /// The query's a-posteriori error envelope: every row's upper_bound −
+    /// lower_bound is at most this, and the mode's possible misses / extras
+    /// are confined to (threshold − maximum_error, threshold]. At least the
+    /// summary's own bound; windowed summaries answer set queries through
+    /// an epoch fold that can widen row envelopes, which is reflected here.
+    double maximum_error() const noexcept { return max_error_; }
+
+    std::string to_string() const {
+        return std::string("result_set(") +
+               (mode_ == error_mode::no_false_positives ? "no_false_positives"
+                                                        : "no_false_negatives") +
+               ", rows=" + std::to_string(rows_.size()) +
+               ", threshold=" + std::to_string(threshold_) +
+               ", N=" + std::to_string(total_weight_) +
+               ", max_error=" + std::to_string(max_error_) + ")";
+    }
+
+private:
+    std::vector<result_row> rows_;
+    double threshold_ = 0.0;
+    double total_weight_ = 0.0;
+    double max_error_ = 0.0;
+    error_mode mode_ = error_mode::no_false_negatives;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_API_RESULT_SET_H

@@ -1,0 +1,256 @@
+#ifndef FREQ_API_SUMMARIZER_H
+#define FREQ_API_SUMMARIZER_H
+
+/// \file summarizer.h
+/// The runtime-configurable façade over the template layer: a `summarizer`
+/// is a type-erased handle to any summary instantiation — key type, weight
+/// type, lifetime policy, storage backend and optional engine sharding are
+/// all *runtime* choices made by `freq::builder` (api/builder.h) — behind a
+/// small-vtable interface a service can hold in config-driven code.
+///
+/// The contract mirrors the template layer one-to-one, so nothing is lost
+/// behind the erasure:
+///   * update()/tick() ingest and age exactly like the underlying summary;
+///     weights cross the boundary as double (u64 counts are exact to 2^53).
+///   * frequent_items(error_mode, threshold) answers threshold-mode queries
+///     under either §1.2 guarantee and returns a `result_set` carrying the
+///     N / error-envelope metadata needed to interpret the rows.
+///   * save() emits the unified serde envelope (api/summary_bytes.h);
+///     restore_summary (api/builder.h) materializes the right instantiation
+///     from bytes alone.
+///   * make_feeder() hands out concurrent ingestion handles: one feeder per
+///     thread, backed by real engine producers when the summarizer is
+///     sharded (and by the summary itself, for single-threaded use, when
+///     not).
+///
+/// Zero-overhead users keep the template layer (see freq.h for the
+/// boundary): the façade costs one virtual dispatch per call, which the
+/// batched update(span) path amortizes to nothing — BENCH_api.json records
+/// the measured gap.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "api/result_set.h"
+#include "api/summary_bytes.h"
+#include "common/contracts.h"
+#include "stream/update.h"
+
+namespace freq {
+
+namespace detail {
+
+/// The erased ingestion handle behind summarizer::feeder.
+struct feeder_impl {
+    virtual ~feeder_impl() = default;
+    virtual void push(std::uint64_t id, double weight) = 0;
+    virtual void push(std::string_view item, double weight) = 0;
+    virtual void flush() = 0;
+};
+
+/// The erased summary behind summarizer. One concrete subclass exists per
+/// (key kind × weight kind × lifetime × backend × engine) instantiation the
+/// builder can materialize (api/builder.h).
+struct summarizer_impl {
+    virtual ~summarizer_impl() = default;
+
+    virtual const summary_descriptor& descriptor() const noexcept = 0;
+    virtual bool sharded() const noexcept = 0;
+
+    // --- ingestion (single-threaded; feeders for concurrency) ---------------
+    virtual void update(std::uint64_t id, double weight) = 0;
+    virtual void update(std::string_view item, double weight) = 0;
+    virtual void update(std::span<const update64> batch) = 0;
+    virtual std::unique_ptr<feeder_impl> make_feeder() = 0;
+    virtual void flush() = 0;
+
+    // --- lifetime -----------------------------------------------------------
+    virtual void tick(std::uint64_t epochs) = 0;
+    virtual std::uint64_t now() const = 0;
+
+    // --- point queries ------------------------------------------------------
+    virtual double estimate(std::uint64_t id) const = 0;
+    virtual double estimate(std::string_view item) const = 0;
+    virtual double lower_bound(std::uint64_t id) const = 0;
+    virtual double lower_bound(std::string_view item) const = 0;
+    virtual double upper_bound(std::uint64_t id) const = 0;
+    virtual double upper_bound(std::string_view item) const = 0;
+    virtual double total_weight() const = 0;
+    virtual double maximum_error() const = 0;
+    virtual std::uint32_t num_counters() const = 0;
+    virtual std::uint32_t capacity() const = 0;
+    virtual std::size_t memory_bytes() const = 0;
+
+    // --- set queries --------------------------------------------------------
+    virtual result_set frequent_items(error_mode mode, double threshold) const = 0;
+    virtual result_set top_items(std::size_t m) const = 0;
+
+    // --- serde / merge / snapshot -------------------------------------------
+    // save() is non-const: an engine-backed summary drains its staged
+    // updates first so the bytes are stream-complete.
+    virtual summary_bytes save() = 0;
+    virtual void merge_from(const summarizer_impl& other) = 0;
+    virtual std::unique_ptr<summarizer_impl> snapshot() const = 0;
+
+    virtual std::string to_string() const = 0;
+};
+
+}  // namespace detail
+
+/// A movable, type-erased frequent-items summary. Construct one with
+/// freq::builder (api/builder.h) or freq::restore_summary; a
+/// default-constructed summarizer is empty and only valid() / assignment
+/// may be called on it.
+class summarizer {
+public:
+    /// A single-threaded ingestion handle; distinct feeders may run on
+    /// distinct threads concurrently. For a sharded summarizer each feeder
+    /// wraps a real engine producer (wait-free SPSC hand-off); for a
+    /// standalone one it forwards to the summary and concurrency must be
+    /// external. Destruction flushes; feeders must not outlive their
+    /// summarizer.
+    class feeder {
+    public:
+        explicit feeder(std::unique_ptr<detail::feeder_impl> impl)
+            : impl_(std::move(impl)) {}
+
+        void push(std::uint64_t id, double weight = 1.0) { impl_->push(id, weight); }
+        void push(std::string_view item, double weight = 1.0) { impl_->push(item, weight); }
+
+        /// Makes everything pushed so far visible to queries (for a sharded
+        /// summarizer: published to the shard rings; pair with
+        /// summarizer::flush() for an applied-barrier).
+        void flush() { impl_->flush(); }
+
+    private:
+        std::unique_ptr<detail::feeder_impl> impl_;
+    };
+
+    summarizer() = default;
+    explicit summarizer(std::unique_ptr<detail::summarizer_impl> impl)
+        : impl_(std::move(impl)) {}
+
+    summarizer(summarizer&&) noexcept = default;
+    summarizer& operator=(summarizer&&) noexcept = default;
+    summarizer(const summarizer&) = delete;
+    summarizer& operator=(const summarizer&) = delete;
+
+    bool valid() const noexcept { return impl_ != nullptr; }
+
+    /// The runtime type tags + config this summarizer was built with.
+    const summary_descriptor& descriptor() const { return checked().descriptor(); }
+
+    /// Whether ingestion runs through the sharded concurrent engine.
+    bool sharded() const { return checked().sharded(); }
+
+    // --- ingestion -----------------------------------------------------------
+
+    /// Processes one weighted update. Single-threaded (use feeders for
+    /// concurrent ingestion). Throws when the key kind does not match the
+    /// summary (u64 update on a text summary and vice versa).
+    void update(std::uint64_t id, double weight = 1.0) { checked().update(id, weight); }
+    void update(std::string_view item, double weight = 1.0) {
+        checked().update(item, weight);
+    }
+
+    /// Batched fast path — forwards whole runs to the template layer's
+    /// span ingest, amortizing the virtual dispatch to one call per batch.
+    void update(std::span<const update64> batch) { checked().update(batch); }
+
+    /// Concurrent ingestion handle (see feeder).
+    feeder make_feeder() { return feeder(checked().make_feeder()); }
+
+    /// Barrier: everything already pushed (and flushed) by feeders is
+    /// applied before this returns. No-op for standalone summaries.
+    void flush() { checked().flush(); }
+
+    // --- lifetime ------------------------------------------------------------
+
+    /// Advances the lifetime policy's logical clock (decay step for fading,
+    /// window rotation for windowed, no-op for plain).
+    void tick(std::uint64_t epochs = 1) { checked().tick(epochs); }
+
+    /// Current logical clock (0 for plain summaries).
+    std::uint64_t now() const { return checked().now(); }
+
+    // --- point queries -------------------------------------------------------
+
+    double estimate(std::uint64_t id) const { return checked().estimate(id); }
+    double estimate(std::string_view item) const { return checked().estimate(item); }
+    double lower_bound(std::uint64_t id) const { return checked().lower_bound(id); }
+    double lower_bound(std::string_view item) const { return checked().lower_bound(item); }
+    double upper_bound(std::uint64_t id) const { return checked().upper_bound(id); }
+    double upper_bound(std::string_view item) const { return checked().upper_bound(item); }
+
+    /// N — total (policy-aged) weight summarized so far.
+    double total_weight() const { return checked().total_weight(); }
+
+    /// The a-posteriori error envelope: every estimate is within this of
+    /// the truth, and threshold queries are exact outside a band this wide.
+    double maximum_error() const { return checked().maximum_error(); }
+
+    std::uint32_t num_counters() const { return checked().num_counters(); }
+    std::uint32_t capacity() const { return checked().capacity(); }
+    std::size_t memory_bytes() const { return checked().memory_bytes(); }
+
+    // --- threshold-mode set queries ------------------------------------------
+
+    /// All items whose chosen bound strictly exceeds \p threshold, sorted by
+    /// descending estimate, with the metadata needed to interpret them (see
+    /// result_set). With mode = no_false_negatives and threshold = φ·N this
+    /// returns every (φ, ε)-heavy hitter.
+    result_set frequent_items(error_mode mode, double threshold) const {
+        return checked().frequent_items(mode, threshold);
+    }
+
+    /// Threshold-free overload using maximum_error() — the tightest
+    /// threshold for which the chosen guarantee is meaningful.
+    result_set frequent_items(error_mode mode) const {
+        return checked().frequent_items(mode, checked().maximum_error());
+    }
+
+    /// The (up to) m largest estimates in descending order. No threshold
+    /// guarantee: ranks within maximum_error() of each other may swap.
+    result_set top_items(std::size_t m) const { return checked().top_items(m); }
+
+    // --- serde / merge / snapshot --------------------------------------------
+
+    /// Serializes the current state into the unified envelope. For a
+    /// sharded summarizer this flushes and snapshots first, so the bytes
+    /// are a stream-complete standalone summary.
+    summary_bytes save() const { return checked().save(); }
+
+    /// Algorithm 5 across the façade: folds \p other into this summary.
+    /// Both must be standalone with equal descriptors (a sharded summarizer
+    /// merges by snapshotting — see snapshot()).
+    void merge(const summarizer& other) {
+        FREQ_REQUIRE(other.valid(), "cannot merge an empty summarizer");
+        checked().merge_from(*other.impl_);
+    }
+
+    /// A consistent point-in-time standalone copy: for a sharded summarizer
+    /// the engine's merged snapshot, otherwise a plain copy. The result is
+    /// always mergeable and saveable.
+    summarizer snapshot() const { return summarizer(checked().snapshot()); }
+
+    std::string to_string() const {
+        return valid() ? impl_->to_string() : std::string("summarizer(empty)");
+    }
+
+private:
+    detail::summarizer_impl& checked() const {
+        FREQ_REQUIRE(impl_ != nullptr, "operation on an empty summarizer");
+        return *impl_;
+    }
+
+    std::unique_ptr<detail::summarizer_impl> impl_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_API_SUMMARIZER_H

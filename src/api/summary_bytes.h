@@ -1,0 +1,547 @@
+#ifndef FREQ_API_SUMMARY_BYTES_H
+#define FREQ_API_SUMMARY_BYTES_H
+
+/// \file summary_bytes.h
+/// The unified serde envelope: one versioned, policy-tagged wire format that
+/// round-trips *any* summary instantiation — plain, time-fading or
+/// sliding-window lifetime; u64 or text keys; table- or map-backed core;
+/// standalone sketch or engine snapshot — replacing the per-class ad-hoc
+/// `serialize()` formats. A 48-byte self-describing header carries the full
+/// summary_descriptor, so a receiver can route bytes to the right
+/// instantiation (or reject them) before touching the body.
+///
+/// Wire layout (little-endian, via common/bytes.h):
+///
+///   header (48 B): magic 'FQEN' u32 | version u8 | key_kind u8 |
+///     weight_kind u8 | lifetime u8 | backend u8 | reserved u8[3] |
+///     max_counters u32 | sample_size u32 | decrement_quantile f64 |
+///     seed u64 | decay f64 | window_epochs u32
+///   policy state: fading → now u64, inflation f64; windowed → now u64
+///   body:
+///     non-windowed → offset W | total W | n u32 | n × (key u64, counter W)
+///     windowed     → epoch_count u32 | per live non-empty epoch:
+///                    abs_epoch u64, then the non-windowed body
+///   text keys append the spelling dictionary:
+///                    dict_n u32 | dict_n × (fp u64, len u32, bytes)
+///
+/// Canonical encoding: counter rows are sorted by key and dictionary
+/// entries by fingerprint, so save → restore → save is byte-identical (the
+/// hash table's slot order, which depends on insertion history, never
+/// leaks into the bytes). Weights travel as u64 or IEEE-754 f64 bits per
+/// weight_kind. Decoding validates every field before the matching
+/// allocation — the §3 merging architecture ships summaries between
+/// machines, so envelope bytes are untrusted input.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/contracts.h"
+#include "core/basic_frequent_items.h"
+#include "core/frequent_items_sketch.h"
+#include "core/generic_frequent_items.h"
+#include "core/lifetime_policy.h"
+#include "core/sketch_config.h"
+#include "core/string_frequent_items.h"
+
+namespace freq {
+
+// --- the envelope's runtime type tags ----------------------------------------
+
+enum class key_kind : std::uint8_t {
+    u64 = 0,   ///< 64-bit integer identifiers (the fast path)
+    text = 1,  ///< strings, fingerprinted to 64 bits + spelling dictionary
+};
+
+enum class weight_kind : std::uint8_t {
+    counts = 0,  ///< std::uint64_t weights (exact integer counts)
+    real = 1,    ///< double weights (tf-idf style real values; fading)
+};
+
+enum class lifetime_kind : std::uint8_t {
+    plain = 0,     ///< weight never ages (the paper's sketch)
+    fading = 1,    ///< exponential time-fading via forward decay
+    windowed = 2,  ///< sliding window of the last window_epochs ticks
+};
+
+enum class backend_kind : std::uint8_t {
+    table = 0,  ///< parallel-array counter_table, sampled-quantile decrement
+    map = 1,    ///< node-based map, exact-median decrement (Theorem 2 bound)
+};
+
+inline const char* to_string(key_kind k) { return k == key_kind::u64 ? "u64" : "text"; }
+inline const char* to_string(weight_kind w) {
+    return w == weight_kind::counts ? "counts" : "real";
+}
+inline const char* to_string(lifetime_kind l) {
+    switch (l) {
+        case lifetime_kind::plain: return "plain";
+        case lifetime_kind::fading: return "fading";
+        default: return "windowed";
+    }
+}
+inline const char* to_string(backend_kind b) {
+    return b == backend_kind::table ? "table" : "map";
+}
+
+/// Everything needed to materialize (or reject) a summary instantiation at
+/// runtime: the four type tags plus the full sketch_config. Two summaries
+/// are merge-compatible exactly when their descriptors compare equal.
+struct summary_descriptor {
+    key_kind keys = key_kind::u64;
+    weight_kind weights = weight_kind::counts;
+    lifetime_kind lifetime = lifetime_kind::plain;
+    backend_kind backend = backend_kind::table;
+    sketch_config sketch{};
+
+    friend bool operator==(const summary_descriptor&, const summary_descriptor&) = default;
+
+    std::string to_string() const {
+        return std::string("summary_descriptor(") + freq::to_string(keys) + ", " +
+               freq::to_string(weights) + ", " + freq::to_string(lifetime) + ", " +
+               freq::to_string(backend) + ", k=" + std::to_string(sketch.max_counters) + ")";
+    }
+};
+
+// --- compile-time tags of each summary template ------------------------------
+
+namespace detail {
+
+template <typename W>
+constexpr weight_kind weight_kind_of() {
+    static_assert(std::is_same_v<W, std::uint64_t> || std::is_same_v<W, double>,
+                  "the envelope ships std::uint64_t or double weights only");
+    return std::is_same_v<W, double> ? weight_kind::real : weight_kind::counts;
+}
+
+template <typename P>
+constexpr lifetime_kind lifetime_kind_of() {
+    if constexpr (P::windowed) {
+        return lifetime_kind::windowed;
+    } else if constexpr (P::decaying) {
+        return lifetime_kind::fading;
+    } else {
+        return lifetime_kind::plain;
+    }
+}
+
+}  // namespace detail
+
+/// Maps a summary type to its envelope tags. Specialized for every summary
+/// template the envelope can carry.
+template <typename Summary>
+struct summary_traits;
+
+template <typename K, typename W, typename P>
+struct summary_traits<basic_frequent_items<K, W, P>> {
+    static_assert(std::is_same_v<K, std::uint64_t>,
+                  "the envelope ships 64-bit keys; reduce wider keys first");
+    static constexpr key_kind keys = key_kind::u64;
+    static constexpr weight_kind weights = detail::weight_kind_of<W>();
+    static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<P>();
+    static constexpr backend_kind backend = backend_kind::table;
+};
+
+template <typename K, typename W>
+struct summary_traits<frequent_items_sketch<K, W>>
+    : summary_traits<basic_frequent_items<K, W, plain_lifetime>> {};
+
+template <typename W, typename L>
+struct summary_traits<string_frequent_items<W, L>> {
+    static constexpr key_kind keys = key_kind::text;
+    static constexpr weight_kind weights = detail::weight_kind_of<W>();
+    static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
+    static constexpr backend_kind backend = backend_kind::table;
+};
+
+template <typename W, typename H, typename E, typename L>
+struct summary_traits<generic_frequent_items<std::uint64_t, W, H, E, L>> {
+    static constexpr key_kind keys = key_kind::u64;
+    static constexpr weight_kind weights = detail::weight_kind_of<W>();
+    static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
+    static constexpr backend_kind backend = backend_kind::map;
+};
+
+// --- the envelope value type -------------------------------------------------
+
+/// Owning, header-validated envelope bytes. `wrap()` checks the 48-byte
+/// header (magic, version, tag ranges, tag cross-consistency) and caches
+/// the descriptor; the body is validated by envelope_load / restore_summary
+/// when the summary is actually materialized.
+class summary_bytes {
+public:
+    static constexpr std::uint32_t magic = 0x4e455146;  // "FQEN"
+    static constexpr std::uint8_t current_version = 1;
+    static constexpr std::size_t header_size = 48;
+
+    /// Validates the header and takes ownership of \p bytes. Throws
+    /// std::invalid_argument / std::out_of_range on malformed headers.
+    static summary_bytes wrap(std::vector<std::uint8_t> bytes) {
+        byte_reader r(bytes);
+        summary_bytes out;
+        out.version_ = parse_header(r, out.descriptor_);
+        out.bytes_ = std::move(bytes);
+        return out;
+    }
+
+    const std::vector<std::uint8_t>& bytes() const& noexcept { return bytes_; }
+    std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+    std::size_t size() const noexcept { return bytes_.size(); }
+
+    const summary_descriptor& descriptor() const noexcept { return descriptor_; }
+    std::uint8_t version() const noexcept { return version_; }
+
+    friend bool operator==(const summary_bytes& a, const summary_bytes& b) {
+        return a.bytes_ == b.bytes_;
+    }
+
+    /// Reads and validates one header from \p r, filling \p d. Returns the
+    /// format version. Shared by wrap() and the load path so both enforce
+    /// identical rules.
+    static std::uint8_t parse_header(byte_reader& r, summary_descriptor& d) {
+        FREQ_REQUIRE(r.get_u32() == magic, "not a freq summary envelope");
+        const std::uint8_t version = r.get_u8();
+        FREQ_REQUIRE(version == current_version, "unsupported envelope version");
+        const std::uint8_t keys = r.get_u8();
+        const std::uint8_t weights = r.get_u8();
+        const std::uint8_t lifetime = r.get_u8();
+        const std::uint8_t backend = r.get_u8();
+        FREQ_REQUIRE(keys <= 1, "envelope key kind out of range");
+        FREQ_REQUIRE(weights <= 1, "envelope weight kind out of range");
+        FREQ_REQUIRE(lifetime <= 2, "envelope lifetime kind out of range");
+        FREQ_REQUIRE(backend <= 1, "envelope backend kind out of range");
+        for (int i = 0; i < 3; ++i) {
+            FREQ_REQUIRE(r.get_u8() == 0, "envelope reserved bytes must be zero");
+        }
+        d.keys = static_cast<key_kind>(keys);
+        d.weights = static_cast<weight_kind>(weights);
+        d.lifetime = static_cast<lifetime_kind>(lifetime);
+        d.backend = static_cast<backend_kind>(backend);
+        d.sketch.max_counters = r.get_u32();
+        d.sketch.sample_size = r.get_u32();
+        d.sketch.decrement_quantile = r.get_f64();
+        d.sketch.seed = r.get_u64();
+        d.sketch.decay = r.get_f64();
+        d.sketch.window_epochs = r.get_u32();
+        FREQ_REQUIRE(d.lifetime != lifetime_kind::fading || d.weights == weight_kind::real,
+                     "fading summaries require real weights");
+        FREQ_REQUIRE(d.backend != backend_kind::map || d.lifetime != lifetime_kind::windowed,
+                     "the map backend has no sliding-window policy");
+        return version;
+    }
+
+private:
+    summary_bytes() = default;
+
+    std::vector<std::uint8_t> bytes_;
+    summary_descriptor descriptor_{};
+    std::uint8_t version_ = current_version;
+};
+
+// --- the codec ---------------------------------------------------------------
+
+/// The one friend through which the envelope reads and restores private
+/// summary state (counter tables, offsets, policy clocks). Everything here
+/// is an implementation detail of envelope_save / envelope_load.
+struct summary_serde_access {
+    // -- config access (the string adapter holds its config inside) ----------
+
+    template <typename S>
+    static const sketch_config& config_of(const S& s) {
+        return s.config();
+    }
+    template <typename W, typename L>
+    static const sketch_config& config_of(const string_frequent_items<W, L>& s) {
+        return s.sketch_.config();
+    }
+
+    // -- weights on the wire --------------------------------------------------
+
+    template <typename W>
+    static void put_weight(byte_writer& w, W v) {
+        if constexpr (std::is_floating_point_v<W>) {
+            w.put_f64(static_cast<double>(v));
+        } else {
+            w.put_u64(static_cast<std::uint64_t>(v));
+        }
+    }
+
+    template <typename W>
+    static W get_weight(byte_reader& r) {
+        if constexpr (std::is_floating_point_v<W>) {
+            const double v = r.get_f64();
+            FREQ_REQUIRE(std::isfinite(v), "envelope weight is not finite");
+            return static_cast<W>(v);
+        } else {
+            return static_cast<W>(r.get_u64());
+        }
+    }
+
+    // -- the flat counter body (shared by every non-windowed core) -----------
+
+    /// Writes offset | total | n | sorted (key, counter) rows. Sorting makes
+    /// the encoding canonical: the hash table's slot order (a function of
+    /// insertion history) never reaches the wire, so save → restore → save
+    /// is byte-identical.
+    template <typename Core>
+    static void put_counters(byte_writer& w, const Core& s) {
+        using W = typename Core::weight_type;
+        put_weight<W>(w, s.offset_);
+        put_weight<W>(w, s.total_weight_);
+        std::vector<std::pair<std::uint64_t, W>> rows;
+        s.for_each([&](auto key, W c) {
+            rows.emplace_back(static_cast<std::uint64_t>(key), c);
+        });
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        w.put_u32(static_cast<std::uint32_t>(rows.size()));
+        for (const auto& [key, c] : rows) {
+            w.put_u64(key);
+            put_weight<W>(w, c);
+        }
+    }
+
+    /// Reads one flat counter body into an empty core via \p upsert_row.
+    /// Rows must be strictly ascending by key (canonical order doubles as
+    /// the duplicate check) and positive; count is bounded by capacity
+    /// before anything is inserted.
+    template <typename W, typename UpsertRow>
+    static void get_counters(byte_reader& r, std::uint32_t max_counters, W& offset,
+                             W& total_weight, UpsertRow&& upsert_row) {
+        const W off = get_weight<W>(r);
+        const W total = get_weight<W>(r);
+        if constexpr (std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(off >= W{0}, "envelope offset is negative");
+            FREQ_REQUIRE(total >= W{0}, "envelope total weight is negative");
+        }
+        const std::uint32_t n = r.get_u32();
+        FREQ_REQUIRE(n <= max_counters, "envelope counter count exceeds capacity");
+        std::uint64_t prev_key = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint64_t key = r.get_u64();
+            FREQ_REQUIRE(i == 0 || key > prev_key,
+                         "envelope counter rows must be strictly ascending by key");
+            prev_key = key;
+            const W c = get_weight<W>(r);
+            FREQ_REQUIRE(c > W{0}, "envelope contains a non-positive counter");
+            upsert_row(key, c);
+        }
+        offset = off;
+        total_weight = total;
+    }
+
+    // -- table-backed u64 core (plain / fading) -------------------------------
+
+    template <typename K, typename W, typename P>
+    static void put_summary(byte_writer& w, const basic_frequent_items<K, W, P>& s) {
+        if constexpr (P::decaying) {
+            w.put_u64(s.policy_.now());
+            w.put_f64(s.policy_.inflation());
+        }
+        put_counters(w, s);
+    }
+
+    template <typename K, typename W, typename P>
+    static void get_summary(byte_reader& r, basic_frequent_items<K, W, P>& s) {
+        if constexpr (P::decaying) {
+            const std::uint64_t now = r.get_u64();
+            const double inflation = r.get_f64();
+            s.policy_.restore(now, inflation);
+        }
+        get_counters<W>(r, s.cfg_.max_counters, s.offset_, s.total_weight_,
+                        [&](std::uint64_t key, W c) {
+                            s.table_.upsert(static_cast<K>(key), c);
+                        });
+    }
+
+    // -- epoch_window ring (the windowed serde the ROADMAP asked for) --------
+
+    template <typename K, typename W>
+    static void put_summary(byte_writer& w,
+                            const basic_frequent_items<K, W, epoch_window>& s) {
+        using windowed = basic_frequent_items<K, W, epoch_window>;
+        using epoch_sketch = typename windowed::epoch_sketch;
+        const std::uint64_t window = s.ring_.size();
+        const std::uint64_t now = s.now_;
+        w.put_u64(now);
+        // Live epochs in ascending absolute order; empty ones are omitted
+        // (decode reconstructs them deterministically from the config).
+        const std::uint64_t lo = now + 1 >= window ? now + 1 - window : 0;
+        std::vector<std::uint64_t> live;
+        for (std::uint64_t a = lo; a <= now; ++a) {
+            const epoch_sketch& e = s.ring_[a % window];
+            if (s.slot_epoch_[a % window] == a && e.total_weight() > W{0}) {
+                live.push_back(a);
+            }
+        }
+        w.put_u32(static_cast<std::uint32_t>(live.size()));
+        for (const std::uint64_t a : live) {
+            w.put_u64(a);
+            put_counters(w, s.ring_[a % window]);
+        }
+    }
+
+    template <typename K, typename W>
+    static void get_summary(byte_reader& r, basic_frequent_items<K, W, epoch_window>& s) {
+        using windowed = basic_frequent_items<K, W, epoch_window>;
+        using epoch_sketch = typename windowed::epoch_sketch;
+        const std::uint64_t now = r.get_u64();
+        if (now > 0) {
+            s.tick(now);  // relabels the ring to the live epochs of `now`
+        }
+        const std::uint64_t window = s.ring_.size();
+        const std::uint64_t lo = now + 1 >= window ? now + 1 - window : 0;
+        const std::uint32_t count = r.get_u32();
+        FREQ_REQUIRE(count <= window, "envelope window epoch count exceeds the ring");
+        std::uint64_t prev = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t a = r.get_u64();
+            FREQ_REQUIRE(a >= lo && a <= now, "envelope epoch outside the live window");
+            FREQ_REQUIRE(i == 0 || a > prev,
+                         "envelope epochs must be strictly ascending");
+            prev = a;
+            epoch_sketch e(s.epoch_cfg(a));
+            get_summary(r, e);
+            s.ring_[a % window] = std::move(e);
+        }
+    }
+
+    // -- map-backed core ------------------------------------------------------
+
+    template <typename W, typename H, typename E, typename L>
+    static void put_summary(byte_writer& w,
+                            const generic_frequent_items<std::uint64_t, W, H, E, L>& s) {
+        if constexpr (L::decaying) {
+            w.put_u64(s.policy_.now());
+            w.put_f64(s.policy_.inflation());
+        }
+        put_counters(w, s);
+    }
+
+    template <typename W, typename H, typename E, typename L>
+    static void get_summary(byte_reader& r,
+                            generic_frequent_items<std::uint64_t, W, H, E, L>& s) {
+        if constexpr (L::decaying) {
+            const std::uint64_t now = r.get_u64();
+            const double inflation = r.get_f64();
+            s.policy_.restore(now, inflation);
+        }
+        get_counters<W>(r, s.cfg_.max_counters, s.offset_, s.total_weight_,
+                        [&](std::uint64_t key, W c) { s.counters_.emplace(key, c); });
+    }
+
+    // -- text keys: inner summary + spelling dictionary -----------------------
+
+    static constexpr std::uint32_t max_spelling_bytes = 1u << 20;
+
+    template <typename W, typename L>
+    static void put_summary(byte_writer& w, const string_frequent_items<W, L>& s) {
+        put_summary(w, s.sketch_);
+        std::vector<std::pair<std::uint64_t, const std::string*>> entries;
+        entries.reserve(s.dict_.size());
+        for (const auto& [fp, spelling] : s.dict_) {
+            entries.emplace_back(fp, &spelling);
+        }
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        w.put_u32(static_cast<std::uint32_t>(entries.size()));
+        for (const auto& [fp, spelling] : entries) {
+            w.put_u64(fp);
+            w.put_u32(static_cast<std::uint32_t>(spelling->size()));
+            w.put_bytes(spelling->data(), spelling->size());
+        }
+    }
+
+    template <typename W, typename L>
+    static void get_summary(byte_reader& r, string_frequent_items<W, L>& s) {
+        get_summary(r, s.sketch_);
+        const std::uint32_t n = r.get_u32();
+        // The adapter prunes past 4x the simultaneously trackable ids, so a
+        // genuine dictionary never exceeds that; anything larger is hostile.
+        FREQ_REQUIRE(n <= s.prune_limit_ + 1, "envelope dictionary exceeds the prune bound");
+        std::uint64_t prev = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint64_t fp = r.get_u64();
+            FREQ_REQUIRE(i == 0 || fp > prev,
+                         "envelope dictionary must be strictly ascending");
+            prev = fp;
+            const std::uint32_t len = r.get_u32();
+            FREQ_REQUIRE(len <= max_spelling_bytes, "envelope spelling too long");
+            FREQ_REQUIRE(len <= r.remaining(), "envelope spelling overruns the buffer");
+            std::string spelling(len, '\0');
+            r.get_bytes(spelling.data(), len);
+            s.dict_.emplace(fp, std::move(spelling));
+        }
+    }
+};
+
+// --- public entry points -----------------------------------------------------
+
+/// Serializes \p s into the unified envelope. Works on any summary the
+/// traits above cover — including engine snapshots, which are ordinary
+/// summaries of their engine's merged state.
+template <typename Summary>
+summary_bytes envelope_save(const Summary& s) {
+    using traits = summary_traits<Summary>;
+    const sketch_config& cfg = summary_serde_access::config_of(s);
+    byte_writer w;
+    w.reserve(summary_bytes::header_size + 64);
+    w.put_u32(summary_bytes::magic);
+    w.put_u8(summary_bytes::current_version);
+    w.put_u8(static_cast<std::uint8_t>(traits::keys));
+    w.put_u8(static_cast<std::uint8_t>(traits::weights));
+    w.put_u8(static_cast<std::uint8_t>(traits::lifetime));
+    w.put_u8(static_cast<std::uint8_t>(traits::backend));
+    w.put_u8(0);
+    w.put_u8(0);
+    w.put_u8(0);
+    w.put_u32(cfg.max_counters);
+    w.put_u32(cfg.sample_size);
+    w.put_f64(cfg.decrement_quantile);
+    w.put_u64(cfg.seed);
+    w.put_f64(cfg.decay);
+    w.put_u32(cfg.window_epochs);
+    summary_serde_access::put_summary(w, s);
+    return summary_bytes::wrap(std::move(w).take());
+}
+
+/// Reconstructs a summary of static type \p Summary from envelope bytes.
+/// Throws std::invalid_argument when the envelope's tags name a different
+/// instantiation. \p max_accepted_counters guards resource consumption for
+/// untrusted bytes: an image whose declared capacity exceeds the bound is
+/// rejected before any table allocation.
+template <typename Summary>
+Summary envelope_load(const summary_bytes& b,
+                      std::uint32_t max_accepted_counters = 1u << 28) {
+    using traits = summary_traits<Summary>;
+    const summary_descriptor& d = b.descriptor();
+    FREQ_REQUIRE(d.keys == traits::keys && d.weights == traits::weights &&
+                     d.lifetime == traits::lifetime && d.backend == traits::backend,
+                 "envelope holds a different summary instantiation");
+    FREQ_REQUIRE(d.sketch.max_counters <= max_accepted_counters,
+                 "envelope capacity exceeds the caller's acceptance bound");
+    byte_reader r(b.bytes());
+    summary_descriptor reparsed;  // advances r past the header
+    summary_bytes::parse_header(r, reparsed);
+    Summary s(d.sketch);
+    summary_serde_access::get_summary(r, s);
+    FREQ_REQUIRE(r.remaining() == 0, "envelope has trailing bytes");
+    return s;
+}
+
+/// Convenience overload for raw bytes fresh off the wire.
+template <typename Summary>
+Summary envelope_load(std::vector<std::uint8_t> bytes,
+                      std::uint32_t max_accepted_counters = 1u << 28) {
+    return envelope_load<Summary>(summary_bytes::wrap(std::move(bytes)),
+                                  max_accepted_counters);
+}
+
+}  // namespace freq
+
+#endif  // FREQ_API_SUMMARY_BYTES_H

@@ -41,6 +41,11 @@
 
 namespace freq {
 
+/// Raw-state accessor of the versioned serde envelope (api/summary_bytes.h):
+/// the one friend through which serialization reads and restores counter
+/// tables, offsets and policy clocks without widening the public surface.
+struct summary_serde_access;
+
 template <typename K = std::uint64_t, typename W = std::uint64_t,
           typename LifetimePolicy = plain_lifetime>
 class basic_frequent_items {
@@ -346,6 +351,8 @@ public:
     }
 
 protected:
+    friend struct summary_serde_access;
+
     /// Storage-units value -> query-units value (identity for plain).
     W present(W stored) const noexcept {
         if constexpr (LifetimePolicy::decaying) {
@@ -630,6 +637,8 @@ public:
     }
 
 private:
+    friend struct summary_serde_access;
+
     epoch_sketch& current() noexcept {
         return ring_[static_cast<std::uint32_t>(now_ % ring_.size())];
     }

@@ -89,6 +89,16 @@ public:
     /// fresh landmark.
     void jump(std::uint64_t epochs) noexcept { now_ += epochs; }
 
+    /// Restores a serialized clock (api/summary_bytes.h). The stored
+    /// counters a caller loads alongside must be in the landmark units this
+    /// (now, inflation) pair defines.
+    void restore(std::uint64_t now, double inflation) {
+        FREQ_REQUIRE(std::isfinite(inflation) && inflation >= 1.0,
+                     "fading clock inflation must be finite and >= 1");
+        now_ = now;
+        inflation_ = inflation;
+    }
+
     /// Factor converting \p other's stored values into this sketch's
     /// landmark units. Precondition: now() >= other.now() (the caller ticks
     /// itself forward first) and equal decay factors.

@@ -57,6 +57,10 @@ struct sketch_config {
     /// policy: queries cover the current epoch plus the window_epochs − 1
     /// preceding ones; older epochs are evicted exactly.
     std::uint32_t window_epochs = 4;
+
+    /// Field-wise equality — the compatibility check of the runtime façade
+    /// (api/builder.h): summaries merge only when their configs agree.
+    friend bool operator==(const sketch_config&, const sketch_config&) = default;
 };
 
 }  // namespace freq

@@ -94,6 +94,30 @@ public:
     /// Advances the lifetime policy's logical clock (no-op for plain).
     void tick(std::uint64_t epochs = 1) { sketch_.tick(epochs); }
 
+    /// Current logical clock (ticks since construction; 0 for plain).
+    std::uint64_t now() const noexcept {
+        if constexpr (Lifetime::windowed) {
+            return sketch_.now();
+        } else if constexpr (Lifetime::decaying) {
+            return sketch_.policy().now();
+        } else {
+            return 0;
+        }
+    }
+
+    /// Algorithm 5 for string summaries: merges the fingerprint sketches
+    /// (policy-aware — clocks align, windows fold epoch-wise) and unions
+    /// the spelling dictionaries, pruning if the union overflows.
+    void merge(const string_frequent_items& other) {
+        sketch_.merge(other.sketch_);
+        for (const auto& [fp, spelling] : other.dict_) {
+            dict_.try_emplace(fp, spelling);
+        }
+        if (dict_.size() > prune_limit_) {
+            prune();
+        }
+    }
+
     W estimate(std::string_view item) const { return sketch_.estimate(fnv1a64(item)); }
     W lower_bound(std::string_view item) const { return sketch_.lower_bound(fnv1a64(item)); }
     W upper_bound(std::string_view item) const { return sketch_.upper_bound(fnv1a64(item)); }
@@ -119,6 +143,18 @@ public:
         return frequent_items(et, sketch_.maximum_error());
     }
 
+    /// The (up to) m tracked items with the largest estimates, spelled out,
+    /// in descending order — same contract as the core sketch's top_items.
+    std::vector<row> top_items(std::size_t m) const {
+        std::vector<row> out;
+        for (const auto& r : sketch_.top_items(m)) {
+            const auto it = dict_.find(r.id);
+            out.push_back(row{it != dict_.end() ? it->second : std::string("<unknown>"),
+                              r.estimate, r.lower_bound, r.upper_bound});
+        }
+        return out;
+    }
+
     /// Sketch bytes plus dictionary footprint (keys + string storage).
     std::size_t memory_bytes() const noexcept {
         std::size_t dict_bytes = 0;
@@ -129,6 +165,8 @@ public:
     }
 
 private:
+    friend struct summary_serde_access;
+
     /// Whether the most recent update for \p fp can have admitted it — the
     /// current epoch for a windowed sketch, the whole table otherwise.
     bool tracked_now(std::uint64_t fp) const {

@@ -55,6 +55,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <type_traits>
@@ -132,6 +133,7 @@ public:
         ~producer() {
             if (engine_ != nullptr) {
                 flush();
+                engine_->release_producer_slot(slot_);
             }
         }
 
@@ -260,11 +262,23 @@ public:
             mix64(static_cast<std::uint64_t>(id) ^ route_salt_) % cfg_.num_shards);
     }
 
-    /// Hands out the next producer slot. At most num_producers calls.
+    /// Hands out a producer slot. At most num_producers producers may be
+    /// alive at once; destroying a producer returns its slot (after a
+    /// flush), so short-lived ingestion handles — the façade's feeders
+    /// (api/summarizer.h) — can come and go for the engine's whole lifetime.
+    /// A recycled slot reuses the original slot's rings, which stay SPSC
+    /// because the old producer flushed before the new one can exist.
     producer make_producer() {
-        const std::uint32_t slot = next_producer_.fetch_add(1, std::memory_order_relaxed);
-        FREQ_REQUIRE(slot < cfg_.num_producers,
-                     "make_producer called more times than cfg.num_producers");
+        std::lock_guard<std::mutex> lock(slot_mutex_);
+        std::uint32_t slot;
+        if (!free_slots_.empty()) {
+            slot = free_slots_.back();
+            free_slots_.pop_back();
+        } else {
+            FREQ_REQUIRE(next_producer_ < cfg_.num_producers,
+                         "more live producers than cfg.num_producers");
+            slot = next_producer_++;
+        }
         return producer(this, slot);
     }
 
@@ -364,11 +378,18 @@ private:
         }
     }
 
+    void release_producer_slot(std::uint32_t slot) {
+        std::lock_guard<std::mutex> lock(slot_mutex_);
+        free_slots_.push_back(slot);
+    }
+
     engine_config cfg_;
     std::uint64_t route_salt_ = 0;
     std::vector<std::unique_ptr<engine_shard<K, W, Sketch>>> shards_;
     std::vector<std::thread> workers_;
-    std::atomic<std::uint32_t> next_producer_{0};
+    std::mutex slot_mutex_;                  ///< guards the slot allocator below
+    std::uint32_t next_producer_ = 0;        ///< next never-used slot
+    std::vector<std::uint32_t> free_slots_;  ///< slots of destroyed producers
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> stalls_{0};
 };

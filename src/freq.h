@@ -8,6 +8,29 @@
 ///
 /// brings in the paper's sketch and every companion type. Individual
 /// headers remain includable on their own for faster builds.
+///
+/// The library has two public layers; both are stable, pick by need:
+///
+///  * The **façade** (`src/api/`) — `freq::builder` → `freq::summarizer`.
+///    Key type, weight type, k, lifetime policy and engine sharding are
+///    *runtime* choices; queries return self-describing `result_set`s and
+///    any summary round-trips through the unified `summary_bytes` envelope.
+///    One virtual dispatch per call (amortized away by the span ingest
+///    path; BENCH_api.json records the gap). This is the layer services
+///    and config-driven integrations should use.
+///
+///  * The **template layer** (`src/core/`, `src/engine/`) — the concrete
+///    `basic_frequent_items` / `frequent_items_sketch` / `stream_engine`
+///    templates the façade wraps. Zero overhead, compile-time
+///    configuration, richer static typing. The façade adds no state on
+///    top: anything built here can be serialized with `envelope_save` and
+///    re-opened as a summarizer (and vice versa).
+
+// The runtime-configurable façade (builder / summarizer / envelope).
+#include "api/builder.h"
+#include "api/result_set.h"
+#include "api/summarizer.h"
+#include "api/summary_bytes.h"
 
 // The paper's contribution (Algorithms 3-5 + §2.3 engineering).
 #include "core/basic_frequent_items.h"    // policy-templated counter core

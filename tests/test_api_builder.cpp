@@ -1,0 +1,425 @@
+/// The runtime façade: freq::builder must materialize every lifetime policy
+/// × key kind at runtime, and the redesigned threshold-mode query surface
+/// must honor its §1.2 guarantees against exact ground truth — zero false
+/// positives under no_false_positives, zero false negatives under
+/// no_false_negatives — for plain, fading and windowed summaries alike.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "api/builder.h"
+#include "api/summarizer.h"
+#include "random/xoshiro.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+constexpr std::uint32_t k = 512;
+
+update_stream<std::uint64_t, std::uint64_t> test_stream(std::uint64_t seed,
+                                                        std::uint64_t n = 100'000) {
+    zipf_stream_generator gen({.num_updates = n,
+                               .num_distinct = 10'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 100,
+                               .seed = seed});
+    return gen.generate();
+}
+
+std::unordered_set<std::uint64_t> returned_ids(const result_set& rs) {
+    std::unordered_set<std::uint64_t> out;
+    for (const auto& r : rs) {
+        out.insert(r.id);
+    }
+    return out;
+}
+
+/// NFP: every returned item truly exceeds the threshold. NFN: every item
+/// truly above the threshold is returned. \p truth is exact (policy-aged)
+/// frequencies; \p rel_tol absorbs floating-point divergence between the
+/// sketch's forward-decay arithmetic and the reference's backward decay.
+void check_threshold_modes(const summarizer& s,
+                           const std::unordered_map<std::uint64_t, double>& truth,
+                           double threshold, double rel_tol = 0.0) {
+    const double slack = rel_tol * threshold;
+
+    const auto nfp = s.frequent_items(error_mode::no_false_positives, threshold);
+    EXPECT_EQ(nfp.mode(), error_mode::no_false_positives);
+    EXPECT_DOUBLE_EQ(nfp.threshold(), threshold);
+    for (const auto& r : nfp) {
+        const auto it = truth.find(r.id);
+        ASSERT_NE(it, truth.end()) << "NFP returned a never-seen id " << r.id;
+        EXPECT_GT(it->second + slack, threshold)
+            << "false positive: id " << r.id << " true=" << it->second;
+    }
+
+    const auto nfn = s.frequent_items(error_mode::no_false_negatives, threshold);
+    const auto ids = returned_ids(nfn);
+    for (const auto& [id, f] : truth) {
+        if (f > threshold + slack) {
+            EXPECT_TRUE(ids.contains(id))
+                << "false negative: id " << id << " true=" << f;
+        }
+    }
+
+    // Rows arrive sorted by descending estimate, bounds bracket estimates.
+    for (std::size_t i = 1; i < nfn.size(); ++i) {
+        EXPECT_GE(nfn[i - 1].estimate, nfn[i].estimate);
+    }
+    for (const auto& r : nfn) {
+        EXPECT_LE(r.lower_bound, r.estimate);
+        EXPECT_LE(r.estimate, r.upper_bound);
+        EXPECT_LE(r.upper_bound - r.lower_bound, nfn.maximum_error() * (1 + 1e-9));
+    }
+}
+
+// --- builder matrix ----------------------------------------------------------
+
+TEST(ApiBuilder, ConstructsAllPoliciesAndKeyKindsAtRuntime) {
+    struct spec {
+        lifetime_kind lifetime;
+        key_kind keys;
+    };
+    for (const auto& [lifetime, keys] :
+         {spec{lifetime_kind::plain, key_kind::u64},
+          spec{lifetime_kind::fading, key_kind::u64},
+          spec{lifetime_kind::windowed, key_kind::u64},
+          spec{lifetime_kind::plain, key_kind::text},
+          spec{lifetime_kind::fading, key_kind::text},
+          spec{lifetime_kind::windowed, key_kind::text}}) {
+        builder b;
+        b.keys(keys).max_counters(64).seed(3);
+        switch (lifetime) {
+            case lifetime_kind::plain: b.plain(); break;
+            case lifetime_kind::fading: b.fading(0.5); break;
+            default: b.sliding_window(3); break;
+        }
+        auto s = b.build();
+        ASSERT_TRUE(s.valid());
+        EXPECT_EQ(s.descriptor().lifetime, lifetime);
+        EXPECT_EQ(s.descriptor().keys, keys);
+        for (int i = 0; i < 100; ++i) {
+            if (keys == key_kind::u64) {
+                s.update(static_cast<std::uint64_t>(i % 7));
+            } else {
+                s.update("item" + std::to_string(i % 7));
+            }
+        }
+        s.tick();  // no-op for plain, ages the others
+        EXPECT_GT(s.total_weight(), 0.0);
+        EXPECT_GT(s.num_counters(), 0u);
+    }
+}
+
+TEST(ApiBuilder, MapBackendAndShardedVariantsConstruct) {
+    auto m1 = builder().map_backend().max_counters(32).build();
+    auto m2 = builder().map_backend().max_counters(32).fading(0.5).build();
+    auto e1 = builder().max_counters(32).sharded(2).build();
+    auto e2 = builder().max_counters(32).fading(0.5).sharded(2).build();
+    auto e3 = builder().max_counters(32).sliding_window(3).sharded(2).build();
+    for (summarizer* s : {&m1, &m2, &e1, &e2, &e3}) {
+        s->update(std::uint64_t{7}, 3.0);
+        s->flush();
+        EXPECT_EQ(s->estimate(7), 3.0);
+    }
+    EXPECT_EQ(m1.descriptor().backend, backend_kind::map);
+    EXPECT_FALSE(m1.sharded());
+    EXPECT_TRUE(e1.sharded());
+}
+
+TEST(ApiBuilder, InvalidCombinationsThrowPrecisely) {
+    EXPECT_THROW(builder().counts().fading(0.5).build(), std::invalid_argument);
+    EXPECT_THROW(builder().text_keys().sharded(2).build(), std::invalid_argument);
+    EXPECT_THROW(builder().map_backend().sliding_window(3).build(), std::invalid_argument);
+    EXPECT_THROW(builder().map_backend().sharded(2).build(), std::invalid_argument);
+    EXPECT_THROW(builder().text_keys().map_backend().build(), std::invalid_argument);
+    EXPECT_THROW(builder().max_counters(0).build(), std::invalid_argument);
+    EXPECT_THROW(builder().fading(1.5).build(), std::invalid_argument);
+}
+
+TEST(ApiBuilder, KeyKindMismatchThrows) {
+    auto ids = builder().max_counters(16).build();
+    EXPECT_THROW(ids.update("text", 1.0), std::invalid_argument);
+    EXPECT_THROW((void)ids.estimate("text"), std::invalid_argument);
+    auto words = builder().text_keys().max_counters(16).build();
+    EXPECT_THROW(words.update(std::uint64_t{1}, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)words.estimate(std::uint64_t{1}), std::invalid_argument);
+}
+
+TEST(ApiBuilder, WeightValidationAtTheFacadeBoundary) {
+    auto s = builder().max_counters(16).build();
+    EXPECT_THROW(s.update(std::uint64_t{1}, -1.0), std::invalid_argument);
+    EXPECT_THROW(s.update(std::uint64_t{1}, 1.5), std::invalid_argument);  // counts
+    auto r = builder().max_counters(16).real_weights().build();
+    r.update(std::uint64_t{1}, 1.5);  // real weights take fractions
+    EXPECT_DOUBLE_EQ(r.estimate(1), 1.5);
+}
+
+// --- threshold-mode queries vs exact ground truth ----------------------------
+
+TEST(ApiThresholdModes, PlainAgainstExactCounter) {
+    const auto stream = test_stream(11);
+    auto s = builder().max_counters(k).seed(1).build();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+
+    std::unordered_map<std::uint64_t, double> truth;
+    for (const auto& [id, f] : exact.counts()) {
+        truth[id] = static_cast<double>(f);
+    }
+    ASSERT_GT(s.maximum_error(), 0.0) << "stream too small to exercise eviction";
+    for (const double phi : {0.002, 0.01}) {
+        check_threshold_modes(s, truth, phi * s.total_weight());
+    }
+}
+
+TEST(ApiThresholdModes, MapBackendAgainstExactCounter) {
+    const auto stream = test_stream(12);
+    auto s = builder().map_backend().max_counters(k).build();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    for (const auto& u : stream) {
+        s.update(u.id, static_cast<double>(u.weight));
+        exact.update(u.id, u.weight);
+    }
+    std::unordered_map<std::uint64_t, double> truth;
+    for (const auto& [id, f] : exact.counts()) {
+        truth[id] = static_cast<double>(f);
+    }
+    check_threshold_modes(s, truth, 0.005 * s.total_weight());
+}
+
+TEST(ApiThresholdModes, FadingAgainstExactDecayedCounts) {
+    constexpr double rho = 0.5;
+    auto s = builder().max_counters(k).seed(2).fading(rho).build();
+    std::unordered_map<std::uint64_t, double> truth;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        const auto stream = test_stream(20 + static_cast<std::uint64_t>(epoch), 50'000);
+        for (const auto& u : stream) {
+            s.update(u.id, static_cast<double>(u.weight));
+            truth[u.id] += static_cast<double>(u.weight);
+        }
+        if (epoch < 3) {
+            s.tick();
+            for (auto& [id, f] : truth) {
+                f *= rho;  // reference decays backward; sketch decays forward
+            }
+        }
+    }
+    check_threshold_modes(s, truth, 0.005 * s.total_weight(), /*rel_tol=*/1e-9);
+}
+
+TEST(ApiThresholdModes, WindowedAgainstLastEpochsOnly) {
+    constexpr std::uint32_t window = 3;
+    auto s = builder().max_counters(k).seed(3).sliding_window(window).build();
+    std::vector<std::unordered_map<std::uint64_t, double>> per_epoch;
+    for (int epoch = 0; epoch < 6; ++epoch) {
+        per_epoch.emplace_back();
+        const auto stream = test_stream(40 + static_cast<std::uint64_t>(epoch), 50'000);
+        for (const auto& u : stream) {
+            s.update(u.id, static_cast<double>(u.weight));
+            per_epoch.back()[u.id] += static_cast<double>(u.weight);
+        }
+        if (epoch < 5) {
+            s.tick();
+        }
+    }
+    // Ground truth: only the last `window` epochs are inside the window.
+    std::unordered_map<std::uint64_t, double> truth;
+    for (std::size_t e = per_epoch.size() - window; e < per_epoch.size(); ++e) {
+        for (const auto& [id, f] : per_epoch[e]) {
+            truth[id] += f;
+        }
+    }
+    double n = 0;
+    for (const auto& [id, f] : truth) {
+        n += f;
+    }
+    EXPECT_DOUBLE_EQ(s.total_weight(), n) << "window must exclude evicted epochs";
+    check_threshold_modes(s, truth, 0.005 * s.total_weight());
+}
+
+TEST(ApiThresholdModes, TextKeysAgainstExactCounts) {
+    auto s = builder().text_keys().max_counters(256).build();
+    std::unordered_map<std::string, double> truth;
+    const auto stream = test_stream(50, 60'000);
+    for (const auto& u : stream) {
+        const std::string word = "w" + std::to_string(u.id % 3'000);
+        s.update(word, static_cast<double>(u.weight));
+        truth[word] += static_cast<double>(u.weight);
+    }
+    const double threshold = 0.005 * s.total_weight();
+
+    const auto nfp = s.frequent_items(error_mode::no_false_positives, threshold);
+    for (const auto& r : nfp) {
+        ASSERT_TRUE(truth.contains(r.item)) << r.item;
+        EXPECT_GT(truth.at(r.item), threshold) << "false positive: " << r.item;
+    }
+    const auto nfn = s.frequent_items(error_mode::no_false_negatives, threshold);
+    std::unordered_set<std::string> got;
+    for (const auto& r : nfn) {
+        got.insert(r.item);
+    }
+    for (const auto& [word, f] : truth) {
+        if (f > threshold) {
+            EXPECT_TRUE(got.contains(word)) << "false negative: " << word;
+        }
+    }
+}
+
+TEST(ApiThresholdModes, ShardedEngineAgainstExactCounter) {
+    const auto stream = test_stream(60, 200'000);
+    auto s = builder().max_counters(k).seed(4).sharded(2, 1).build();
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    s.flush();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+    std::unordered_map<std::uint64_t, double> truth;
+    for (const auto& [id, f] : exact.counts()) {
+        truth[id] = static_cast<double>(f);
+    }
+    EXPECT_DOUBLE_EQ(s.total_weight(), static_cast<double>(exact.total_weight()));
+    check_threshold_modes(s, truth, 0.005 * s.total_weight());
+}
+
+// --- merge / snapshot / feeders ---------------------------------------------
+
+TEST(ApiSummarizer, MergeAcrossSeedsFoldsStreams) {
+    const auto s1 = test_stream(70);
+    const auto s2 = test_stream(71);
+    auto a = builder().max_counters(k).seed(1).build();
+    auto b = builder().max_counters(k).seed(2).build();  // §3.2: distinct hashes
+    a.update(std::span<const update64>(s1.data(), s1.size()));
+    b.update(std::span<const update64>(s2.data(), s2.size()));
+    const double n = a.total_weight() + b.total_weight();
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.total_weight(), n);
+
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(s1);
+    exact.consume(s2);
+    for (const auto& r : a.top_items(20)) {
+        const double f = static_cast<double>(exact.frequency(r.id));
+        EXPECT_LE(r.lower_bound, f);
+        EXPECT_GE(r.upper_bound, f);
+    }
+}
+
+TEST(ApiSummarizer, MergeRequiresCompatibleInstantiations) {
+    auto plain = builder().max_counters(32).build();
+    auto fading = builder().max_counters(32).fading(0.5).build();
+    auto words = builder().text_keys().max_counters(32).build();
+    EXPECT_THROW(plain.merge(fading), std::invalid_argument);
+    EXPECT_THROW(plain.merge(words), std::invalid_argument);
+    auto sharded = builder().max_counters(32).sharded(2).build();
+    EXPECT_THROW(sharded.merge(plain), std::invalid_argument);
+    // ... but a sharded snapshot is an ordinary standalone summary.
+    auto snap = sharded.snapshot();
+    plain.merge(snap);
+}
+
+TEST(ApiSummarizer, ShardedSnapshotMatchesFlushedStream) {
+    const auto stream = test_stream(80, 50'000);
+    auto s = builder().max_counters(k).sharded(2).build();
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    s.flush();
+    auto snap = s.snapshot();
+    EXPECT_FALSE(snap.sharded());
+    EXPECT_DOUBLE_EQ(snap.total_weight(), s.total_weight());
+    for (const auto& r : snap.top_items(5)) {
+        EXPECT_DOUBLE_EQ(r.estimate, s.estimate(r.id));
+    }
+}
+
+TEST(ApiSummarizer, ConcurrentFeedersSumWeights) {
+    constexpr int feeders = 3;
+    constexpr std::uint64_t per_feeder = 20'000;
+    auto s = builder().max_counters(k).sharded(2, feeders).build();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < feeders; ++t) {
+        threads.emplace_back([&s, t] {
+            auto f = s.make_feeder();
+            xoshiro256ss rng(static_cast<std::uint64_t>(t) + 1);
+            for (std::uint64_t i = 0; i < per_feeder; ++i) {
+                f.push(rng.below(1'000), 1.0);
+            }
+            f.flush();
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    s.flush();
+    EXPECT_DOUBLE_EQ(s.total_weight(), static_cast<double>(feeders * per_feeder));
+}
+
+TEST(ApiSummarizer, FeederSlotsRecycle) {
+    // One producer slot serves a sequence of short-lived feeders (the
+    // engine recycles slots on feeder destruction).
+    auto s = builder().max_counters(32).sharded(2, 1).build();
+    for (int round = 0; round < 5; ++round) {
+        auto f = s.make_feeder();
+        f.push(std::uint64_t{9}, 1.0);
+        f.flush();
+    }
+    s.flush();
+    EXPECT_DOUBLE_EQ(s.estimate(9), 5.0);
+}
+
+TEST(ApiSummarizer, ShardedTickAgesStagedUpdates) {
+    // tick() must drain the internal producer and the rings first — an
+    // update staged before the tick belongs to the pre-tick epoch.
+    auto fading = builder().max_counters(32).fading(0.5).sharded(2).build();
+    fading.update(std::uint64_t{1}, 100.0);
+    fading.tick();
+    fading.flush();
+    EXPECT_DOUBLE_EQ(fading.estimate(1), 50.0);
+
+    auto windowed = builder().max_counters(32).sliding_window(2).sharded(2).build();
+    windowed.update(std::uint64_t{1}, 100.0);  // epoch 0
+    windowed.tick();                           // -> epoch 1 (0 still in window)
+    windowed.tick();                           // -> epoch 2 (0 evicted)
+    windowed.flush();
+    EXPECT_DOUBLE_EQ(windowed.estimate(1), 0.0);
+}
+
+TEST(ApiSummarizer, ShardedSaveIsStreamComplete) {
+    // save() promises stream-complete bytes: staged and ring-resident
+    // updates must be drained before the snapshot is folded.
+    auto s = builder().max_counters(32).sharded(2).build();
+    s.update(std::uint64_t{7}, 5.0);
+    const auto restored = restore_summary(s.save());
+    EXPECT_DOUBLE_EQ(restored.total_weight(), 5.0);
+    EXPECT_DOUBLE_EQ(restored.estimate(7), 5.0);
+}
+
+TEST(ApiSummarizer, UpdateDoesNotConsumeFeederSlots) {
+    // The internal scalar-update producer lives on a reserved slot: with
+    // the default one-producer budget, update() then make_feeder() works.
+    auto s = builder().max_counters(32).sharded(2).build();
+    s.update(std::uint64_t{1}, 1.0);
+    auto f = s.make_feeder();
+    f.push(std::uint64_t{1}, 2.0);
+    f.flush();
+    s.flush();
+    EXPECT_DOUBLE_EQ(s.estimate(1), 3.0);
+}
+
+TEST(ApiSummarizer, EmptySummarizerThrowsNotCrashes) {
+    summarizer empty;
+    EXPECT_FALSE(empty.valid());
+    EXPECT_THROW(empty.update(std::uint64_t{1}, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)empty.total_weight(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace freq

@@ -52,6 +52,23 @@ TEST(StreamEngine, MakeProducerOverAllocationThrows) {
     EXPECT_THROW(engine.make_producer(), std::invalid_argument);
 }
 
+TEST(StreamEngine, ProducerSlotsRecycleAfterDestruction) {
+    // num_producers bounds *live* producers, not total ever created: a
+    // destroyed producer's slot (and its rings) serves the next one — the
+    // façade's short-lived feeders (api/summarizer.h) rely on this.
+    engine_config cfg;
+    cfg.num_shards = 2;
+    cfg.num_producers = 1;
+    stream_engine<> engine(cfg);
+    for (int round = 0; round < 4; ++round) {
+        auto p = engine.make_producer();
+        p.push(7, 1);
+        p.flush();
+    }
+    engine.flush();
+    EXPECT_EQ(engine.snapshot().estimate(7), 4u);
+}
+
 TEST(StreamEngine, EmptyEngineSnapshots) {
     engine_config cfg;
     cfg.num_shards = 4;

@@ -135,5 +135,99 @@ TEST(GenericSketch, CapacityIsRespected) {
     EXPECT_LE(s.num_counters(), 8u);
 }
 
+// --- exponential_fading on the map-backed core -------------------------------
+// The same policy hooks the counter_table core runs (forward decay, O(1)
+// ticks, clock-aligned merge), so the façade's policy dispatch covers the
+// map backend too.
+
+using fading_strings = fading_generic_frequent_items<std::string>;
+
+TEST(GenericFading, ExactDecayedCountsWithoutPressure) {
+    fading_strings s(sketch_config{.max_counters = 16, .decay = 0.5});
+    s.update("old", 100.0);
+    s.tick();
+    s.update("young", 100.0);
+    EXPECT_DOUBLE_EQ(s.estimate("old"), 50.0);
+    EXPECT_DOUBLE_EQ(s.estimate("young"), 100.0);
+    EXPECT_DOUBLE_EQ(s.total_weight(), 150.0);
+    s.tick(2);  // bulk jump: one pass, rho^2
+    EXPECT_DOUBLE_EQ(s.estimate("old"), 12.5);
+    EXPECT_DOUBLE_EQ(s.estimate("young"), 25.0);
+}
+
+TEST(GenericFading, RejectsIntegerWeightsAndBadDecay) {
+    EXPECT_THROW(fading_strings(sketch_config{.max_counters = 8, .decay = 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(fading_strings(sketch_config{.max_counters = 8, .decay = 1.5}),
+                 std::invalid_argument);
+    // decaying + integral W is a compile error (static_assert), not testable
+    // at runtime; plain + integral W must keep working:
+    generic_frequent_items<std::string> plain(8);
+    plain.update("x", 1);
+    EXPECT_EQ(plain.estimate("x"), 1u);
+}
+
+TEST(GenericFading, RenormalizationIsLossless) {
+    // 200 ticks at rho = 0.5 inflate arrivals by 2^200 — far past the 2^40
+    // rebase threshold, so several renormalization passes run; the decayed
+    // estimate of a continuously-updated item must track the closed form.
+    fading_strings s(sketch_config{.max_counters = 16, .decay = 0.5});
+    double expect = 0.0;
+    for (int t = 0; t < 200; ++t) {
+        s.update("steady", 8.0);
+        expect += 8.0;
+        s.tick();
+        expect *= 0.5;
+    }
+    EXPECT_NEAR(s.estimate("steady"), expect, 1e-9 * expect + 1e-12);
+}
+
+TEST(GenericFading, BoundsBracketDecayedTruthUnderEviction) {
+    fading_strings s(sketch_config{.max_counters = 24, .decay = 0.9});
+    std::unordered_map<std::string, double> truth;
+    xoshiro256ss rng(12);
+    zipf_distribution zipf(400, 1.2);
+    for (int epoch = 0; epoch < 10; ++epoch) {
+        for (int i = 0; i < 3'000; ++i) {
+            const std::string item = "w" + std::to_string(zipf(rng));
+            const double w = 1.0 + static_cast<double>(rng.below(5));
+            s.update(item, w);
+            truth[item] += w;
+        }
+        s.tick();
+        for (auto& [item, f] : truth) {
+            f *= 0.9;
+        }
+    }
+    const double tol = 1e-9 * s.total_weight();
+    for (const auto& [item, f] : truth) {
+        ASSERT_LE(s.lower_bound(item), f + tol) << item;
+        ASSERT_GE(s.upper_bound(item), f - tol) << item;
+    }
+}
+
+TEST(GenericFading, MergeAlignsLogicalClocks) {
+    const sketch_config cfg{.max_counters = 32, .decay = 0.5};
+    // Reference: one sketch sees both streams with ticks interleaved.
+    fading_strings ref(cfg);
+    ref.update("a", 40.0);
+    ref.tick(2);
+    ref.update("b", 10.0);
+    // Split: `young` has seen fewer ticks and must be decay-aligned by merge.
+    fading_strings old_half(cfg);
+    old_half.update("a", 40.0);
+    old_half.tick(2);
+    fading_strings young_half(cfg);
+    young_half.update("b", 10.0);
+    old_half.merge(young_half);
+    EXPECT_DOUBLE_EQ(old_half.estimate("a"), ref.estimate("a"));
+    // Clocks share the stream origin: b arrived at global tick 0, the merged
+    // clock stands at 2, so b reads decayed by two ticks (10·ρ² = 2.5).
+    EXPECT_DOUBLE_EQ(old_half.estimate("b"), 2.5);
+    EXPECT_THROW(old_half.merge(old_half), std::invalid_argument);
+    fading_strings other_decay(sketch_config{.max_counters = 32, .decay = 0.9});
+    EXPECT_THROW(old_half.merge(other_decay), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace freq

@@ -2,13 +2,20 @@
 /// random bytes, random mutations of valid images, and truncations must all
 /// throw cleanly (std::invalid_argument / std::out_of_range / logic_error),
 /// never crash or hang — a sketch arriving over the network is untrusted
-/// input in the §3 merging architecture.
+/// input in the §3 merging architecture. Covers both the legacy per-class
+/// format (frequent_items_sketch::deserialize) and the unified envelope
+/// (restore_summary), whose descriptor-driven dispatch multiplies the
+/// attack surface: every instantiation's decoder must reject hostility.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "api/builder.h"
+#include "api/summary_bytes.h"
 #include "core/frequent_items_sketch.h"
 #include "random/xoshiro.h"
 #include "stream/generators.h"
@@ -91,6 +98,105 @@ TEST(SerdeFuzz, MultiByteMutationsNeverCrash) {
 TEST(SerdeFuzz, ValidImageStillParsesAfterFuzzRuns) {
     // Sanity: the fuzz helpers themselves must accept the genuine image.
     EXPECT_TRUE(try_deserialize(valid_image()));
+}
+
+// --- the unified envelope ----------------------------------------------------
+
+/// The richest wire image the envelope produces: a windowed *text* summary
+/// (policy state + epoch ring + spelling dictionary), ticked so several
+/// epochs are live.
+std::vector<std::uint8_t> valid_envelope() {
+    auto s = builder().text_keys().max_counters(64).sliding_window(3).build();
+    xoshiro256ss rng(7);
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        for (int i = 0; i < 5'000; ++i) {
+            s.update("item" + std::to_string(rng.below(500)), 1.0 + rng.below(9));
+        }
+        if (epoch < 3) {
+            s.tick();
+        }
+    }
+    return std::move(s.save()).take();
+}
+
+bool try_restore(const std::vector<std::uint8_t>& bytes) {
+    try {
+        // Tight acceptance bound: a mutated capacity field must be rejected
+        // before any allocation.
+        const auto s = restore_summary(bytes, 1u << 16);
+        EXPECT_LE(s.num_counters(),
+                  s.capacity() * std::max(1u, s.descriptor().sketch.window_epochs));
+        return true;
+    } catch (const std::invalid_argument&) {
+        return false;
+    } catch (const std::out_of_range&) {
+        return false;
+    } catch (const std::logic_error&) {
+        return false;
+    } catch (const std::bad_alloc&) {
+        ADD_FAILURE() << "restore_summary allocated past the acceptance bound";
+        return false;
+    }
+}
+
+TEST(EnvelopeFuzz, RandomBytesNeverCrash) {
+    xoshiro256ss rng(21);
+    for (int trial = 0; trial < 2'000; ++trial) {
+        std::vector<std::uint8_t> junk(rng.below(300));
+        for (auto& b : junk) {
+            b = static_cast<std::uint8_t>(rng());
+        }
+        try_restore(junk);  // must not crash; outcome irrelevant
+    }
+}
+
+TEST(EnvelopeFuzz, EveryTruncationOfValidEnvelopeThrows) {
+    const auto image = valid_envelope();
+    for (std::size_t len = 0; len < image.size(); ++len) {
+        std::vector<std::uint8_t> cut(image.begin(), image.begin() + len);
+        EXPECT_FALSE(try_restore(cut)) << "truncation at " << len << " parsed";
+    }
+}
+
+TEST(EnvelopeFuzz, SingleByteMutationsNeverCrash) {
+    const auto image = valid_envelope();
+    xoshiro256ss rng(23);
+    for (int trial = 0; trial < 3'000; ++trial) {
+        auto mutated = image;
+        const auto pos = static_cast<std::size_t>(rng.below(mutated.size()));
+        mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        try_restore(mutated);  // parsed-or-thrown both fine; no crash
+    }
+}
+
+TEST(EnvelopeFuzz, MultiByteMutationsNeverCrash) {
+    const auto image = valid_envelope();
+    xoshiro256ss rng(24);
+    for (int trial = 0; trial < 1'000; ++trial) {
+        auto mutated = image;
+        const auto flips = 1 + rng.below(16);
+        for (std::uint64_t f = 0; f < flips; ++f) {
+            mutated[rng.below(mutated.size())] = static_cast<std::uint8_t>(rng());
+        }
+        try_restore(mutated);
+    }
+}
+
+TEST(EnvelopeFuzz, HeaderTagMutationsRouteOrRejectCleanly) {
+    // Flipping the four descriptor tag bytes re-routes the body to another
+    // instantiation's decoder; each must parse fully or throw cleanly.
+    const auto image = valid_envelope();
+    for (std::size_t pos = 5; pos <= 8; ++pos) {
+        for (int v = 0; v < 256; ++v) {
+            auto mutated = image;
+            mutated[pos] = static_cast<std::uint8_t>(v);
+            try_restore(mutated);
+        }
+    }
+}
+
+TEST(EnvelopeFuzz, ValidEnvelopeStillParsesAfterFuzzRuns) {
+    EXPECT_TRUE(try_restore(valid_envelope()));
 }
 
 TEST(SerdeFuzz, AcceptanceBoundRejectsOversizedCapacity) {
