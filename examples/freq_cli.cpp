@@ -13,7 +13,7 @@
 ///                  [--phi PHI] [--exact]
 ///   freq_cli sketch <trace.fqtr> <out.sk> [--k K]
 ///                  [--policy plain|fading|window] [--decay R] [--window E]
-///                  [--tick-every N]
+///                  [--tick-every N] [--shards S] [--snapshot-every MS]
 ///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
 ///   freq_cli query <sketch.sk> <id> [...]
 ///   freq_cli report <sketch.sk> [--phi PHI] [--mode nfp|nfn]
@@ -59,6 +59,8 @@ struct args {
     std::uint32_t window = 4;
     std::uint64_t tick_every = 0;  ///< 0 = never tick
     std::string mode = "nfn";
+    std::uint32_t shards = 0;           ///< 0 = standalone (no engine)
+    std::uint64_t snapshot_every = 0;   ///< ms between publishes; 0 = off
 };
 
 args parse(int argc, char** argv) {
@@ -100,6 +102,10 @@ args parse(int argc, char** argv) {
             a.tick_every = std::strtoull(next().c_str(), nullptr, 10);
         } else if (flag == "--mode") {
             a.mode = next();
+        } else if (flag == "--shards") {
+            a.shards = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
+        } else if (flag == "--snapshot-every") {
+            a.snapshot_every = std::strtoull(next().c_str(), nullptr, 10);
         } else {
             a.positional.push_back(flag);
         }
@@ -284,6 +290,12 @@ summarizer build_from_flags(const args& a) {
         throw std::invalid_argument("unknown --policy " + a.policy +
                                     " (expected plain|fading|window)");
     }
+    if (a.shards > 0) {
+        b.sharded(a.shards);
+    }
+    if (a.snapshot_every > 0) {
+        b.snapshot_every(std::chrono::milliseconds(a.snapshot_every));
+    }
     return b.build();
 }
 
@@ -304,19 +316,27 @@ int cmd_sketch(const args& a) {
     }
     const auto stream = read_trace(a.positional[0]);
     auto s = build_from_flags(a);
-    if (a.tick_every == 0) {
-        s.update(std::span<const update64>(stream.data(), stream.size()));
-    } else {
-        // Replay with a policy tick every --tick-every updates, so fading /
-        // windowed summaries age mid-trace the way a live deployment would.
-        std::size_t i = 0;
-        while (i < stream.size()) {
-            const std::size_t run = std::min<std::size_t>(a.tick_every, stream.size() - i);
-            s.update(std::span<const update64>(stream.data() + i, run));
-            i += run;
-            if (i < stream.size()) {
-                s.tick();
-            }
+    // Replay in chunks: a policy tick every --tick-every updates (so fading /
+    // windowed summaries age mid-trace the way a live deployment would), and
+    // with --snapshot-every a live read between chunks served from the
+    // cached published view instead of a per-query fold.
+    std::size_t chunk = a.tick_every > 0 ? a.tick_every : stream.size();
+    if (s.snapshot_service_enabled() && a.tick_every == 0) {
+        chunk = std::max<std::size_t>(1, stream.size() / 8);
+    }
+    std::size_t i = 0;
+    while (i < stream.size()) {
+        const std::size_t run = std::min<std::size_t>(chunk, stream.size() - i);
+        s.update(std::span<const update64>(stream.data() + i, run));
+        i += run;
+        if (s.snapshot_service_enabled()) {
+            std::printf("live @ %zu/%zu: epoch=%llu N=%.6g (cached view)\n", i,
+                        stream.size(),
+                        static_cast<unsigned long long>(s.snapshot_epoch()),
+                        s.total_weight());
+        }
+        if (a.tick_every > 0 && i < stream.size()) {
+            s.tick();
         }
     }
     write_file(a.positional[1], s.save().bytes());

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Per-metric delta table between two directories of BENCH_*.json records.
+
+CI downloads the previous successful run's `bench-json` artifact and calls
+
+    python3 scripts/bench_delta.py <prev-dir> <curr-dir>
+
+to print an informational (never gating) table of every numeric metric that
+exists on both sides, so the perf trajectory of each PR is visible at a
+glance. Metrics are flattened with dotted paths; list entries are keyed by
+an identifying field (shards / reader / ...) when one exists, by index
+otherwise. Exit code is always 0 — trends are for humans, acceptance
+checks live in the benches themselves.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Fields that identify a list entry better than its position does.
+KEY_FIELDS = ("shards", "reader", "name", "mode", "policy")
+
+# Metrics that are configuration echoes, not measurements.
+SKIP_LEAVES = {"gated", "met", "hardware_threads"}
+
+
+def flatten(node, prefix=""):
+    """Yields (dotted_path, float_value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            yield from flatten(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            label = str(index)
+            if isinstance(value, dict):
+                for field in KEY_FIELDS:
+                    if field in value:
+                        label = f"{field}={value[field]}"
+                        break
+            yield from flatten(value, f"{prefix}[{label}]")
+    elif isinstance(node, bool):
+        return  # acceptance booleans are not trend metrics
+    elif isinstance(node, (int, float)):
+        leaf = prefix.rsplit(".", 1)[-1]
+        if leaf not in SKIP_LEAVES:
+            yield prefix, float(node)
+
+
+def load_metrics(directory):
+    metrics = {}
+    for path in sorted(Path(directory).rglob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"  (skipping unreadable {path}: {err})")
+            continue
+        for dotted, value in flatten(record):
+            metrics[f"{path.name}:{dotted}"] = value
+    return metrics
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <prev-dir> <curr-dir>")
+        return 0
+    prev = load_metrics(argv[1])
+    curr = load_metrics(argv[2])
+    if not prev:
+        print(f"no previous BENCH_*.json under {argv[1]} — first run? nothing to compare")
+        return 0
+    if not curr:
+        print(f"no current BENCH_*.json under {argv[2]} — did the benches run?")
+        return 0
+
+    shared = sorted(set(prev) & set(curr))
+    width = max((len(name) for name in shared), default=10)
+    print(f"bench delta vs previous run ({len(shared)} shared metrics, informational)")
+    print(f"{'metric':<{width}} {'prev':>14} {'curr':>14} {'delta':>9}")
+    for name in shared:
+        before, after = prev[name], curr[name]
+        if before == 0:
+            delta = "n/a" if after != 0 else "+0.0%"
+        else:
+            delta = f"{100.0 * (after - before) / before:+.1f}%"
+        print(f"{name:<{width}} {before:>14.4g} {after:>14.4g} {delta:>9}")
+
+    for name in sorted(set(curr) - set(prev)):
+        print(f"new metric: {name} = {curr[name]:.4g}")
+    for name in sorted(set(prev) - set(curr)):
+        print(f"dropped metric: {name} (was {prev[name]:.4g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

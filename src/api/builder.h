@@ -30,6 +30,7 @@
 /// outside the shard path today).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -442,57 +443,91 @@ public:
     }
     std::uint64_t now() const override { return now_; }
 
-    // Point queries fold a fresh O(k·S) snapshot; cache one per query batch
-    // through snapshot() when querying many ids.
+    // With the snapshot service on, queries answer from the cached
+    // double-buffered view (engine/snapshot_service.h); otherwise each call
+    // folds a fresh O(k·S) snapshot on this thread — cache one per query
+    // batch through snapshot() when querying many ids without the service.
+    void enable_snapshot_service(std::chrono::microseconds interval) override {
+        engine_.enable_snapshot_service(interval);
+    }
+    void disable_snapshot_service() override { engine_.disable_snapshot_service(); }
+    bool snapshot_service_enabled() const noexcept override {
+        return engine_.snapshot_service_enabled();
+    }
+    std::uint64_t snapshot_epoch() const override { return engine_.snapshot_epoch(); }
+
     double estimate(std::uint64_t id) const override {
-        return static_cast<double>(engine_.snapshot().estimate(id));
+        return with_view([&](const Sketch& s) {
+            return static_cast<double>(s.estimate(id));
+        });
     }
     double lower_bound(std::uint64_t id) const override {
-        return static_cast<double>(engine_.snapshot().lower_bound(id));
+        return with_view([&](const Sketch& s) {
+            return static_cast<double>(s.lower_bound(id));
+        });
     }
     double upper_bound(std::uint64_t id) const override {
-        return static_cast<double>(engine_.snapshot().upper_bound(id));
+        return with_view([&](const Sketch& s) {
+            return static_cast<double>(s.upper_bound(id));
+        });
     }
     double estimate(std::string_view) const override { wrong_key_kind("u64", "text"); }
     double lower_bound(std::string_view) const override { wrong_key_kind("u64", "text"); }
     double upper_bound(std::string_view) const override { wrong_key_kind("u64", "text"); }
 
     double total_weight() const override {
-        return static_cast<double>(engine_.snapshot().total_weight());
+        return with_view([](const Sketch& s) {
+            return static_cast<double>(s.total_weight());
+        });
     }
     double maximum_error() const override {
-        return static_cast<double>(engine_.snapshot().maximum_error());
+        return with_view([](const Sketch& s) {
+            return static_cast<double>(s.maximum_error());
+        });
     }
     std::uint32_t num_counters() const override {
-        return engine_.snapshot().num_counters();
+        return with_view([](const Sketch& s) {
+            return static_cast<std::uint32_t>(s.num_counters());
+        });
     }
     std::uint32_t capacity() const override { return desc_.sketch.max_counters; }
     std::size_t memory_bytes() const override {
-        return engine_.snapshot().memory_bytes() * engine_.num_shards();
+        return with_view([&](const Sketch& s) {
+            return s.memory_bytes() * engine_.num_shards();
+        });
     }
 
     result_set frequent_items(error_mode mode, double threshold) const override {
-        const Sketch snap = engine_.snapshot();
-        auto rows = u64_rows(snap.frequent_items(mode, facade_threshold<W>(threshold)));
-        const double err =
-            result_error(static_cast<double>(snap.maximum_error()), rows);
-        return result_set(mode, threshold, static_cast<double>(snap.total_weight()),
-                          err, std::move(rows));
+        return with_view([&](const Sketch& snap) {
+            auto rows =
+                u64_rows(snap.frequent_items(mode, facade_threshold<W>(threshold)));
+            const double err =
+                result_error(static_cast<double>(snap.maximum_error()), rows);
+            return result_set(mode, threshold,
+                              static_cast<double>(snap.total_weight()), err,
+                              std::move(rows));
+        });
     }
     result_set top_items(std::size_t m) const override {
-        const Sketch snap = engine_.snapshot();
-        auto rows = u64_rows(snap.top_items(m));
-        const double err =
-            result_error(static_cast<double>(snap.maximum_error()), rows);
-        return result_set(error_mode::no_false_negatives, 0.0,
-                          static_cast<double>(snap.total_weight()), err,
-                          std::move(rows));
+        return with_view([&](const Sketch& snap) {
+            auto rows = u64_rows(snap.top_items(m));
+            const double err =
+                result_error(static_cast<double>(snap.maximum_error()), rows);
+            return result_set(error_mode::no_false_negatives, 0.0,
+                              static_cast<double>(snap.total_weight()), err,
+                              std::move(rows));
+        });
     }
 
     // The documented save() contract is a *stream-complete* standalone
     // summary: drain the internal producer and the rings before folding.
+    // With the service on, flush() already republished a stream-complete
+    // view — serialize from it instead of folding a second time.
     summary_bytes save() override {
         flush();
+        if (engine_.snapshot_service_enabled()) {
+            return envelope_save(*engine_.acquire_snapshot());
+        }
         return envelope_save(engine_.snapshot());
     }
 
@@ -533,6 +568,19 @@ private:
             main_.emplace(engine_.make_producer());
         }
         return *main_;
+    }
+
+    /// Runs \p f over the freshest consistent view: the cached published
+    /// snapshot when the service is on (pinned for the duration of the
+    /// call), a fold-on-demand snapshot otherwise.
+    template <typename F>
+    auto with_view(F&& f) const {
+        if (engine_.snapshot_service_enabled()) {
+            const auto view = engine_.acquire_snapshot();
+            return f(*view);
+        }
+        const Sketch snap = engine_.snapshot();
+        return f(snap);
     }
 
     summary_descriptor desc_;
@@ -642,6 +690,15 @@ public:
         return *this;
     }
 
+    /// Starts the built summarizer with the async snapshot service on:
+    /// queries answer from a cached double-buffered view republished every
+    /// \p interval instead of folding per call (see
+    /// summarizer::enable_snapshot_service). Requires sharded ingestion.
+    builder& snapshot_every(std::chrono::microseconds interval) {
+        snapshot_interval_ = interval;
+        return *this;
+    }
+
     // --- materialization -----------------------------------------------------
 
     summarizer build() const {
@@ -667,6 +724,9 @@ public:
                      "upstream or run standalone");
         FREQ_REQUIRE(!sharded_ || d.backend == backend_kind::table,
                      "sharded ingestion requires the table backend");
+        FREQ_REQUIRE(!snapshot_interval_.has_value() || sharded_,
+                     "snapshot_every() caches the sharded engine's fold; add "
+                     ".sharded(...) or drop it for direct standalone reads");
         if (sharded_) {
             engine_config ecfg = engine_;
             ecfg.sketch = d.sketch;
@@ -674,7 +734,11 @@ public:
             // the summarizer's internal scalar-update producer, so calling
             // update() never consumes a feeder slot.
             ecfg.num_producers += 1;
-            return summarizer(make_engine(d, ecfg));
+            summarizer s(make_engine(d, ecfg));
+            if (snapshot_interval_.has_value()) {
+                s.enable_snapshot_service(*snapshot_interval_);
+            }
+            return s;
         }
         return summarizer(make_standalone(d));
     }
@@ -778,6 +842,7 @@ private:
     lifetime_kind lifetime_ = lifetime_kind::plain;
     backend_kind backend_ = backend_kind::table;
     bool sharded_ = false;
+    std::optional<std::chrono::microseconds> snapshot_interval_;
 };
 
 // --- envelope -> summarizer --------------------------------------------------

@@ -28,6 +28,7 @@
 /// batched update(span) path amortizes to nothing — BENCH_api.json records
 /// the measured gap.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -72,6 +73,19 @@ struct summarizer_impl {
     // --- lifetime -----------------------------------------------------------
     virtual void tick(std::uint64_t epochs) = 0;
     virtual std::uint64_t now() const = 0;
+
+    // --- cached read path (engine-backed summarizers only) -------------------
+    // Default: standalone summaries answer queries directly from their own
+    // state — there is no fold to cache — so enabling is rejected and the
+    // service reads as off.
+    virtual void enable_snapshot_service(std::chrono::microseconds) {
+        FREQ_REQUIRE(false,
+                     "the snapshot service caches the sharded engine's fold; this "
+                     "summarizer is standalone — build it with .sharded(...)");
+    }
+    virtual void disable_snapshot_service() {}
+    virtual bool snapshot_service_enabled() const noexcept { return false; }
+    virtual std::uint64_t snapshot_epoch() const { return 0; }
 
     // --- point queries ------------------------------------------------------
     virtual double estimate(std::uint64_t id) const = 0;
@@ -177,6 +191,31 @@ public:
 
     /// Current logical clock (0 for plain summaries).
     std::uint64_t now() const { return checked().now(); }
+
+    // --- cached read path ----------------------------------------------------
+
+    /// Opt-in for sharded summarizers: starts the engine's background
+    /// snapshot publisher (engine/snapshot_service.h) so point and set
+    /// queries answer from a cached double-buffered view — a pointer
+    /// acquire instead of an O(k·S) fold per call — at a staleness bounded
+    /// by \p interval. flush() and tick() republish synchronously, so the
+    /// flush-then-query discipline still observes everything flushed.
+    /// Throws for standalone summarizers (their reads are already direct).
+    void enable_snapshot_service(std::chrono::microseconds interval) {
+        checked().enable_snapshot_service(interval);
+    }
+
+    /// Returns reads to fold-on-demand. No-op when the service is off or
+    /// the summarizer is standalone.
+    void disable_snapshot_service() { checked().disable_snapshot_service(); }
+
+    /// Whether queries are currently served from the cached view.
+    bool snapshot_service_enabled() const { return checked().snapshot_service_enabled(); }
+
+    /// Publish sequence number of the cached view (0 when the service is
+    /// off): strictly increases with every publish, so two reads with equal
+    /// epochs observed the same consistent fold.
+    std::uint64_t snapshot_epoch() const { return checked().snapshot_epoch(); }
 
     // --- point queries -------------------------------------------------------
 

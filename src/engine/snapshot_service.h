@@ -1,0 +1,354 @@
+#ifndef FREQ_ENGINE_SNAPSHOT_SERVICE_H
+#define FREQ_ENGINE_SNAPSHOT_SERVICE_H
+
+/// \file snapshot_service.h
+/// The async snapshot publisher: moves the engine's fold-on-demand read
+/// path off the hot loop. stream_engine::snapshot() clones every shard and
+/// folds the clones *on the caller's thread* — an O(k·S) merge per query
+/// that steals cycles from the ingest path the engine exists to protect.
+/// The snapshot_service performs that fold once per publish interval on its
+/// own background thread and publishes the result into one of two
+/// alternating buffers; readers acquire() the current buffer in a handful
+/// of atomic operations, so point queries and heavy-hitter reports cost a
+/// pointer chase instead of a merge, and their staleness is bounded by the
+/// publish interval.
+///
+/// Publication protocol (double-buffered, refcounted):
+///
+///           fold()                 publish              acquire()
+///   shards ───────► back buffer ──────────► published ───────────► readers
+///                   (epoch e+1)    atomic     buffer               (refcount)
+///                                  pointer    (epoch e)
+///                                  swap
+///
+///  * Two buffers alternate in steady state: the publisher folds into the
+///    spare buffer, stamps it with a monotonically increasing epoch and a
+///    publish timestamp, then swaps the published pointer. A buffer is
+///    reused only once no reader still holds it (its refcount is zero);
+///    when a long-held view pins the spare, the publisher allocates a
+///    fresh buffer instead of skipping or blocking (stats().pool_grows),
+///    so a publish — in particular the synchronous republish behind
+///    flush()/advance_epoch() — ALWAYS lands. The pool never exceeds the
+///    number of concurrently-held views plus two.
+///  * acquire() is a load + refcount increment + validating re-load. It
+///    retries only when a publish lands in that window (at most one publish
+///    per interval), so readers are wait-free in steady state and lock-free
+///    under a concurrent publish. Reads of the sketch happen only after the
+///    validating load, which synchronizes with the publishing store, so a
+///    view is always a complete, consistent fold — never torn.
+///  * A published_snapshot is a move-only RAII view: it pins its buffer
+///    (refcount) and the buffer storage (shared_ptr), exposes the folded
+///    sketch plus the epoch / publish-time / policy-clock metadata, and
+///    releases the pin on destruction. Holding a view indefinitely never
+///    corrupts anything — it only keeps one pool buffer out of rotation.
+///
+/// Lifetime-policy coordination: the fold callback runs the engine's
+/// policy-aware merge, so fading views are aligned on the latest logical
+/// clock and windowed views merge epoch-wise. stream_engine::advance_epoch
+/// republishes synchronously when the service is attached, so a cached view
+/// never straddles a tick for longer than it takes advance_epoch to return;
+/// stream_engine::flush() republishes too, giving flush-then-read the same
+/// "everything pushed is visible" meaning it has with fold-on-demand reads.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace freq {
+
+/// Aggregate counters of one snapshot_service (monotonic).
+struct snapshot_service_stats {
+    std::uint64_t publishes = 0;   ///< buffers published (epoch high-water mark)
+    std::uint64_t pool_grows = 0;  ///< buffers allocated because held views pinned the spares
+    std::uint64_t acquires = 0;    ///< views handed out
+    std::uint64_t acquire_retries = 0;  ///< acquire() restarts due to a racing publish
+};
+
+namespace detail {
+
+/// One publication buffer of the pool.
+template <typename Sketch>
+struct snapshot_buffer {
+    Sketch sketch;
+    std::uint64_t epoch = 0;  ///< publish sequence number (0 = never published)
+    std::uint64_t policy_clock = 0;  ///< sketch's lifetime clock at publish
+    std::chrono::steady_clock::time_point publish_time{};
+    std::atomic<std::uint64_t> refs{0};  ///< live published_snapshot views
+
+    explicit snapshot_buffer(Sketch s) : sketch(std::move(s)) {}
+};
+
+/// The buffer pool lives behind a shared_ptr so views outlive service
+/// teardown. Two buffers in steady state; grows (under the publish mutex)
+/// only while long-held views pin spares. The vector itself is touched
+/// only by the serialized publisher — readers hold raw buffer pointers,
+/// which stay stable because buffers are individually heap-allocated and
+/// never freed before the pool dies.
+template <typename Sketch>
+struct snapshot_buffers {
+    std::vector<std::unique_ptr<snapshot_buffer<Sketch>>> pool;
+};
+
+/// Lifetime clock of a folded sketch: now() for windowed cores,
+/// policy().now() for fading ones, 0 for plain.
+template <typename Sketch>
+std::uint64_t snapshot_clock(const Sketch& s) {
+    if constexpr (requires { s.now(); }) {
+        return s.now();
+    } else if constexpr (requires { s.policy().now(); }) {
+        return s.policy().now();
+    } else {
+        return 0;
+    }
+}
+
+}  // namespace detail
+
+/// A pinned, consistent, epoch-tagged view of one published fold. Move-only
+/// RAII: destruction releases the buffer for reuse by the publisher. Cheap
+/// to acquire and hold briefly; holding one across publish intervals makes
+/// the publisher allocate around it (stats().pool_grows) but is always safe.
+template <typename Sketch>
+class published_snapshot {
+public:
+    published_snapshot(published_snapshot&& other) noexcept
+        : storage_(std::move(other.storage_)), buf_(std::exchange(other.buf_, nullptr)) {}
+    published_snapshot& operator=(published_snapshot&& other) noexcept {
+        if (this != &other) {
+            release();
+            storage_ = std::move(other.storage_);
+            buf_ = std::exchange(other.buf_, nullptr);
+        }
+        return *this;
+    }
+    published_snapshot(const published_snapshot&) = delete;
+    published_snapshot& operator=(const published_snapshot&) = delete;
+    ~published_snapshot() { release(); }
+
+    /// The folded sketch this view pins. Immutable while the view is alive.
+    const Sketch& sketch() const noexcept { return buf_->sketch; }
+    const Sketch& operator*() const noexcept { return buf_->sketch; }
+    const Sketch* operator->() const noexcept { return &buf_->sketch; }
+
+    /// Publish sequence number: strictly increasing across publishes, >= 1.
+    std::uint64_t epoch() const noexcept { return buf_->epoch; }
+
+    /// The sketch's lifetime-policy clock when this view was folded (decay
+    /// steps for fading, window epoch for windowed, 0 for plain).
+    std::uint64_t policy_clock() const noexcept { return buf_->policy_clock; }
+
+    std::chrono::steady_clock::time_point publish_time() const noexcept {
+        return buf_->publish_time;
+    }
+
+    /// How stale this view is right now. Bounded by the publish interval
+    /// plus one fold while the service is running.
+    std::chrono::steady_clock::duration age() const {
+        return std::chrono::steady_clock::now() - buf_->publish_time;
+    }
+
+private:
+    template <typename S>
+    friend class snapshot_service;
+
+    published_snapshot(std::shared_ptr<detail::snapshot_buffers<Sketch>> storage,
+                       detail::snapshot_buffer<Sketch>* buf)
+        : storage_(std::move(storage)), buf_(buf) {}
+
+    void release() noexcept {
+        if (buf_ != nullptr) {
+            buf_->refs.fetch_sub(1, std::memory_order_acq_rel);
+            buf_ = nullptr;
+        }
+        storage_.reset();
+    }
+
+    std::shared_ptr<detail::snapshot_buffers<Sketch>> storage_;
+    detail::snapshot_buffer<Sketch>* buf_ = nullptr;
+};
+
+/// The background publisher. Templated on the folded sketch type and fed by
+/// a fold callback (for stream_engine: [&engine] { return engine.snapshot(); }),
+/// so the same service publishes plain, fading and windowed views — and
+/// tests can drive it from any snapshot source.
+template <typename Sketch>
+class snapshot_service {
+public:
+    using fold_fn = std::function<Sketch()>;
+    using view = published_snapshot<Sketch>;
+
+    /// Starts the publisher thread and synchronously publishes epoch 1, so
+    /// acquire() is valid from the moment the constructor returns.
+    /// \param fold      produces one consistent fold (called on the
+    ///                  publisher thread and inside publish_now callers).
+    /// \param interval  target publish period; staleness of any acquired
+    ///                  view is bounded by interval + one fold duration.
+    snapshot_service(fold_fn fold, std::chrono::microseconds interval)
+        : fold_(std::move(fold)), interval_(interval) {
+        FREQ_REQUIRE(fold_ != nullptr, "snapshot_service needs a fold callback");
+        FREQ_REQUIRE(interval_.count() > 0, "snapshot publish interval must be positive");
+        Sketch first = fold_();
+        Sketch second = first;  // both steady-state buffers start as valid folds
+        buffers_ = std::make_shared<detail::snapshot_buffers<Sketch>>();
+        buffers_->pool.push_back(
+            std::make_unique<detail::snapshot_buffer<Sketch>>(std::move(first)));
+        buffers_->pool.push_back(
+            std::make_unique<detail::snapshot_buffer<Sketch>>(std::move(second)));
+        // Publish the first buffer as epoch 1 (its fold already happened).
+        detail::snapshot_buffer<Sketch>& head = *buffers_->pool.front();
+        head.epoch = 1;
+        head.policy_clock = detail::snapshot_clock(head.sketch);
+        head.publish_time = std::chrono::steady_clock::now();
+        published_.store(&head, std::memory_order_seq_cst);
+        published_epoch_.store(1, std::memory_order_release);
+        publishes_.store(1, std::memory_order_relaxed);
+        publisher_ = std::thread([this] { publisher_loop(); });
+    }
+
+    snapshot_service(const snapshot_service&) = delete;
+    snapshot_service& operator=(const snapshot_service&) = delete;
+
+    ~snapshot_service() { stop(); }
+
+    /// Stops the publisher thread. Idempotent; outstanding views stay valid
+    /// (they pin the buffer storage) but go permanently stale.
+    void stop() {
+        bool expected = false;
+        if (stopping_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+            // Take the wake mutex before notifying: without it the notify
+            // can land between the publisher's predicate check and its
+            // sleep, get lost, and leave teardown waiting a full interval.
+            { std::lock_guard<std::mutex> lock(wake_mutex_); }
+            wake_.notify_all();
+        }
+        if (publisher_.joinable()) {
+            publisher_.join();
+        }
+    }
+
+    /// Wait-free in steady state: pins and returns the currently published
+    /// view. Retries (bounded by publish frequency) only when a publish
+    /// swaps the pointer mid-acquire.
+    view acquire() const {
+        acquires_.fetch_add(1, std::memory_order_relaxed);
+        for (;;) {
+            detail::snapshot_buffer<Sketch>* buf = published_.load(std::memory_order_seq_cst);
+            buf->refs.fetch_add(1, std::memory_order_seq_cst);
+            if (published_.load(std::memory_order_seq_cst) == buf) {
+                // The validating load saw buf still published, so the
+                // publisher cannot have been overwriting it: reuse requires
+                // unpublishing first and observing refs == 0 afterwards.
+                return view(buffers_, buf);
+            }
+            buf->refs.fetch_sub(1, std::memory_order_acq_rel);
+            acquire_retries_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    /// Epoch of the currently published view (>= 1). Tracked in its own
+    /// atomic: dereferencing the published buffer without pinning it would
+    /// race the publisher recycling that buffer.
+    std::uint64_t epoch() const noexcept {
+        return published_epoch_.load(std::memory_order_acquire);
+    }
+
+    /// Synchronous publish on the caller's thread: folds now and swaps, so
+    /// the next acquire() observes everything the fold saw — always, even
+    /// when held views pin every spare (the pool grows instead of
+    /// skipping). Serialized with the periodic publisher; returns the new
+    /// epoch.
+    std::uint64_t publish_now() { return publish_cycle(); }
+
+    std::chrono::microseconds interval() const noexcept { return interval_; }
+
+    snapshot_service_stats stats() const noexcept {
+        snapshot_service_stats st;
+        st.publishes = publishes_.load(std::memory_order_relaxed);
+        st.pool_grows = grows_.load(std::memory_order_relaxed);
+        st.acquires = acquires_.load(std::memory_order_relaxed);
+        st.acquire_retries = acquire_retries_.load(std::memory_order_relaxed);
+        return st;
+    }
+
+private:
+    void publisher_loop() {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        while (!stopping_.load(std::memory_order_acquire)) {
+            wake_.wait_for(lock, interval_,
+                           [this] { return stopping_.load(std::memory_order_acquire); });
+            if (stopping_.load(std::memory_order_acquire)) {
+                return;
+            }
+            lock.unlock();
+            publish_cycle();
+            lock.lock();
+        }
+    }
+
+    /// One fold-and-swap. Publisher-side mutual exclusion only (readers
+    /// never take this mutex).
+    std::uint64_t publish_cycle() {
+        std::lock_guard<std::mutex> lock(publish_mutex_);
+        detail::snapshot_buffer<Sketch>* front =
+            published_.load(std::memory_order_seq_cst);
+        // A spare buffer is safe to overwrite once its refcount reads zero
+        // *after* it was unpublished: no reader can re-pin it, because
+        // acquire() validates against the published pointer. When every
+        // spare is pinned by a held view, grow the pool instead of
+        // skipping — a publish (and so flush()'s / advance_epoch()'s
+        // synchronous republish guarantee) must always land.
+        detail::snapshot_buffer<Sketch>* back = nullptr;
+        for (const auto& b : buffers_->pool) {
+            if (b.get() != front && b->refs.load(std::memory_order_seq_cst) == 0) {
+                back = b.get();
+                break;
+            }
+        }
+        Sketch folded = fold_();
+        if (back == nullptr) {
+            buffers_->pool.push_back(
+                std::make_unique<detail::snapshot_buffer<Sketch>>(std::move(folded)));
+            back = buffers_->pool.back().get();
+            grows_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            back->sketch = std::move(folded);
+        }
+        back->epoch = front->epoch + 1;  // safe: only the serialized publisher writes epochs
+        back->policy_clock = detail::snapshot_clock(back->sketch);
+        back->publish_time = std::chrono::steady_clock::now();
+        published_.store(back, std::memory_order_seq_cst);
+        published_epoch_.store(back->epoch, std::memory_order_release);
+        publishes_.fetch_add(1, std::memory_order_relaxed);
+        return back->epoch;
+    }
+
+    fold_fn fold_;
+    std::chrono::microseconds interval_;
+    std::shared_ptr<detail::snapshot_buffers<Sketch>> buffers_;
+    std::atomic<detail::snapshot_buffer<Sketch>*> published_{nullptr};
+    std::atomic<std::uint64_t> published_epoch_{0};
+
+    std::mutex publish_mutex_;  ///< serializes publish_cycle (loop vs. publish_now)
+    std::thread publisher_;
+    std::mutex wake_mutex_;
+    std::condition_variable wake_;
+    std::atomic<bool> stopping_{false};
+
+    std::atomic<std::uint64_t> publishes_{0};
+    std::atomic<std::uint64_t> grows_{0};
+    mutable std::atomic<std::uint64_t> acquires_{0};
+    mutable std::atomic<std::uint64_t> acquire_retries_{0};
+};
+
+}  // namespace freq
+
+#endif  // FREQ_ENGINE_SNAPSHOT_SERVICE_H

@@ -65,6 +65,7 @@
 #include "core/frequent_items_sketch.h"
 #include "core/sketch_config.h"
 #include "engine/shard.h"
+#include "engine/snapshot_service.h"
 #include "engine/spsc_ring.h"
 #include "hashing/hash.h"
 #include "stream/update.h"
@@ -285,7 +286,9 @@ public:
     /// Barrier: returns once every update already published to the rings
     /// (i.e. after the producers' flush()) has been applied to a shard
     /// sketch. Callers that need stream-complete snapshots flush producers,
-    /// then the engine, then snapshot.
+    /// then the engine, then snapshot. With the snapshot service attached,
+    /// flush() also republishes, so cached reads keep the same "everything
+    /// flushed is visible" meaning as fold-on-demand reads.
     void flush() {
         FREQ_REQUIRE(!stopping_.load(std::memory_order_acquire),
                      "flush() on a stopped engine");
@@ -294,6 +297,9 @@ public:
             while (shard->applied() < target) {
                 std::this_thread::yield();
             }
+        }
+        if (snapshots_ != nullptr) {
+            snapshots_->publish_now();
         }
     }
 
@@ -308,6 +314,13 @@ public:
     void advance_epoch(std::uint64_t epochs = 1) {
         for (const auto& shard : shards_) {
             shard->tick(epochs);
+        }
+        // Clock-consistency with cached reads: republish synchronously so a
+        // cached view reflects the new logical clock as soon as the tick
+        // returns, instead of serving the pre-tick ageing for up to one
+        // publish interval.
+        if (snapshots_ != nullptr) {
+            snapshots_->publish_now();
         }
     }
 
@@ -325,6 +338,58 @@ public:
         return merged;
     }
 
+    // --- async snapshot service ---------------------------------------------
+
+    /// Opt-in: starts the background snapshot publisher (snapshot_service.h)
+    /// folding a fresh merged snapshot every \p interval and publishing it
+    /// into the double-buffered slot acquire_snapshot() reads from. Queries
+    /// served from the cached view cost a pointer acquire instead of an
+    /// O(k·S) fold, at a staleness bounded by \p interval (flush() and
+    /// advance_epoch() republish synchronously). Idempotent re-enable
+    /// replaces the interval by restarting the service. Control-plane calls
+    /// (enable/disable/stop) are owner-thread operations: they must not
+    /// race acquire_snapshot()/flush()/advance_epoch() on other threads.
+    void enable_snapshot_service(std::chrono::microseconds interval) {
+        FREQ_REQUIRE(!stopping_.load(std::memory_order_acquire),
+                     "enable_snapshot_service() on a stopped engine");
+        snapshots_.reset();  // stop any previous publisher first
+        snapshots_ = std::make_unique<snapshot_service<sketch_type>>(
+            [this] { return snapshot(); }, interval);
+    }
+
+    /// Stops the publisher and returns reads to fold-on-demand. Outstanding
+    /// views stay valid (they pin their buffer storage).
+    void disable_snapshot_service() { snapshots_.reset(); }
+
+    bool snapshot_service_enabled() const noexcept { return snapshots_ != nullptr; }
+
+    /// Pins and returns the currently published cached view (wait-free in
+    /// steady state; see published_snapshot). Requires the service enabled.
+    published_snapshot<sketch_type> acquire_snapshot() const {
+        FREQ_REQUIRE(snapshots_ != nullptr,
+                     "acquire_snapshot() requires enable_snapshot_service()");
+        return snapshots_->acquire();
+    }
+
+    /// Synchronous republish (requires the service enabled); returns the
+    /// published epoch.
+    std::uint64_t publish_snapshot_now() {
+        FREQ_REQUIRE(snapshots_ != nullptr,
+                     "publish_snapshot_now() requires enable_snapshot_service()");
+        return snapshots_->publish_now();
+    }
+
+    /// Epoch of the published cached view — one atomic load, no buffer
+    /// pin (poll this freely). 0 when the service is off.
+    std::uint64_t snapshot_epoch() const noexcept {
+        return snapshots_ != nullptr ? snapshots_->epoch() : 0;
+    }
+
+    /// Publisher counters (zeros when the service is off).
+    snapshot_service_stats snapshot_stats() const noexcept {
+        return snapshots_ != nullptr ? snapshots_->stats() : snapshot_service_stats{};
+    }
+
     /// Drains every ring, stops the workers and joins them. Idempotent;
     /// called by the destructor. Producers must not push after stop().
     void stop() {
@@ -332,6 +397,9 @@ public:
         if (!stopping_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
             return;
         }
+        // The publisher folds via snapshot(); stop it before the workers so
+        // no fold runs against a half-stopped engine.
+        snapshots_.reset();
         for (auto& w : workers_) {
             if (w.joinable()) {
                 w.join();
@@ -392,6 +460,7 @@ private:
     std::vector<std::uint32_t> free_slots_;  ///< slots of destroyed producers
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> stalls_{0};
+    std::unique_ptr<snapshot_service<sketch_type>> snapshots_;  ///< null = fold-on-demand
 };
 
 }  // namespace freq

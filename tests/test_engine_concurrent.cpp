@@ -236,6 +236,72 @@ TEST(StreamEngineConcurrent, LiveSnapshotsAreConsistent) {
     EXPECT_EQ(snaps.back().total_weight(), exact.total_weight());
 }
 
+// Total-weight conservation under ingest: while P producer threads are
+// mid-flight, a reader folds snapshots continuously. Sequential snapshots
+// must observe monotonically non-decreasing totals (per-shard totals only
+// grow and clones are taken shard-after-shard), no snapshot may exceed the
+// weight actually fed, and once producers finish and the engine drains, the
+// merged N must equal the items fed exactly — nothing lost in rings,
+// staging buffers or shard hand-off, and nothing double-counted by the
+// clone-then-merge fold.
+TEST(StreamEngineConcurrent, TotalWeightConservedWhileProducersMidFlight) {
+    constexpr unsigned producers = 3;
+    constexpr std::uint64_t per_producer = 60'000;
+    constexpr std::uint64_t weight = 3;
+    constexpr std::uint64_t total_fed = producers * per_producer * weight;
+
+    engine_config cfg;
+    cfg.num_shards = 4;
+    cfg.num_producers = producers;
+    cfg.ring_capacity = 512;  // small rings: snapshots race live backpressure
+    cfg.sketch = sketch_config{.max_counters = 256, .seed = 9};
+    stream_engine<> engine(cfg);
+
+    std::atomic<bool> done{false};
+    std::vector<std::uint64_t> observed;
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            observed.push_back(engine.snapshot().total_weight());
+        }
+    });
+
+    {
+        std::vector<stream_engine<>::producer> handles;
+        handles.reserve(producers);
+        for (unsigned p = 0; p < producers; ++p) {
+            handles.push_back(engine.make_producer());
+        }
+        std::vector<std::thread> threads;
+        for (unsigned p = 0; p < producers; ++p) {
+            threads.emplace_back([&, p] {
+                xoshiro256ss rng(100 + p);
+                for (std::uint64_t i = 0; i < per_producer; ++i) {
+                    handles[p].push(rng() % 50'000, weight);
+                }
+                handles[p].flush();
+            });
+        }
+        for (auto& t : threads) {
+            t.join();
+        }
+    }
+    engine.flush();
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    std::uint64_t prev = 0;
+    for (const std::uint64_t n : observed) {
+        EXPECT_GE(n, prev) << "snapshot totals must be monotone";
+        EXPECT_LE(n, total_fed) << "snapshot saw weight that was never fed";
+        prev = n;
+    }
+    // Conservation: merged N equals items fed, to the unit.
+    EXPECT_EQ(engine.snapshot().total_weight(), total_fed);
+    const auto st = engine.stats();
+    EXPECT_EQ(st.updates_enqueued, producers * per_producer);
+    EXPECT_EQ(st.updates_applied, producers * per_producer);
+}
+
 // For a fixed producer order the engine is deterministic: batching
 // boundaries and worker timing must not leak into the result. (Batched
 // update is semantically identical to element-wise update, rings are FIFO,

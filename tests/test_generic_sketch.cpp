@@ -110,7 +110,10 @@ TEST(GenericSketch, MergeAcrossSketches) {
     xoshiro256ss rng(9);
     zipf_distribution zipf(500, 1.2);
     for (int i = 0; i < 20'000; ++i) {
-        const std::string item = "w" + std::to_string(zipf(rng));
+        // "w" + to_string would hit gcc 12's -Wrestrict false positive
+        // (PR105329) when inlined here; append sidesteps the flagged path.
+        std::string item = "w";
+        item += std::to_string(zipf(rng));
         if (i % 2 == 0) {
             a.update(item, 3);
         } else {
@@ -189,7 +192,8 @@ TEST(GenericFading, BoundsBracketDecayedTruthUnderEviction) {
     zipf_distribution zipf(400, 1.2);
     for (int epoch = 0; epoch < 10; ++epoch) {
         for (int i = 0; i < 3'000; ++i) {
-            const std::string item = "w" + std::to_string(zipf(rng));
+            std::string item = "w";  // see MergeAcrossSketches: gcc 12 PR105329
+            item += std::to_string(zipf(rng));
             const double w = 1.0 + static_cast<double>(rng.below(5));
             s.update(item, w);
             truth[item] += w;
