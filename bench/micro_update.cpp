@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "api/builder.h"
@@ -22,6 +24,7 @@
 #include "baselines/space_saving_heap.h"
 #include "baselines/stream_summary.h"
 #include "core/frequent_items_sketch.h"
+#include "core/string_frequent_items.h"
 #include "stream/generators.h"
 
 namespace {
@@ -159,6 +162,51 @@ void BM_FacadeLoopHitHeavy(benchmark::State& state) {
                             static_cast<std::int64_t>(stream.size()));
 }
 
+// --- text keys: façade vs direct string sketch -------------------------------
+
+/// Pre-built word stream so the string-construction cost stays out of the
+/// measurement (both contenders see identical std::string_view keys).
+const std::vector<std::pair<std::string, double>>& text_stream_for() {
+    static const auto words = [] {
+        const auto& ids = stream_for(true);
+        std::vector<std::pair<std::string, double>> out;
+        out.reserve(ids.size());
+        for (const auto& u : ids) {
+            out.emplace_back("w" + std::to_string(u.id), static_cast<double>(u.weight));
+        }
+        return out;
+    }();
+    return words;
+}
+
+void BM_DirectTextLoop(benchmark::State& state) {
+    const auto& words = text_stream_for();
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        string_frequent_items<double> s(sketch_config{.max_counters = k, .seed = 1});
+        for (const auto& [word, w] : words) {
+            s.update(word, w);
+        }
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(words.size()));
+}
+
+void BM_FacadeTextLoop(benchmark::State& state) {
+    const auto& words = text_stream_for();
+    const auto k = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        auto s = builder().text_keys().real_weights().max_counters(k).seed(1).build();
+        for (const auto& [word, w] : words) {
+            s.update(std::string_view(word), w);
+        }
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(words.size()));
+}
+
 /// Captures per-iteration wall seconds of every run so main() can compute
 /// the façade/direct ratios after the normal console report.
 class capture_reporter : public benchmark::ConsoleReporter {
@@ -217,6 +265,22 @@ void write_api_json(const std::map<std::string, double>& s) {
     if (points.empty()) {
         return;
     }
+    // Text-key series (informational, no gate): the façade's string update
+    // erases one virtual call around the same fingerprint + dictionary work.
+    std::string text_point;
+    const auto dt = s.find("BM_DirectTextLoop/1024");
+    const auto ft = s.find("BM_FacadeTextLoop/1024");
+    if (dt != s.end() && ft != s.end()) {
+        const double text_pct = 100.0 * (ft->second - dt->second) / dt->second;
+        std::snprintf(line, sizeof(line),
+                      ",\n  \"text\": {\"k\": 1024, \"direct_loop_s\": %.6f, "
+                      "\"facade_loop_s\": %.6f, \"loop_overhead_pct\": %.2f}",
+                      dt->second, ft->second, text_pct);
+        text_point = line;
+        std::printf("[INFO] facade text per-call overhead at k=1024: %.2f%% "
+                    "(informational)\n",
+                    text_pct);
+    }
     FILE* json = std::fopen("BENCH_api.json", "w");
     if (json == nullptr) {
         return;
@@ -224,8 +288,8 @@ void write_api_json(const std::map<std::string, double>& s) {
     std::fprintf(json,
                  "{\n  \"bench\": \"api_facade_overhead\",\n"
                  "  \"stream\": \"hit_heavy_zipf_1M\",\n  \"points\": [%s\n  ],\n"
-                 "  \"acceptance\": {\"batch_overhead_le_15pct\": %s}\n}\n",
-                 points.c_str(), pass ? "true" : "false");
+                 "  \"acceptance\": {\"batch_overhead_le_15pct\": %s}%s\n}\n",
+                 points.c_str(), pass ? "true" : "false", text_point.c_str());
     std::fclose(json);
     std::printf("wrote BENCH_api.json\n");
 }
@@ -241,6 +305,8 @@ BENCHMARK(BM_SslUnitHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMilliseco
 BENCHMARK(BM_DirectLoopHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FacadeBatchHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FacadeLoopHitHeavy)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DirectTextLoop)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FacadeTextLoop)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);

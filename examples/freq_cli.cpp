@@ -11,12 +11,17 @@
 ///   freq_cli stats <trace.fqtr>
 ///   freq_cli run   <trace.fqtr> [--algo smed|smin|rbmc|mhe|cm] [--k K]
 ///                  [--phi PHI] [--exact]
-///   freq_cli sketch <trace.fqtr> <out.sk> [--k K]
+///   freq_cli sketch <trace.fqtr> <out.sk> [--k K] [--key u64|text]
 ///                  [--policy plain|fading|window] [--decay R] [--window E]
 ///                  [--tick-every N] [--shards S] [--snapshot-every MS]
 ///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
-///   freq_cli query <sketch.sk> <id> [...]
+///   freq_cli query <sketch.sk> <id-or-word> [...]
 ///   freq_cli report <sketch.sk> [--phi PHI] [--mode nfp|nfn]
+///
+/// --key text treats each trace id as the word "w<id>" and runs the text
+/// summarizer — combined with --shards S the words ingest through the
+/// sharded engine (fingerprints on the ring hot path, per-shard spelling
+/// dictionaries), and query/report spell results back out.
 
 #include <chrono>
 #include <cstdio>
@@ -61,6 +66,7 @@ struct args {
     std::string mode = "nfn";
     std::uint32_t shards = 0;           ///< 0 = standalone (no engine)
     std::uint64_t snapshot_every = 0;   ///< ms between publishes; 0 = off
+    std::string key = "u64";            ///< u64 | text
 };
 
 args parse(int argc, char** argv) {
@@ -106,6 +112,8 @@ args parse(int argc, char** argv) {
             a.shards = static_cast<std::uint32_t>(std::strtoul(next().c_str(), nullptr, 10));
         } else if (flag == "--snapshot-every") {
             a.snapshot_every = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--key") {
+            a.key = next();
         } else {
             a.positional.push_back(flag);
         }
@@ -282,6 +290,11 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes)
 summarizer build_from_flags(const args& a) {
     builder b;
     b.max_counters(a.k).seed(a.seed);
+    if (a.key == "text") {
+        b.text_keys();
+    } else if (a.key != "u64") {
+        throw std::invalid_argument("unknown --key " + a.key + " (expected u64|text)");
+    }
     if (a.policy == "fading") {
         b.fading(a.decay);
     } else if (a.policy == "window") {
@@ -324,10 +337,22 @@ int cmd_sketch(const args& a) {
     if (s.snapshot_service_enabled() && a.tick_every == 0) {
         chunk = std::max<std::size_t>(1, stream.size() / 8);
     }
+    const bool text = a.key == "text";
     std::size_t i = 0;
     while (i < stream.size()) {
         const std::size_t run = std::min<std::size_t>(chunk, stream.size() - i);
-        s.update(std::span<const update64>(stream.data() + i, run));
+        if (text) {
+            // Trace ids become words: the text path fingerprints each word
+            // back to 64 bits (sharded: in the engine producers).
+            std::string word;
+            for (std::size_t j = i; j < i + run; ++j) {
+                word = "w";
+                word += std::to_string(stream[j].id);
+                s.update(word, static_cast<double>(stream[j].weight));
+            }
+        } else {
+            s.update(std::span<const update64>(stream.data() + i, run));
+        }
         i += run;
         if (s.snapshot_service_enabled()) {
             std::printf("live @ %zu/%zu: epoch=%llu N=%.6g (cached view)\n", i,
@@ -369,11 +394,18 @@ int cmd_query(const args& a) {
     }
     const auto s = restore_summary(read_file(a.positional[0]));
     std::printf("%s\n", s.descriptor().to_string().c_str());
+    const bool text = s.descriptor().keys == key_kind::text;
     for (std::size_t i = 1; i < a.positional.size(); ++i) {
-        const std::uint64_t id = std::strtoull(a.positional[i].c_str(), nullptr, 10);
-        std::printf("%llu: estimate=%.6g  bounds=[%.6g, %.6g]\n",
-                    static_cast<unsigned long long>(id), s.estimate(id), s.lower_bound(id),
-                    s.upper_bound(id));
+        if (text) {
+            const std::string& word = a.positional[i];
+            std::printf("%s: estimate=%.6g  bounds=[%.6g, %.6g]\n", word.c_str(),
+                        s.estimate(word), s.lower_bound(word), s.upper_bound(word));
+        } else {
+            const std::uint64_t id = std::strtoull(a.positional[i].c_str(), nullptr, 10);
+            std::printf("%llu: estimate=%.6g  bounds=[%.6g, %.6g]\n",
+                        static_cast<unsigned long long>(id), s.estimate(id),
+                        s.lower_bound(id), s.upper_bound(id));
+        }
     }
     return 0;
 }

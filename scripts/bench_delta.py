@@ -9,7 +9,13 @@ to print an informational (never gating) table of every numeric metric that
 exists on both sides, so the perf trajectory of each PR is visible at a
 glance. Metrics are flattened with dotted paths; list entries are keyed by
 an identifying field (shards / reader / ...) when one exists, by index
-otherwise. Exit code is always 0 — trends are for humans, acceptance
+otherwise.
+
+Regressions beyond REGRESSION_THRESHOLD on metrics with a known good
+direction (throughput-like: higher is better; latency-like: lower is
+better) additionally emit GitHub `::warning` annotations so they surface on
+the workflow run page. Exit code is still always 0 — runner variance is not
+understood well enough to gate, so trends warn humans while acceptance
 checks live in the benches themselves.
 """
 
@@ -22,6 +28,30 @@ KEY_FIELDS = ("shards", "reader", "name", "mode", "policy")
 
 # Metrics that are configuration echoes, not measurements.
 SKIP_LEAVES = {"gated", "met", "hardware_threads"}
+
+# Relative change beyond which a directional metric earns a ::warning
+# annotation (non-gating).
+REGRESSION_THRESHOLD = 0.25
+
+# Leaf-name fragments whose direction is unambiguous. Anything matching
+# neither set (counters, config echoes, stall totals) never warns.
+HIGHER_IS_BETTER = ("mups", "speedup", "rate", "per_second", "throughput")
+LOWER_IS_BETTER = ("seconds", "_s", "latency", "overhead_pct", "_ns")
+
+
+def regression_fraction(name, before, after):
+    """Relative worsening of a directional metric, or None when the metric
+    has no known direction / did not regress."""
+    leaf = name.rsplit(".", 1)[-1].lower()
+    if before == 0:
+        return None
+    change = (after - before) / abs(before)
+    if any(tag in leaf for tag in HIGHER_IS_BETTER):
+        return -change if change < 0 else None
+    if any(leaf.endswith(tag) or tag.lstrip("_") == leaf for tag in LOWER_IS_BETTER) or \
+            any(tag in leaf for tag in ("latency", "overhead")):
+        return change if change > 0 else None
+    return None
 
 
 def flatten(node, prefix=""):
@@ -76,18 +106,32 @@ def main(argv):
     width = max((len(name) for name in shared), default=10)
     print(f"bench delta vs previous run ({len(shared)} shared metrics, informational)")
     print(f"{'metric':<{width}} {'prev':>14} {'curr':>14} {'delta':>9}")
+    regressions = []
     for name in shared:
         before, after = prev[name], curr[name]
         if before == 0:
             delta = "n/a" if after != 0 else "+0.0%"
         else:
             delta = f"{100.0 * (after - before) / before:+.1f}%"
-        print(f"{name:<{width}} {before:>14.4g} {after:>14.4g} {delta:>9}")
+        worse = regression_fraction(name, before, after)
+        flag = "  <-- regressed" if worse is not None and worse > REGRESSION_THRESHOLD else ""
+        print(f"{name:<{width}} {before:>14.4g} {after:>14.4g} {delta:>9}{flag}")
+        if flag:
+            regressions.append((name, before, after, worse))
 
     for name in sorted(set(curr) - set(prev)):
         print(f"new metric: {name} = {curr[name]:.4g}")
     for name in sorted(set(prev) - set(curr)):
         print(f"dropped metric: {name} (was {prev[name]:.4g})")
+
+    # Non-gating annotations: visible on the workflow run page, exit stays 0.
+    for name, before, after, worse in regressions:
+        print(f"::warning title=bench regression::{name} worsened {100.0 * worse:.1f}% "
+              f"({before:.4g} -> {after:.4g}; threshold "
+              f"{100.0 * REGRESSION_THRESHOLD:.0f}%)")
+    if regressions:
+        print(f"{len(regressions)} metric(s) regressed past "
+              f"{100.0 * REGRESSION_THRESHOLD:.0f}% (informational, not gating)")
     return 0
 
 

@@ -25,9 +25,12 @@
 /// compile-time knowledge of what the sender ran.
 ///
 /// Unsupported combinations are rejected at build() with a precise message:
-/// fading requires real weights, the map backend has no sliding window and
-/// no sharding, and text keys do not shard (fingerprint dictionaries live
-/// outside the shard path today).
+/// fading requires real weights, and the map backend has no sliding window
+/// and no sharding. Text keys shard like integer ones: the engine counts
+/// fingerprints on the ring hot path and each shard owns the spelling
+/// dictionary slice for the keys routed to it (engine/stream_engine.h), so
+/// `.text_keys().sharded(4)` materializes a concurrent text summarizer
+/// whose reports carry full spellings.
 
 #include <algorithm>
 #include <chrono>
@@ -291,6 +294,21 @@ private:
 
 // --- standalone text-keyed summaries -----------------------------------------
 
+/// Spelled rows (fingerprint-counted cores) -> façade rows: `id` is the
+/// 64-bit fingerprint the core actually counted (correct even while a
+/// spelling is still "<unknown>"), `item` the human-readable key.
+template <typename Rows>
+std::vector<result_row> text_rows(const Rows& in) {
+    std::vector<result_row> out;
+    out.reserve(in.size());
+    for (const auto& r : in) {
+        out.push_back(result_row{r.fingerprint, r.item, static_cast<double>(r.estimate),
+                                 static_cast<double>(r.lower_bound),
+                                 static_cast<double>(r.upper_bound)});
+    }
+    return out;
+}
+
 template <typename W, typename L>
 class text_summarizer final : public summarizer_impl {
 public:
@@ -373,19 +391,6 @@ public:
     }
 
 private:
-    static std::vector<result_row> text_rows(
-        const std::vector<typename sketch_type::row>& in) {
-        std::vector<result_row> out;
-        out.reserve(in.size());
-        for (const auto& r : in) {
-            out.push_back(result_row{fnv1a64(r.item), r.item,
-                                     static_cast<double>(r.estimate),
-                                     static_cast<double>(r.lower_bound),
-                                     static_cast<double>(r.upper_bound)});
-        }
-        return out;
-    }
-
     summary_descriptor desc_;
     sketch_type sketch_;
 };
@@ -589,6 +594,188 @@ private:
     std::uint64_t now_ = 0;
 };
 
+// --- engine-sharded text-keyed summaries -------------------------------------
+
+/// The sharded text path: producers fingerprint keys and feed the engine's
+/// ring hot path, each shard owns its spelling-dictionary slice, and every
+/// read view (fold-on-demand or the cached published snapshot) is a full
+/// string summary — so estimate("alice") and top_items() answer with
+/// spellings straight off the view.
+template <typename W, typename L>
+class engine_text_summarizer final : public summarizer_impl {
+public:
+    using sketch_type = string_frequent_items<W, L>;
+    using engine_type = stream_engine<std::uint64_t, W, sketch_type>;
+
+    engine_text_summarizer(summary_descriptor desc, const engine_config& cfg)
+        : desc_(std::move(desc)), engine_(cfg) {}
+
+    const summary_descriptor& descriptor() const noexcept override { return desc_; }
+    bool sharded() const noexcept override { return true; }
+
+    void update(std::uint64_t, double) override { wrong_key_kind("text", "u64"); }
+    void update(std::string_view item, double weight) override {
+        main().push(item, facade_weight<W>(weight));
+    }
+    void update(std::span<const update64>) override { wrong_key_kind("text", "u64"); }
+    std::unique_ptr<feeder_impl> make_feeder() override {
+        return std::make_unique<engine_feeder>(engine_.make_producer());
+    }
+    void flush() override {
+        if (main_.has_value()) {
+            main_->flush();
+        }
+        engine_.flush();
+    }
+
+    // Same epoch discipline as the u64 engine summarizer: drain first, then
+    // tick, so staged updates age under the epoch they were pushed in.
+    void tick(std::uint64_t epochs) override {
+        flush();
+        engine_.advance_epoch(epochs);
+        now_ += epochs;
+    }
+    std::uint64_t now() const override { return now_; }
+
+    void enable_snapshot_service(std::chrono::microseconds interval) override {
+        engine_.enable_snapshot_service(interval);
+    }
+    void disable_snapshot_service() override { engine_.disable_snapshot_service(); }
+    bool snapshot_service_enabled() const noexcept override {
+        return engine_.snapshot_service_enabled();
+    }
+    std::uint64_t snapshot_epoch() const override { return engine_.snapshot_epoch(); }
+
+    double estimate(std::uint64_t) const override { wrong_key_kind("text", "u64"); }
+    double lower_bound(std::uint64_t) const override { wrong_key_kind("text", "u64"); }
+    double upper_bound(std::uint64_t) const override { wrong_key_kind("text", "u64"); }
+    double estimate(std::string_view item) const override {
+        return with_view([&](const sketch_type& s) {
+            return static_cast<double>(s.estimate(item));
+        });
+    }
+    double lower_bound(std::string_view item) const override {
+        return with_view([&](const sketch_type& s) {
+            return static_cast<double>(s.lower_bound(item));
+        });
+    }
+    double upper_bound(std::string_view item) const override {
+        return with_view([&](const sketch_type& s) {
+            return static_cast<double>(s.upper_bound(item));
+        });
+    }
+
+    double total_weight() const override {
+        return with_view([](const sketch_type& s) {
+            return static_cast<double>(s.total_weight());
+        });
+    }
+    double maximum_error() const override {
+        return with_view([](const sketch_type& s) {
+            return static_cast<double>(s.maximum_error());
+        });
+    }
+    std::uint32_t num_counters() const override {
+        return with_view([](const sketch_type& s) { return s.num_counters(); });
+    }
+    std::uint32_t capacity() const override { return desc_.sketch.max_counters; }
+    std::size_t memory_bytes() const override {
+        return with_view([&](const sketch_type& s) {
+            // Counter tables exist once per shard; the view's dictionary is
+            // already the *union* of the per-shard slices, so count it once.
+            const std::size_t dict = s.dictionary().memory_bytes();
+            return (s.memory_bytes() - dict) * engine_.num_shards() + dict;
+        });
+    }
+
+    result_set frequent_items(error_mode mode, double threshold) const override {
+        return with_view([&](const sketch_type& snap) {
+            auto rows =
+                text_rows(snap.frequent_items(mode, facade_threshold<W>(threshold)));
+            const double err =
+                result_error(static_cast<double>(snap.maximum_error()), rows);
+            return result_set(mode, threshold,
+                              static_cast<double>(snap.total_weight()), err,
+                              std::move(rows));
+        });
+    }
+    result_set top_items(std::size_t m) const override {
+        return with_view([&](const sketch_type& snap) {
+            auto rows = text_rows(snap.top_items(m));
+            const double err =
+                result_error(static_cast<double>(snap.maximum_error()), rows);
+            return result_set(error_mode::no_false_negatives, 0.0,
+                              static_cast<double>(snap.total_weight()), err,
+                              std::move(rows));
+        });
+    }
+
+    // Stream-complete canonical image (single unioned dictionary segment),
+    // byte-identical to what the restored standalone summary re-saves.
+    summary_bytes save() override {
+        flush();
+        if (engine_.snapshot_service_enabled()) {
+            return envelope_save(*engine_.acquire_snapshot());
+        }
+        return envelope_save(engine_.snapshot());
+    }
+
+    void merge_from(const summarizer_impl&) override {
+        FREQ_REQUIRE(false,
+                     "sharded summarizers ingest through feeders; merge their "
+                     "snapshot() instead");
+    }
+
+    std::unique_ptr<summarizer_impl> snapshot() const override {
+        return std::make_unique<text_summarizer<W, L>>(desc_, engine_.snapshot());
+    }
+
+    std::string to_string() const override {
+        const auto st = engine_.stats();
+        return "sharded_text_summarizer(shards=" + std::to_string(engine_.num_shards()) +
+               ", k=" + std::to_string(desc_.sketch.max_counters) +
+               ", applied=" + std::to_string(st.updates_applied) +
+               ", spellings=" + std::to_string(st.spellings_applied) +
+               ", stalls=" + std::to_string(st.ring_full_stalls) + ")";
+    }
+
+private:
+    class engine_feeder final : public feeder_impl {
+    public:
+        explicit engine_feeder(typename engine_type::producer p) : producer_(std::move(p)) {}
+        void push(std::uint64_t, double) override { wrong_key_kind("text", "u64"); }
+        void push(std::string_view item, double weight) override {
+            producer_.push(item, facade_weight<W>(weight));
+        }
+        void flush() override { producer_.flush(); }
+
+    private:
+        typename engine_type::producer producer_;
+    };
+
+    typename engine_type::producer& main() {
+        if (!main_.has_value()) {
+            main_.emplace(engine_.make_producer());
+        }
+        return *main_;
+    }
+
+    template <typename F>
+    auto with_view(F&& f) const {
+        if (engine_.snapshot_service_enabled()) {
+            const auto view = engine_.acquire_snapshot();
+            return f(*view);
+        }
+        const sketch_type snap = engine_.snapshot();
+        return f(snap);
+    }
+
+    summary_descriptor desc_;
+    engine_type engine_;
+    std::optional<typename engine_type::producer> main_;  ///< scalar-update handle
+    std::uint64_t now_ = 0;
+};
+
 }  // namespace detail
 
 // --- the fluent builder ------------------------------------------------------
@@ -675,7 +862,8 @@ public:
 
     /// Routes ingestion through the sharded concurrent engine: \p shards
     /// worker-owned sketches fed over SPSC rings by up to \p producers
-    /// concurrent feeders. u64 keys only.
+    /// concurrent feeders. u64 and text keys (text ships fingerprints on
+    /// the hot path and a per-shard spelling dictionary on a side lane).
     builder& sharded(std::uint32_t shards, std::uint32_t producers = 1) {
         sharded_ = true;
         engine_.num_shards = shards;
@@ -719,9 +907,6 @@ public:
         FREQ_REQUIRE(d.backend != backend_kind::map || d.lifetime != lifetime_kind::windowed,
                      "the map backend has no sliding-window policy; use the table "
                      "backend for windows");
-        FREQ_REQUIRE(!sharded_ || d.keys == key_kind::u64,
-                     "sharded ingestion takes u64 keys; fingerprint text keys "
-                     "upstream or run standalone");
         FREQ_REQUIRE(!sharded_ || d.backend == backend_kind::table,
                      "sharded ingestion requires the table backend");
         FREQ_REQUIRE(!snapshot_interval_.has_value() || sharded_,
@@ -768,6 +953,12 @@ private:
     static std::unique_ptr<detail::summarizer_impl> engine_impl(const summary_descriptor& d,
                                                                 const engine_config& cfg) {
         return std::make_unique<detail::engine_summarizer<Sketch>>(d, cfg);
+    }
+
+    template <typename W, typename L>
+    static std::unique_ptr<detail::summarizer_impl> engine_text(const summary_descriptor& d,
+                                                                const engine_config& cfg) {
+        return std::make_unique<detail::engine_text_summarizer<W, L>>(d, cfg);
     }
 
     static std::unique_ptr<detail::summarizer_impl> make_standalone(
@@ -817,6 +1008,18 @@ private:
     static std::unique_ptr<detail::summarizer_impl> make_engine(
         const summary_descriptor& d, const engine_config& cfg) {
         const bool real = d.weights == weight_kind::real;
+        if (d.keys == key_kind::text) {
+            switch (d.lifetime) {
+                case lifetime_kind::plain:
+                    return real ? engine_text<double, plain_lifetime>(d, cfg)
+                                : engine_text<std::uint64_t, plain_lifetime>(d, cfg);
+                case lifetime_kind::fading:
+                    return engine_text<double, exponential_fading>(d, cfg);
+                default:
+                    return real ? engine_text<double, epoch_window>(d, cfg)
+                                : engine_text<std::uint64_t, epoch_window>(d, cfg);
+            }
+        }
         switch (d.lifetime) {
             case lifetime_kind::plain:
                 return real

@@ -13,21 +13,33 @@
 /// Wire layout (little-endian, via common/bytes.h):
 ///
 ///   header (48 B): magic 'FQEN' u32 | version u8 | key_kind u8 |
-///     weight_kind u8 | lifetime u8 | backend u8 | reserved u8[3] |
-///     max_counters u32 | sample_size u32 | decrement_quantile f64 |
-///     seed u64 | decay f64 | window_epochs u32
+///     weight_kind u8 | lifetime u8 | backend u8 | minor_version u8 |
+///     reserved u8[2] | max_counters u32 | sample_size u32 |
+///     decrement_quantile f64 | seed u64 | decay f64 | window_epochs u32
 ///   policy state: fading → now u64, inflation f64; windowed → now u64
 ///   body:
 ///     non-windowed → offset W | total W | n u32 | n × (key u64, counter W)
 ///     windowed     → epoch_count u32 | per live non-empty epoch:
 ///                    abs_epoch u64, then the non-windowed body
-///   text keys append the spelling dictionary:
+///   text keys append the spelling dictionary (minor ≥ 1):
+///                    segment_count u32 | per segment:
 ///                    dict_n u32 | dict_n × (fp u64, len u32, bytes)
+///
+/// The minor version (formerly the first reserved byte, so minor-0 images
+/// are exactly the pre-bump format) versions the dictionary section: minor
+/// 0 carried a single unframed dictionary; minor 1 frames it into
+/// *segments* so a sharded engine's per-shard dictionary slices can ship
+/// without being unioned first (envelope_save_sharded_text). Readers union
+/// all segments (first spelling wins) and re-apply the prune discipline;
+/// minor-0 images remain restorable.
 ///
 /// Canonical encoding: counter rows are sorted by key and dictionary
 /// entries by fingerprint, so save → restore → save is byte-identical (the
 /// hash table's slot order, which depends on insertion history, never
-/// leaks into the bytes). Weights travel as u64 or IEEE-754 f64 bits per
+/// leaks into the bytes). envelope_save always writes the canonical
+/// single-segment union — the multi-segment form is an optimization for
+/// shippers that skip the union, and restoring it normalizes back to the
+/// canonical image. Weights travel as u64 or IEEE-754 f64 bits per
 /// weight_kind. Decoding validates every field before the matching
 /// allocation — the §3 merging architecture ships summaries between
 /// machines, so envelope bytes are untrusted input.
@@ -35,6 +47,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -43,10 +56,12 @@
 #include "common/bytes.h"
 #include "common/contracts.h"
 #include "core/basic_frequent_items.h"
+#include "core/fingerprint_frequent_items.h"
 #include "core/frequent_items_sketch.h"
 #include "core/generic_frequent_items.h"
 #include "core/lifetime_policy.h"
 #include "core/sketch_config.h"
+#include "core/spelling_dictionary.h"
 #include "core/string_frequent_items.h"
 
 namespace freq {
@@ -151,8 +166,8 @@ template <typename K, typename W>
 struct summary_traits<frequent_items_sketch<K, W>>
     : summary_traits<basic_frequent_items<K, W, plain_lifetime>> {};
 
-template <typename W, typename L>
-struct summary_traits<string_frequent_items<W, L>> {
+template <typename W, typename L, typename T>
+struct summary_traits<fingerprint_frequent_items<std::string, W, L, T>> {
     static constexpr key_kind keys = key_kind::text;
     static constexpr weight_kind weights = detail::weight_kind_of<W>();
     static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
@@ -177,6 +192,11 @@ class summary_bytes {
 public:
     static constexpr std::uint32_t magic = 0x4e455146;  // "FQEN"
     static constexpr std::uint8_t current_version = 1;
+    /// Minor format revision (dictionary-section framing; see file header).
+    /// Text writers emit the current minor; non-text envelopes — whose
+    /// layout minor 1 did not touch — keep writing 0 so pre-bump peers can
+    /// still read them. Readers accept any minor up to the current one.
+    static constexpr std::uint8_t current_minor_version = 1;
     static constexpr std::size_t header_size = 48;
 
     /// Validates the header and takes ownership of \p bytes. Throws
@@ -184,7 +204,7 @@ public:
     static summary_bytes wrap(std::vector<std::uint8_t> bytes) {
         byte_reader r(bytes);
         summary_bytes out;
-        out.version_ = parse_header(r, out.descriptor_);
+        out.version_ = parse_header(r, out.descriptor_, out.minor_version_);
         out.bytes_ = std::move(bytes);
         return out;
     }
@@ -195,15 +215,17 @@ public:
 
     const summary_descriptor& descriptor() const noexcept { return descriptor_; }
     std::uint8_t version() const noexcept { return version_; }
+    std::uint8_t minor_version() const noexcept { return minor_version_; }
 
     friend bool operator==(const summary_bytes& a, const summary_bytes& b) {
         return a.bytes_ == b.bytes_;
     }
 
-    /// Reads and validates one header from \p r, filling \p d. Returns the
-    /// format version. Shared by wrap() and the load path so both enforce
-    /// identical rules.
-    static std::uint8_t parse_header(byte_reader& r, summary_descriptor& d) {
+    /// Reads and validates one header from \p r, filling \p d and \p minor.
+    /// Returns the format version. Shared by wrap() and the load path so
+    /// both enforce identical rules.
+    static std::uint8_t parse_header(byte_reader& r, summary_descriptor& d,
+                                     std::uint8_t& minor) {
         FREQ_REQUIRE(r.get_u32() == magic, "not a freq summary envelope");
         const std::uint8_t version = r.get_u8();
         FREQ_REQUIRE(version == current_version, "unsupported envelope version");
@@ -215,7 +237,11 @@ public:
         FREQ_REQUIRE(weights <= 1, "envelope weight kind out of range");
         FREQ_REQUIRE(lifetime <= 2, "envelope lifetime kind out of range");
         FREQ_REQUIRE(backend <= 1, "envelope backend kind out of range");
-        for (int i = 0; i < 3; ++i) {
+        // Minor revisions change the dictionary-section layout, so an
+        // unknown minor cannot be skipped over — reject it.
+        minor = r.get_u8();
+        FREQ_REQUIRE(minor <= current_minor_version, "unsupported envelope minor version");
+        for (int i = 0; i < 2; ++i) {
             FREQ_REQUIRE(r.get_u8() == 0, "envelope reserved bytes must be zero");
         }
         d.keys = static_cast<key_kind>(keys);
@@ -241,6 +267,7 @@ private:
     std::vector<std::uint8_t> bytes_;
     summary_descriptor descriptor_{};
     std::uint8_t version_ = current_version;
+    std::uint8_t minor_version_ = current_minor_version;
 };
 
 // --- the codec ---------------------------------------------------------------
@@ -249,15 +276,11 @@ private:
 /// summary state (counter tables, offsets, policy clocks). Everything here
 /// is an implementation detail of envelope_save / envelope_load.
 struct summary_serde_access {
-    // -- config access (the string adapter holds its config inside) ----------
+    // -- config access --------------------------------------------------------
 
     template <typename S>
     static const sketch_config& config_of(const S& s) {
         return s.config();
-    }
-    template <typename W, typename L>
-    static const sketch_config& config_of(const string_frequent_items<W, L>& s) {
-        return s.sketch_.config();
     }
 
     // -- weights on the wire --------------------------------------------------
@@ -435,18 +458,21 @@ struct summary_serde_access {
                         [&](std::uint64_t key, W c) { s.counters_.emplace(key, c); });
     }
 
-    // -- text keys: inner summary + spelling dictionary -----------------------
+    // -- text keys: inner summary + spelling dictionary segments --------------
 
     static constexpr std::uint32_t max_spelling_bytes = 1u << 20;
+    /// Segment count bound = the engine's shard-count bound: a per-shard
+    /// image can carry at most one segment per shard.
+    static constexpr std::uint32_t max_dictionary_segments = 4096;
 
-    template <typename W, typename L>
-    static void put_summary(byte_writer& w, const string_frequent_items<W, L>& s) {
-        put_summary(w, s.sketch_);
+    /// One canonically-sorted dictionary segment: dict_n | (fp, len, bytes).
+    static void put_dictionary_segment(byte_writer& w,
+                                       const spelling_dictionary<std::string>& dict) {
         std::vector<std::pair<std::uint64_t, const std::string*>> entries;
-        entries.reserve(s.dict_.size());
-        for (const auto& [fp, spelling] : s.dict_) {
+        entries.reserve(dict.size());
+        dict.for_each([&](std::uint64_t fp, const std::string& spelling) {
             entries.emplace_back(fp, &spelling);
-        }
+        });
         std::sort(entries.begin(), entries.end(),
                   [](const auto& a, const auto& b) { return a.first < b.first; });
         w.put_u32(static_cast<std::uint32_t>(entries.size()));
@@ -457,13 +483,17 @@ struct summary_serde_access {
         }
     }
 
-    template <typename W, typename L>
-    static void get_summary(byte_reader& r, string_frequent_items<W, L>& s) {
-        get_summary(r, s.sketch_);
+    /// Reads one segment into \p s's dictionary (first spelling per
+    /// fingerprint wins across segments — the union rule of the engine's
+    /// snapshot merge). Fingerprints must be strictly ascending *within*
+    /// the segment (canonical order doubles as the duplicate check), and a
+    /// genuine per-source dictionary never exceeds the prune bound.
+    template <typename W, typename L, typename T>
+    static void get_dictionary_segment(
+        byte_reader& r, fingerprint_frequent_items<std::string, W, L, T>& s) {
         const std::uint32_t n = r.get_u32();
-        // The adapter prunes past 4x the simultaneously trackable ids, so a
-        // genuine dictionary never exceeds that; anything larger is hostile.
-        FREQ_REQUIRE(n <= s.prune_limit_ + 1, "envelope dictionary exceeds the prune bound");
+        FREQ_REQUIRE(n <= s.dict_.prune_limit() + 1,
+                     "envelope dictionary exceeds the prune bound");
         std::uint64_t prev = 0;
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint64_t fp = r.get_u64();
@@ -475,7 +505,53 @@ struct summary_serde_access {
             FREQ_REQUIRE(len <= r.remaining(), "envelope spelling overruns the buffer");
             std::string spelling(len, '\0');
             r.get_bytes(spelling.data(), len);
-            s.dict_.emplace(fp, std::move(spelling));
+            s.dict_.note(fp, std::move(spelling));
+        }
+    }
+
+    /// Counters-only write (the shard-preserving saver frames the
+    /// dictionary itself).
+    template <typename W, typename L, typename T>
+    static void put_inner_summary(byte_writer& w,
+                                  const fingerprint_frequent_items<std::string, W, L, T>& s) {
+        put_summary(w, s.sketch_);
+    }
+
+    template <typename W, typename L, typename T>
+    static const spelling_dictionary<std::string>& dict_of(
+        const fingerprint_frequent_items<std::string, W, L, T>& s) {
+        return s.dict_;
+    }
+
+    template <typename W, typename L, typename T>
+    static void put_summary(byte_writer& w,
+                            const fingerprint_frequent_items<std::string, W, L, T>& s) {
+        put_summary(w, s.sketch_);
+        w.put_u32(1);  // the canonical image is a single unioned segment
+        put_dictionary_segment(w, s.dict_);
+    }
+
+    template <typename W, typename L, typename T>
+    static void get_summary(byte_reader& r,
+                            fingerprint_frequent_items<std::string, W, L, T>& s,
+                            std::uint8_t minor) {
+        get_summary(r, s.sketch_);
+        if (minor == 0) {
+            // Legacy (pre-segment) image: a single unframed dictionary.
+            get_dictionary_segment(r, s);
+            return;
+        }
+        const std::uint32_t segments = r.get_u32();
+        FREQ_REQUIRE(segments <= max_dictionary_segments,
+                     "envelope dictionary segment count exceeds the shard bound");
+        for (std::uint32_t seg = 0; seg < segments; ++seg) {
+            get_dictionary_segment(r, s);
+        }
+        // A multi-source union can exceed one source's budget; re-apply the
+        // owner's prune discipline so restored state matches what the
+        // engine's own snapshot merge would have kept.
+        if (s.dict_.over_budget()) {
+            s.prune();
         }
     }
 };
@@ -485,11 +561,16 @@ struct summary_serde_access {
 /// Serializes \p s into the unified envelope. Works on any summary the
 /// traits above cover — including engine snapshots, which are ordinary
 /// summaries of their engine's merged state.
+namespace detail {
+
+/// Writes the 48-byte envelope header for \p Summary's tags + \p cfg.
+/// Only the text dictionary section changed in minor 1, so non-text
+/// envelopes keep writing minor 0 — their bytes stay readable by pre-bump
+/// peers in a mixed-version fleet (the §3 architecture ships summaries
+/// between machines that upgrade independently).
 template <typename Summary>
-summary_bytes envelope_save(const Summary& s) {
+void put_envelope_header(byte_writer& w, const sketch_config& cfg) {
     using traits = summary_traits<Summary>;
-    const sketch_config& cfg = summary_serde_access::config_of(s);
-    byte_writer w;
     w.reserve(summary_bytes::header_size + 64);
     w.put_u32(summary_bytes::magic);
     w.put_u8(summary_bytes::current_version);
@@ -497,7 +578,7 @@ summary_bytes envelope_save(const Summary& s) {
     w.put_u8(static_cast<std::uint8_t>(traits::weights));
     w.put_u8(static_cast<std::uint8_t>(traits::lifetime));
     w.put_u8(static_cast<std::uint8_t>(traits::backend));
-    w.put_u8(0);
+    w.put_u8(traits::keys == key_kind::text ? summary_bytes::current_minor_version : 0);
     w.put_u8(0);
     w.put_u8(0);
     w.put_u32(cfg.max_counters);
@@ -506,7 +587,43 @@ summary_bytes envelope_save(const Summary& s) {
     w.put_u64(cfg.seed);
     w.put_f64(cfg.decay);
     w.put_u32(cfg.window_epochs);
+}
+
+}  // namespace detail
+
+template <typename Summary>
+summary_bytes envelope_save(const Summary& s) {
+    byte_writer w;
+    detail::put_envelope_header<Summary>(w, summary_serde_access::config_of(s));
     summary_serde_access::put_summary(w, s);
+    return summary_bytes::wrap(std::move(w).take());
+}
+
+/// Shard-preserving save of a sharded text summary: counters come from the
+/// folded summary \p folded (the engine's merged snapshot), while the
+/// spelling dictionary ships as one segment per shard clone — skipping the
+/// writer-side union. Restoring unions the segments (first spelling wins)
+/// and normalizes back to the canonical single-segment image on the next
+/// save. \p shard_clones views must outlive the call; an empty span writes
+/// the canonical image of \p folded instead.
+template <typename W, typename L, typename T>
+summary_bytes envelope_save_sharded_text(
+    const fingerprint_frequent_items<std::string, W, L, T>& folded,
+    std::span<const fingerprint_frequent_items<std::string, W, L, T>* const> shard_clones) {
+    using summary_type = fingerprint_frequent_items<std::string, W, L, T>;
+    if (shard_clones.empty()) {
+        return envelope_save(folded);
+    }
+    FREQ_REQUIRE(shard_clones.size() <= summary_serde_access::max_dictionary_segments,
+                 "more shard dictionaries than the envelope's segment bound");
+    byte_writer w;
+    detail::put_envelope_header<summary_type>(w, summary_serde_access::config_of(folded));
+    summary_serde_access::put_inner_summary(w, folded);
+    w.put_u32(static_cast<std::uint32_t>(shard_clones.size()));
+    for (const auto* clone : shard_clones) {
+        summary_serde_access::put_dictionary_segment(w,
+                                                     summary_serde_access::dict_of(*clone));
+    }
     return summary_bytes::wrap(std::move(w).take());
 }
 
@@ -527,9 +644,15 @@ Summary envelope_load(const summary_bytes& b,
                  "envelope capacity exceeds the caller's acceptance bound");
     byte_reader r(b.bytes());
     summary_descriptor reparsed;  // advances r past the header
-    summary_bytes::parse_header(r, reparsed);
+    std::uint8_t minor = 0;
+    summary_bytes::parse_header(r, reparsed, minor);
     Summary s(d.sketch);
-    summary_serde_access::get_summary(r, s);
+    if constexpr (traits::keys == key_kind::text) {
+        // The dictionary-section layout is minor-versioned (segments).
+        summary_serde_access::get_summary(r, s, minor);
+    } else {
+        summary_serde_access::get_summary(r, s);
+    }
     FREQ_REQUIRE(r.remaining() == 0, "envelope has trailing bytes");
     return s;
 }

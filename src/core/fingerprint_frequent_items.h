@@ -1,0 +1,287 @@
+#ifndef FREQ_CORE_FINGERPRINT_FREQUENT_ITEMS_H
+#define FREQ_CORE_FINGERPRINT_FREQUENT_ITEMS_H
+
+/// \file fingerprint_frequent_items.h
+/// Frequent items over any key kind via fingerprinting: the counting
+/// substrate runs on 64-bit fingerprints (the same policy-templated
+/// parallel-array core as the integer sketch — core/basic_frequent_items.h
+/// + core/lifetime_policy.h) while a detachable spelling_dictionary
+/// remembers the original keys of currently-tracked fingerprints so
+/// results are reported in the caller's vocabulary.
+///
+/// This is the split the sharded engine needs: the hot path ships
+/// fixed-size (fingerprint, weight) records through the SPSC rings, the
+/// spellings travel once per key on a side channel, each shard owns the
+/// dictionary slice for the fingerprints routed to it, and snapshot merge
+/// unions slices (merge() below). Standalone use composes the same two
+/// halves in one object — `string_frequent_items` (string keys, the tf-idf
+/// use case of §1.2) is now an alias of this template, unchanged in API.
+///
+/// Fingerprint collisions merge two keys' counts; at 64 bits the chance any
+/// pair among k tracked items collides is ~k²/2⁶⁵ (≈1e-11 for k = 2¹⁵) —
+/// the standard trade DataSketches also makes for non-integer keys.
+///
+/// Key kinds plug in through `key_fingerprint_traits<Item>`: strings get a
+/// stable FNV-1a fingerprint and string_view call surfaces; other types
+/// default to a mixed std::hash (process-stable only — specialize the
+/// traits with a portable fingerprint before shipping envelopes across
+/// machines, exactly like DataSketches' serde-vs-hash distinction).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/basic_frequent_items.h"
+#include "core/frequent_items_sketch.h"
+#include "core/lifetime_policy.h"
+#include "core/sketch_config.h"
+#include "core/spelling_dictionary.h"
+#include "hashing/hash.h"
+#include "stream/update.h"
+
+namespace freq {
+
+/// How a key kind maps into the fingerprint-counted core: the view type its
+/// call surfaces take, the 64-bit fingerprint, and how to materialize an
+/// owned Item from a view (for the spelling dictionary).
+template <typename Item>
+struct key_fingerprint_traits {
+    using view_type = const Item&;
+
+    /// Default fingerprint: std::hash widened through a finalizing mixer.
+    /// Stable within a process — good enough for in-memory summaries and
+    /// single-process engines; specialize with a portable hash (as the
+    /// std::string specialization does) before shipping envelopes between
+    /// machines.
+    static std::uint64_t fingerprint(const Item& v) {
+        return murmur_mix64(static_cast<std::uint64_t>(std::hash<Item>{}(v)) ^
+                            0x4669'6e67'6572'7072ULL);
+    }
+
+    static const Item& materialize(const Item& v) { return v; }
+};
+
+template <>
+struct key_fingerprint_traits<std::string> {
+    using view_type = std::string_view;
+
+    /// FNV-1a: byte-stable across processes and machines, so string-keyed
+    /// envelopes merge correctly anywhere.
+    static std::uint64_t fingerprint(std::string_view v) noexcept { return fnv1a64(v); }
+
+    static std::string materialize(std::string_view v) { return std::string(v); }
+};
+
+template <typename Item, typename W = double, typename Lifetime = plain_lifetime,
+          typename Traits = key_fingerprint_traits<Item>>
+class fingerprint_frequent_items {
+    /// The plain instantiation routes through frequent_items_sketch so the
+    /// serialization-capable type stays reachable; other lifetimes sit on
+    /// the policy core directly.
+    using inner_sketch =
+        std::conditional_t<std::is_same_v<Lifetime, plain_lifetime>,
+                           frequent_items_sketch<std::uint64_t, W>,
+                           basic_frequent_items<std::uint64_t, W, Lifetime>>;
+
+public:
+    using item_type = Item;
+    using item_view = typename Traits::view_type;
+    using key_traits = Traits;
+    using weight_type = W;
+    using lifetime_policy = Lifetime;
+    using dictionary_type = spelling_dictionary<Item>;
+
+    struct row {
+        Item item;
+        W estimate;
+        W lower_bound;
+        W upper_bound;
+        std::uint64_t fingerprint = 0;
+    };
+
+    explicit fingerprint_frequent_items(std::uint32_t max_counters, std::uint64_t seed = 0)
+        : fingerprint_frequent_items(
+              sketch_config{.max_counters = max_counters, .seed = seed}) {}
+
+    /// Full-config constructor — needed to reach the lifetime knobs
+    /// (sketch_config::decay / window_epochs).
+    explicit fingerprint_frequent_items(const sketch_config& cfg) : sketch_(cfg) {
+        // The dictionary budget must cover every simultaneously trackable
+        // fingerprint: a windowed sketch tracks up to k per live epoch.
+        dict_.configure(static_cast<std::uint64_t>(cfg.max_counters) *
+                        (Lifetime::windowed ? cfg.window_epochs : 1u));
+    }
+
+    /// The key's position in the 64-bit fingerprint space the counting core
+    /// (and the engine's shard routing) operates on.
+    static std::uint64_t fingerprint(item_view item) { return Traits::fingerprint(item); }
+
+    // --- ingestion (keyed path: count + remember the spelling) ---------------
+
+    void update(item_view item, W weight = W{1}) {
+        const std::uint64_t fp = Traits::fingerprint(item);
+        sketch_.update(fp, weight);
+        // Remember the spelling while the item is tracked. Known spellings
+        // skip the tracked-check entirely, and admission can only have
+        // happened in the current epoch, so a windowed sketch probes one
+        // epoch table, not all window_epochs of them (an id tracked only in
+        // an older epoch got its dictionary entry when that epoch admitted
+        // it, and prune keeps window-wide-tracked fingerprints).
+        if (!dict_.contains(fp) && tracked_now(fp)) {
+            if (dict_.note(fp, Traits::materialize(item))) {
+                prune();
+            }
+        }
+    }
+
+    // --- ingestion (fingerprint path: the engine's hot lane) -----------------
+
+    /// Batched fingerprint ingest — the span fast path the sharded engine's
+    /// workers drain ring batches through. Counts only; spellings arrive
+    /// separately through note_spelling() (the shard's side channel).
+    void update(std::span<const freq::update<std::uint64_t, W>> batch) {
+        sketch_.update(batch);
+    }
+
+    /// Attaches a spelling to \p fp. Insertion is unconditional (first
+    /// writer wins): on the engine a spelling can arrive before the counts
+    /// that admit its fingerprint, so it waits in the dictionary and is
+    /// swept only when the dictionary overflows its budget while the
+    /// fingerprint is untracked. Producers re-send spellings when their
+    /// recently-sent filter evicts, so a sweep is never permanent for a key
+    /// that keeps appearing.
+    template <typename V>
+    void note_spelling(std::uint64_t fp, V&& item) {
+        if (dict_.note(fp, std::forward<V>(item))) {
+            prune();
+        }
+    }
+
+    // --- lifetime ------------------------------------------------------------
+
+    /// Advances the lifetime policy's logical clock (no-op for plain).
+    void tick(std::uint64_t epochs = 1) { sketch_.tick(epochs); }
+
+    /// Current logical clock (ticks since construction; 0 for plain).
+    std::uint64_t now() const noexcept {
+        if constexpr (Lifetime::windowed) {
+            return sketch_.now();
+        } else if constexpr (Lifetime::decaying) {
+            return sketch_.policy().now();
+        } else {
+            return 0;
+        }
+    }
+
+    // --- merging (Algorithm 5 + dictionary union) ----------------------------
+
+    /// Merges the fingerprint sketches (policy-aware — clocks align,
+    /// windows fold epoch-wise) and unions the spelling dictionaries,
+    /// pruning if the union overflows. This is how the engine's snapshot
+    /// folds per-shard dictionary slices into one reportable summary.
+    void merge(const fingerprint_frequent_items& other) {
+        sketch_.merge(other.sketch_);
+        if (dict_.merge_union(other.dict_)) {
+            prune();
+        }
+    }
+
+    // --- queries -------------------------------------------------------------
+
+    W estimate(item_view item) const { return sketch_.estimate(Traits::fingerprint(item)); }
+    W lower_bound(item_view item) const {
+        return sketch_.lower_bound(Traits::fingerprint(item));
+    }
+    W upper_bound(item_view item) const {
+        return sketch_.upper_bound(Traits::fingerprint(item));
+    }
+    W maximum_error() const noexcept { return sketch_.maximum_error(); }
+    W total_weight() const noexcept { return sketch_.total_weight(); }
+    std::uint32_t capacity() const noexcept { return sketch_.capacity(); }
+    std::uint32_t num_counters() const noexcept { return sketch_.num_counters(); }
+    const sketch_config& config() const noexcept { return sketch_.config(); }
+
+    /// Heavy hitters with their spellings, sorted by descending estimate.
+    std::vector<row> frequent_items(error_type et, W threshold) const {
+        return spell_rows(sketch_.frequent_items(et, threshold));
+    }
+
+    std::vector<row> frequent_items(error_type et) const {
+        return frequent_items(et, sketch_.maximum_error());
+    }
+
+    /// The (up to) m tracked items with the largest estimates, spelled out,
+    /// in descending order — same contract as the core sketch's top_items.
+    std::vector<row> top_items(std::size_t m) const {
+        return spell_rows(sketch_.top_items(m));
+    }
+
+    /// The identification half: spellings of currently-relevant
+    /// fingerprints (read-only; the engine serializes per-shard slices).
+    const dictionary_type& dictionary() const noexcept { return dict_; }
+
+    /// Sketch bytes plus dictionary footprint (keys + item storage).
+    std::size_t memory_bytes() const noexcept {
+        return sketch_.memory_bytes() + dict_.memory_bytes();
+    }
+
+    /// One-line human-readable summary (examples / debugging).
+    std::string to_string() const {
+        return "fingerprint_frequent_items(k=" + std::to_string(capacity()) +
+               ", counters=" + std::to_string(num_counters()) +
+               ", spellings=" + std::to_string(dict_.size()) +
+               ", N=" + std::to_string(static_cast<double>(total_weight())) + ")";
+    }
+
+private:
+    friend struct summary_serde_access;
+
+    /// Whether the most recent update for \p fp can have admitted it — the
+    /// current epoch for a windowed sketch, the whole table otherwise.
+    bool tracked_now(std::uint64_t fp) const {
+        if constexpr (Lifetime::windowed) {
+            return sketch_.current_epoch().lower_bound(fp) > W{0};
+        } else {
+            return sketch_.lower_bound(fp) > W{0};
+        }
+    }
+
+    void prune() {
+        dict_.prune([this](std::uint64_t fp) { return sketch_.lower_bound(fp) > W{0}; });
+    }
+
+    template <typename Rows>
+    std::vector<row> spell_rows(const Rows& in) const {
+        std::vector<row> out;
+        out.reserve(in.size());
+        for (const auto& r : in) {
+            const Item* spelling = dict_.find(r.id);
+            out.push_back(row{spelling != nullptr ? *spelling : unknown_item(),
+                              r.estimate, r.lower_bound, r.upper_bound, r.id});
+        }
+        return out;
+    }
+
+    /// Placeholder for a tracked fingerprint whose spelling is (not yet)
+    /// known — the count is still correct, only the identification lags.
+    static Item unknown_item() {
+        if constexpr (std::is_same_v<Item, std::string>) {
+            return std::string("<unknown>");
+        } else {
+            return Item{};
+        }
+    }
+
+    inner_sketch sketch_;
+    dictionary_type dict_;
+};
+
+}  // namespace freq
+
+#endif  // FREQ_CORE_FINGERPRINT_FREQUENT_ITEMS_H

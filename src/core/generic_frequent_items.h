@@ -17,6 +17,11 @@
 ///
 /// Use `frequent_items_sketch` (64-bit keys) or `string_frequent_items`
 /// (fingerprinted strings) when they fit — they are several times faster.
+/// Arbitrary key types that can tolerate 64-bit fingerprint identification
+/// now also have a fast route: `fingerprint_frequent_items<Item, ...>`
+/// (core/fingerprint_frequent_items.h) runs them on the table-backed core
+/// and through the sharded engine; this map-backed core remains the choice
+/// when exact key identity or the deterministic Theorem 2 bound matters.
 ///
 /// The claim/increment/reduce admission step is the shared skeleton of
 /// core/counter_maintenance.h (the same loop the counter_table-backed core

@@ -6,191 +6,30 @@
 /// case of §1.2 (real-valued weights over words) and the closest analogue of
 /// Apache DataSketches' generic frequent_items_sketch<std::string>.
 ///
-/// Strings are fingerprinted to 64 bits (FNV-1a) so the hot path runs on the
-/// same parallel-array table as the integer sketch; a side dictionary
-/// remembers the spelling of currently-tracked fingerprints so results are
-/// human-readable. The dictionary is pruned lazily whenever it grows past
-/// 4x the sketch capacity, keeping memory O(k · avg string length).
+/// Since the fingerprint/dictionary split (see
+/// core/fingerprint_frequent_items.h) this is an alias: strings are
+/// FNV-1a-fingerprinted to 64 bits so the hot path runs on the same
+/// parallel-array table as the integer sketch, and a detachable
+/// spelling_dictionary remembers the spelling of currently-tracked
+/// fingerprints so results are human-readable. The split is what lets text
+/// keys ingest through the sharded engine: fixed-size fingerprint records
+/// ride the SPSC rings while each shard owns the dictionary slice for the
+/// keys routed to it (engine/stream_engine.h).
 ///
-/// Fingerprint collisions merge two strings' counts; at 64 bits the chance
-/// any pair among k tracked items collides is ~k²/2⁶⁵ (≈1e-11 for k = 2¹⁵),
-/// the standard trade DataSketches also makes for string keys.
-///
-/// The adapter is a thin layer over the policy-templated core: pick a
-/// Lifetime (core/lifetime_policy.h) to get plain, time-fading or
+/// Pick a Lifetime (core/lifetime_policy.h) to get plain, time-fading or
 /// sliding-window semantics over the same fingerprint + dictionary scheme —
 /// e.g. string_frequent_items<double, exponential_fading> for fading word
-/// counts. The plain default is the pre-policy sketch, unchanged.
+/// counts. The plain default keeps the pre-split behavior, unchanged.
 
-#include <cstdint>
 #include <string>
-#include <string_view>
-#include <type_traits>
-#include <unordered_map>
-#include <vector>
 
-#include "core/basic_frequent_items.h"
-#include "core/frequent_items_sketch.h"
+#include "core/fingerprint_frequent_items.h"
 #include "core/lifetime_policy.h"
-#include "hashing/hash.h"
 
 namespace freq {
 
 template <typename W = double, typename Lifetime = plain_lifetime>
-class string_frequent_items {
-    /// The plain instantiation routes through frequent_items_sketch so the
-    /// serialization-capable type stays reachable; other lifetimes sit on
-    /// the policy core directly.
-    using inner_sketch =
-        std::conditional_t<std::is_same_v<Lifetime, plain_lifetime>,
-                           frequent_items_sketch<std::uint64_t, W>,
-                           basic_frequent_items<std::uint64_t, W, Lifetime>>;
-
-public:
-    using weight_type = W;
-    using lifetime_policy = Lifetime;
-
-    struct row {
-        std::string item;
-        W estimate;
-        W lower_bound;
-        W upper_bound;
-    };
-
-    explicit string_frequent_items(std::uint32_t max_counters, std::uint64_t seed = 0)
-        : string_frequent_items(sketch_config{.max_counters = max_counters, .seed = seed}) {}
-
-    /// Full-config constructor — needed to reach the lifetime knobs
-    /// (sketch_config::decay / window_epochs).
-    explicit string_frequent_items(const sketch_config& cfg) : sketch_(cfg) {
-        // Prune headroom must cover every simultaneously trackable
-        // fingerprint: a windowed sketch tracks up to k per live epoch, so a
-        // per-epoch-k threshold would leave the dictionary permanently over
-        // budget and re-scan it on nearly every update.
-        const std::uint64_t trackable =
-            static_cast<std::uint64_t>(cfg.max_counters) *
-            (Lifetime::windowed ? cfg.window_epochs : 1u);
-        prune_limit_ = 4ull * trackable;
-        dict_.reserve(cfg.max_counters * 2);
-    }
-
-    void update(std::string_view item, W weight = W{1}) {
-        const std::uint64_t fp = fnv1a64(item);
-        sketch_.update(fp, weight);
-        // Remember the spelling while the item is tracked. Known spellings
-        // skip the tracked-check entirely, and admission can only have
-        // happened in the current epoch, so a windowed sketch probes one
-        // epoch table, not all window_epochs of them (an id tracked only in
-        // an older epoch got its dictionary entry when that epoch admitted
-        // it, and prune() removes window-wide-untracked fingerprints only).
-        if (!dict_.contains(fp) && tracked_now(fp)) {
-            dict_.emplace(fp, item);
-            if (dict_.size() > prune_limit_) {
-                prune();
-            }
-        }
-    }
-
-    /// Advances the lifetime policy's logical clock (no-op for plain).
-    void tick(std::uint64_t epochs = 1) { sketch_.tick(epochs); }
-
-    /// Current logical clock (ticks since construction; 0 for plain).
-    std::uint64_t now() const noexcept {
-        if constexpr (Lifetime::windowed) {
-            return sketch_.now();
-        } else if constexpr (Lifetime::decaying) {
-            return sketch_.policy().now();
-        } else {
-            return 0;
-        }
-    }
-
-    /// Algorithm 5 for string summaries: merges the fingerprint sketches
-    /// (policy-aware — clocks align, windows fold epoch-wise) and unions
-    /// the spelling dictionaries, pruning if the union overflows.
-    void merge(const string_frequent_items& other) {
-        sketch_.merge(other.sketch_);
-        for (const auto& [fp, spelling] : other.dict_) {
-            dict_.try_emplace(fp, spelling);
-        }
-        if (dict_.size() > prune_limit_) {
-            prune();
-        }
-    }
-
-    W estimate(std::string_view item) const { return sketch_.estimate(fnv1a64(item)); }
-    W lower_bound(std::string_view item) const { return sketch_.lower_bound(fnv1a64(item)); }
-    W upper_bound(std::string_view item) const { return sketch_.upper_bound(fnv1a64(item)); }
-    W maximum_error() const noexcept { return sketch_.maximum_error(); }
-    W total_weight() const noexcept { return sketch_.total_weight(); }
-    std::uint32_t capacity() const noexcept { return sketch_.capacity(); }
-    std::uint32_t num_counters() const noexcept { return sketch_.num_counters(); }
-
-    /// Heavy hitters with their spellings, sorted by descending estimate.
-    std::vector<row> frequent_items(error_type et, W threshold) const {
-        std::vector<row> out;
-        for (const auto& r : sketch_.frequent_items(et, threshold)) {
-            const auto it = dict_.find(r.id);
-            // Tracked items always have a dictionary entry (inserted on the
-            // update that admitted them and pruned only when untracked).
-            out.push_back(row{it != dict_.end() ? it->second : std::string("<unknown>"),
-                              r.estimate, r.lower_bound, r.upper_bound});
-        }
-        return out;
-    }
-
-    std::vector<row> frequent_items(error_type et) const {
-        return frequent_items(et, sketch_.maximum_error());
-    }
-
-    /// The (up to) m tracked items with the largest estimates, spelled out,
-    /// in descending order — same contract as the core sketch's top_items.
-    std::vector<row> top_items(std::size_t m) const {
-        std::vector<row> out;
-        for (const auto& r : sketch_.top_items(m)) {
-            const auto it = dict_.find(r.id);
-            out.push_back(row{it != dict_.end() ? it->second : std::string("<unknown>"),
-                              r.estimate, r.lower_bound, r.upper_bound});
-        }
-        return out;
-    }
-
-    /// Sketch bytes plus dictionary footprint (keys + string storage).
-    std::size_t memory_bytes() const noexcept {
-        std::size_t dict_bytes = 0;
-        for (const auto& [fp, s] : dict_) {
-            dict_bytes += sizeof(fp) + sizeof(std::string) + s.capacity();
-        }
-        return sketch_.memory_bytes() + dict_bytes;
-    }
-
-private:
-    friend struct summary_serde_access;
-
-    /// Whether the most recent update for \p fp can have admitted it — the
-    /// current epoch for a windowed sketch, the whole table otherwise.
-    bool tracked_now(std::uint64_t fp) const {
-        if constexpr (Lifetime::windowed) {
-            return sketch_.current_epoch().lower_bound(fp) > W{0};
-        } else {
-            return sketch_.lower_bound(fp) > W{0};
-        }
-    }
-
-    void prune() {
-        for (auto it = dict_.begin(); it != dict_.end();) {
-            if (sketch_.lower_bound(it->first) == W{0}) {
-                it = dict_.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
-
-    inner_sketch sketch_;
-    std::unordered_map<std::uint64_t, std::string> dict_;
-    std::uint64_t prune_limit_ = 0;  ///< 4x the simultaneously trackable ids
-};
+using string_frequent_items = fingerprint_frequent_items<std::string, W, Lifetime>;
 
 }  // namespace freq
 

@@ -13,31 +13,76 @@
 /// exponential_fading, or the epoch_window ring — anything constructible
 /// from a sketch_config with update(span), merge, tick and copy.
 ///
+/// Spelling-keeping sketches (core/fingerprint_frequent_items.h — text and
+/// generic keys) additionally get a spelling_channel: the rings still carry
+/// only fixed-size (fingerprint, weight) records, and the variable-size key
+/// spellings arrive through the channel, drained into the sketch's
+/// dictionary under the same mutex as the ring batches. This shard
+/// therefore owns the dictionary *slice* for exactly the fingerprints the
+/// engine routes to it.
+///
 /// Threading contract:
 ///  * ring(p).try_push(...)  — producer p only.
+///  * spellings().try_push() — any producer (mutex-guarded MPSC).
 ///  * drain()                — the shard's single worker thread only.
 ///  * clone_sketch(), tick() — any thread; take the sketch mutex.
 ///
-/// The sketch mutex is held only while a drained batch is applied, while
-/// the sketch is being cloned for a snapshot, or while the lifetime clock
-/// ticks — never while waiting on a ring — so queries clone O(k) state and
-/// ingestion resumes immediately; readers never traverse live sketch state.
+/// The sketch mutex is held only while a drained batch (or spelling run) is
+/// applied, while the sketch is being cloned for a snapshot, or while the
+/// lifetime clock ticks — never while waiting on a ring — so queries clone
+/// O(k) state and ingestion resumes immediately; readers never traverse
+/// live sketch state.
 
 #include <atomic>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.h"
 #include "core/frequent_items_sketch.h"
 #include "core/sketch_config.h"
+#include "engine/spelling_channel.h"
 #include "engine/spsc_ring.h"
 #include "stream/update.h"
 
 namespace freq {
+
+/// A sketch that separates counting from identification: fingerprint spans
+/// on the hot path, spellings attached through note_spelling(), and a
+/// static fingerprint() mapping the engine can route by.
+template <typename Sketch>
+concept spelling_sketch = requires(Sketch& s, std::uint64_t fp,
+                                   typename Sketch::item_type item,
+                                   typename Sketch::item_view view) {
+    s.note_spelling(fp, std::move(item));
+    { Sketch::fingerprint(view) } -> std::same_as<std::uint64_t>;
+};
+
+namespace detail {
+
+/// Zero-cost stand-in for shards whose sketch keeps no spellings.
+struct no_spelling_channel {
+    struct entry {};
+    explicit no_spelling_channel(std::size_t) {}
+    std::uint64_t pushed() const noexcept { return 0; }
+    std::uint64_t applied() const noexcept { return 0; }
+};
+
+template <typename Sketch, bool = spelling_sketch<Sketch>>
+struct spelling_channel_of {
+    using type = no_spelling_channel;
+};
+template <typename Sketch>
+struct spelling_channel_of<Sketch, true> {
+    using type = spelling_channel<typename Sketch::item_type>;
+};
+
+}  // namespace detail
 
 template <typename K = std::uint64_t, typename W = std::uint64_t,
           typename Sketch = frequent_items_sketch<K, W>>
@@ -45,15 +90,20 @@ class engine_shard {
 public:
     using update_type = update<K, W>;
     using sketch_type = Sketch;
+    using spelling_channel_type = typename detail::spelling_channel_of<Sketch>::type;
 
-    /// \param cfg            per-shard sketch configuration (already seeded
-    ///                       distinctly per shard by the engine — §3.2).
-    /// \param num_producers  how many inbound SPSC rings to create.
-    /// \param ring_capacity  slots per ring (rounded up to a power of two).
-    /// \param batch_size     maximum updates applied per sketch lock.
+    /// \param cfg               per-shard sketch configuration (already
+    ///                          seeded distinctly per shard by the engine —
+    ///                          §3.2).
+    /// \param num_producers     how many inbound SPSC rings to create.
+    /// \param ring_capacity     slots per ring (rounded up to a power of two).
+    /// \param batch_size        maximum updates applied per sketch lock.
+    /// \param spelling_capacity pending-spelling bound (spelling-keeping
+    ///                          sketches only; ignored otherwise).
     engine_shard(const sketch_config& cfg, std::size_t num_producers,
-                 std::size_t ring_capacity, std::size_t batch_size)
-        : sketch_(cfg), batch_size_(batch_size) {
+                 std::size_t ring_capacity, std::size_t batch_size,
+                 std::size_t spelling_capacity = 4096)
+        : sketch_(cfg), spellings_(spelling_capacity), batch_size_(batch_size) {
         FREQ_REQUIRE(num_producers >= 1, "shard needs at least one producer ring");
         FREQ_REQUIRE(batch_size >= 1, "shard batch size must be positive");
         rings_.reserve(num_producers);
@@ -67,11 +117,16 @@ public:
     spsc_ring<update_type>& ring(std::size_t p) noexcept { return *rings_[p]; }
     std::size_t num_rings() const noexcept { return rings_.size(); }
 
+    /// Inbound spelling side-lane (spelling-keeping sketches only).
+    spelling_channel_type& spellings() noexcept { return spellings_; }
+
     // --- worker side ---------------------------------------------------------
 
     /// Drains up to one batch from the inbound rings (round-robin across
-    /// producers for fairness) and applies it to the sketch under the lock.
-    /// Returns the number of updates applied; 0 means every ring was empty.
+    /// producers for fairness) and applies it to the sketch under the lock;
+    /// then drains any pending spellings into the sketch dictionary.
+    /// Returns the number of updates + spellings applied; 0 means every
+    /// lane was empty.
     std::size_t drain() {
         std::size_t n = 0;
         const std::size_t r = rings_.size();
@@ -88,13 +143,14 @@ public:
             applied_.fetch_add(n, std::memory_order_release);
             batches_.fetch_add(1, std::memory_order_relaxed);
         }
-        return n;
+        return n + drain_spellings();
     }
 
     // --- snapshot / flush / lifetime support ---------------------------------
 
-    /// O(k) copy of the shard sketch, taken under the sketch mutex so a
-    /// snapshot never observes a half-applied batch.
+    /// O(k) copy of the shard sketch (its dictionary slice included), taken
+    /// under the sketch mutex so a snapshot never observes a half-applied
+    /// batch.
     Sketch clone_sketch() const {
         std::lock_guard<std::mutex> lock(mutex_);
         return sketch_;
@@ -110,7 +166,8 @@ public:
 
     /// Total updates ever enqueued into this shard's rings (sum of producer
     /// cursors) vs. total applied to the sketch. The engine's flush barrier
-    /// waits until applied() catches up with enqueued().
+    /// waits until applied() catches up with enqueued() — and, for
+    /// spelling-keeping sketches, until the spelling cursors agree too.
     std::uint64_t enqueued() const noexcept {
         std::uint64_t total = 0;
         for (const auto& r : rings_) {
@@ -123,11 +180,42 @@ public:
         return batches_.load(std::memory_order_relaxed);
     }
 
+    std::uint64_t spellings_enqueued() const noexcept { return spellings_.pushed(); }
+    std::uint64_t spellings_applied() const noexcept { return spellings_.applied(); }
+
+    /// Whether any accepted update or spelling has not reached the sketch
+    /// yet (the flush barrier / worker-shutdown predicate).
+    bool has_pending() const noexcept {
+        return applied() < enqueued() || spellings_applied() < spellings_enqueued();
+    }
+
 private:
+    /// Moves pending spellings from the channel into the sketch dictionary
+    /// under the sketch mutex. Spellings may arrive before the counts that
+    /// admit their fingerprint — insertion is unconditional and the
+    /// dictionary's prune discipline (spelling_dictionary.h) bounds memory.
+    std::size_t drain_spellings() {
+        if constexpr (spelling_sketch<Sketch>) {
+            const std::size_t n = spellings_.drain(spelling_scratch_);
+            if (n > 0) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                for (auto& e : spelling_scratch_) {
+                    sketch_.note_spelling(e.fp, std::move(e.item));
+                }
+                spellings_.mark_applied(n);
+            }
+            return n;
+        } else {
+            return 0;
+        }
+    }
+
     Sketch sketch_;
     mutable std::mutex mutex_;  ///< guards sketch_ (drain vs. clone_sketch/tick)
 
     std::vector<std::unique_ptr<spsc_ring<update_type>>> rings_;
+    spelling_channel_type spellings_;  ///< inbound key spellings (side lane)
+    std::vector<typename spelling_channel_type::entry> spelling_scratch_;
     std::vector<update_type> batch_buf_;  ///< worker-local drain scratch
     std::size_t batch_size_;
     std::size_t next_ring_ = 0;  ///< round-robin fairness cursor

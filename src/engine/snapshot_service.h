@@ -71,6 +71,7 @@ struct snapshot_service_stats {
     std::uint64_t pool_grows = 0;  ///< buffers allocated because held views pinned the spares
     std::uint64_t acquires = 0;    ///< views handed out
     std::uint64_t acquire_retries = 0;  ///< acquire() restarts due to a racing publish
+    std::uint64_t coalesced_publishes = 0;  ///< publish_now() calls satisfied by another caller's fold
 };
 
 namespace detail {
@@ -261,12 +262,31 @@ public:
         return published_epoch_.load(std::memory_order_acquire);
     }
 
-    /// Synchronous publish on the caller's thread: folds now and swaps, so
-    /// the next acquire() observes everything the fold saw — always, even
+    /// Synchronous publish on the caller's thread: after this returns, the
+    /// published view reflects a fold that *started after this call was
+    /// entered* — so the next acquire() observes everything the caller made
+    /// visible (e.g. an engine flush) before calling. Always lands, even
     /// when held views pin every spare (the pool grows instead of
-    /// skipping). Serialized with the periodic publisher; returns the new
-    /// epoch.
-    std::uint64_t publish_now() { return publish_cycle(); }
+    /// skipping). Serialized with the periodic publisher; returns the
+    /// satisfying epoch.
+    ///
+    /// Concurrent callers coalesce: while one caller's fold-and-swap is in
+    /// flight, callers that entered before that fold started simply wait
+    /// for it and adopt its epoch instead of each folding again — N
+    /// simultaneous publish_now() calls cost one or two folds, not N
+    /// (stats().coalesced_publishes counts the riders).
+    std::uint64_t publish_now() {
+        const std::uint64_t entered = folds_started_.load(std::memory_order_acquire);
+        std::lock_guard<std::mutex> lock(publish_mutex_);
+        if (folds_started_.load(std::memory_order_relaxed) != entered) {
+            // A fold began after we entered and — since cycles complete
+            // under the mutex we now hold — its publish already landed.
+            // Everything visible before our entry was visible to that fold.
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            return published_epoch_.load(std::memory_order_acquire);
+        }
+        return publish_cycle_locked();
+    }
 
     std::chrono::microseconds interval() const noexcept { return interval_; }
 
@@ -276,6 +296,7 @@ public:
         st.pool_grows = grows_.load(std::memory_order_relaxed);
         st.acquires = acquires_.load(std::memory_order_relaxed);
         st.acquire_retries = acquire_retries_.load(std::memory_order_relaxed);
+        st.coalesced_publishes = coalesced_.load(std::memory_order_relaxed);
         return st;
     }
 
@@ -298,6 +319,14 @@ private:
     /// never take this mutex).
     std::uint64_t publish_cycle() {
         std::lock_guard<std::mutex> lock(publish_mutex_);
+        return publish_cycle_locked();
+    }
+
+    /// The body of a cycle; requires publish_mutex_ held.
+    std::uint64_t publish_cycle_locked() {
+        // Announce the fold before running it: publish_now() riders that
+        // entered earlier may adopt this cycle's result.
+        folds_started_.fetch_add(1, std::memory_order_acq_rel);
         detail::snapshot_buffer<Sketch>* front =
             published_.load(std::memory_order_seq_cst);
         // A spare buffer is safe to overwrite once its refcount reads zero
@@ -345,6 +374,8 @@ private:
 
     std::atomic<std::uint64_t> publishes_{0};
     std::atomic<std::uint64_t> grows_{0};
+    std::atomic<std::uint64_t> folds_started_{0};  ///< cycles begun (coalescing marker)
+    std::atomic<std::uint64_t> coalesced_{0};
     mutable std::atomic<std::uint64_t> acquires_{0};
     mutable std::atomic<std::uint64_t> acquire_retries_{0};
 };

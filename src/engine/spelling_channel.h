@@ -1,0 +1,147 @@
+#ifndef FREQ_ENGINE_SPELLING_CHANNEL_H
+#define FREQ_ENGINE_SPELLING_CHANNEL_H
+
+/// \file spelling_channel.h
+/// The identification side-lane of the sharded engine's text/generic key
+/// path. The hot path stays fixed-size — producers ship (fingerprint,
+/// weight) records through the wait-free SPSC rings — while the
+/// variable-size spellings travel here: a bounded, mutex-guarded MPSC queue
+/// per shard that the shard's worker drains into its sketch's
+/// spelling_dictionary alongside the ring batches.
+///
+/// Why a mutex is fine on this lane: spellings are sent once per key
+/// first-sight (and again only after a producer's recently-sent filter
+/// evicts the fingerprint), so traffic is proportional to *distinct-key
+/// churn*, not stream length — orders of magnitude below the update rate
+/// the rings carry. The queue is bounded; a full channel rejects the push
+/// and the producer simply does not mark the fingerprint as sent, so the
+/// spelling is retried on the key's next occurrence instead of blocking
+/// the hot path.
+///
+/// The pushed()/applied() counters mirror the rings' cursors so the
+/// engine's flush() barrier can cover identification state too: after a
+/// flush, every spelling that was accepted into a channel has reached its
+/// shard dictionary.
+///
+/// spelling_filter is the producer-side dedupe: a direct-mapped
+/// recently-sent cache (one word per slot). Collisions between distinct
+/// keys simply cause re-sends — which doubles as the healing mechanism for
+/// spellings the shard swept while their fingerprint was untracked.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/contracts.h"
+
+namespace freq {
+
+template <typename Item>
+class spelling_channel {
+public:
+    struct entry {
+        std::uint64_t fp;
+        Item item;
+    };
+
+    /// Channel holding at most \p capacity pending spellings.
+    explicit spelling_channel(std::size_t capacity) : capacity_(capacity) {
+        FREQ_REQUIRE(capacity >= 1, "spelling channel needs at least one slot");
+        queue_.reserve(capacity < 4096 ? capacity : 4096);
+    }
+
+    /// Any producer thread. False when the channel is full — the caller
+    /// must then *not* mark the fingerprint as sent, so the spelling is
+    /// retried later instead of being lost.
+    bool try_push(std::uint64_t fp, Item item) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.size() >= capacity_) {
+            return false;
+        }
+        queue_.push_back(entry{fp, std::move(item)});
+        pushed_.fetch_add(1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side (the shard worker): swaps every pending entry into
+    /// \p out (cleared first) and returns the count. The caller applies the
+    /// entries to its sketch, then acknowledges with mark_applied() so the
+    /// flush barrier can observe completion.
+    std::size_t drain(std::vector<entry>& out) {
+        out.clear();
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.swap(out);
+        return out.size();
+    }
+
+    void mark_applied(std::size_t n) {
+        applied_.fetch_add(n, std::memory_order_release);
+    }
+
+    /// Spellings ever accepted / ever applied to the shard dictionary —
+    /// monotonic cursors for the engine's flush barrier.
+    std::uint64_t pushed() const noexcept { return pushed_.load(std::memory_order_acquire); }
+    std::uint64_t applied() const noexcept {
+        return applied_.load(std::memory_order_acquire);
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<entry> queue_;
+    std::size_t capacity_;
+    std::atomic<std::uint64_t> pushed_{0};
+    std::atomic<std::uint64_t> applied_{0};
+};
+
+/// Direct-mapped recently-sent cache: one fingerprint per slot, no
+/// tombstones. contains() + insert() are one array access each; distinct
+/// fingerprints mapping to the same slot evict each other, which is part
+/// of the intended re-send pressure (see file comment).
+///
+/// Collisions alone cannot be relied on for healing — a workload that
+/// settles on few hot keys may never collide again, permanently hiding a
+/// spelling the shard swept while its fingerprint was untracked. evict_next()
+/// exists for that: the owner calls it on a fixed cadence to clear one slot
+/// round-robin, so *every* slot is emptied at least once per
+/// (cadence × slot count) pushes and a still-occurring key re-sends its
+/// spelling within one full sweep.
+class spelling_filter {
+public:
+    explicit spelling_filter(std::size_t min_slots) {
+        FREQ_REQUIRE(min_slots >= 2, "spelling filter needs at least two slots");
+        slots_.resize(static_cast<std::size_t>(ceil_pow2(min_slots)), empty_slot);
+        mask_ = slots_.size() - 1;
+    }
+
+    bool recently_sent(std::uint64_t fp) const noexcept {
+        return slots_[static_cast<std::size_t>(fp) & mask_] == fp;
+    }
+
+    void mark_sent(std::uint64_t fp) noexcept {
+        slots_[static_cast<std::size_t>(fp) & mask_] = fp;
+    }
+
+    /// Clears the next slot round-robin (the rolling refresh; O(1)).
+    void evict_next() noexcept {
+        slots_[cursor_++ & mask_] = empty_slot;
+    }
+
+    std::size_t num_slots() const noexcept { return slots_.size(); }
+
+private:
+    // A real fingerprint equal to the sentinel is re-sent every time —
+    // harmless (the dictionary dedupes).
+    static constexpr std::uint64_t empty_slot = ~std::uint64_t{0};
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t mask_ = 0;
+    std::size_t cursor_ = 0;  ///< evict_next round-robin position
+};
+
+}  // namespace freq
+
+#endif  // FREQ_ENGINE_SPELLING_CHANNEL_H

@@ -49,6 +49,24 @@
 /// policy-aware merge — fading clones align on the latest logical clock,
 /// windowed clones merge epoch-wise, dropping expired epochs exactly. The
 /// producer-facing ingestion API is identical for every policy.
+///
+/// Text / generic keys: instantiate the engine with a spelling-keeping
+/// sketch (core/fingerprint_frequent_items.h, e.g.
+/// string_frequent_items<W, L>) and producers additionally accept keyed
+/// pushes — push("alice", 3.0). The key is fingerprinted in the producer's
+/// thread, the fixed-size (fingerprint, weight) record rides the ordinary
+/// SPSC ring hot path, and the spelling travels at most once per
+/// first-sight (deduplicated by a per-producer direct-mapped filter)
+/// through the shard's bounded spelling_channel. Each shard thus owns the
+/// dictionary slice for exactly the fingerprints routed to it; snapshot()
+/// unions the slices, so snapshot().top_items(m) reports full spellings.
+/// flush() barriers cover the spelling lane too. Identification is
+/// best-effort by design — a spelling swept while its fingerprint was
+/// untracked is re-sent when the producer's filter evicts, and the filter
+/// rolls one slot clear every few keyed pushes so a still-occurring key is
+/// re-sent within one full filter sweep even without slot collisions —
+/// while the counts keep the paper's exact NFP/NFN guarantees in
+/// fingerprint space.
 
 #include <atomic>
 #include <chrono>
@@ -56,6 +74,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <type_traits>
@@ -92,6 +111,17 @@ struct engine_config {
     /// shard's ring (amortizes ring synchronization).
     std::size_t producer_batch = 128;
 
+    /// Pending-spelling bound per shard (spelling-keeping sketches only):
+    /// a full channel defers the spelling to the key's next occurrence
+    /// instead of blocking the hot path.
+    std::size_t spelling_channel_capacity = 4096;
+
+    /// Slots in each producer's direct-mapped recently-sent spelling
+    /// filter (rounded up to a power of two). Smaller filters re-send
+    /// spellings more often (more side-lane traffic, faster healing of
+    /// swept spellings); larger ones dedupe better.
+    std::size_t spelling_filter_slots = 4096;
+
     /// Per-shard sketch configuration. Shard s runs with seed + s so the
     /// shards' hash functions are independent (§3.2's merge note).
     sketch_config sketch{};
@@ -103,6 +133,9 @@ struct engine_stats {
     std::uint64_t updates_applied = 0;   ///< applied to shard sketches
     std::uint64_t batches_applied = 0;   ///< sketch lock acquisitions by workers
     std::uint64_t ring_full_stalls = 0;  ///< producer yields due to full rings
+    std::uint64_t spellings_enqueued = 0;  ///< accepted into shard spelling channels
+    std::uint64_t spellings_applied = 0;   ///< reached a shard dictionary
+    std::uint64_t spelling_rejects = 0;    ///< deferred by full channels (retried later)
 };
 
 template <typename K = std::uint64_t, typename W = std::uint64_t,
@@ -124,7 +157,10 @@ public:
             : engine_(other.engine_),
               slot_(other.slot_),
               stages_(std::move(other.stages_)),
-              stalls_(other.stalls_) {
+              filter_(std::move(other.filter_)),
+              filter_ticks_(other.filter_ticks_),
+              stalls_(other.stalls_),
+              spelling_rejects_(other.spelling_rejects_) {
             other.engine_ = nullptr;
         }
         producer(const producer&) = delete;
@@ -163,6 +199,45 @@ public:
             }
         }
 
+        /// Keyed push for spelling-keeping sketches (text / generic keys):
+        /// fingerprints \p item here in the producer's thread, routes the
+        /// fixed-size (fingerprint, weight) record through the ordinary
+        /// ring hot path, and ships the spelling itself at most once per
+        /// first-sight (per-producer direct-mapped dedupe; a full channel
+        /// defers to the key's next occurrence). Counting is exact in
+        /// fingerprint space whether or not the spelling has landed.
+        template <typename S = Sketch>
+            requires spelling_sketch<S>
+        void push(typename S::item_view item, W weight = W{1}) {
+            if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+                FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+            }
+            const std::uint64_t fp = S::fingerprint(item);
+            const std::uint32_t s = engine_->shard_of(fp);
+            // Rolling filter refresh: clear one slot every few keyed pushes
+            // so a spelling the shard swept while its fingerprint was
+            // untracked is re-sent within one full filter sweep even when
+            // the key mix is too small to cause slot collisions.
+            if (++filter_ticks_ >= spelling_refresh_period) {
+                filter_ticks_ = 0;
+                filter_->evict_next();
+            }
+            if (!filter_->recently_sent(fp)) {
+                if (engine_->shards_[s]->spellings().try_push(
+                        fp, S::key_traits::materialize(item))) {
+                    filter_->mark_sent(fp);
+                } else {
+                    ++spelling_rejects_;
+                    engine_->spelling_rejects_.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            auto& stage = stages_[s];
+            stage.push_back(update_type{fp, weight});
+            if (stage.size() >= engine_->cfg_.producer_batch) {
+                publish(s);
+            }
+        }
+
         /// Publishes every staged update into the shard rings. After flush()
         /// returns, all of this producer's updates are visible to the
         /// workers (though not necessarily applied yet — see engine flush()).
@@ -177,6 +252,10 @@ public:
         /// Producer-observed backpressure events (full-ring yields).
         std::uint64_t ring_full_stalls() const noexcept { return stalls_; }
 
+        /// Spellings deferred because the shard channel was full (each is
+        /// retried on the key's next occurrence).
+        std::uint64_t spelling_rejects() const noexcept { return spelling_rejects_; }
+
     private:
         friend class stream_engine;
 
@@ -184,6 +263,9 @@ public:
             stages_.resize(engine_->cfg_.num_shards);
             for (auto& s : stages_) {
                 s.reserve(engine_->cfg_.producer_batch);
+            }
+            if constexpr (spelling_sketch<Sketch>) {
+                filter_.emplace(engine_->cfg_.spelling_filter_slots);
             }
         }
 
@@ -210,10 +292,18 @@ public:
             stages_[s].clear();
         }
 
+        /// Keyed pushes between rolling filter evictions: every slot clears
+        /// at least once per (period × slots) pushes, bounding both the
+        /// re-send rate and the time an evicted spelling stays hidden.
+        static constexpr std::size_t spelling_refresh_period = 16;
+
         stream_engine* engine_;
         std::uint32_t slot_;
         std::vector<std::vector<update_type>> stages_;  ///< one staging run per shard
+        std::optional<spelling_filter> filter_;  ///< recently-sent spelling dedupe
+        std::size_t filter_ticks_ = 0;           ///< pushes since the last eviction
         std::uint64_t stalls_ = 0;
+        std::uint64_t spelling_rejects_ = 0;
     };
 
     explicit stream_engine(const engine_config& cfg) : cfg_(cfg) {
@@ -226,7 +316,8 @@ public:
             sketch_config local = cfg.sketch;
             local.seed = cfg.sketch.seed + s;
             shards_.push_back(std::make_unique<engine_shard<K, W, Sketch>>(
-                local, cfg.num_producers, cfg.ring_capacity, cfg.drain_batch));
+                local, cfg.num_producers, cfg.ring_capacity, cfg.drain_batch,
+                cfg.spelling_channel_capacity));
         }
         route_salt_ = murmur_mix64(cfg.sketch.seed ^ 0x5368'6172'6445'6e67ULL);
         workers_.reserve(cfg.num_shards);
@@ -294,7 +385,9 @@ public:
                      "flush() on a stopped engine");
         for (const auto& shard : shards_) {
             const std::uint64_t target = shard->enqueued();
-            while (shard->applied() < target) {
+            const std::uint64_t spelling_target = shard->spellings_enqueued();
+            while (shard->applied() < target ||
+                   shard->spellings_applied() < spelling_target) {
                 std::this_thread::yield();
             }
         }
@@ -413,8 +506,11 @@ public:
             st.updates_enqueued += shard->enqueued();
             st.updates_applied += shard->applied();
             st.batches_applied += shard->batches_applied();
+            st.spellings_enqueued += shard->spellings_enqueued();
+            st.spellings_applied += shard->spellings_applied();
         }
         st.ring_full_stalls = stalls_.load(std::memory_order_relaxed);
+        st.spelling_rejects = spelling_rejects_.load(std::memory_order_relaxed);
         return st;
     }
 
@@ -429,9 +525,9 @@ private:
                 continue;
             }
             if (stopping_.load(std::memory_order_acquire)) {
-                // Stop only once the rings stay empty: drain() returned 0
+                // Stop only once the lanes stay empty: drain() returned 0
                 // after the stop flag was visible, and producers are done.
-                if (shard.applied() >= shard.enqueued()) {
+                if (!shard.has_pending()) {
                     return;
                 }
                 continue;
@@ -460,6 +556,7 @@ private:
     std::vector<std::uint32_t> free_slots_;  ///< slots of destroyed producers
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> stalls_{0};
+    std::atomic<std::uint64_t> spelling_rejects_{0};
     std::unique_ptr<snapshot_service<sketch_type>> snapshots_;  ///< null = fold-on-demand
 };
 

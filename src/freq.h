@@ -33,19 +33,22 @@
 #include "api/summary_bytes.h"
 
 // The paper's contribution (Algorithms 3-5 + §2.3 engineering).
-#include "core/basic_frequent_items.h"    // policy-templated counter core
-#include "core/frequent_items_sketch.h"   // 64-bit identifiers (the fast path)
-#include "core/generic_frequent_items.h"  // arbitrary item types
-#include "core/lifetime_policy.h"         // plain / fading / sliding-window
-#include "core/med_exact_sketch.h"        // Algorithm 3 (deterministic variant)
-#include "core/parallel_summarize.h"      // §3 partition-then-merge utility
-#include "core/signed_frequent_items.h"   // §1.3 Note: deletion support
+#include "core/basic_frequent_items.h"        // policy-templated counter core
+#include "core/fingerprint_frequent_items.h"  // any key kind via fingerprints
+#include "core/frequent_items_sketch.h"       // 64-bit identifiers (the fast path)
+#include "core/generic_frequent_items.h"      // arbitrary item types (map-backed)
+#include "core/lifetime_policy.h"             // plain / fading / sliding-window
+#include "core/med_exact_sketch.h"            // Algorithm 3 (deterministic variant)
+#include "core/parallel_summarize.h"          // §3 partition-then-merge utility
+#include "core/signed_frequent_items.h"       // §1.3 Note: deletion support
 #include "core/sketch_config.h"
-#include "core/string_frequent_items.h"   // string keys (tf-idf use case)
+#include "core/spelling_dictionary.h"         // detachable key-identification half
+#include "core/string_frequent_items.h"       // string keys (tf-idf use case)
 
 // The sharded concurrent ingestion engine (§3 scaled to a running system).
 #include "engine/shard.h"
 #include "engine/snapshot_service.h"  // async double-buffered read path
+#include "engine/spelling_channel.h"  // text/generic key identification lane
 #include "engine/spsc_ring.h"
 #include "engine/stream_engine.h"
 

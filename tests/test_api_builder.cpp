@@ -138,7 +138,6 @@ TEST(ApiBuilder, MapBackendAndShardedVariantsConstruct) {
 
 TEST(ApiBuilder, InvalidCombinationsThrowPrecisely) {
     EXPECT_THROW(builder().counts().fading(0.5).build(), std::invalid_argument);
-    EXPECT_THROW(builder().text_keys().sharded(2).build(), std::invalid_argument);
     EXPECT_THROW(builder().map_backend().sliding_window(3).build(), std::invalid_argument);
     EXPECT_THROW(builder().map_backend().sharded(2).build(), std::invalid_argument);
     EXPECT_THROW(builder().text_keys().map_backend().build(), std::invalid_argument);

@@ -90,13 +90,16 @@ builder variant(int i) {
         case 7: b.map_backend().fading(0.6); break;
         case 8: b.plain().sharded(2); break;
         case 9: b.fading(0.6).sharded(2); break;
-        default: b.sliding_window(3).sharded(2); break;
+        case 10: b.sliding_window(3).sharded(2); break;
+        case 11: b.text_keys().plain().sharded(2); break;
+        case 12: b.text_keys().fading(0.6).sharded(2); break;
+        default: b.text_keys().sliding_window(3).sharded(2); break;
     }
     return b;
 }
 
 TEST(ApiEnvelope, BitExactRoundTripForEveryInstantiation) {
-    for (int i = 0; i <= 10; ++i) {
+    for (int i = 0; i <= 13; ++i) {
         SCOPED_TRACE("variant " + std::to_string(i));
         auto s = variant(i).build();
         feed(s, 100 + static_cast<std::uint64_t>(i));

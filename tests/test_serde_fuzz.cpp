@@ -209,5 +209,139 @@ TEST(SerdeFuzz, AcceptanceBoundRejectsOversizedCapacity) {
                  std::invalid_argument);
 }
 
+// --- per-shard dictionary envelopes (minor 1 segmented images) ---------------
+
+using text_sketch = string_frequent_items<double>;
+
+/// Two "shard" summaries over disjoint-ish vocabularies plus their fold —
+/// the shape envelope_save_sharded_text ships for a sharded text engine.
+struct sharded_fixture {
+    // k = 128 > the 70-word vocabulary: every word stays tracked, so the
+    // union/normalization checks below are deterministic.
+    text_sketch a{sketch_config{.max_counters = 128, .seed = 5}};
+    text_sketch b{sketch_config{.max_counters = 128, .seed = 5}};
+    text_sketch folded{sketch_config{.max_counters = 128, .seed = 5}};
+
+    sharded_fixture() {
+        for (int i = 0; i < 300; ++i) {
+            a.update("alpha" + std::to_string(i % 30), 2.0);
+            b.update("beta" + std::to_string(i % 40), 3.0);
+        }
+        folded.merge(a);
+        folded.merge(b);
+    }
+
+    std::vector<std::uint8_t> segmented_bytes() const {
+        const std::vector<const text_sketch*> clones{&a, &b};
+        return envelope_save_sharded_text<double>(
+                   folded, std::span<const text_sketch* const>(clones))
+            .take();
+    }
+};
+
+TEST(ShardedDictEnvelope, SegmentedImageRestoresToTheUnion) {
+    const sharded_fixture fx;
+    const auto bytes = fx.segmented_bytes();
+    auto restored = restore_summary(bytes);
+    EXPECT_EQ(restored.descriptor().keys, key_kind::text);
+    // Counters come from the fold; spellings from the unioned segments.
+    EXPECT_DOUBLE_EQ(restored.total_weight(), fx.folded.total_weight());
+    for (const auto& r : fx.folded.top_items(20)) {
+        EXPECT_DOUBLE_EQ(restored.estimate(r.item), fx.folded.estimate(r.item)) << r.item;
+    }
+    std::size_t spelled = 0;
+    for (const auto& r : restored.top_items(64)) {
+        spelled += r.item != "<unknown>";
+    }
+    EXPECT_GT(spelled, 40u);  // both shards' vocabularies are identified
+}
+
+TEST(ShardedDictEnvelope, RestoreNormalizesToTheCanonicalImage) {
+    const sharded_fixture fx;
+    // Same state, two wire forms: per-shard segments vs the canonical
+    // single-segment union.
+    const auto segmented = fx.segmented_bytes();
+    const auto canonical = envelope_save(fx.folded);
+    EXPECT_NE(segmented, canonical.bytes());
+    auto restored = restore_summary(segmented);
+    EXPECT_TRUE(restored.save() == canonical) << "restore did not normalize";
+}
+
+TEST(ShardedDictEnvelope, SegmentCountFieldIsBounded) {
+    const sharded_fixture fx;
+    const auto segmented = fx.segmented_bytes();
+    const auto canonical = envelope_save(fx.folded).bytes();
+    // The two images share header + counters and first diverge at the
+    // segment_count u32 (1 vs 2).
+    std::size_t pos = 0;
+    while (pos < segmented.size() && pos < canonical.size() &&
+           segmented[pos] == canonical[pos]) {
+        ++pos;
+    }
+    ASSERT_LT(pos + 4, segmented.size());
+    auto hostile = segmented;
+    for (int i = 0; i < 4; ++i) {
+        hostile[pos + static_cast<std::size_t>(i)] = 0xff;  // segment_count = 2^32-1
+    }
+    EXPECT_FALSE(try_restore(hostile)) << "unbounded segment count parsed";
+}
+
+TEST(ShardedDictEnvelope, TruncationsAndMutationsNeverCrash) {
+    const sharded_fixture fx;
+    const auto image = fx.segmented_bytes();
+    for (std::size_t len = 0; len < image.size(); ++len) {
+        std::vector<std::uint8_t> cut(image.begin(), image.begin() + len);
+        EXPECT_FALSE(try_restore(cut)) << "truncation at " << len << " parsed";
+    }
+    xoshiro256ss rng(31);
+    for (int trial = 0; trial < 3'000; ++trial) {
+        auto mutated = image;
+        mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        try_restore(mutated);  // parsed-or-thrown both fine; no crash
+    }
+}
+
+TEST(ShardedDictEnvelope, LegacyMinorZeroImagesStillRestore) {
+    // A pre-bump (minor 0) image is the canonical image minus the
+    // segment_count framing, with the minor byte zeroed. Build one
+    // surgically and restore it.
+    text_sketch s(sketch_config{.max_counters = 32, .seed = 2});
+    s.update("legacy", 5.0);
+    s.update("image", 7.0);
+    auto bytes = envelope_save(s).take();
+
+    // Locate segment_count: the canonical dictionary tail is
+    // [segment_count=1 u32][dict_n=2 u32][2 entries of (fp u64, len u32, bytes)].
+    std::size_t tail = 4 + 4;
+    for (const char* word : {"legacy", "image"}) {
+        tail += 8 + 4 + std::char_traits<char>::length(word);
+    }
+    ASSERT_GT(bytes.size(), tail);
+    const std::size_t seg_pos = bytes.size() - tail;
+    ASSERT_EQ(bytes[seg_pos], 1u);  // little-endian segment_count == 1
+    bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(seg_pos),
+                bytes.begin() + static_cast<std::ptrdiff_t>(seg_pos) + 4);
+    bytes[9] = 0;  // minor version byte (after magic u32 | ver | 4 tag bytes)
+
+    const auto wrapped = summary_bytes::wrap(bytes);
+    EXPECT_EQ(wrapped.minor_version(), 0u);
+    auto restored = restore_summary(wrapped);
+    EXPECT_DOUBLE_EQ(restored.estimate("legacy"), 5.0);
+    EXPECT_DOUBLE_EQ(restored.estimate("image"), 7.0);
+    const auto rows = restored.top_items(2);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].item, "image");
+    EXPECT_EQ(rows[1].item, "legacy");
+    // Re-saving upgrades to the current minor (framed dictionary).
+    EXPECT_EQ(restored.save().minor_version(), summary_bytes::current_minor_version);
+}
+
+TEST(ShardedDictEnvelope, FutureMinorVersionsAreRejected) {
+    const sharded_fixture fx;
+    auto bytes = fx.segmented_bytes();
+    bytes[9] = summary_bytes::current_minor_version + 1;
+    EXPECT_FALSE(try_restore(bytes)) << "unknown minor version parsed";
+}
+
 }  // namespace
 }  // namespace freq

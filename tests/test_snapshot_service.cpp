@@ -187,6 +187,78 @@ TEST(SnapshotService, PublishNowAlwaysLandsUnderManyHeldViews) {
     }
 }
 
+TEST(SnapshotService, ConcurrentPublishNowCallersCoalesce) {
+    // The PR-4 follow-up: N simultaneous publish_now() callers must not run
+    // N folds — riders that entered before another caller's fold started
+    // adopt that fold's epoch. With a slow fold and heavy caller overlap,
+    // the fold count stays well below the call count while every caller
+    // still gets the "published view reflects a fold started after my
+    // entry" guarantee.
+    std::atomic<std::uint64_t> folds{0};
+    snapshot_service<std::uint64_t> svc(
+        [&folds] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return folds.fetch_add(1, std::memory_order_acq_rel) + 1;
+        },
+        quiet_interval);
+
+    constexpr int threads = 4;
+    constexpr int calls_per_thread = 25;
+    std::vector<std::thread> callers;
+    callers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        callers.emplace_back([&svc] {
+            std::uint64_t last = 0;
+            for (int i = 0; i < calls_per_thread; ++i) {
+                const std::uint64_t epoch = svc.publish_now();
+                EXPECT_GE(epoch, 1u);
+                EXPECT_GE(epoch, last);  // epochs never move backwards
+                last = epoch;
+            }
+        });
+    }
+    for (auto& t : callers) {
+        t.join();
+    }
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.coalesced_publishes + st.publishes,
+              1 + threads * calls_per_thread);  // +1: the constructor's publish
+    // With 4 overlapping callers and a 2ms fold, a large share must ride.
+    EXPECT_GT(st.coalesced_publishes, 0u);
+    EXPECT_LT(st.publishes, 1u + threads * calls_per_thread);
+}
+
+TEST(SnapshotService, CoalescedPublishStillSeesPriorWrites) {
+    // A rider's guarantee is semantic, not just a counter: whatever the
+    // caller wrote before publish_now() must be visible in the published
+    // view afterwards, fold-owner or rider alike.
+    sketch_source src;
+    service_t svc(src.fold(), quiet_interval);
+    std::atomic<std::uint64_t> writes{0};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&src, &svc, &writes, t] {
+            for (int i = 0; i < 50; ++i) {
+                src.add(static_cast<std::uint64_t>(t), 1);
+                const std::uint64_t count = writes.fetch_add(1, std::memory_order_acq_rel) + 1;
+                svc.publish_now();
+                const auto view = svc.acquire();
+                // The published fold started after at least `count` writes
+                // were applied to the source (ours included).
+                EXPECT_GE(view->total_weight(), count)
+                    << "view misses the caller's own write";
+                EXPECT_GE(view->estimate(static_cast<std::uint64_t>(t)), 1u);
+            }
+        });
+    }
+    for (auto& t : writers) {
+        t.join();
+    }
+    svc.publish_now();
+    EXPECT_EQ(svc.acquire()->total_weight(), 200u);
+}
+
 TEST(SnapshotService, ViewsOutliveTheService) {
     std::unique_ptr<published_snapshot<sketch_u64>> view;
     {

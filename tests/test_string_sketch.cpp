@@ -76,6 +76,61 @@ TEST(StringSketch, DictionaryIsPrunedUnderChurn) {
     EXPECT_LT(s.memory_bytes(), 64u * 1024u);
 }
 
+// --- the detachable spelling_dictionary component ----------------------------
+
+TEST(SpellingDictionary, NotesAndFindsFirstWriterWins) {
+    spelling_dictionary<std::string> d(16);
+    EXPECT_FALSE(d.note(1, "alpha"));
+    EXPECT_FALSE(d.note(1, "impostor"));  // first spelling wins
+    ASSERT_NE(d.find(1), nullptr);
+    EXPECT_EQ(*d.find(1), "alpha");
+    EXPECT_EQ(d.find(2), nullptr);
+    EXPECT_TRUE(d.contains(1));
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(SpellingDictionary, SignalsOverBudgetAndPrunesUntracked) {
+    spelling_dictionary<std::string> d(2);  // budget = 8
+    EXPECT_EQ(d.prune_limit(), 8u);
+    bool over = false;
+    for (std::uint64_t fp = 1; fp <= 9; ++fp) {
+        std::string word = "w";  // +=: gcc 12 -Wrestrict FP on "w" + to_string (PR105329)
+        word += std::to_string(fp);
+        over = d.note(fp, std::move(word));
+    }
+    EXPECT_TRUE(over);
+    EXPECT_TRUE(d.over_budget());
+    // Only even fingerprints are still "tracked": the sweep keeps exactly
+    // those.
+    d.prune([](std::uint64_t fp) { return fp % 2 == 0; });
+    EXPECT_EQ(d.size(), 4u);
+    EXPECT_FALSE(d.over_budget());
+    EXPECT_TRUE(d.contains(2));
+    EXPECT_FALSE(d.contains(3));
+}
+
+TEST(SpellingDictionary, MergeUnionKeepsFirstSpelling) {
+    spelling_dictionary<std::string> a(8);
+    spelling_dictionary<std::string> b(8);
+    a.note(1, "mine");
+    b.note(1, "theirs");
+    b.note(2, "only_b");
+    EXPECT_FALSE(a.merge_union(b));
+    EXPECT_EQ(*a.find(1), "mine");
+    EXPECT_EQ(*a.find(2), "only_b");
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(StringSketch, FrequentItemsCarryFingerprints) {
+    // The fingerprint/dictionary split exposes the counted fingerprint on
+    // every row — the id the engine routes by.
+    string_frequent_items<double> s(16);
+    s.update("alpha", 10.0);
+    const auto rows = s.top_items(1);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].fingerprint, fnv1a64("alpha"));
+}
+
 TEST(StringSketch, FrequentItemsSortedByEstimate) {
     string_frequent_items<std::uint64_t> s(8);
     s.update("big", 100);
