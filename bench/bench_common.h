@@ -13,13 +13,16 @@
 /// enough for the speed ratios and error orderings to stabilize (see
 /// EXPERIMENTS.md). Set FREQ_BENCH_SCALE=16 to approximate the paper's n.
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/instruments.h"
 #include "stream/exact_counter.h"
 #include "stream/generators.h"
 #include "stream/update.h"
@@ -86,6 +89,69 @@ double time_consume(Algo& algo, const update_stream<std::uint64_t, std::uint64_t
         algo.update(u.id, u.weight);
     }
     return sw.seconds();
+}
+
+/// Per-iteration latency series for the hand-rolled benches, built on
+/// obs::basic_histogram — deliberately the *basic_* implementation, which
+/// stays real even under -DFREQ_OBS_OFF, so BENCH_*.json tail statistics
+/// never go dark with telemetry compiled out. Record seconds per iteration
+/// (or per chunk), then emit mean/p50/p99/max so scripts/bench_delta.py can
+/// warn on tail regressions, not just mean shifts (its lower-is-better
+/// heuristic matches the *_s suffix).
+class latency_recorder {
+public:
+    void record_seconds(double s) {
+        hist_.record(s <= 0.0 ? 0
+                               : static_cast<std::uint64_t>(s * 1e9));  // ns buckets
+    }
+
+    struct summary {
+        std::uint64_t iterations = 0;
+        double mean_s = 0.0;
+        double p50_s = 0.0;
+        double p99_s = 0.0;
+        double max_s = 0.0;
+    };
+
+    summary summarize() const {
+        const obs::histogram_snapshot s = hist_.snap();
+        summary out;
+        out.iterations = s.count;
+        out.mean_s = s.mean() / 1e9;
+        out.p50_s = s.quantile(0.50) / 1e9;
+        out.p99_s = s.quantile(0.99) / 1e9;
+        out.max_s = static_cast<double>(s.max) / 1e9;
+        return out;
+    }
+
+    /// Appends `"<prefix>p50_s": ..., "<prefix>p99_s": ...` (no trailing
+    /// comma) to an open JSON stream — the shape every BENCH_*.json uses.
+    void write_json_fields(std::FILE* json, const char* prefix) const {
+        const summary s = summarize();
+        std::fprintf(json, "\"%sp50_s\": %.6g, \"%sp99_s\": %.6g", prefix, s.p50_s,
+                     prefix, s.p99_s);
+    }
+
+private:
+    obs::basic_histogram hist_;
+};
+
+/// Drives \p step over [0, n) in ~\p num_chunks contiguous chunks, timing
+/// each chunk into \p rec. step(offset, take) must process exactly
+/// [offset, offset + take). The per-chunk clock reads are two steady_clock
+/// calls per chunk — noise next to any chunk worth measuring.
+template <typename Step>
+void record_chunks(std::size_t n, std::size_t num_chunks, latency_recorder& rec,
+                   Step&& step) {
+    const std::size_t chunk = std::max<std::size_t>(1, n / std::max<std::size_t>(1, num_chunks));
+    std::size_t done = 0;
+    while (done < n) {
+        const std::size_t take = std::min(chunk, n - done);
+        stopwatch sw;
+        step(done, take);
+        rec.record_seconds(sw.seconds());
+        done += take;
+    }
 }
 
 inline void print_header(const std::string& title, const std::string& columns) {

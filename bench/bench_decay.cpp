@@ -49,6 +49,7 @@ struct policy_result {
     double seconds = 0.0;
     double recall = 0.0;
     double total_weight = 0.0;
+    bench::latency_recorder::summary lat{};  ///< per-chunk ingest latency tail
 };
 
 /// Top-n ids of an exact (id -> weight) map.
@@ -79,7 +80,8 @@ double recall_against(const std::vector<std::uint64_t>& sketch_ids,
 template <typename Sketch, typename W>
 std::pair<double, std::vector<std::uint64_t>> run_engine(
     const std::vector<update_stream<std::uint64_t, std::uint64_t>>& epochs_traffic,
-    const sketch_config& scfg, double* total_weight_out) {
+    const sketch_config& scfg, double* total_weight_out,
+    bench::latency_recorder* rec) {
     engine_config cfg;
     cfg.num_shards = num_shards;
     cfg.sketch = scfg;
@@ -88,9 +90,16 @@ std::pair<double, std::vector<std::uint64_t>> run_engine(
     {
         auto producer = engine.make_producer();
         for (std::size_t e = 0; e < epochs_traffic.size(); ++e) {
-            for (const auto& u : epochs_traffic[e]) {
-                producer.push(u.id, static_cast<W>(u.weight));
-            }
+            const auto& epoch_stream = epochs_traffic[e];
+            // ~8 timed chunks per epoch feed the per-run latency tail.
+            bench::record_chunks(epoch_stream.size(), 8, *rec,
+                                 [&](std::size_t off, std::size_t take) {
+                                     for (std::size_t i = off; i < off + take; ++i) {
+                                         producer.push(epoch_stream[i].id,
+                                                       static_cast<W>(
+                                                           epoch_stream[i].weight));
+                                     }
+                                 });
             producer.flush();
             engine.flush();
             if (e + 1 < epochs_traffic.size()) {
@@ -160,10 +169,12 @@ int main() {
 
     {
         policy_result r{.name = "plain"};
+        bench::latency_recorder rec;
         auto [s, ids] = run_engine<frequent_items_sketch<std::uint64_t, std::uint64_t>,
                                    std::uint64_t>(
-            traffic, sketch_config{.max_counters = k, .seed = 1}, &r.total_weight);
+            traffic, sketch_config{.max_counters = k, .seed = 1}, &r.total_weight, &rec);
         r.seconds = s;
+        r.lat = rec.summarize();
         // Plain has no lifetime: score it against the recent-window truth to
         // expose the drift lag (its recall vs all-time truth is the plain
         // engine bench's territory).
@@ -172,23 +183,27 @@ int main() {
     }
     {
         policy_result r{.name = "fading"};
+        bench::latency_recorder rec;
         auto [s, ids] =
             run_engine<fading_frequent_items<std::uint64_t, double>, double>(
                 traffic, sketch_config{.max_counters = k, .seed = 1, .decay = rho},
-                &r.total_weight);
+                &r.total_weight, &rec);
         r.seconds = s;
+        r.lat = rec.summarize();
         r.recall = recall_against(ids, decayed_top);
         results.push_back(r);
     }
     {
         policy_result r{.name = "windowed"};
+        bench::latency_recorder rec;
         auto [s, ids] =
             run_engine<windowed_frequent_items<std::uint64_t, std::uint64_t>,
                        std::uint64_t>(
                 traffic,
                 sketch_config{.max_counters = k, .seed = 1, .window_epochs = window},
-                &r.total_weight);
+                &r.total_weight, &rec);
         r.seconds = s;
+        r.lat = rec.summarize();
         r.recall = recall_against(ids, window_top);
         results.push_back(r);
     }
@@ -228,9 +243,11 @@ int main() {
             const auto& r = results[i];
             std::fprintf(json,
                          "    {\"policy\": \"%s\", \"mups\": %.3f, "
-                         "\"top100_recall\": %.4f, \"total_weight\": %.6g}%s\n",
+                         "\"top100_recall\": %.4f, \"total_weight\": %.6g, "
+                         "\"chunk_p50_s\": %.6g, \"chunk_p99_s\": %.6g}%s\n",
                          r.name.c_str(), static_cast<double>(n) / r.seconds / 1e6,
-                         r.recall, r.total_weight, i + 1 < results.size() ? "," : "");
+                         r.recall, r.total_weight, r.lat.p50_s, r.lat.p99_s,
+                         i + 1 < results.size() ? "," : "");
         }
         std::fprintf(json, "  ]\n}\n");
         std::fclose(json);

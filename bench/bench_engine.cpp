@@ -32,34 +32,54 @@ using stream_t = update_stream<std::uint64_t, std::uint64_t>;
 
 constexpr std::uint32_t k = 4096;
 
-double time_elementwise(const stream_t& stream) {
+/// Per-chunk ingest latencies ride along with every total: ~64 chunks per
+/// run, so BENCH_engine.json records tail behaviour (p50/p99), not just
+/// the mean rate.
+constexpr std::size_t lat_chunks = 64;
+
+struct baseline_run {
+    double seconds;
+    bench::latency_recorder::summary lat;
+};
+
+baseline_run time_elementwise(const stream_t& stream) {
     frequent_items_sketch<std::uint64_t, std::uint64_t> sketch(
         sketch_config{.max_counters = k, .seed = 1});
+    bench::latency_recorder rec;
     bench::stopwatch sw;
-    for (const auto& u : stream) {
-        sketch.update(u.id, u.weight);
-    }
+    bench::record_chunks(stream.size(), lat_chunks, rec,
+                         [&](std::size_t off, std::size_t take) {
+                             for (std::size_t i = off; i < off + take; ++i) {
+                                 sketch.update(stream[i].id, stream[i].weight);
+                             }
+                         });
     const double s = sw.seconds();
     std::printf("  (elementwise sketch: %s)\n", sketch.to_string().c_str());
-    return s;
+    return {s, rec.summarize()};
 }
 
-double time_batched(const stream_t& stream) {
+baseline_run time_batched(const stream_t& stream) {
     frequent_items_sketch<std::uint64_t, std::uint64_t> sketch(
         sketch_config{.max_counters = k, .seed = 1});
     constexpr std::size_t batch = 512;
+    bench::latency_recorder rec;
     bench::stopwatch sw;
-    for (std::size_t i = 0; i < stream.size(); i += batch) {
-        const std::size_t take = std::min(batch, stream.size() - i);
-        sketch.update(std::span<const update64>(stream.data() + i, take));
-    }
-    return sw.seconds();
+    bench::record_chunks(stream.size(), lat_chunks, rec,
+                         [&](std::size_t off, std::size_t take) {
+                             for (std::size_t i = off; i < off + take; i += batch) {
+                                 const std::size_t t = std::min(batch, off + take - i);
+                                 sketch.update(
+                                     std::span<const update64>(stream.data() + i, t));
+                             }
+                         });
+    return {sw.seconds(), rec.summarize()};
 }
 
 struct engine_run {
     std::uint32_t shards;
     double seconds;
     std::uint64_t ring_full_stalls;
+    bench::latency_recorder::summary lat;
 };
 
 engine_run time_engine(const stream_t& stream, std::uint32_t shards) {
@@ -68,17 +88,22 @@ engine_run time_engine(const stream_t& stream, std::uint32_t shards) {
     cfg.num_producers = 1;
     cfg.sketch = sketch_config{.max_counters = k, .seed = 1};
     stream_engine<> engine(cfg);
+    bench::latency_recorder rec;
     bench::stopwatch sw;
     {
         auto producer = engine.make_producer();
-        producer.push(std::span<const update64>(stream.data(), stream.size()));
+        bench::record_chunks(stream.size(), lat_chunks, rec,
+                             [&](std::size_t off, std::size_t take) {
+                                 producer.push(std::span<const update64>(
+                                     stream.data() + off, take));
+                             });
         producer.flush();
     }
     engine.flush();
     const double s = sw.seconds();
     const auto st = engine.stats();
     engine.stop();
-    return {shards, s, st.ring_full_stalls};
+    return {shards, s, st.ring_full_stalls, rec.summarize()};
 }
 
 // --- text keys: standalone string sketch vs the sharded engine ---------------
@@ -96,16 +121,21 @@ std::vector<std::pair<std::string, std::uint64_t>> word_stream(const stream_t& i
     return words;
 }
 
-double time_text_standalone(const std::vector<std::pair<std::string, std::uint64_t>>& words) {
+baseline_run time_text_standalone(
+    const std::vector<std::pair<std::string, std::uint64_t>>& words) {
     string_frequent_items<std::uint64_t> sketch(
         sketch_config{.max_counters = k, .seed = 1});
+    bench::latency_recorder rec;
     bench::stopwatch sw;
-    for (const auto& [word, w] : words) {
-        sketch.update(word, w);
-    }
+    bench::record_chunks(words.size(), lat_chunks, rec,
+                         [&](std::size_t off, std::size_t take) {
+                             for (std::size_t i = off; i < off + take; ++i) {
+                                 sketch.update(words[i].first, words[i].second);
+                             }
+                         });
     const double s = sw.seconds();
     std::printf("  (standalone text sketch: %s)\n", sketch.to_string().c_str());
-    return s;
+    return {s, rec.summarize()};
 }
 
 engine_run time_text_engine(const std::vector<std::pair<std::string, std::uint64_t>>& words,
@@ -116,19 +146,24 @@ engine_run time_text_engine(const std::vector<std::pair<std::string, std::uint64
     cfg.sketch = sketch_config{.max_counters = k, .seed = 1};
     stream_engine<std::uint64_t, std::uint64_t, string_frequent_items<std::uint64_t>>
         engine(cfg);
+    bench::latency_recorder rec;
     bench::stopwatch sw;
     {
         auto producer = engine.make_producer();
-        for (const auto& [word, w] : words) {
-            producer.push(std::string_view(word), w);
-        }
+        bench::record_chunks(words.size(), lat_chunks, rec,
+                             [&](std::size_t off, std::size_t take) {
+                                 for (std::size_t i = off; i < off + take; ++i) {
+                                     producer.push(std::string_view(words[i].first),
+                                                   words[i].second);
+                                 }
+                             });
         producer.flush();
     }
     engine.flush();
     const double s = sw.seconds();
     const auto st = engine.stats();
     engine.stop();
-    return {shards, s, st.ring_full_stalls};
+    return {shards, s, st.ring_full_stalls, rec.summarize()};
 }
 
 }  // namespace
@@ -146,10 +181,10 @@ int main() {
     std::printf("engine ingest bench: n=%llu zipf(1.1) hardware_threads=%u\n",
                 static_cast<unsigned long long>(n), hw);
 
-    const double base_s = time_elementwise(stream);
-    const double batched_s = time_batched(stream);
-    const double base_rate = static_cast<double>(n) / base_s / 1e6;
-    const double batched_rate = static_cast<double>(n) / batched_s / 1e6;
+    const baseline_run base = time_elementwise(stream);
+    const baseline_run batched = time_batched(stream);
+    const double base_rate = static_cast<double>(n) / base.seconds / 1e6;
+    const double batched_rate = static_cast<double>(n) / batched.seconds / 1e6;
 
     bench::print_header("engine ingest throughput (Mupd/s)",
                         "config                rate     speedup  stalls");
@@ -173,8 +208,8 @@ int main() {
     const std::uint64_t text_n = n / 4;
     const auto words = word_stream(stream_t(stream.begin(),
                                             stream.begin() + static_cast<std::ptrdiff_t>(text_n)));
-    const double text_base_s = time_text_standalone(words);
-    const double text_base_rate = static_cast<double>(text_n) / text_base_s / 1e6;
+    const baseline_run text_base = time_text_standalone(words);
+    const double text_base_rate = static_cast<double>(text_n) / text_base.seconds / 1e6;
     bench::print_header("text-key ingest throughput (Mupd/s)",
                         "config                rate     speedup  stalls");
     std::printf("%-20s %7.2f %9.2fx %7s\n", "1 thread, text", text_base_rate, 1.0, "-");
@@ -229,15 +264,25 @@ int main() {
                      "\"met\": %s},\n",
                      hw >= 4 ? "true" : "false", accepted ? "true" : "false");
         std::fprintf(json, "  \"single_thread_update_mups\": %.3f,\n", base_rate);
+        std::fprintf(json,
+                     "  \"single_thread_update_chunk\": {\"chunk_p50_s\": %.6g, "
+                     "\"chunk_p99_s\": %.6g},\n",
+                     base.lat.p50_s, base.lat.p99_s);
         std::fprintf(json, "  \"single_thread_batched_mups\": %.3f,\n", batched_rate);
+        std::fprintf(json,
+                     "  \"single_thread_batched_chunk\": {\"chunk_p50_s\": %.6g, "
+                     "\"chunk_p99_s\": %.6g},\n",
+                     batched.lat.p50_s, batched.lat.p99_s);
         std::fprintf(json, "  \"engine\": [\n");
         for (std::size_t i = 0; i < runs.size(); ++i) {
             const double rate = static_cast<double>(n) / runs[i].seconds / 1e6;
             std::fprintf(json,
                          "    {\"shards\": %u, \"mups\": %.3f, \"speedup_vs_update\": "
-                         "%.3f, \"ring_full_stalls\": %llu}%s\n",
+                         "%.3f, \"ring_full_stalls\": %llu, \"chunk_p50_s\": %.6g, "
+                         "\"chunk_p99_s\": %.6g}%s\n",
                          runs[i].shards, rate, rate / base_rate,
                          static_cast<unsigned long long>(runs[i].ring_full_stalls),
+                         runs[i].lat.p50_s, runs[i].lat.p99_s,
                          i + 1 < runs.size() ? "," : "");
         }
         std::fprintf(json, "  ],\n");
@@ -248,14 +293,20 @@ int main() {
                      "\"gated\": %s, \"met\": %s},\n",
                      hw >= 4 ? "true" : "false", text_accepted ? "true" : "false");
         std::fprintf(json, "    \"standalone_text_mups\": %.3f,\n", text_base_rate);
+        std::fprintf(json,
+                     "    \"standalone_text_chunk\": {\"chunk_p50_s\": %.6g, "
+                     "\"chunk_p99_s\": %.6g},\n",
+                     text_base.lat.p50_s, text_base.lat.p99_s);
         std::fprintf(json, "    \"engine\": [\n");
         for (std::size_t i = 0; i < text_runs.size(); ++i) {
             const double rate = static_cast<double>(text_n) / text_runs[i].seconds / 1e6;
             std::fprintf(json,
                          "      {\"shards\": %u, \"mups\": %.3f, "
-                         "\"speedup_vs_standalone\": %.3f, \"ring_full_stalls\": %llu}%s\n",
+                         "\"speedup_vs_standalone\": %.3f, \"ring_full_stalls\": %llu, "
+                         "\"chunk_p50_s\": %.6g, \"chunk_p99_s\": %.6g}%s\n",
                          text_runs[i].shards, rate, rate / text_base_rate,
                          static_cast<unsigned long long>(text_runs[i].ring_full_stalls),
+                         text_runs[i].lat.p50_s, text_runs[i].lat.p99_s,
                          i + 1 < text_runs.size() ? "," : "");
         }
         std::fprintf(json, "    ]\n  }\n}\n");

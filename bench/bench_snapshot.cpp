@@ -53,12 +53,16 @@ std::vector<std::uint64_t> query_ids(const stream_t& stream, std::size_t count) 
     return ids;
 }
 
-/// ns per fold-on-demand point query against a loaded engine.
+/// ns per fold-on-demand point query against a loaded engine. Each query is
+/// also recorded individually into \p rec for the p50/p99 tail.
 double time_fold_reads(const stream_engine<>& engine,
-                       std::span<const std::uint64_t> ids, std::uint64_t& sink) {
+                       std::span<const std::uint64_t> ids,
+                       bench::latency_recorder& rec, std::uint64_t& sink) {
     bench::stopwatch sw;
     for (const std::uint64_t id : ids) {
+        bench::stopwatch qsw;
         sink += engine.snapshot().estimate(id);
+        rec.record_seconds(qsw.seconds());
     }
     return sw.seconds() * 1e9 / static_cast<double>(ids.size());
 }
@@ -67,11 +71,13 @@ double time_fold_reads(const stream_engine<>& engine,
 /// batch readers would amortize the acquire over many estimates).
 double time_cached_reads(const stream_engine<>& engine,
                          std::span<const std::uint64_t> ids, std::size_t rounds,
-                         std::uint64_t& sink) {
+                         bench::latency_recorder& rec, std::uint64_t& sink) {
     bench::stopwatch sw;
     for (std::size_t r = 0; r < rounds; ++r) {
         for (const std::uint64_t id : ids) {
+            bench::stopwatch qsw;
             sink += engine.acquire_snapshot()->estimate(id);
+            rec.record_seconds(qsw.seconds());
         }
     }
     return sw.seconds() * 1e9 / static_cast<double>(ids.size() * rounds);
@@ -158,10 +164,12 @@ int main() {
 
     const auto ids = query_ids(stream, 512);
     std::uint64_t sink = 0;
-    const double fold_ns = time_fold_reads(engine, ids, sink);
+    bench::latency_recorder fold_rec;
+    const double fold_ns = time_fold_reads(engine, ids, fold_rec, sink);
 
     engine.enable_snapshot_service(std::chrono::milliseconds(2));
-    const double cached_ns = time_cached_reads(engine, ids, 64, sink);
+    bench::latency_recorder cached_rec;
+    const double cached_ns = time_cached_reads(engine, ids, 64, cached_rec, sink);
     const double read_speedup = fold_ns / cached_ns;
     engine.stop();
     if (sink == 0xdeadbeef) {
@@ -221,9 +229,14 @@ int main() {
         std::fprintf(json, "  \"acceptance\": {\"target_read_speedup\": 10.0, "
                      "\"gated\": %s, \"met\": %s},\n",
                      hw >= 4 ? "true" : "false", accepted ? "true" : "false");
+        const auto fold_lat = fold_rec.summarize();
+        const auto cached_lat = cached_rec.summarize();
         std::fprintf(json, "  \"read_latency\": {\"fold_ns\": %.1f, \"cached_ns\": %.1f, "
-                     "\"speedup\": %.2f},\n",
-                     fold_ns, cached_ns, read_speedup);
+                     "\"speedup\": %.2f, "
+                     "\"fold_p50_s\": %.6g, \"fold_p99_s\": %.6g, "
+                     "\"cached_p50_s\": %.6g, \"cached_p99_s\": %.6g},\n",
+                     fold_ns, cached_ns, read_speedup, fold_lat.p50_s, fold_lat.p99_s,
+                     cached_lat.p50_s, cached_lat.p99_s);
         std::fprintf(json, "  \"ingest\": [\n");
         std::fprintf(json, "    {\"reader\": \"none\", \"mups\": %.3f},\n", quiet_rate);
         std::fprintf(json,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <string_view>
@@ -227,6 +228,41 @@ private:
     std::map<std::string, double> seconds_;
 };
 
+/// Telemetry-overhead baseline (src/obs/ instrumented vs compiled out).
+/// CI runs the -DFREQ_OBS_OFF build of this binary first, then points
+/// FREQ_OBS_BASELINE_JSON at the BENCH_api.json it wrote; the instrumented
+/// run parses the batched-façade seconds back out of that file (the point
+/// lines this same source emitted, so the sscanf format below is authoritative)
+/// and self-gates the delta at <= 3%.
+std::map<int, double> read_obs_baseline() {
+    std::map<int, double> facade_batch_s;
+    const char* path = std::getenv("FREQ_OBS_BASELINE_JSON");
+    if (path == nullptr) {
+        return facade_batch_s;
+    }
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) {
+        std::printf("[INFO] FREQ_OBS_BASELINE_JSON=%s not readable; skipping the "
+                    "telemetry-overhead series\n",
+                    path);
+        return facade_batch_s;
+    }
+    char buf[1024];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        int k = 0;
+        double direct = 0.0;
+        double facade = 0.0;
+        if (std::sscanf(buf,
+                        " {\"k\": %d, \"direct_batch_s\": %lf, "
+                        "\"facade_batch_s\": %lf",
+                        &k, &direct, &facade) == 3) {
+            facade_batch_s[k] = facade;
+        }
+    }
+    std::fclose(f);
+    return facade_batch_s;
+}
+
 /// Emits BENCH_api.json when both façade series and their baselines ran.
 /// Under a --benchmark_filter that excludes them, nothing is written and a
 /// BENCH_api.json from a previous full run is left untouched.
@@ -281,15 +317,56 @@ void write_api_json(const std::map<std::string, double>& s) {
                     "(informational)\n",
                     text_pct);
     }
+    // Instrumented-vs-FREQ_OBS_OFF batched-update series (src/obs/ hot-path
+    // cost). Only materializes when a baseline file is supplied, i.e. on the
+    // instrumented half of CI's two-build overhead step.
+    std::string obs_points;
+    std::string obs_accept;
+    const std::map<int, double> obs_base = read_obs_baseline();
+    if (!obs_base.empty()) {
+        constexpr double obs_gate_pct = 3.0;
+        bool obs_pass = true;
+        for (const int k : {1024, 16384}) {
+            const auto fb = s.find("BM_FacadeBatchHitHeavy/" + std::to_string(k));
+            const auto base = obs_base.find(k);
+            if (fb == s.end() || base == obs_base.end()) {
+                continue;
+            }
+            const double pct =
+                100.0 * (fb->second - base->second) / base->second;
+            obs_pass = obs_pass && pct <= obs_gate_pct;
+            std::snprintf(line, sizeof(line),
+                          "%s\n    {\"k\": %d, \"obs_off_batch_s\": %.6f, "
+                          "\"instrumented_batch_s\": %.6f, \"overhead_pct\": %.2f}",
+                          obs_points.empty() ? "" : ",", k, base->second, fb->second,
+                          pct);
+            obs_points += line;
+            std::printf("[%s] telemetry batched-update overhead at k=%d: %.2f%% "
+                        "(instrumented vs FREQ_OBS_OFF, gate %.0f%%)\n",
+                        pct <= obs_gate_pct ? "PASS" : "FAIL", k, pct, obs_gate_pct);
+        }
+        if (!obs_points.empty()) {
+            obs_points = ",\n  \"obs\": [" + obs_points + "\n  ]";
+            obs_accept = std::string(", \"obs_batch_overhead_le_3pct\": ") +
+                         (obs_pass ? "true" : "false");
+        }
+    }
+#ifdef FREQ_OBS_OFF
+    const char* obs_off = "true";
+#else
+    const char* obs_off = "false";
+#endif
     FILE* json = std::fopen("BENCH_api.json", "w");
     if (json == nullptr) {
         return;
     }
     std::fprintf(json,
                  "{\n  \"bench\": \"api_facade_overhead\",\n"
-                 "  \"stream\": \"hit_heavy_zipf_1M\",\n  \"points\": [%s\n  ],\n"
-                 "  \"acceptance\": {\"batch_overhead_le_15pct\": %s}%s\n}\n",
-                 points.c_str(), pass ? "true" : "false", text_point.c_str());
+                 "  \"stream\": \"hit_heavy_zipf_1M\",\n  \"obs_off\": %s,\n"
+                 "  \"points\": [%s\n  ],\n"
+                 "  \"acceptance\": {\"batch_overhead_le_15pct\": %s%s}%s%s\n}\n",
+                 obs_off, points.c_str(), pass ? "true" : "false", obs_accept.c_str(),
+                 text_point.c_str(), obs_points.c_str());
     std::fclose(json);
     std::printf("wrote BENCH_api.json\n");
 }

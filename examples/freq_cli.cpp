@@ -9,11 +9,18 @@
 ///   freq_cli gen   <out.fqtr> [--n N] [--flows F] [--alpha A] [--seed S]
 ///                  [--kind caida|zipf]
 ///   freq_cli stats <trace.fqtr>
+///   freq_cli stats --prom|--json [trace.fqtr] [--n N]
+///                  runtime telemetry: drives every pipeline layer (engine,
+///                  shards, spelling, snapshot service, façade) over the
+///                  trace — or a synthesized stream when none is given —
+///                  then dumps the obs registry in Prometheus text or JSON.
+///                  Empty output under a -DFREQ_OBS_OFF build, by design.
 ///   freq_cli run   <trace.fqtr> [--algo smed|smin|rbmc|mhe|cm] [--k K]
 ///                  [--phi PHI] [--exact]
 ///   freq_cli sketch <trace.fqtr> <out.sk> [--k K] [--key u64|text]
 ///                  [--policy plain|fading|window] [--decay R] [--window E]
 ///                  [--tick-every N] [--shards S] [--snapshot-every MS]
+///                  [--stats-every N]   (telemetry dump every N updates)
 ///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
 ///   freq_cli query <sketch.sk> <id-or-word> [...]
 ///   freq_cli report <sketch.sk> [--phi PHI] [--mode nfp|nfn]
@@ -67,6 +74,9 @@ struct args {
     std::uint32_t shards = 0;           ///< 0 = standalone (no engine)
     std::uint64_t snapshot_every = 0;   ///< ms between publishes; 0 = off
     std::string key = "u64";            ///< u64 | text
+    bool prom = false;                  ///< stats: Prometheus telemetry dump
+    bool json = false;                  ///< stats: JSON telemetry dump
+    std::uint64_t stats_every = 0;      ///< sketch: telemetry every N updates
 };
 
 args parse(int argc, char** argv) {
@@ -114,6 +124,12 @@ args parse(int argc, char** argv) {
             a.snapshot_every = std::strtoull(next().c_str(), nullptr, 10);
         } else if (flag == "--key") {
             a.key = next();
+        } else if (flag == "--prom") {
+            a.prom = true;
+        } else if (flag == "--json") {
+            a.json = true;
+        } else if (flag == "--stats-every") {
+            a.stats_every = std::strtoull(next().c_str(), nullptr, 10);
         } else {
             a.positional.push_back(flag);
         }
@@ -145,9 +161,80 @@ int cmd_gen(const args& a) {
     return 0;
 }
 
+/// Drives every pipeline layer over \p stream so the obs registry holds live
+/// samples from all of them: the u64 sharded engine with the async snapshot
+/// service (ring, shard drains, sketch maintenance, snapshot publishes,
+/// façade verbs), then the text sharded engine (spelling channel + dedupe
+/// filter). The small k forces decrement rounds even on modest streams.
+void warm_pipeline(const update_stream<std::uint64_t, std::uint64_t>& stream) {
+    {
+        builder b;
+        b.max_counters(512).seed(7).sharded(2).snapshot_every(
+            std::chrono::milliseconds(1));
+        auto s = b.build();
+        const std::size_t chunk = std::max<std::size_t>(1, stream.size() / 4);
+        for (std::size_t i = 0; i < stream.size(); i += chunk) {
+            const std::size_t run = std::min<std::size_t>(chunk, stream.size() - i);
+            s.update(std::span<const update64>(stream.data() + i, run));
+            (void)s.total_weight();  // cached-view read -> snapshot acquires
+            s.tick();
+        }
+        (void)s.estimate(stream.empty() ? 0 : stream[0].id);
+        (void)s.frequent_items(error_mode::no_false_negatives,
+                               0.01 * s.total_weight());
+        (void)s.top_items(10);
+    }
+    {
+        builder b;
+        b.text_keys().max_counters(512).seed(7).sharded(2);
+        auto s = b.build();
+        // Few distinct words, many repeats: exercises the recently-sent
+        // dedupe filter as well as the spelling channel itself.
+        const std::size_t m = std::min<std::size_t>(stream.size(), 100'000);
+        std::string word;
+        for (std::size_t i = 0; i < m; ++i) {
+            word = "w";
+            word += std::to_string(stream[i].id % 1024);
+            s.update(word, 1.0);
+        }
+        (void)s.estimate(std::string_view("w1"));
+        (void)s.top_items(10);
+    }
+}
+
+/// `stats --prom|--json`: runtime-introspection dump of the obs registry
+/// after warming the full pipeline (from the given trace, or a synthesized
+/// Zipf stream when none is supplied).
+int cmd_stats_telemetry(const args& a) {
+    update_stream<std::uint64_t, std::uint64_t> stream;
+    if (!a.positional.empty()) {
+        stream = read_trace(a.positional[0]);
+    } else {
+        zipf_stream_generator gen({.num_updates = a.n,
+                                   .num_distinct = std::max<std::uint64_t>(a.n / 10, 16),
+                                   .alpha = a.alpha,
+                                   .min_weight = 1,
+                                   .max_weight = 100,
+                                   .seed = a.seed});
+        stream = gen.generate();
+    }
+    warm_pipeline(stream);
+    const auto snap = summarizer::telemetry();
+    if (a.json) {
+        std::printf("%s\n", snap.to_json().c_str());
+    } else {
+        std::printf("%s", snap.to_prometheus().c_str());
+    }
+    return 0;
+}
+
 int cmd_stats(const args& a) {
+    if (a.prom || a.json) {
+        return cmd_stats_telemetry(a);
+    }
     if (a.positional.empty()) {
-        std::fprintf(stderr, "stats: trace path required\n");
+        std::fprintf(stderr, "stats: trace path required (or --prom/--json for a "
+                             "telemetry dump)\n");
         return 2;
     }
     const auto stream = read_trace(a.positional[0]);
@@ -338,6 +425,10 @@ int cmd_sketch(const args& a) {
         chunk = std::max<std::size_t>(1, stream.size() / 8);
     }
     const bool text = a.key == "text";
+    if (a.stats_every > 0) {
+        chunk = std::min<std::size_t>(chunk, a.stats_every);
+    }
+    std::uint64_t next_stats = a.stats_every;
     std::size_t i = 0;
     while (i < stream.size()) {
         const std::size_t run = std::min<std::size_t>(chunk, stream.size() - i);
@@ -359,6 +450,13 @@ int cmd_sketch(const args& a) {
                         stream.size(),
                         static_cast<unsigned long long>(s.snapshot_epoch()),
                         s.total_weight());
+        }
+        if (a.stats_every > 0 && i >= next_stats) {
+            std::printf("--- telemetry @ %zu/%zu updates ---\n%s", i, stream.size(),
+                        summarizer::telemetry().to_prometheus().c_str());
+            while (next_stats <= i) {
+                next_stats += a.stats_every;
+            }
         }
         if (a.tick_every > 0 && i < stream.size()) {
             s.tick();

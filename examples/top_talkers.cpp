@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "api/builder.h"
+#include "api/summarizer.h"
 #include "metrics/error.h"
 #include "net/ipv4.h"
 #include "stream/exact_counter.h"
@@ -147,6 +148,22 @@ int main(int argc, char** argv) {
     }
     std::printf("decayed total: %.3f Gbit of %.3f Gbit all-time\n",
                 recent.total_weight() / 1e9, sketch.total_weight() / 1e9);
+
+    // What the run looked like from the inside: the process-wide telemetry
+    // registry saw both engines above (and would feed a /metrics scrape in
+    // a service). Empty under a -DFREQ_OBS_OFF build.
+    const auto telemetry = summarizer::telemetry();
+    std::printf("\ntelemetry: %zu instrument families live; key counters:\n",
+                telemetry.family_count());
+    for (const char* name :
+         {"freq_engine_updates_applied_total", "freq_engine_ring_full_total",
+          "freq_snapshot_publishes_total", "freq_snapshot_acquires_total",
+          "freq_facade_updates_total"}) {
+        if (const auto* fam = telemetry.find(name);
+            fam != nullptr && !fam->samples.empty()) {
+            std::printf("  %-38s %.0f\n", name, fam->samples[0].value);
+        }
+    }
 
     if (argc <= 1) {
         std::filesystem::remove(path);

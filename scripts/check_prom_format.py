@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format on stdin (promtool-style, stdlib only).
+
+CI pipes `freq_cli stats --prom` through this to keep the telemetry scrape
+surface well-formed:
+
+    build/freq_cli stats --prom --n 200000 | scripts/check_prom_format.py --min-families 15
+
+Checks, per the exposition-format spec (subset the obs registry emits):
+  * every non-comment line parses as `name[{labels}] value`;
+  * metric and label names match the legal character sets;
+  * label values are double-quoted with only \\" \\\\ \\n escapes;
+  * sample values parse as floats (inf/nan allowed);
+  * each family's samples sit contiguously under its # TYPE line, and TYPE
+    is one of counter/gauge/summary/histogram/untyped;
+  * summary quantile series carry a parseable `quantile` label in [0, 1];
+  * no family or (name, labels) series is emitted twice.
+
+Exit 0 on success, 1 with a line-numbered diagnostic on the first violation.
+`--min-families N` additionally requires at least N distinct families
+(catches an accidentally-inert registry, e.g. a FREQ_OBS_OFF binary).
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with only \" \\ \n escapes inside the value.
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"')
+VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+# Suffixes a summary/histogram family legitimately appends to its base name.
+FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def base_family(name, declared):
+    """Maps a sample name back to its declared family, stripping summary
+    suffixes only when the stripped name was actually declared."""
+    if name in declared:
+        return name
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)]
+    return name
+
+
+def fail(lineno, line, why):
+    sys.stderr.write("check_prom_format: line %d: %s\n  %s\n" % (lineno, why, line))
+    return 1
+
+
+def parse_sample(line):
+    """Splits `name[{labels}] value [timestamp]`; returns (name, labels, value)
+    or None if unparseable. labels is the raw text between the braces."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            return None
+        name = line[:brace]
+        labels = line[brace + 1 : close]
+        rest = line[close + 1 :].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            return None
+        name, rest = parts[0], parts[1].strip()
+        labels = ""
+    fields = rest.split()
+    if len(fields) not in (1, 2):  # value [timestamp]
+        return None
+    return name, labels, fields[0]
+
+
+def check_labels(raw):
+    """Validates the text between braces; returns the canonical label string
+    and the parsed pairs, or (None, why)."""
+    if raw == "":
+        return "", []
+    pairs = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_PAIR.match(raw, pos)
+        if m is None:
+            return None, "malformed label pair at %r" % raw[pos:]
+        pairs.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None, "expected ',' between labels at %r" % raw[pos:]
+            pos += 1
+    for name, _ in pairs:
+        if not LABEL_NAME.match(name):
+            return None, "bad label name %r" % name
+    return ",".join("%s=%s" % p for p in sorted(pairs)), pairs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--min-families", type=int, default=0,
+                    help="require at least N distinct metric families")
+    opts = ap.parse_args()
+
+    declared = {}        # family -> type
+    seen_series = set()  # (sample name, canonical labels)
+    current_family = None
+    closed_families = set()
+
+    lineno = 0
+    for raw_line in sys.stdin:
+        lineno += 1
+        line = raw_line.rstrip("\n")
+        if line.strip() == "":
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                return fail(lineno, line, "malformed HELP comment")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 4)
+            if len(parts) < 4:
+                return fail(lineno, line, "malformed TYPE comment")
+            name, mtype = parts[2], parts[3]
+            if not METRIC_NAME.match(name):
+                return fail(lineno, line, "bad metric name %r" % name)
+            if mtype not in VALID_TYPES:
+                return fail(lineno, line, "bad metric type %r" % mtype)
+            if name in declared:
+                return fail(lineno, line, "family %r declared twice" % name)
+            if current_family is not None:
+                closed_families.add(current_family)
+            declared[name] = mtype
+            current_family = name
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        parsed = parse_sample(line)
+        if parsed is None:
+            return fail(lineno, line, "unparseable sample line")
+        name, raw_labels, value = parsed
+        if not METRIC_NAME.match(name):
+            return fail(lineno, line, "bad metric name %r" % name)
+        family = base_family(name, declared)
+        if family not in declared:
+            return fail(lineno, line, "sample before any # TYPE for %r" % name)
+        if family in closed_families:
+            return fail(lineno, line,
+                        "family %r has non-contiguous samples" % family)
+        if family != current_family:
+            return fail(lineno, line,
+                        "sample of %r inside %r's block" % (family, current_family))
+        canon, pairs_or_why = check_labels(raw_labels)
+        if canon is None:
+            return fail(lineno, line, pairs_or_why)
+        series = (name, canon)
+        if series in seen_series:
+            return fail(lineno, line, "duplicate series %r{%s}" % (name, canon))
+        seen_series.add(series)
+        try:
+            float(value)  # accepts inf/-inf/nan spellings too
+        except ValueError:
+            return fail(lineno, line, "bad sample value %r" % value)
+        if declared[family] == "summary" and name == family:
+            quantiles = [v for k, v in pairs_or_why if k == "quantile"]
+            if len(quantiles) != 1:
+                return fail(lineno, line, "summary series needs one quantile label")
+            try:
+                q = float(quantiles[0])
+            except ValueError:
+                return fail(lineno, line, "bad quantile %r" % quantiles[0])
+            if not 0.0 <= q <= 1.0:
+                return fail(lineno, line, "quantile %g outside [0, 1]" % q)
+
+    if len(declared) < opts.min_families:
+        sys.stderr.write(
+            "check_prom_format: only %d families, need >= %d\n"
+            % (len(declared), opts.min_families))
+        return 1
+    print("check_prom_format: OK (%d families, %d series)"
+          % (len(declared), len(seen_series)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,8 @@
 #include "api/result_set.h"
 #include "api/summary_bytes.h"
 #include "common/contracts.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/registry.h"
 #include "stream/update.h"
 
 namespace freq {
@@ -133,8 +135,14 @@ public:
         explicit feeder(std::unique_ptr<detail::feeder_impl> impl)
             : impl_(std::move(impl)) {}
 
-        void push(std::uint64_t id, double weight = 1.0) { impl_->push(id, weight); }
-        void push(std::string_view item, double weight = 1.0) { impl_->push(item, weight); }
+        void push(std::uint64_t id, double weight = 1.0) {
+            impl_->push(id, weight);
+            obs::pipeline().facade_updates.add(1);
+        }
+        void push(std::string_view item, double weight = 1.0) {
+            impl_->push(item, weight);
+            obs::pipeline().facade_updates.add(1);
+        }
 
         /// Makes everything pushed so far visible to queries (for a sharded
         /// summarizer: published to the shard rings; pair with
@@ -167,14 +175,22 @@ public:
     /// Processes one weighted update. Single-threaded (use feeders for
     /// concurrent ingestion). Throws when the key kind does not match the
     /// summary (u64 update on a text summary and vice versa).
-    void update(std::uint64_t id, double weight = 1.0) { checked().update(id, weight); }
+    void update(std::uint64_t id, double weight = 1.0) {
+        checked().update(id, weight);
+        obs::pipeline().facade_updates.add(1);
+    }
     void update(std::string_view item, double weight = 1.0) {
         checked().update(item, weight);
+        obs::pipeline().facade_updates.add(1);
     }
 
     /// Batched fast path — forwards whole runs to the template layer's
-    /// span ingest, amortizing the virtual dispatch to one call per batch.
-    void update(std::span<const update64> batch) { checked().update(batch); }
+    /// span ingest, amortizing the virtual dispatch (and the telemetry
+    /// bookkeeping: one counter add per batch) to one call per batch.
+    void update(std::span<const update64> batch) {
+        checked().update(batch);
+        obs::pipeline().facade_updates.add(batch.size());
+    }
 
     /// Concurrent ingestion handle (see feeder).
     feeder make_feeder() { return feeder(checked().make_feeder()); }
@@ -219,8 +235,14 @@ public:
 
     // --- point queries -------------------------------------------------------
 
-    double estimate(std::uint64_t id) const { return checked().estimate(id); }
-    double estimate(std::string_view item) const { return checked().estimate(item); }
+    double estimate(std::uint64_t id) const {
+        obs::scoped_timer t(obs::pipeline().facade_estimate_latency_ns);
+        return checked().estimate(id);
+    }
+    double estimate(std::string_view item) const {
+        obs::scoped_timer t(obs::pipeline().facade_estimate_latency_ns);
+        return checked().estimate(item);
+    }
     double lower_bound(std::uint64_t id) const { return checked().lower_bound(id); }
     double lower_bound(std::string_view item) const { return checked().lower_bound(item); }
     double upper_bound(std::uint64_t id) const { return checked().upper_bound(id); }
@@ -244,18 +266,23 @@ public:
     /// result_set). With mode = no_false_negatives and threshold = φ·N this
     /// returns every (φ, ε)-heavy hitter.
     result_set frequent_items(error_mode mode, double threshold) const {
+        obs::scoped_timer t(obs::pipeline().facade_frequent_items_latency_ns);
         return checked().frequent_items(mode, threshold);
     }
 
     /// Threshold-free overload using maximum_error() — the tightest
     /// threshold for which the chosen guarantee is meaningful.
     result_set frequent_items(error_mode mode) const {
+        obs::scoped_timer t(obs::pipeline().facade_frequent_items_latency_ns);
         return checked().frequent_items(mode, checked().maximum_error());
     }
 
     /// The (up to) m largest estimates in descending order. No threshold
     /// guarantee: ranks within maximum_error() of each other may swap.
-    result_set top_items(std::size_t m) const { return checked().top_items(m); }
+    result_set top_items(std::size_t m) const {
+        obs::scoped_timer t(obs::pipeline().facade_top_items_latency_ns);
+        return checked().top_items(m);
+    }
 
     // --- serde / merge / snapshot --------------------------------------------
 
@@ -280,6 +307,17 @@ public:
     std::string to_string() const {
         return valid() ? impl_->to_string() : std::string("summarizer(empty)");
     }
+
+    // --- telemetry -----------------------------------------------------------
+
+    /// Point-in-time copy of the process-wide telemetry registry
+    /// (obs/registry.h): every instrument family the pipeline exports —
+    /// ring, shard, sketch-maintenance, spelling, snapshot-service and
+    /// façade layers — renderable as Prometheus text exposition
+    /// (.to_prometheus()) or JSON (.to_json()). Instruments are
+    /// process-lifetime totals shared by every summarizer; callable on an
+    /// empty summarizer too. Empty when built with -DFREQ_OBS_OFF.
+    static obs::registry_snapshot telemetry() { return obs::registry::global().collect(); }
 
 private:
     detail::summarizer_impl& checked() const {

@@ -33,6 +33,7 @@
 #include "common/contracts.h"
 #include "core/counter_maintenance.h"
 #include "core/lifetime_policy.h"
+#include "obs/pipeline_metrics.h"
 #include "core/sketch_config.h"
 #include "random/xoshiro.h"
 #include "select/quickselect.h"
@@ -384,7 +385,8 @@ protected:
         }
         const W cstar = quickselect_quantile(std::span<W>(sample_buf_), cfg_.decrement_quantile);
         FREQ_ENSURES(cstar > W{0});
-        table_.decrement_all(cstar);
+        const std::uint32_t evicted = table_.decrement_all(cstar);
+        obs::pipeline().sketch_evictions.add(evicted);
         offset_ += cstar;
         ++num_decrements_;
         return cstar;
@@ -397,6 +399,7 @@ protected:
         table_.scale_all(factor);
         offset_ = static_cast<W>(offset_ * factor);
         total_weight_ = static_cast<W>(total_weight_ * factor);
+        obs::pipeline().sketch_renormalizations.add(1);
     }
 
     sketch_config cfg_;

@@ -10,6 +10,13 @@
 /// The variants differ only in storage (parallel-array counter_table vs.
 /// node-based map) and in how c* is chosen (sampled quantile vs. exact
 /// median) — both are injected, so the admission logic exists exactly once.
+///
+/// Each reduce() invocation is also counted on the process-wide telemetry
+/// registry (freq_sketch_decrement_rounds_total): decrement rounds are the
+/// O(k) maintenance events that dominate worst-case update cost, so their
+/// rate is the first thing to look at when ingest throughput dips.
+
+#include "obs/pipeline_metrics.h"
 
 namespace freq::detail {
 
@@ -28,6 +35,7 @@ void claim_or_reduce(Store& store, const K& id, W weight, Reduce&& reduce) {
         store.upsert(id, weight);
         return;
     }
+    obs::pipeline().sketch_decrement_rounds.add(1);
     const W cstar = reduce();
     if (weight > cstar) {
         store.upsert(id, weight - cstar);

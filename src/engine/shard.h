@@ -48,6 +48,7 @@
 #include "core/sketch_config.h"
 #include "engine/spelling_channel.h"
 #include "engine/spsc_ring.h"
+#include "obs/pipeline_metrics.h"
 #include "stream/update.h"
 
 namespace freq {
@@ -142,6 +143,10 @@ public:
             }
             applied_.fetch_add(n, std::memory_order_release);
             batches_.fetch_add(1, std::memory_order_relaxed);
+            auto& m = obs::pipeline();
+            m.engine_updates_applied.add(n);
+            m.engine_batches_applied.add(1);
+            m.shard_drain_batch_size.record(n);
         }
         return n + drain_spellings();
     }
@@ -160,8 +165,11 @@ public:
     /// epoch rotation; no-op for the plain policy) under the sketch mutex,
     /// so a tick never lands inside a half-applied batch.
     void tick(std::uint64_t epochs = 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        sketch_.tick(epochs);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            sketch_.tick(epochs);
+        }
+        obs::pipeline().shard_ticks.add(epochs);
     }
 
     /// Total updates ever enqueued into this shard's rings (sum of producer
@@ -203,6 +211,7 @@ private:
                     sketch_.note_spelling(e.fp, std::move(e.item));
                 }
                 spellings_.mark_applied(n);
+                obs::pipeline().spelling_applied.add(n);
             }
             return n;
         } else {

@@ -57,21 +57,37 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/contracts.h"
+#include "obs/pipeline_metrics.h"
 
 namespace freq {
 
-/// Aggregate counters of one snapshot_service (monotonic).
+/// Aggregate counters of one snapshot_service (monotonic for the life of
+/// the service; stream_engine::snapshot_stats() additionally accumulates
+/// them across service restarts, so the engine-level view is monotonic for
+/// the life of the *engine* — see stream_engine.h).
 struct snapshot_service_stats {
     std::uint64_t publishes = 0;   ///< buffers published (epoch high-water mark)
     std::uint64_t pool_grows = 0;  ///< buffers allocated because held views pinned the spares
     std::uint64_t acquires = 0;    ///< views handed out
     std::uint64_t acquire_retries = 0;  ///< acquire() restarts due to a racing publish
     std::uint64_t coalesced_publishes = 0;  ///< publish_now() calls satisfied by another caller's fold
+
+    /// Component-wise sum — used by stream_engine to fold a finished
+    /// service's totals into its accumulated base.
+    snapshot_service_stats& operator+=(const snapshot_service_stats& o) noexcept {
+        publishes += o.publishes;
+        pool_grows += o.pool_grows;
+        acquires += o.acquires;
+        acquire_retries += o.acquire_retries;
+        coalesced_publishes += o.coalesced_publishes;
+        return *this;
+    }
 };
 
 namespace detail {
@@ -212,6 +228,20 @@ public:
         published_.store(&head, std::memory_order_seq_cst);
         published_epoch_.store(1, std::memory_order_release);
         publishes_.store(1, std::memory_order_relaxed);
+        last_publish_ns_.store(obs::now_ns(), std::memory_order_relaxed);
+        obs::pipeline().snapshot_publishes.add(1);
+        // Derived staleness gauge: evaluated at registry collect() time.
+        // One series per live service, disambiguated by an instance label;
+        // the RAII handle retires the callback before last_publish_ns_ dies.
+        static std::atomic<std::uint64_t> next_instance{1};
+        age_gauge_ = obs::registry::global().register_callback_gauge(
+            "freq_snapshot_age_ns", "Age of the published cached view, nanoseconds",
+            {{"instance",
+              std::to_string(next_instance.fetch_add(1, std::memory_order_relaxed))}},
+            [this] {
+                return static_cast<double>(
+                    obs::now_ns() - last_publish_ns_.load(std::memory_order_relaxed));
+            });
         publisher_ = std::thread([this] { publisher_loop(); });
     }
 
@@ -241,6 +271,7 @@ public:
     /// swaps the pointer mid-acquire.
     view acquire() const {
         acquires_.fetch_add(1, std::memory_order_relaxed);
+        obs::pipeline().snapshot_acquires.add(1);
         for (;;) {
             detail::snapshot_buffer<Sketch>* buf = published_.load(std::memory_order_seq_cst);
             buf->refs.fetch_add(1, std::memory_order_seq_cst);
@@ -252,6 +283,7 @@ public:
             }
             buf->refs.fetch_sub(1, std::memory_order_acq_rel);
             acquire_retries_.fetch_add(1, std::memory_order_relaxed);
+            obs::pipeline().snapshot_acquire_retries.add(1);
         }
     }
 
@@ -283,6 +315,7 @@ public:
             // under the mutex we now hold — its publish already landed.
             // Everything visible before our entry was visible to that fold.
             coalesced_.fetch_add(1, std::memory_order_relaxed);
+            obs::pipeline().snapshot_coalesced_publishes.add(1);
             return published_epoch_.load(std::memory_order_acquire);
         }
         return publish_cycle_locked();
@@ -324,6 +357,7 @@ private:
 
     /// The body of a cycle; requires publish_mutex_ held.
     std::uint64_t publish_cycle_locked() {
+        obs::scoped_timer timer(obs::pipeline().snapshot_publish_latency_ns);
         // Announce the fold before running it: publish_now() riders that
         // entered earlier may adopt this cycle's result.
         folds_started_.fetch_add(1, std::memory_order_acq_rel);
@@ -348,6 +382,7 @@ private:
                 std::make_unique<detail::snapshot_buffer<Sketch>>(std::move(folded)));
             back = buffers_->pool.back().get();
             grows_.fetch_add(1, std::memory_order_relaxed);
+            obs::pipeline().snapshot_pool_grows.add(1);
         } else {
             back->sketch = std::move(folded);
         }
@@ -357,6 +392,8 @@ private:
         published_.store(back, std::memory_order_seq_cst);
         published_epoch_.store(back->epoch, std::memory_order_release);
         publishes_.fetch_add(1, std::memory_order_relaxed);
+        last_publish_ns_.store(obs::now_ns(), std::memory_order_relaxed);
+        obs::pipeline().snapshot_publishes.add(1);
         return back->epoch;
     }
 
@@ -378,6 +415,11 @@ private:
     std::atomic<std::uint64_t> coalesced_{0};
     mutable std::atomic<std::uint64_t> acquires_{0};
     mutable std::atomic<std::uint64_t> acquire_retries_{0};
+
+    std::atomic<std::int64_t> last_publish_ns_{0};  ///< steady-clock ns of the last publish
+    // Declared last: destroyed first, so the staleness callback (which
+    // reads last_publish_ns_) is retired before any member it touches.
+    obs::callback_gauge_handle age_gauge_;
 };
 
 }  // namespace freq

@@ -37,6 +37,7 @@
 
 #include "common/bits.h"
 #include "common/contracts.h"
+#include "obs/pipeline_metrics.h"
 
 namespace freq {
 
@@ -58,12 +59,16 @@ public:
     /// must then *not* mark the fingerprint as sent, so the spelling is
     /// retried later instead of being lost.
     bool try_push(std::uint64_t fp, Item item) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (queue_.size() >= capacity_) {
-            return false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.size() >= capacity_) {
+                obs::pipeline().spelling_rejects.add(1);
+                return false;
+            }
+            queue_.push_back(entry{fp, std::move(item)});
+            pushed_.fetch_add(1, std::memory_order_release);
         }
-        queue_.push_back(entry{fp, std::move(item)});
-        pushed_.fetch_add(1, std::memory_order_release);
+        obs::pipeline().spelling_enqueued.add(1);
         return true;
     }
 

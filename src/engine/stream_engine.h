@@ -86,6 +86,7 @@
 #include "engine/shard.h"
 #include "engine/snapshot_service.h"
 #include "engine/spsc_ring.h"
+#include "obs/pipeline_metrics.h"
 #include "hashing/hash.h"
 #include "stream/update.h"
 
@@ -230,6 +231,8 @@ public:
                     ++spelling_rejects_;
                     engine_->spelling_rejects_.fetch_add(1, std::memory_order_relaxed);
                 }
+            } else {
+                obs::pipeline().spelling_dedupe_hits.add(1);
             }
             auto& stage = stages_[s];
             stage.push_back(update_type{fp, weight});
@@ -277,6 +280,7 @@ public:
         void publish(std::uint32_t s) {
             auto& ring = engine_->shards_[s]->ring(slot_);
             std::span<const update_type> pending(stages_[s]);
+            const std::size_t staged = pending.size();
             while (!pending.empty()) {
                 if (engine_->stopping_.load(std::memory_order_acquire)) {
                     break;
@@ -286,8 +290,18 @@ public:
                 if (!pending.empty()) {
                     ++stalls_;
                     engine_->stalls_.fetch_add(1, std::memory_order_relaxed);
+                    obs::pipeline().engine_ring_full.add(1);
                     std::this_thread::yield();
                 }
+            }
+            // Telemetry once per publish (amortized over producer_batch
+            // updates): totals plus a ring-occupancy sample right after
+            // the push, which is what backpressure tuning wants to see.
+            if (const std::size_t pushed = staged - pending.size(); pushed > 0) {
+                auto& m = obs::pipeline();
+                m.engine_updates_enqueued.add(pushed);
+                m.engine_publishes.add(1);
+                m.engine_ring_occupancy.record(ring.size());
             }
             stages_[s].clear();
         }
@@ -445,14 +459,14 @@ public:
     void enable_snapshot_service(std::chrono::microseconds interval) {
         FREQ_REQUIRE(!stopping_.load(std::memory_order_acquire),
                      "enable_snapshot_service() on a stopped engine");
-        snapshots_.reset();  // stop any previous publisher first
+        retire_snapshot_service();  // stop any previous publisher first
         snapshots_ = std::make_unique<snapshot_service<sketch_type>>(
             [this] { return snapshot(); }, interval);
     }
 
     /// Stops the publisher and returns reads to fold-on-demand. Outstanding
     /// views stay valid (they pin their buffer storage).
-    void disable_snapshot_service() { snapshots_.reset(); }
+    void disable_snapshot_service() { retire_snapshot_service(); }
 
     bool snapshot_service_enabled() const noexcept { return snapshots_ != nullptr; }
 
@@ -478,9 +492,18 @@ public:
         return snapshots_ != nullptr ? snapshots_->epoch() : 0;
     }
 
-    /// Publisher counters (zeros when the service is off).
+    /// Publisher counters. Monotonic for the life of the *engine*, not just
+    /// of one service instance: totals of every retired service (each
+    /// enable/disable cycle) are accumulated into a base that the live
+    /// service's counters are added on top of, so re-enabling the service
+    /// never makes any counter go backwards. Zeros only if the service was
+    /// never enabled.
     snapshot_service_stats snapshot_stats() const noexcept {
-        return snapshots_ != nullptr ? snapshots_->stats() : snapshot_service_stats{};
+        snapshot_service_stats st = snapshot_stats_base_;
+        if (snapshots_ != nullptr) {
+            st += snapshots_->stats();
+        }
+        return st;
     }
 
     /// Drains every ring, stops the workers and joins them. Idempotent;
@@ -492,7 +515,7 @@ public:
         }
         // The publisher folds via snapshot(); stop it before the workers so
         // no fold runs against a half-stopped engine.
-        snapshots_.reset();
+        retire_snapshot_service();
         for (auto& w : workers_) {
             if (w.joinable()) {
                 w.join();
@@ -547,6 +570,17 @@ private:
         free_slots_.push_back(slot);
     }
 
+    /// Stops and destroys the current snapshot service (if any), folding
+    /// its counters into the accumulated base first so snapshot_stats()
+    /// stays monotonic across enable/disable cycles. Owner-thread only
+    /// (same contract as enable/disable).
+    void retire_snapshot_service() {
+        if (snapshots_ != nullptr) {
+            snapshot_stats_base_ += snapshots_->stats();
+            snapshots_.reset();
+        }
+    }
+
     engine_config cfg_;
     std::uint64_t route_salt_ = 0;
     std::vector<std::unique_ptr<engine_shard<K, W, Sketch>>> shards_;
@@ -558,6 +592,8 @@ private:
     std::atomic<std::uint64_t> stalls_{0};
     std::atomic<std::uint64_t> spelling_rejects_{0};
     std::unique_ptr<snapshot_service<sketch_type>> snapshots_;  ///< null = fold-on-demand
+    /// Accumulated totals of retired snapshot services (see snapshot_stats()).
+    snapshot_service_stats snapshot_stats_base_{};
 };
 
 }  // namespace freq

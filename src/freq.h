@@ -52,6 +52,13 @@
 #include "engine/spsc_ring.h"
 #include "engine/stream_engine.h"
 
+// Telemetry: lock-free instruments, the process-wide registry and the
+// pipeline's instrument catalog (compile with -DFREQ_OBS_OFF to turn every
+// instrument into a no-op).
+#include "obs/instruments.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/registry.h"
+
 // Applications built on the sketch (§1.2 / §6).
 #include "entropy/entropy_estimator.h"
 #include "hhh/hierarchical_heavy_hitters.h"

@@ -1,0 +1,255 @@
+#ifndef FREQ_OBS_INSTRUMENTS_H
+#define FREQ_OBS_INSTRUMENTS_H
+
+/// \file instruments.h
+/// Lock-free telemetry primitives: counters, gauges and log-bucketed
+/// histograms cheap enough to live on (amortized) hot paths.
+///
+///  * basic_counter — a monotonic counter striped over cache-line-padded
+///    cells. Writers pick a stripe from a thread-local hint, so concurrent
+///    incrementers (shard workers, producers) do not bounce one cache line;
+///    value() folds the stripes. One relaxed fetch_add per add.
+///  * basic_gauge — a single atomic signed value (set/add/sub).
+///  * basic_histogram — HdrHistogram-flavoured power-of-two buckets:
+///    bucket b counts values whose bit_width is b, so record() is
+///    bit_width + two relaxed fetch_adds (plus a rarely-taken CAS to track
+///    the max). Quantiles (p50/p95/p99/…) are extracted from a snapshot by
+///    cumulative walk with linear interpolation inside the landing bucket.
+///
+/// All mutation and all reads are atomic with relaxed ordering: readers see
+/// a racy-but-consistent view (each cell individually exact, the fold
+/// momentarily torn), which is the usual contract for telemetry. Everything
+/// here is data-race-free under TSan.
+///
+/// Compile-time kill switch: building with -DFREQ_OBS_OFF aliases the
+/// public instrument names (obs::counter, obs::gauge, obs::histogram,
+/// obs::scoped_timer) to empty no-op types, so every instrumented call
+/// site compiles to nothing and the hot path is provably unchanged. The
+/// basic_* implementations remain available in both modes for tooling that
+/// needs real statistics regardless (e.g. the bench harness).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace freq::obs {
+
+/// Steady-clock nanoseconds since an arbitrary epoch — the time base every
+/// latency instrument in this subsystem records in.
+inline std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+namespace detail {
+/// Small per-thread stripe hint: threads enumerate themselves on first use,
+/// so each long-lived thread (shard worker, producer) settles on its own
+/// counter stripe.
+inline std::size_t stripe_hint() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t mine = next.fetch_add(1, std::memory_order_relaxed);
+    return mine;
+}
+}  // namespace detail
+
+/// Monotonic counter striped over cache-line-padded cells (see file
+/// comment). add() is one relaxed fetch_add on the calling thread's stripe.
+class basic_counter {
+public:
+    static constexpr std::size_t num_stripes = 8;
+
+    void add(std::uint64_t n = 1) noexcept { add_at(detail::stripe_hint(), n); }
+
+    /// Caller-chosen stripe (e.g. a shard index) — avoids the thread-local
+    /// lookup when the caller already has a good spreading key.
+    void add_at(std::size_t hint, std::uint64_t n) noexcept {
+        cells_[hint & (num_stripes - 1)].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Folded total (racy-but-consistent: each stripe exact, the fold
+    /// momentarily torn while writers run).
+    std::uint64_t value() const noexcept {
+        std::uint64_t total = 0;
+        for (const auto& c : cells_) {
+            total += c.v.load(std::memory_order_relaxed);
+        }
+        return total;
+    }
+
+private:
+    struct alignas(64) cell {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<cell, num_stripes> cells_{};
+};
+
+/// Last-writer-wins signed gauge.
+class basic_gauge {
+public:
+    void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+    void sub(std::int64_t n = 1) noexcept { v_.fetch_sub(n, std::memory_order_relaxed); }
+    std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+private:
+    alignas(64) std::atomic<std::int64_t> v_{0};
+};
+
+/// Point-in-time copy of a histogram, with quantile extraction. Bucket b
+/// holds values v with std::bit_width(v) == b, i.e. bucket 0 is exactly
+/// {0} and bucket b >= 1 spans [2^(b-1), 2^b - 1].
+struct histogram_snapshot {
+    static constexpr std::size_t num_buckets = 65;
+
+    std::array<std::uint64_t, num_buckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    double mean() const noexcept {
+        return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Value at quantile \p q in [0, 1]: cumulative walk over the buckets,
+    /// linearly interpolated inside the landing bucket and clamped to the
+    /// observed max. Exact for q landing in bucket 0; within one bucket
+    /// width (a factor of two) otherwise — the usual log-bucket contract.
+    double quantile(double q) const noexcept {
+        if (count == 0) {
+            return 0.0;
+        }
+        if (q <= 0.0) {
+            q = 0.0;
+        } else if (q > 1.0) {
+            q = 1.0;
+        }
+        // Rank of the requested order statistic, 1-based.
+        const double want = q * static_cast<double>(count - 1) + 1.0;
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < num_buckets; ++b) {
+            if (buckets[b] == 0) {
+                continue;
+            }
+            const std::uint64_t in_bucket = buckets[b];
+            if (static_cast<double>(seen + in_bucket) + 1e-9 >= want) {
+                const double lo = b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+                double hi = b == 0 ? 0.0
+                                   : static_cast<double>((std::uint64_t{1} << (b - 1)) * 2 - 1);
+                if (hi > static_cast<double>(max) && max >= lo) {
+                    hi = static_cast<double>(max);  // top occupied bucket: clamp to observed max
+                }
+                const double frac =
+                    in_bucket <= 1 ? 0.0
+                                   : (want - static_cast<double>(seen) - 1.0) /
+                                         static_cast<double>(in_bucket - 1);
+                return lo + (hi - lo) * frac;
+            }
+            seen += in_bucket;
+        }
+        return static_cast<double>(max);
+    }
+};
+
+/// Log-bucketed histogram; record() is bit_width + two relaxed fetch_adds
+/// and a rarely-taken CAS for the running max.
+class basic_histogram {
+public:
+    static constexpr std::size_t num_buckets = histogram_snapshot::num_buckets;
+
+    void record(std::uint64_t v) noexcept {
+        const unsigned b = static_cast<unsigned>(std::bit_width(v));  // 0 for v == 0
+        buckets_[b].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        std::uint64_t m = max_.load(std::memory_order_relaxed);
+        while (v > m &&
+               !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Clamping convenience for signed durations (negative → 0).
+    void record_signed(std::int64_t v) noexcept {
+        record(v > 0 ? static_cast<std::uint64_t>(v) : 0);
+    }
+
+    histogram_snapshot snap() const noexcept {
+        histogram_snapshot s;
+        for (std::size_t b = 0; b < num_buckets; ++b) {
+            s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+            s.count += s.buckets[b];
+        }
+        s.sum = sum_.load(std::memory_order_relaxed);
+        s.max = max_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    std::uint64_t count() const noexcept { return snap().count; }
+
+private:
+    std::array<std::atomic<std::uint64_t>, num_buckets> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+#ifndef FREQ_OBS_OFF
+
+using counter = basic_counter;
+using gauge = basic_gauge;
+using histogram = basic_histogram;
+
+/// RAII latency probe: records elapsed steady-clock nanoseconds into a
+/// histogram on scope exit.
+class scoped_timer {
+public:
+    explicit scoped_timer(histogram& h) noexcept : h_(&h), t0_(now_ns()) {}
+    scoped_timer(const scoped_timer&) = delete;
+    scoped_timer& operator=(const scoped_timer&) = delete;
+    ~scoped_timer() { h_->record_signed(now_ns() - t0_); }
+
+private:
+    histogram* h_;
+    std::int64_t t0_;
+};
+
+#else  // FREQ_OBS_OFF: every instrument is an empty no-op type.
+
+class counter {
+public:
+    static constexpr std::size_t num_stripes = 1;
+    void add(std::uint64_t = 1) noexcept {}
+    void add_at(std::size_t, std::uint64_t) noexcept {}
+    std::uint64_t value() const noexcept { return 0; }
+};
+
+class gauge {
+public:
+    void set(std::int64_t) noexcept {}
+    void add(std::int64_t = 1) noexcept {}
+    void sub(std::int64_t = 1) noexcept {}
+    std::int64_t value() const noexcept { return 0; }
+};
+
+class histogram {
+public:
+    static constexpr std::size_t num_buckets = histogram_snapshot::num_buckets;
+    void record(std::uint64_t) noexcept {}
+    void record_signed(std::int64_t) noexcept {}
+    histogram_snapshot snap() const noexcept { return histogram_snapshot{}; }
+    std::uint64_t count() const noexcept { return 0; }
+};
+
+class scoped_timer {
+public:
+    explicit scoped_timer(histogram&) noexcept {}
+    scoped_timer(const scoped_timer&) = delete;
+    scoped_timer& operator=(const scoped_timer&) = delete;
+};
+
+#endif  // FREQ_OBS_OFF
+
+}  // namespace freq::obs
+
+#endif  // FREQ_OBS_INSTRUMENTS_H

@@ -1,0 +1,558 @@
+#ifndef FREQ_OBS_REGISTRY_H
+#define FREQ_OBS_REGISTRY_H
+
+/// \file registry.h
+/// Named instrument families and their export surface.
+///
+/// A registry owns instrument *families* — (name, help, kind) — each with
+/// one instrument per distinct label set. get_counter()/get_gauge()/
+/// get_histogram() are get-or-create: the first call registers the family,
+/// later calls with the same name + labels return the same instrument, so
+/// components anywhere in the process share one family by naming it. The
+/// structure mutex only guards registration and collect(); the returned
+/// references are heap-stable and updated lock-free for the registry's
+/// lifetime.
+///
+/// Callback gauges cover values that are derived rather than stored (e.g.
+/// snapshot staleness age): register_callback_gauge() returns an RAII
+/// handle, the callback runs inside collect() under the registry mutex,
+/// and destroying the handle unregisters it — so a callback can safely
+/// capture `this` of a component that dies before the process does, as
+/// long as the handle is a member destroyed first.
+///
+/// collect() renders into registry_snapshot, a plain value exporting
+/// Prometheus text exposition (counters/gauges verbatim; histograms as
+/// summaries with p50/p95/p99 + _sum/_count) and a JSON document (which
+/// additionally carries mean and max per histogram).
+///
+/// registry::global() is the process-wide instance the pipeline metrics
+/// (obs/pipeline_metrics.h), the façade's telemetry() and `freq_cli stats`
+/// all share. Instruments on the global registry are process-lifetime
+/// totals across every engine/sketch instance, Prometheus-style.
+///
+/// Under -DFREQ_OBS_OFF the registry keeps its API but becomes inert:
+/// get_* return references to shared no-op instruments, callback gauges
+/// are dropped at registration, and collect() returns an empty snapshot.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "obs/instruments.h"
+
+namespace freq::obs {
+
+enum class instrument_kind { counter, gauge, histogram };
+
+inline const char* kind_name(instrument_kind k) noexcept {
+    switch (k) {
+        case instrument_kind::counter: return "counter";
+        case instrument_kind::gauge: return "gauge";
+        default: return "histogram";
+    }
+}
+
+/// Ordered label pairs; rendered as {k="v",...}.
+using label_set = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+inline std::string label_key(const label_set& labels) {
+    std::string key;
+    for (const auto& [k, v] : labels) {
+        key += k;
+        key += '\x1f';
+        key += v;
+        key += '\x1e';
+    }
+    return key;
+}
+
+inline void append_escaped(std::string& out, std::string_view v) {
+    for (char c : v) {
+        if (c == '\\' || c == '"') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+}
+
+inline void append_label_block(std::string& out, const label_set& labels,
+                               std::string_view extra_key = {},
+                               std::string_view extra_val = {}) {
+    if (labels.empty() && extra_key.empty()) {
+        return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += k;
+        out += "=\"";
+        append_escaped(out, v);
+        out += '"';
+    }
+    if (!extra_key.empty()) {
+        if (!first) {
+            out += ',';
+        }
+        out += extra_key;
+        out += "=\"";
+        append_escaped(out, extra_val);
+        out += '"';
+    }
+    out += '}';
+}
+
+inline void append_number(std::string& out, double v) {
+    char buf[64];
+    // %.17g round-trips doubles; trim to %g for readability of exact ints.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) && v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    out += buf;
+}
+
+inline void append_json_string(std::string& out, std::string_view v) {
+    out += '"';
+    for (char c : v) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace detail
+
+/// One exported time series: a label set plus either a scalar (counter /
+/// gauge) or a histogram snapshot.
+struct sample_snapshot {
+    label_set labels;
+    double value = 0.0;            ///< counters and gauges
+    histogram_snapshot hist;       ///< histograms only
+};
+
+struct family_snapshot {
+    std::string name;
+    std::string help;
+    instrument_kind kind = instrument_kind::counter;
+    std::vector<sample_snapshot> samples;
+};
+
+/// Point-in-time copy of a whole registry, with renderers. A plain value:
+/// safe to hold, compare and render long after the registry moved on.
+struct registry_snapshot {
+    std::vector<family_snapshot> families;
+
+    std::size_t family_count() const noexcept { return families.size(); }
+
+    const family_snapshot* find(std::string_view name) const noexcept {
+        for (const auto& f : families) {
+            if (f.name == name) {
+                return &f;
+            }
+        }
+        return nullptr;
+    }
+
+    /// Prometheus text exposition format. Counters and gauges render
+    /// verbatim; histograms render as summaries (quantile series + _sum +
+    /// _count), which keeps scrape output compact while preserving the
+    /// tail percentiles.
+    std::string to_prometheus() const {
+        std::string out;
+        out.reserve(256 + families.size() * 160);
+        for (const auto& f : families) {
+            out += "# HELP ";
+            out += f.name;
+            out += ' ';
+            detail::append_escaped(out, f.help);
+            out += '\n';
+            out += "# TYPE ";
+            out += f.name;
+            out += ' ';
+            out += f.kind == instrument_kind::histogram ? "summary" : kind_name(f.kind);
+            out += '\n';
+            for (const auto& s : f.samples) {
+                if (f.kind != instrument_kind::histogram) {
+                    out += f.name;
+                    detail::append_label_block(out, s.labels);
+                    out += ' ';
+                    detail::append_number(out, s.value);
+                    out += '\n';
+                    continue;
+                }
+                for (const auto& [q, qv] : {std::pair<const char*, double>{"0.5", 0.5},
+                                            {"0.95", 0.95},
+                                            {"0.99", 0.99}}) {
+                    out += f.name;
+                    detail::append_label_block(out, s.labels, "quantile", q);
+                    out += ' ';
+                    detail::append_number(out, s.hist.quantile(qv));
+                    out += '\n';
+                }
+                out += f.name;
+                out += "_sum";
+                detail::append_label_block(out, s.labels);
+                out += ' ';
+                detail::append_number(out, static_cast<double>(s.hist.sum));
+                out += '\n';
+                out += f.name;
+                out += "_count";
+                detail::append_label_block(out, s.labels);
+                out += ' ';
+                detail::append_number(out, static_cast<double>(s.hist.count));
+                out += '\n';
+            }
+        }
+        return out;
+    }
+
+    /// JSON document: {"families":[{name, help, kind, samples:[...]}]}.
+    /// Histogram samples carry count/sum/mean/max/p50/p95/p99.
+    std::string to_json() const {
+        std::string out = "{\"families\":[";
+        bool first_family = true;
+        for (const auto& f : families) {
+            if (!first_family) {
+                out += ',';
+            }
+            first_family = false;
+            out += "{\"name\":";
+            detail::append_json_string(out, f.name);
+            out += ",\"help\":";
+            detail::append_json_string(out, f.help);
+            out += ",\"kind\":\"";
+            out += kind_name(f.kind);
+            out += "\",\"samples\":[";
+            bool first_sample = true;
+            for (const auto& s : f.samples) {
+                if (!first_sample) {
+                    out += ',';
+                }
+                first_sample = false;
+                out += "{\"labels\":{";
+                bool first_label = true;
+                for (const auto& [k, v] : s.labels) {
+                    if (!first_label) {
+                        out += ',';
+                    }
+                    first_label = false;
+                    detail::append_json_string(out, k);
+                    out += ':';
+                    detail::append_json_string(out, v);
+                }
+                out += '}';
+                if (f.kind != instrument_kind::histogram) {
+                    out += ",\"value\":";
+                    detail::append_number(out, s.value);
+                } else {
+                    out += ",\"count\":";
+                    detail::append_number(out, static_cast<double>(s.hist.count));
+                    out += ",\"sum\":";
+                    detail::append_number(out, static_cast<double>(s.hist.sum));
+                    out += ",\"mean\":";
+                    detail::append_number(out, s.hist.mean());
+                    out += ",\"max\":";
+                    detail::append_number(out, static_cast<double>(s.hist.max));
+                    out += ",\"p50\":";
+                    detail::append_number(out, s.hist.quantile(0.50));
+                    out += ",\"p95\":";
+                    detail::append_number(out, s.hist.quantile(0.95));
+                    out += ",\"p99\":";
+                    detail::append_number(out, s.hist.quantile(0.99));
+                }
+                out += '}';
+            }
+            out += "]}";
+        }
+        out += "]}";
+        return out;
+    }
+};
+
+class registry;
+
+/// RAII registration of a callback gauge; destroying the handle (or the
+/// registry) unregisters the callback. Movable, not copyable.
+class callback_gauge_handle {
+public:
+    callback_gauge_handle() = default;
+    callback_gauge_handle(callback_gauge_handle&& other) noexcept
+        : reg_(other.reg_), name_(std::move(other.name_)), id_(other.id_) {
+        other.reg_ = nullptr;
+    }
+    callback_gauge_handle& operator=(callback_gauge_handle&& other) noexcept {
+        if (this != &other) {
+            reset();
+            reg_ = other.reg_;
+            name_ = std::move(other.name_);
+            id_ = other.id_;
+            other.reg_ = nullptr;
+        }
+        return *this;
+    }
+    callback_gauge_handle(const callback_gauge_handle&) = delete;
+    callback_gauge_handle& operator=(const callback_gauge_handle&) = delete;
+    ~callback_gauge_handle() { reset(); }
+
+    inline void reset() noexcept;
+
+private:
+    friend class registry;
+    callback_gauge_handle(registry* reg, std::string name, std::uint64_t id)
+        : reg_(reg), name_(std::move(name)), id_(id) {}
+
+    registry* reg_ = nullptr;
+    std::string name_;
+    std::uint64_t id_ = 0;
+};
+
+#ifndef FREQ_OBS_OFF
+
+class registry {
+public:
+    registry() = default;
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+    /// The process-wide registry every pipeline instrument lives in.
+    static registry& global() {
+        static registry r;
+        return r;
+    }
+
+    counter& get_counter(std::string_view name, std::string_view help,
+                         label_set labels = {}) {
+        return get<counter>(instrument_kind::counter, name, help, std::move(labels));
+    }
+
+    gauge& get_gauge(std::string_view name, std::string_view help,
+                     label_set labels = {}) {
+        return get<gauge>(instrument_kind::gauge, name, help, std::move(labels));
+    }
+
+    histogram& get_histogram(std::string_view name, std::string_view help,
+                             label_set labels = {}) {
+        return get<histogram>(instrument_kind::histogram, name, help, std::move(labels));
+    }
+
+    /// Registers a derived gauge evaluated inside collect() (under the
+    /// registry mutex — callbacks must be cheap and must not re-enter the
+    /// registry). The returned handle unregisters on destruction; keep it
+    /// as a member of the object the callback reads, declared last, so it
+    /// is destroyed (and the callback retired) before the data it uses.
+    [[nodiscard]] callback_gauge_handle register_callback_gauge(
+        std::string_view name, std::string_view help, label_set labels,
+        std::function<double()> fn) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        family& fam = family_for(instrument_kind::gauge, name, help);
+        const std::uint64_t id = next_callback_id_++;
+        fam.callbacks.push_back(callback_cell{id, std::move(labels), std::move(fn)});
+        return callback_gauge_handle(this, std::string(name), id);
+    }
+
+    /// Point-in-time copy of every family (callback gauges evaluated now).
+    registry_snapshot collect() const {
+        registry_snapshot snap;
+        std::lock_guard<std::mutex> lock(mutex_);
+        snap.families.reserve(families_.size());
+        for (const auto& [name, fam] : families_) {
+            family_snapshot fs;
+            fs.name = name;
+            fs.help = fam.help;
+            fs.kind = fam.kind;
+            for (const auto& [key, cell] : fam.cells) {
+                sample_snapshot s;
+                s.labels = cell->labels;
+                switch (fam.kind) {
+                    case instrument_kind::counter:
+                        s.value = static_cast<double>(cell->c->value());
+                        break;
+                    case instrument_kind::gauge:
+                        s.value = static_cast<double>(cell->g->value());
+                        break;
+                    case instrument_kind::histogram:
+                        s.hist = cell->h->snap();
+                        break;
+                }
+                fs.samples.push_back(std::move(s));
+            }
+            for (const auto& cb : fam.callbacks) {
+                sample_snapshot s;
+                s.labels = cb.labels;
+                s.value = cb.fn();
+                fs.samples.push_back(std::move(s));
+            }
+            snap.families.push_back(std::move(fs));
+        }
+        return snap;
+    }
+
+    std::size_t num_families() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return families_.size();
+    }
+
+private:
+    friend class callback_gauge_handle;
+
+    struct instrument_cell {
+        label_set labels;
+        std::unique_ptr<counter> c;
+        std::unique_ptr<gauge> g;
+        std::unique_ptr<histogram> h;
+    };
+    struct callback_cell {
+        std::uint64_t id;
+        label_set labels;
+        std::function<double()> fn;
+    };
+    struct family {
+        std::string help;
+        instrument_kind kind = instrument_kind::counter;
+        std::map<std::string, std::unique_ptr<instrument_cell>> cells;
+        std::vector<callback_cell> callbacks;
+    };
+
+    family& family_for(instrument_kind kind, std::string_view name,
+                       std::string_view help) {
+        auto it = families_.find(std::string(name));
+        if (it == families_.end()) {
+            family fam;
+            fam.help = std::string(help);
+            fam.kind = kind;
+            it = families_.emplace(std::string(name), std::move(fam)).first;
+        } else {
+            FREQ_REQUIRE(it->second.kind == kind,
+                         "obs::registry: family re-registered with a different kind");
+        }
+        return it->second;
+    }
+
+    template <typename T>
+    T& get(instrument_kind kind, std::string_view name, std::string_view help,
+           label_set labels) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        family& fam = family_for(kind, name, help);
+        const std::string key = detail::label_key(labels);
+        auto it = fam.cells.find(key);
+        if (it == fam.cells.end()) {
+            auto cell = std::make_unique<instrument_cell>();
+            cell->labels = std::move(labels);
+            if constexpr (std::is_same_v<T, counter>) {
+                cell->c = std::make_unique<counter>();
+            } else if constexpr (std::is_same_v<T, gauge>) {
+                cell->g = std::make_unique<gauge>();
+            } else {
+                cell->h = std::make_unique<histogram>();
+            }
+            it = fam.cells.emplace(key, std::move(cell)).first;
+        }
+        if constexpr (std::is_same_v<T, counter>) {
+            return *it->second->c;
+        } else if constexpr (std::is_same_v<T, gauge>) {
+            return *it->second->g;
+        } else {
+            return *it->second->h;
+        }
+    }
+
+    void unregister_callback(const std::string& name, std::uint64_t id) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = families_.find(name);
+        if (it == families_.end()) {
+            return;
+        }
+        auto& cbs = it->second.callbacks;
+        for (std::size_t i = 0; i < cbs.size(); ++i) {
+            if (cbs[i].id == id) {
+                cbs.erase(cbs.begin() + static_cast<std::ptrdiff_t>(i));
+                return;
+            }
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::map<std::string, family> families_;
+    std::uint64_t next_callback_id_ = 1;
+};
+
+inline void callback_gauge_handle::reset() noexcept {
+    if (reg_ != nullptr) {
+        reg_->unregister_callback(name_, id_);
+        reg_ = nullptr;
+    }
+}
+
+#else  // FREQ_OBS_OFF: same API, inert storage, empty snapshots.
+
+class registry {
+public:
+    registry() = default;
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+    static registry& global() {
+        static registry r;
+        return r;
+    }
+
+    counter& get_counter(std::string_view, std::string_view, label_set = {}) {
+        static counter c;
+        return c;
+    }
+    gauge& get_gauge(std::string_view, std::string_view, label_set = {}) {
+        static gauge g;
+        return g;
+    }
+    histogram& get_histogram(std::string_view, std::string_view, label_set = {}) {
+        static histogram h;
+        return h;
+    }
+    [[nodiscard]] callback_gauge_handle register_callback_gauge(
+        std::string_view, std::string_view, label_set, std::function<double()>) {
+        return callback_gauge_handle{};
+    }
+    registry_snapshot collect() const { return registry_snapshot{}; }
+    std::size_t num_families() const { return 0; }
+};
+
+inline void callback_gauge_handle::reset() noexcept { reg_ = nullptr; }
+
+#endif  // FREQ_OBS_OFF
+
+}  // namespace freq::obs
+
+#endif  // FREQ_OBS_REGISTRY_H

@@ -355,13 +355,22 @@ TEST(EngineSnapshotService, DisableReturnsReadsToFoldOnDemand) {
     engine.disable_snapshot_service();
     EXPECT_FALSE(engine.snapshot_service_enabled());
     EXPECT_THROW((void)engine.acquire_snapshot(), std::invalid_argument);
-    EXPECT_EQ(engine.snapshot_stats().publishes, 0u);  // zeros when off
+    // Stats are monotonic for the engine's lifetime: the enable-time
+    // publish survives the disable instead of resetting to zero.
+    EXPECT_EQ(engine.snapshot_stats().publishes, 1u);
     // fold-on-demand still works
     auto p = engine.make_producer();
     p.push(3, 2);
     p.flush();
     engine.flush();
     EXPECT_EQ(engine.snapshot().estimate(3), 2u);
+    // Re-enabling accumulates on top of the retired service's totals
+    // rather than starting a fresh count.
+    engine.enable_snapshot_service(std::chrono::hours(1));
+    const auto stats = engine.snapshot_stats();
+    EXPECT_GE(stats.publishes, 2u);  // first service's publish + new enable's
+    engine.disable_snapshot_service();
+    EXPECT_EQ(engine.snapshot_stats().publishes, stats.publishes);
 }
 
 TEST(EngineSnapshotService, AdvanceEpochRepublishesClockConsistentViews) {
