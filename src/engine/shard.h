@@ -169,7 +169,21 @@ public:
             std::lock_guard<std::mutex> lock(mutex_);
             sketch_.tick(epochs);
         }
+        ticks_.fetch_add(epochs, std::memory_order_release);
         obs::pipeline().shard_ticks.add(epochs);
+    }
+
+    /// Monotonic dirty generation: advances whenever the shard sketch
+    /// mutates — a ring batch applied, a spelling drained, or a lifetime
+    /// tick. Composed from the cursors those paths already maintain, so the
+    /// drain hot path pays nothing extra. Incremental snapshot folds
+    /// (stream_engine::snapshot()) compare generations across publishes to
+    /// skip re-cloning and re-merging idle shards; a reader that loads the
+    /// generation *before* cloning observes a value no newer than the clone,
+    /// so a mutation racing the clone can only make the next fold
+    /// conservatively re-merge, never serve stale state.
+    std::uint64_t generation() const noexcept {
+        return applied() + spellings_applied() + ticks_.load(std::memory_order_acquire);
     }
 
     /// Total updates ever enqueued into this shard's rings (sum of producer
@@ -231,6 +245,7 @@ private:
 
     std::atomic<std::uint64_t> applied_{0};
     std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> ticks_{0};  ///< lifetime-clock component of generation()
 };
 
 }  // namespace freq

@@ -126,6 +126,15 @@ struct engine_config {
     /// Per-shard sketch configuration. Shard s runs with seed + s so the
     /// shards' hash functions are independent (§3.2's merge note).
     sketch_config sketch{};
+
+    /// Incremental snapshot folds: snapshot() keeps a per-shard clone cache
+    /// keyed by engine_shard::generation() and re-clones/re-merges only the
+    /// shards that mutated since the previous fold — O(k·dirty) per publish
+    /// instead of O(k·S), and a fully idle publish is one O(k) copy. Costs
+    /// ~(S+2) extra sketch copies of resident memory; set false to fold
+    /// every shard from scratch on every snapshot (the pre-cache behavior,
+    /// also what bench_snapshot uses as its baseline).
+    bool incremental_snapshots = true;
 };
 
 /// Aggregate engine statistics (monotonic; racy-but-consistent reads).
@@ -137,6 +146,10 @@ struct engine_stats {
     std::uint64_t spellings_enqueued = 0;  ///< accepted into shard spelling channels
     std::uint64_t spellings_applied = 0;   ///< reached a shard dictionary
     std::uint64_t spelling_rejects = 0;    ///< deferred by full channels (retried later)
+    std::uint64_t snapshot_folds = 0;      ///< snapshot() calls (any path)
+    std::uint64_t snapshot_shards_refolded = 0;  ///< shard merges done by those folds
+    std::uint64_t snapshot_fold_reuses = 0;      ///< folds served as a copy of the
+                                                 ///< previous result (no shard dirty)
 };
 
 template <typename K = std::uint64_t, typename W = std::uint64_t,
@@ -436,13 +449,93 @@ public:
     /// folds the clones with the in-place Algorithm 5 merge. Never blocks
     /// ingestion beyond the per-shard copy. Valid summary of the union of
     /// shard sub-streams by Theorem 5.
+    ///
+    /// With cfg.incremental_snapshots (the default) the fold is incremental:
+    /// each shard's generation() is read *before* its clone, and only shards
+    /// whose generation advanced since the previous fold are re-cloned and
+    /// re-merged. The shards that stayed clean are served from a cached
+    /// "clean fold" (one merged sketch over the stable cold set, rebuilt
+    /// only when cold-set membership changes), so a steady-state publish
+    /// with D dirty shards costs one O(k) copy plus D merges — O(k·dirty),
+    /// not O(k·S) — and a publish with nothing dirty is one O(k) copy of
+    /// the previous result. Concurrent snapshot() calls serialize on the
+    /// cache mutex; the per-shard clone still happens under the shard's own
+    /// sketch mutex (cache mutex is always acquired first, and no path
+    /// takes them in the other order).
     sketch_type snapshot() const {
-        sketch_type merged = shards_[0]->clone_sketch();
-        for (std::size_t s = 1; s < shards_.size(); ++s) {
-            const sketch_type part = shards_[s]->clone_sketch();
-            merged.merge(part);
+        if (!cfg_.incremental_snapshots) {
+            snapshot_folds_.fetch_add(1, std::memory_order_relaxed);
+            snapshot_refolds_.fetch_add(shards_.size(), std::memory_order_relaxed);
+            obs::pipeline().snapshot_shards_refolded.add(shards_.size());
+            sketch_type merged = shards_[0]->clone_sketch();
+            for (std::size_t s = 1; s < shards_.size(); ++s) {
+                const sketch_type part = shards_[s]->clone_sketch();
+                merged.merge(part);
+            }
+            return merged;
         }
-        return merged;
+        const std::size_t S = shards_.size();
+        std::lock_guard<std::mutex> lock(fold_mutex_);
+        snapshot_folds_.fetch_add(1, std::memory_order_relaxed);
+        // Generations first, clones after: a mutation racing this read can
+        // only make a future fold conservatively re-merge a shard whose
+        // clone already contains it — never the reverse.
+        std::vector<std::uint64_t> gens_now(S);
+        for (std::size_t s = 0; s < S; ++s) {
+            gens_now[s] = shards_[s]->generation();
+        }
+        fold_cache& c = cache_;
+        if (c.last_fold.has_value() && gens_now == c.last_gens) {
+            snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
+            return *c.last_fold;
+        }
+        if (c.clones.empty()) {
+            c.clones.reserve(S);
+            for (std::size_t s = 0; s < S; ++s) {
+                c.clones.push_back(shards_[s]->clone_sketch());
+            }
+            c.gens = gens_now;
+            c.dirty.assign(S, 1);
+        } else {
+            c.dirty.assign(S, 0);
+            for (std::size_t s = 0; s < S; ++s) {
+                if (gens_now[s] != c.gens[s]) {
+                    c.dirty[s] = 1;
+                    c.clones[s] = shards_[s]->clone_sketch();
+                    c.gens[s] = gens_now[s];
+                }
+            }
+        }
+        std::uint64_t refolded = 0;
+        // The clean fold covers exactly the shards that did NOT move this
+        // round; rebuild it only when that membership changes (a shard going
+        // hot→cold or cold→hot), from the cached clones — no shard locks.
+        std::vector<char> clean(S);
+        for (std::size_t s = 0; s < S; ++s) {
+            clean[s] = static_cast<char>(!c.dirty[s]);
+        }
+        if (!c.clean_fold.has_value() || clean != c.in_clean) {
+            c.clean_fold.emplace(fold_base_cfg());
+            for (std::size_t s = 0; s < S; ++s) {
+                if (clean[s]) {
+                    c.clean_fold->merge(c.clones[s]);
+                    ++refolded;
+                }
+            }
+            c.in_clean = std::move(clean);
+        }
+        sketch_type out = *c.clean_fold;
+        for (std::size_t s = 0; s < S; ++s) {
+            if (c.dirty[s]) {
+                out.merge(c.clones[s]);
+                ++refolded;
+            }
+        }
+        snapshot_refolds_.fetch_add(refolded, std::memory_order_relaxed);
+        obs::pipeline().snapshot_shards_refolded.add(refolded);
+        c.last_fold = out;
+        c.last_gens = std::move(gens_now);
+        return out;
     }
 
     // --- async snapshot service ---------------------------------------------
@@ -534,10 +627,32 @@ public:
         }
         st.ring_full_stalls = stalls_.load(std::memory_order_relaxed);
         st.spelling_rejects = spelling_rejects_.load(std::memory_order_relaxed);
+        st.snapshot_folds = snapshot_folds_.load(std::memory_order_relaxed);
+        st.snapshot_shards_refolded = snapshot_refolds_.load(std::memory_order_relaxed);
+        st.snapshot_fold_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
         return st;
     }
 
 private:
+    /// State of the incremental fold (all accessed under fold_mutex_).
+    struct fold_cache {
+        std::vector<std::uint64_t> gens;   ///< generation captured before each clone
+        std::vector<sketch_type> clones;   ///< latest clone per shard
+        std::vector<char> dirty;           ///< scratch: which shards moved this fold
+        std::vector<char> in_clean;        ///< membership of clean_fold
+        std::optional<sketch_type> clean_fold;  ///< fold over the stable cold set
+        std::optional<sketch_type> last_fold;   ///< previous snapshot() result
+        std::vector<std::uint64_t> last_gens;   ///< generations last_fold covers
+    };
+
+    /// Config of the empty sketch incremental folds merge into. Must match
+    /// shard 0's config bit-for-bit (the engine seeds shard s with
+    /// cfg.sketch.seed + s): the non-incremental path publishes a clone of
+    /// shard 0, and snapshot consumers — the serde envelope descriptor in
+    /// particular — must see the same config regardless of which fold path
+    /// produced the sketch.
+    sketch_config fold_base_cfg() const { return cfg_.sketch; }
+
     void worker_loop(std::uint32_t s) {
         engine_shard<K, W, Sketch>& shard = *shards_[s];
         std::uint32_t idle_streak = 0;
@@ -591,6 +706,11 @@ private:
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> stalls_{0};
     std::atomic<std::uint64_t> spelling_rejects_{0};
+    mutable std::mutex fold_mutex_;  ///< guards cache_ (snapshot() is const)
+    mutable fold_cache cache_;
+    mutable std::atomic<std::uint64_t> snapshot_folds_{0};
+    mutable std::atomic<std::uint64_t> snapshot_refolds_{0};
+    mutable std::atomic<std::uint64_t> snapshot_reuses_{0};
     std::unique_ptr<snapshot_service<sketch_type>> snapshots_;  ///< null = fold-on-demand
     /// Accumulated totals of retired snapshot services (see snapshot_stats()).
     snapshot_service_stats snapshot_stats_base_{};

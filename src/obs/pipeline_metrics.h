@@ -46,6 +46,7 @@ struct pipeline_metrics {
     counter& sketch_decrement_rounds;
     counter& sketch_evictions;
     counter& sketch_renormalizations;
+    histogram& table_probe_length;
 
     // --- spelling side-lane -------------------------------------------------
     counter& spelling_enqueued;
@@ -59,6 +60,7 @@ struct pipeline_metrics {
     counter& snapshot_acquires;
     counter& snapshot_acquire_retries;
     counter& snapshot_pool_grows;
+    counter& snapshot_shards_refolded;
     histogram& snapshot_publish_latency_ns;
 
     // --- façade -------------------------------------------------------------
@@ -107,6 +109,10 @@ private:
           sketch_renormalizations(r.get_counter(
               "freq_sketch_renormalizations_total",
               "Fading-sketch weight renormalizations (rebase of decayed scales)")),
+          table_probe_length(r.get_histogram(
+              "freq_table_probe_length",
+              "Counter-table probe length (slots from preferred), sampled once "
+              "per batched-update block")),
           spelling_enqueued(r.get_counter(
               "freq_spelling_enqueued_total",
               "Spellings accepted into shard spelling channels")),
@@ -134,6 +140,10 @@ private:
           snapshot_pool_grows(r.get_counter(
               "freq_snapshot_pool_grows_total",
               "Buffer-pool growth events caused by long-pinned views")),
+          snapshot_shards_refolded(r.get_counter(
+              "freq_snapshot_shards_refolded_total",
+              "Shards re-cloned and re-merged by incremental snapshot folds "
+              "(dirty generations since the previous fold)")),
           snapshot_publish_latency_ns(r.get_histogram(
               "freq_snapshot_publish_latency_ns",
               "Latency of one publish cycle (fold + swap), nanoseconds")),
@@ -168,6 +178,7 @@ struct pipeline_metrics {
     counter sketch_decrement_rounds;
     counter sketch_evictions;
     counter sketch_renormalizations;
+    histogram table_probe_length;
     counter spelling_enqueued;
     counter spelling_applied;
     counter spelling_rejects;
@@ -177,6 +188,7 @@ struct pipeline_metrics {
     counter snapshot_acquires;
     counter snapshot_acquire_retries;
     counter snapshot_pool_grows;
+    counter snapshot_shards_refolded;
     histogram snapshot_publish_latency_ns;
     counter facade_updates;
     histogram facade_estimate_latency_ns;

@@ -16,8 +16,8 @@ using table_u64 = counter_table<std::uint64_t, std::uint64_t>;
 /// Structural invariant of §2.3.3: every occupied slot's state equals its
 /// probe distance + 1, and the probe path from the key's preferred slot to
 /// its current slot contains no empty cell (reachability).
-template <typename K, typename W>
-void check_invariants(const counter_table<K, W>& t) {
+template <typename K, typename W, bool UseSimd>
+void check_invariants(const counter_table<K, W, UseSimd>& t) {
     std::uint32_t active = 0;
     for (std::uint32_t s = 0; s < t.num_slots(); ++s) {
         if (!t.slot_occupied(s)) {
@@ -195,6 +195,90 @@ TEST(CounterTable, ClearEmptiesTable) {
     EXPECT_EQ(t.find(1), nullptr);
     t.upsert(3, 3);
     EXPECT_EQ(t.size(), 1u);
+}
+
+// Regression for the decrement_all start-slot search: it used to scan
+// unmasked from slot 0 every call, which on a table whose front is one long
+// occupied cluster pays O(cluster) extra per decrement; the sweep now starts
+// from the slot the previous decrement provably left empty. Churn a table at
+// full capacity (load exactly 3/4, empty slots sparse and moving) through
+// many decrement/refill cycles, so a stale or mistracked hint would either
+// trip the scan bound or corrupt the compaction.
+TEST(CounterTable, DecrementNearFullClusterChurn) {
+    const std::uint32_t k = 768;  // L = 1024: capacity is exactly 3/4 load
+    table_u64 t(k);
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    xoshiro256ss rng(20260808);
+    const auto refill = [&] {
+        while (oracle.size() < k) {
+            const std::uint64_t key = rng.below(4 * k);
+            const std::uint64_t w = rng.between(1, 40);
+            if (oracle.count(key) != 0 || oracle.size() < k) {
+                t.upsert(key, w);
+                oracle[key] += w;
+            }
+        }
+    };
+    refill();
+    for (int round = 0; round < 60; ++round) {
+        const std::uint64_t amount = rng.between(1, 12);
+        const auto erased = t.decrement_all(amount);
+        std::size_t oracle_erased = 0;
+        for (auto it = oracle.begin(); it != oracle.end();) {
+            if (it->second <= amount) {
+                it = oracle.erase(it);
+                ++oracle_erased;
+            } else {
+                it->second -= amount;
+                ++it;
+            }
+        }
+        ASSERT_EQ(erased, oracle_erased) << "round " << round;
+        check_invariants(t);
+        refill();
+        ASSERT_EQ(t.size(), k) << "round " << round;
+    }
+    for (const auto& [key, w] : oracle) {
+        const std::uint64_t* found = t.find(key);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, w);
+    }
+}
+
+// scale_all's underflow cleanup is now a single decrement_all(0) compaction
+// pass instead of a rescan plus per-key erase. Force genuine underflow with
+// the minimum denormal (x * 0.25 rounds to zero) amid live neighbors and
+// check the dead counters vanish while survivors scale and stay reachable.
+TEST(CounterTable, ScaleAllUnderflowCompactsInOnePass) {
+    counter_table<std::uint64_t, double> t(64);
+    std::unordered_map<std::uint64_t, double> oracle;
+    for (std::uint64_t i = 0; i < 48; ++i) {
+        const double v = (i % 3 == 0) ? 4.9406564584124654e-324  // min denormal
+                                      : static_cast<double>(i + 1);
+        t.upsert(i, v);
+        oracle[i] = v;
+    }
+    t.scale_all(0.25);
+    std::size_t live = 0;
+    for (auto& [key, v] : oracle) {
+        v *= 0.25;
+        const double* found = t.find(key);
+        if (v > 0.0) {
+            ++live;
+            ASSERT_NE(found, nullptr) << key;
+            EXPECT_EQ(*found, v) << key;
+        } else {
+            EXPECT_EQ(found, nullptr) << key;
+        }
+    }
+    EXPECT_EQ(t.size(), live);
+    EXPECT_LT(live, 48u);  // the denormals really did underflow
+    check_invariants(t);
+    // Table stays fully usable: refill over the compacted layout.
+    for (std::uint64_t i = 100; i < 116; ++i) {
+        t.upsert(i, 1.0);
+    }
+    check_invariants(t);
 }
 
 // Fuzz the full operation mix against a std::unordered_map oracle, checking
