@@ -1,41 +1,87 @@
 /// Entropy monitoring: the anomaly-detection application of §1.2 ([5, 10,
-/// 22]). The empirical entropy of the source-IP distribution drops sharply
-/// when traffic concentrates (a hot talker / worm victim) and rises when it
-/// disperses (scanning). The estimator uses the frequent-items sketch as a
-/// black-box subroutine and reports certified entropy intervals per window.
+/// 22]), now a thin wrapper over the engine-backed
+/// telemetry::entropy_monitor. The empirical entropy of the source-IP
+/// distribution drops sharply when traffic concentrates (a hot talker /
+/// worm victim) and rises when it disperses (scanning). Each window's
+/// certified [lower, upper] interval is computed from one published
+/// snapshot view, and an EWMA-smoothed baseline turns the point estimate
+/// into collapse/spike alarms — the DDoS signal.
 ///
 ///   build/examples/entropy_monitor
 
 #include <cstdio>
 
-#include "entropy/entropy_estimator.h"
 #include "random/xoshiro.h"
 #include "random/zipf.h"
+#include "telemetry/entropy_monitor.h"
 
 int main() {
     using namespace freq;
+    using namespace freq::telemetry;
 
     constexpr int windows = 6;
     constexpr int packets_per_window = 200'000;
     xoshiro256ss rng(11);
     zipf_distribution normal_mix(50'000, 1.1);
 
-    std::printf("%-9s %-28s %10s %10s %10s\n", "window", "traffic profile", "H_lower",
-                "H_point", "H_upper");
+    std::printf("%-9s %-28s %10s %10s %10s   %s\n", "window", "traffic profile",
+                "H_lower", "H_point", "H_upper", "alarm");
     for (int w = 0; w < windows; ++w) {
-        entropy_estimator est(1024, /*seed=*/static_cast<std::uint64_t>(w));
+        entropy_monitor mon(entropy_monitor_config{
+            .max_counters = 1024,
+            .seed = static_cast<std::uint64_t>(w),
+            .shards = 2,
+            .snapshot_every = std::chrono::milliseconds(1),
+            .warmup_samples = 0,  // windows share no state; alarm per window
+        });
         const bool attack_window = w == 3;  // one window of concentrated traffic
+        auto feed = mon.make_feeder();
         for (int i = 0; i < packets_per_window; ++i) {
             if (attack_window && rng.below(100) < 80) {
-                est.update(0xbadc0ffee0ddf00dULL, 1);  // one source dominates
+                feed.push(0xbadc0ffee0ddf00dULL, 1);  // one source dominates
             } else {
-                est.update(normal_mix(rng), 1);
+                feed.push(normal_mix(rng), 1);
             }
         }
-        const auto h = est.estimate();
-        std::printf("%-9d %-28s %10.3f %10.3f %10.3f%s\n", w,
-                    attack_window ? "CONCENTRATED (anomaly)" : "normal mix", h.lower, h.point,
-                    h.upper, attack_window ? "   <-- entropy collapse" : "");
+        feed.flush();
+        mon.flush();
+        const auto h = mon.estimate();
+        std::printf("%-9d %-28s %10.3f %10.3f %10.3f   %s%s\n", w,
+                    attack_window ? "CONCENTRATED (anomaly)" : "normal mix", h.lower,
+                    h.point, h.upper, attack_window ? "collapse expected" : "-",
+                    attack_window ? "   <-- entropy collapse" : "");
+    }
+
+    // The alarm path end to end: one long-lived monitor with an
+    // exponentially-fading lifetime (old windows decay away) and per-window
+    // observe() calls against its EWMA baseline.
+    std::printf("\nEWMA shift detector over one continuous fading monitor:\n");
+    entropy_monitor mon(entropy_monitor_config{
+        .max_counters = 1024,
+        .seed = 42,
+        .shards = 2,
+        .lifetime = lifetime_kind::fading,
+        .decay = 0.5,  // one tick per window: previous windows fade fast
+        .collapse_threshold_bits = 2.0,
+        .spike_threshold_bits = 2.0,
+        .warmup_samples = 2,
+    });
+    auto feed = mon.make_feeder();
+    for (int w = 0; w < windows; ++w) {
+        const bool attack_window = w == 3;
+        for (int i = 0; i < packets_per_window; ++i) {
+            if (attack_window && rng.below(100) < 80) {
+                feed.push(0xbadc0ffee0ddf00dULL, 1);
+            } else {
+                feed.push(normal_mix(rng), 1);
+            }
+        }
+        feed.flush();
+        mon.flush();
+        const auto obs = mon.observe();
+        std::printf("  window %d: point %.3f vs baseline %.3f -> %s\n", w,
+                    obs.interval.point, obs.baseline, to_string(obs.alarm));
+        mon.tick();  // window boundary: decay the previous windows
     }
     std::printf("\nA sustained drop of several bits in the certified interval is the"
                 " classic worm/hot-talker signature (Wagner & Plattner).\n");

@@ -7,7 +7,9 @@
 ///
 /// Usage:
 ///   freq_cli gen   <out.fqtr> [--n N] [--flows F] [--alpha A] [--seed S]
-///                  [--kind caida|zipf]
+///                  [--kind caida|zipf] [--timestamps]
+///                  (--timestamps writes FQTR v2 with one monotonic
+///                  timestamp per record)
 ///   freq_cli stats <trace.fqtr>
 ///   freq_cli stats --prom|--json [trace.fqtr] [--n N]
 ///                  runtime telemetry: drives every pipeline layer (engine,
@@ -24,6 +26,18 @@
 ///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
 ///   freq_cli query <sketch.sk> <id-or-word> [...]
 ///   freq_cli report <sketch.sk> [--phi PHI] [--mode nfp|nfn]
+///   freq_cli hhh   <trace.fqtr> [--phi PHI] [--levels 32,24,16,8] [--k K]
+///                  [--shards S] [--policy plain|fading|window] [--decay R]
+///                  [--window E] [--snapshot-every MS] [--tick-every T]
+///                  hierarchical heavy hitters over the trace ids' low 32
+///                  bits (IPv4 source addresses), one sharded engine
+///                  summarizer per prefix level; --policy applies to every
+///                  level; with a v2 trace, --tick-every T ticks the levels
+///                  every T timestamp units during replay.
+///   freq_cli replay <trace.fqtr> [--into engine|hhh] [--shards S] [--k K]
+///                  [--levels ...] [--policy ...] [--tick-every T]
+///                  line-rate replay through the full pipeline; reports
+///                  sustained records/sec and p50/p99 chunk tails.
 ///
 /// --key text treats each trace id as the word "w<id>" and runs the text
 /// summarizer — combined with --shards S the words ingest through the
@@ -46,9 +60,12 @@
 #include "baselines/space_saving_heap.h"
 #include "core/frequent_items_sketch.h"
 #include "metrics/error.h"
+#include "net/ipv4.h"
 #include "stream/exact_counter.h"
 #include "stream/generators.h"
 #include "stream/trace_io.h"
+#include "telemetry/hhh_summarizer.h"
+#include "telemetry/trace_replay.h"
 
 namespace {
 
@@ -77,6 +94,9 @@ struct args {
     bool prom = false;                  ///< stats: Prometheus telemetry dump
     bool json = false;                  ///< stats: JSON telemetry dump
     std::uint64_t stats_every = 0;      ///< sketch: telemetry every N updates
+    bool timestamps = false;            ///< gen: write FQTR v2 with timestamps
+    std::string levels = "32,24,16,8";  ///< hhh/replay: prefix levels
+    std::string into = "engine";        ///< replay: sink (engine | hhh)
 };
 
 args parse(int argc, char** argv) {
@@ -130,6 +150,12 @@ args parse(int argc, char** argv) {
             a.json = true;
         } else if (flag == "--stats-every") {
             a.stats_every = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--timestamps") {
+            a.timestamps = true;
+        } else if (flag == "--levels") {
+            a.levels = next();
+        } else if (flag == "--into") {
+            a.into = next();
         } else {
             a.positional.push_back(flag);
         }
@@ -156,8 +182,20 @@ int cmd_gen(const args& a) {
             {.num_updates = a.n, .num_flows = a.flows, .alpha = a.alpha, .seed = a.seed});
         stream = gen.generate();
     }
-    write_trace(a.positional[0], stream);
-    std::printf("wrote %zu updates to %s\n", stream.size(), a.positional[0].c_str());
+    if (a.timestamps) {
+        // Monotonic synthetic clock: one timestamp unit per record, so
+        // `replay --tick-every T` produces one epoch tick every T records.
+        std::vector<std::uint64_t> ts(stream.size());
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            ts[i] = static_cast<std::uint64_t>(i);
+        }
+        write_trace(a.positional[0], stream, ts);
+        std::printf("wrote %zu updates to %s (FQTR v2, timestamps)\n", stream.size(),
+                    a.positional[0].c_str());
+    } else {
+        write_trace(a.positional[0], stream);
+        std::printf("wrote %zu updates to %s\n", stream.size(), a.positional[0].c_str());
+    }
     return 0;
 }
 
@@ -534,13 +572,124 @@ int cmd_report(const args& a) {
     return 0;
 }
 
+std::vector<unsigned> parse_levels(const std::string& spec) {
+    std::vector<unsigned> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string tok =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!tok.empty()) {
+            out.push_back(static_cast<unsigned>(std::strtoul(tok.c_str(), nullptr, 10)));
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    if (out.empty()) {
+        throw std::invalid_argument("--levels: no prefix lengths in '" + spec + "'");
+    }
+    return out;
+}
+
+telemetry::hhh_summarizer build_hhh_from_flags(const args& a) {
+    lifetime_kind lifetime = lifetime_kind::plain;
+    if (a.policy == "fading") {
+        lifetime = lifetime_kind::fading;
+    } else if (a.policy == "window") {
+        lifetime = lifetime_kind::windowed;
+    } else if (a.policy != "plain") {
+        throw std::invalid_argument("unknown --policy " + a.policy +
+                                    " (expected plain|fading|window)");
+    }
+    telemetry::hhh_config cfg;
+    for (const unsigned len : parse_levels(a.levels)) {
+        cfg.levels.push_back({.prefix_len = len,
+                              .lifetime = lifetime,
+                              .decay = a.decay,
+                              .window_epochs = a.window});
+    }
+    cfg.counters_per_level = a.k;
+    cfg.seed = a.seed;
+    cfg.shards = std::max<std::uint32_t>(1, a.shards);
+    if (a.snapshot_every > 0) {
+        cfg.snapshot_every = std::chrono::milliseconds(a.snapshot_every);
+    }
+    return telemetry::hhh_summarizer(std::move(cfg));
+}
+
+void print_replay_report(const telemetry::replay_report& rep) {
+    std::printf("replayed %llu records in %.3fs: %.2f M records/s, %llu epoch ticks\n",
+                static_cast<unsigned long long>(rep.records), rep.seconds,
+                rep.records_per_sec / 1e6, static_cast<unsigned long long>(rep.ticks));
+    std::printf("chunk tails: p50=%.3fms p99=%.3fms\n", rep.chunk_p50_s * 1e3,
+                rep.chunk_p99_s * 1e3);
+}
+
+int cmd_hhh(const args& a) {
+    if (a.positional.empty()) {
+        std::fprintf(stderr, "hhh: trace path required\n");
+        return 2;
+    }
+    const auto trace = read_timed_trace(a.positional[0]);
+    auto monitor = build_hhh_from_flags(a);
+    const auto rep = telemetry::replay_into(
+        monitor, trace, {.tick_interval = a.tick_every});
+    print_replay_report(rep);
+    std::printf("%zu levels x %u shards, %zu KiB of sketches, N=%.6g\n",
+                monitor.num_levels(), monitor.cfg().shards,
+                monitor.memory_bytes() / 1024, monitor.total_weight());
+
+    const auto rows = monitor.query(a.phi);
+    std::printf("hierarchical heavy hitters (phi=%.4g%%):\n", 100.0 * a.phi);
+    std::printf("%-22s %14s %16s\n", "prefix", "estimate", "conditioned");
+    for (const auto& r : rows) {
+        std::printf("%-22s %14.6g %16.6g\n", r.to_string().c_str(), r.estimate,
+                    r.conditioned);
+    }
+    return 0;
+}
+
+int cmd_replay(const args& a) {
+    if (a.positional.empty()) {
+        std::fprintf(stderr, "replay: trace path required\n");
+        return 2;
+    }
+    const auto trace = read_timed_trace(a.positional[0]);
+    const telemetry::replay_options opt{.tick_interval = a.tick_every};
+    if (a.into == "hhh") {
+        auto monitor = build_hhh_from_flags(a);
+        const auto rep = telemetry::replay_into(monitor, trace, opt);
+        print_replay_report(rep);
+        std::printf("sink: hhh %zu levels x %u shards, N=%.6g\n", monitor.num_levels(),
+                    monitor.cfg().shards, monitor.total_weight());
+        return 0;
+    }
+    if (a.into != "engine") {
+        std::fprintf(stderr, "replay: unknown --into %s (expected engine|hhh)\n",
+                     a.into.c_str());
+        return 2;
+    }
+    args sink_args = a;
+    if (sink_args.shards == 0) {
+        sink_args.shards = 2;  // replay exercises the sharded pipeline by default
+    }
+    auto s = build_from_flags(sink_args);
+    const auto rep = telemetry::replay_into(s, trace, opt);
+    print_replay_report(rep);
+    std::printf("sink: engine %s, N=%.6g\n", s.descriptor().to_string().c_str(),
+                s.total_weight());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: freq_cli <gen|stats|run|sketch|merge|query|report> ... (see "
-                     "file header for flags)\n");
+                     "usage: freq_cli <gen|stats|run|sketch|merge|query|report|hhh|replay>"
+                     " ... (see file header for flags)\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -553,6 +702,8 @@ int main(int argc, char** argv) {
         if (cmd == "merge") return cmd_merge(a);
         if (cmd == "query") return cmd_query(a);
         if (cmd == "report") return cmd_report(a);
+        if (cmd == "hhh") return cmd_hhh(a);
+        if (cmd == "replay") return cmd_replay(a);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

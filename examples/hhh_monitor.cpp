@@ -1,30 +1,36 @@
 /// Hierarchical heavy hitters: the network-monitoring application of
-/// §1.2/§6 ([18]) built on the sketch. Detects both a single hot host and a
-/// distributed hot subnet (e.g. a scanning botnet inside one /24) that no
-/// per-host view would surface.
+/// §1.2/§6 ([18]), now a thin wrapper over the engine-backed
+/// telemetry::hhh_summarizer — one sharded summarizer per prefix level with
+/// a cached snapshot service, fed through a bundled engine feeder. Detects
+/// both a single hot host and a distributed hot subnet (e.g. a scanning
+/// botnet inside one /24) that no per-host view would surface.
 ///
 ///   build/examples/hhh_monitor
 
 #include <cstdio>
 
-#include "hhh/hierarchical_heavy_hitters.h"
+#include "net/ipv4.h"
 #include "random/xoshiro.h"
 #include "stream/generators.h"
+#include "telemetry/hhh_summarizer.h"
 
 int main() {
     using namespace freq;
-    using namespace freq::hhh;
+    using namespace freq::telemetry;
 
-    hierarchical_heavy_hitters monitor({
-        .levels = {32, 24, 16, 8},
+    hhh_summarizer monitor(hhh_config{
         .counters_per_level = 2048,
         .seed = 1,
+        .shards = 2,
+        .snapshot_every = std::chrono::milliseconds(1),
     });
+
+    auto feed = monitor.make_feeder();
 
     // Background traffic: CAIDA-like packet mix.
     caida_like_generator background({.num_updates = 1'000'000, .num_flows = 100'000, .seed = 3});
     for (const auto& pkt : background.generate()) {
-        monitor.update(static_cast<std::uint32_t>(pkt.id), pkt.weight);
+        feed.push(static_cast<std::uint32_t>(pkt.id), static_cast<double>(pkt.weight));
     }
 
     // Anomaly 1: one host exfiltrating at high volume.
@@ -34,21 +40,22 @@ int main() {
     const std::uint32_t botnet = *net::parse_ipv4("198.51.100.0");
     xoshiro256ss rng(9);
     for (int i = 0; i < 120'000; ++i) {
-        monitor.update(hot_host, 12'000);
-        monitor.update(botnet + static_cast<std::uint32_t>(rng.below(256)), 6'000);
+        feed.push(hot_host, 12'000);
+        feed.push(botnet + static_cast<std::uint32_t>(rng.below(256)), 6'000);
     }
+    feed.flush();
+    monitor.flush();  // applied-barrier before querying
 
-    std::printf("monitored %.3f Gbit across %zu KiB of sketches\n\n",
-                static_cast<double>(monitor.total_weight()) / 1e9,
-                monitor.memory_bytes() / 1024);
+    std::printf("monitored %.3f Gbit across %zu KiB of sketches (%u shards/level)\n\n",
+                monitor.total_weight() / 1e9, monitor.memory_bytes() / 1024,
+                monitor.cfg().shards);
 
     const auto rows = monitor.query(/*phi=*/0.05);
     std::printf("hierarchical heavy hitters (phi = 5%%):\n");
     std::printf("%-22s %14s %16s\n", "prefix", "est. bits", "conditioned bits");
     for (const auto& r : rows) {
-        std::printf("%-22s %14llu %16llu\n", r.to_string().c_str(),
-                    static_cast<unsigned long long>(r.estimate),
-                    static_cast<unsigned long long>(r.conditioned));
+        std::printf("%-22s %14.0f %16.0f\n", r.to_string().c_str(), r.estimate,
+                    r.conditioned);
     }
     std::printf("\nexpected: 203.0.113.77/32 (hot host) and 198.51.100.0/24 (distributed"
                 " subnet; its hosts are individually small)\n");

@@ -18,7 +18,9 @@ Checks, per the exposition-format spec (subset the obs registry emits):
 
 Exit 0 on success, 1 with a line-numbered diagnostic on the first violation.
 `--min-families N` additionally requires at least N distinct families
-(catches an accidentally-inert registry, e.g. a FREQ_OBS_OFF binary).
+(catches an accidentally-inert registry, e.g. a FREQ_OBS_OFF binary), and
+`--require a,b,c` names specific families that must be declared (catches a
+metric renamed or dropped from the registry without updating its consumers).
 """
 
 import argparse
@@ -100,6 +102,8 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--min-families", type=int, default=0,
                     help="require at least N distinct metric families")
+    ap.add_argument("--require", default="",
+                    help="comma-separated family names that must be declared")
     opts = ap.parse_args()
 
     declared = {}        # family -> type
@@ -178,6 +182,13 @@ def main():
         sys.stderr.write(
             "check_prom_format: only %d families, need >= %d\n"
             % (len(declared), opts.min_families))
+        return 1
+    required = [name for name in opts.require.split(",") if name]
+    missing = [name for name in required if name not in declared]
+    if missing:
+        sys.stderr.write(
+            "check_prom_format: required families missing: %s\n"
+            % ", ".join(sorted(missing)))
         return 1
     print("check_prom_format: OK (%d families, %d series)"
           % (len(declared), len(seen_series)))

@@ -63,6 +63,12 @@
 #include "entropy/entropy_estimator.h"
 #include "hhh/hierarchical_heavy_hitters.h"
 
+// The network-telemetry subsystem: the applications promoted onto the
+// engine (per-level sharded HHH, certified entropy alarms, trace replay).
+#include "telemetry/entropy_monitor.h"
+#include "telemetry/hhh_summarizer.h"
+#include "telemetry/trace_replay.h"
+
 // Workloads, ground truth and IO.
 #include "metrics/error.h"
 #include "metrics/space.h"

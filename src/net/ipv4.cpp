@@ -10,26 +10,31 @@ std::optional<std::uint32_t> parse_ipv4(const std::string& dotted) {
     std::array<std::uint32_t, 4> octets{};
     std::size_t octet = 0;
     std::uint32_t value = 0;
-    bool have_digit = false;
+    std::size_t digits = 0;
     for (const char c : dotted) {
         if (c >= '0' && c <= '9') {
+            // At most 3 digits per octet: the value>255 check alone would
+            // accept arbitrarily many leading zeros ("0000.1.2.3"), making
+            // acceptance inconsistent with the canonical dotted-quad form.
+            if (++digits > 3) {
+                return std::nullopt;
+            }
             value = value * 10 + static_cast<std::uint32_t>(c - '0');
             if (value > 255) {
                 return std::nullopt;
             }
-            have_digit = true;
         } else if (c == '.') {
-            if (!have_digit || octet >= 3) {
+            if (digits == 0 || octet >= 3) {
                 return std::nullopt;
             }
             octets[octet++] = value;
             value = 0;
-            have_digit = false;
+            digits = 0;
         } else {
             return std::nullopt;
         }
     }
-    if (!have_digit || octet != 3) {
+    if (digits == 0 || octet != 3) {
         return std::nullopt;
     }
     octets[3] = value;

@@ -19,6 +19,8 @@
 ///   freq_spelling_*  identification side-lane (channel + dedupe filter)
 ///   freq_snapshot_*  async snapshot service
 ///   freq_facade_*    api/summarizer.h verbs
+///   freq_hhh_* / freq_entropy_* / freq_replay_*
+///                    network-telemetry subsystem (src/telemetry/)
 ///
 /// Under -DFREQ_OBS_OFF this struct collapses to a bundle of empty no-op
 /// members with constant initialization, so obs::pipeline().x.add(…)
@@ -68,6 +70,11 @@ struct pipeline_metrics {
     histogram& facade_estimate_latency_ns;
     histogram& facade_frequent_items_latency_ns;
     histogram& facade_top_items_latency_ns;
+
+    // --- network telemetry ----------------------------------------------------
+    counter& hhh_levels_queried;
+    counter& entropy_alarms;
+    counter& replay_records;
 
     static pipeline_metrics& instance() {
         static pipeline_metrics m{registry::global()};
@@ -161,7 +168,16 @@ private:
           facade_top_items_latency_ns(r.get_histogram(
               "freq_facade_query_latency_ns",
               "Facade query latency by verb, nanoseconds",
-              {{"verb", "top_items"}})) {}
+              {{"verb", "top_items"}})),
+          hhh_levels_queried(r.get_counter(
+              "freq_hhh_levels_queried_total",
+              "Prefix levels walked by hierarchical heavy-hitter queries")),
+          entropy_alarms(r.get_counter(
+              "freq_entropy_alarm_total",
+              "Entropy-shift alarms raised (collapse or spike vs the EWMA baseline)")),
+          replay_records(r.get_counter(
+              "freq_replay_records_total",
+              "Trace records driven through the pipeline by replay harnesses")) {}
 };
 
 #else  // FREQ_OBS_OFF: empty no-op members, constant-initialized.
@@ -194,6 +210,9 @@ struct pipeline_metrics {
     histogram facade_estimate_latency_ns;
     histogram facade_frequent_items_latency_ns;
     histogram facade_top_items_latency_ns;
+    counter hhh_levels_queried;
+    counter entropy_alarms;
+    counter replay_records;
 
     static pipeline_metrics& instance() noexcept {
         static pipeline_metrics m;

@@ -1,6 +1,7 @@
 #include "stream/trace_io.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -12,7 +13,9 @@ namespace freq {
 namespace {
 
 constexpr std::uint32_t trace_magic = 0x52545146;  // "FQTR" little-endian
-constexpr std::uint32_t trace_version = 1;
+constexpr std::uint32_t trace_version_1 = 1;
+constexpr std::uint32_t trace_version_2 = 2;
+constexpr std::uint32_t trace_flag_timestamps = 1u;
 
 struct file_closer {
     void operator()(std::FILE* f) const noexcept {
@@ -27,6 +30,137 @@ using unique_file = std::unique_ptr<std::FILE, file_closer>;
     throw std::runtime_error("libfreq trace IO: " + what + ": " + path);
 }
 
+void write_all(std::FILE* f, const byte_writer& w, const char* what,
+               const std::string& path) {
+    if (std::fwrite(w.bytes().data(), 1, w.size(), f) != w.size()) {
+        fail(what, path);
+    }
+}
+
+void write_records(std::FILE* f, const std::string& path,
+                   const update_stream<std::uint64_t, std::uint64_t>& stream,
+                   const std::vector<std::uint64_t>* timestamps) {
+    // Records are streamed through a fixed chunk buffer so multi-gigabyte
+    // traces never need a second in-memory copy.
+    constexpr std::size_t chunk_records = 64 * 1024;
+    const std::size_t record_size = timestamps != nullptr ? 24 : 16;
+    byte_writer chunk;
+    chunk.reserve(chunk_records * record_size);
+    std::size_t pending = 0;
+    auto flush = [&] {
+        if (pending == 0) {
+            return;
+        }
+        write_all(f, chunk, "record write failed", path);
+        chunk = byte_writer{};
+        chunk.reserve(chunk_records * record_size);
+        pending = 0;
+    };
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        chunk.put_u64(stream[i].id);
+        chunk.put_u64(stream[i].weight);
+        if (timestamps != nullptr) {
+            chunk.put_u64((*timestamps)[i]);
+        }
+        if (++pending == chunk_records) {
+            flush();
+        }
+    }
+    flush();
+    if (std::fflush(f) != 0) {
+        fail("flush failed", path);
+    }
+}
+
+timed_trace read_any_trace(const std::string& path, bool keep_timestamps) {
+    unique_file f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        fail("cannot open for reading", path);
+    }
+    std::error_code ec;
+    const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+    if (ec) {
+        fail("cannot stat", path);
+    }
+
+    std::vector<std::uint8_t> head(8);
+    if (std::fread(head.data(), 1, head.size(), f.get()) != head.size()) {
+        fail("truncated header", path);
+    }
+    byte_reader header(head);
+    if (header.get_u32() != trace_magic) {
+        fail("bad magic (not a FQTR trace)", path);
+    }
+    const std::uint32_t version = header.get_u32();
+
+    std::uint64_t count = 0;
+    std::size_t header_size = 0;
+    bool has_timestamps = false;
+    if (version == trace_version_1) {
+        std::vector<std::uint8_t> rest(8);
+        if (std::fread(rest.data(), 1, rest.size(), f.get()) != rest.size()) {
+            fail("truncated header", path);
+        }
+        count = byte_reader(rest).get_u64();
+        header_size = 16;
+    } else if (version == trace_version_2) {
+        std::vector<std::uint8_t> rest(16);
+        if (std::fread(rest.data(), 1, rest.size(), f.get()) != rest.size()) {
+            fail("truncated header", path);
+        }
+        byte_reader r(rest);
+        const std::uint32_t flags = r.get_u32();
+        const std::uint32_t reserved = r.get_u32();
+        if ((flags & ~trace_flag_timestamps) != 0 || reserved != 0) {
+            fail("unsupported trace flags", path);
+        }
+        has_timestamps = (flags & trace_flag_timestamps) != 0;
+        count = r.get_u64();
+        header_size = 24;
+    } else {
+        fail("unsupported trace version", path);
+    }
+
+    // Validate the claimed record count against the bytes actually present
+    // BEFORE reserving: a malformed header must not drive a huge allocation.
+    const std::uint64_t record_size = has_timestamps ? 24 : 16;
+    const std::uint64_t payload =
+        file_size > header_size ? static_cast<std::uint64_t>(file_size) - header_size : 0;
+    if (count > payload / record_size) {
+        fail("header count exceeds file size", path);
+    }
+
+    timed_trace out;
+    out.updates.reserve(static_cast<std::size_t>(count));
+    if (keep_timestamps && has_timestamps) {
+        out.timestamps.reserve(static_cast<std::size_t>(count));
+    }
+    constexpr std::size_t chunk_records = 64 * 1024;
+    std::vector<std::uint8_t> buf(chunk_records * static_cast<std::size_t>(record_size));
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t want =
+            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, chunk_records));
+        if (std::fread(buf.data(), record_size, want, f.get()) != want) {
+            fail("truncated records", path);
+        }
+        byte_reader r(buf.data(), want * record_size);
+        for (std::size_t i = 0; i < want; ++i) {
+            const std::uint64_t id = r.get_u64();
+            const std::uint64_t w = r.get_u64();
+            out.updates.push_back({id, w});
+            if (has_timestamps) {
+                const std::uint64_t ts = r.get_u64();
+                if (keep_timestamps) {
+                    out.timestamps.push_back(ts);
+                }
+            }
+        }
+        remaining -= want;
+    }
+    return out;
+}
+
 }  // namespace
 
 void write_trace(const std::string& path,
@@ -37,80 +171,39 @@ void write_trace(const std::string& path,
     }
     byte_writer header;
     header.put_u32(trace_magic);
-    header.put_u32(trace_version);
+    header.put_u32(trace_version_1);
     header.put_u64(stream.size());
-    if (std::fwrite(header.bytes().data(), 1, header.size(), f.get()) != header.size()) {
-        fail("header write failed", path);
+    write_all(f.get(), header, "header write failed", path);
+    write_records(f.get(), path, stream, nullptr);
+}
+
+void write_trace(const std::string& path,
+                 const update_stream<std::uint64_t, std::uint64_t>& stream,
+                 const std::vector<std::uint64_t>& timestamps) {
+    if (timestamps.size() != stream.size()) {
+        throw std::invalid_argument(
+            "libfreq trace IO: timestamps size must match stream size");
     }
-    // Records are streamed through a fixed chunk buffer so multi-gigabyte
-    // traces never need a second in-memory copy.
-    constexpr std::size_t chunk_records = 64 * 1024;
-    byte_writer chunk;
-    chunk.reserve(chunk_records * 16);
-    std::size_t pending = 0;
-    auto flush = [&] {
-        if (pending == 0) {
-            return;
-        }
-        if (std::fwrite(chunk.bytes().data(), 1, chunk.size(), f.get()) != chunk.size()) {
-            fail("record write failed", path);
-        }
-        chunk = byte_writer{};
-        chunk.reserve(chunk_records * 16);
-        pending = 0;
-    };
-    for (const auto& u : stream) {
-        chunk.put_u64(u.id);
-        chunk.put_u64(u.weight);
-        if (++pending == chunk_records) {
-            flush();
-        }
+    unique_file f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        fail("cannot open for writing", path);
     }
-    flush();
-    if (std::fflush(f.get()) != 0) {
-        fail("flush failed", path);
-    }
+    byte_writer header;
+    header.put_u32(trace_magic);
+    header.put_u32(trace_version_2);
+    header.put_u32(trace_flag_timestamps);
+    header.put_u32(0);  // reserved
+    header.put_u64(stream.size());
+    write_all(f.get(), header, "header write failed", path);
+    write_records(f.get(), path, stream, &timestamps);
 }
 
 update_stream<std::uint64_t, std::uint64_t> read_trace(const std::string& path) {
-    unique_file f(std::fopen(path.c_str(), "rb"));
-    if (!f) {
-        fail("cannot open for reading", path);
-    }
-    std::vector<std::uint8_t> header_bytes(16);
-    if (std::fread(header_bytes.data(), 1, header_bytes.size(), f.get()) !=
-        header_bytes.size()) {
-        fail("truncated header", path);
-    }
-    byte_reader header(header_bytes);
-    if (header.get_u32() != trace_magic) {
-        fail("bad magic (not a FQTR trace)", path);
-    }
-    if (header.get_u32() != trace_version) {
-        fail("unsupported trace version", path);
-    }
-    const std::uint64_t count = header.get_u64();
+    return read_any_trace(path, /*keep_timestamps=*/false).updates;
+}
 
-    update_stream<std::uint64_t, std::uint64_t> out;
-    out.reserve(count);
-    constexpr std::size_t chunk_records = 64 * 1024;
-    std::vector<std::uint8_t> buf(chunk_records * 16);
-    std::uint64_t remaining = count;
-    while (remaining > 0) {
-        const std::size_t want =
-            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, chunk_records));
-        if (std::fread(buf.data(), 16, want, f.get()) != want) {
-            fail("truncated records", path);
-        }
-        byte_reader r(buf.data(), want * 16);
-        for (std::size_t i = 0; i < want; ++i) {
-            const std::uint64_t id = r.get_u64();
-            const std::uint64_t w = r.get_u64();
-            out.push_back({id, w});
-        }
-        remaining -= want;
-    }
-    return out;
+timed_trace read_timed_trace(const std::string& path) {
+    return read_any_trace(path, /*keep_timestamps=*/true);
 }
 
 }  // namespace freq

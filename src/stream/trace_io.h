@@ -7,26 +7,62 @@
 /// (identifier, weight) records once and re-running all algorithms on the
 /// same on-disk stream.
 ///
-/// Layout (little-endian):
+/// Layout (little-endian), version 1:
 ///   magic   u32  'FQTR'
-///   version u32  (currently 1)
+///   version u32  (1)
 ///   count   u64  number of records
 ///   records count × { id u64, weight u64 }
+///
+/// Version 2 adds optional per-record timestamps (opaque monotonic units —
+/// microseconds by convention) for replay harnesses that reproduce epoch
+/// ticks or pacing:
+///   magic    u32  'FQTR'
+///   version  u32  (2)
+///   flags    u32  bit 0: records carry timestamps; other bits reserved (0)
+///   reserved u32  (0)
+///   count    u64  number of records
+///   records  count × { id u64, weight u64 [, timestamp u64] }
+///
+/// Readers accept both versions and validate the header count against the
+/// actual file size before allocating, so a corrupt or malicious header can
+/// not trigger a multi-gigabyte reserve.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "stream/update.h"
 
 namespace freq {
 
-/// Writes \p stream to \p path; throws std::runtime_error on IO failure.
+/// A loaded trace: the update stream plus, when the image carried them,
+/// one timestamp per record (same indexing).
+struct timed_trace {
+    update_stream<std::uint64_t, std::uint64_t> updates;
+    std::vector<std::uint64_t> timestamps;  ///< empty, or size() == updates.size()
+
+    bool has_timestamps() const noexcept { return !timestamps.empty(); }
+};
+
+/// Writes \p stream to \p path as FQTR v1; throws std::runtime_error on IO
+/// failure.
 void write_trace(const std::string& path,
                  const update_stream<std::uint64_t, std::uint64_t>& stream);
 
-/// Reads a trace written by write_trace; throws std::runtime_error on IO
-/// failure or malformed header.
+/// Writes \p stream with per-record \p timestamps as FQTR v2. Throws
+/// std::invalid_argument when the sizes differ, std::runtime_error on IO
+/// failure.
+void write_trace(const std::string& path,
+                 const update_stream<std::uint64_t, std::uint64_t>& stream,
+                 const std::vector<std::uint64_t>& timestamps);
+
+/// Reads a v1 or v2 trace, dropping timestamps if present; throws
+/// std::runtime_error on IO failure or a malformed image.
 update_stream<std::uint64_t, std::uint64_t> read_trace(const std::string& path);
+
+/// Reads a v1 or v2 trace, keeping timestamps when the image has them;
+/// throws std::runtime_error on IO failure or a malformed image.
+timed_trace read_timed_trace(const std::string& path);
 
 }  // namespace freq
 

@@ -1,0 +1,301 @@
+#ifndef FREQ_TELEMETRY_HHH_SUMMARIZER_H
+#define FREQ_TELEMETRY_HHH_SUMMARIZER_H
+
+/// \file hhh_summarizer.h
+/// Engine-backed hierarchical heavy hitters over IPv4 prefixes — the seed
+/// `hhh::hierarchical_heavy_hitters` scheme (Mitzenmacher, Steinke & Thaler)
+/// promoted onto the runtime façade: one sharded `freq::summarizer` per
+/// prefix level, each with its own lifetime policy, so a deployment can ask
+/// for "all-time /8s but only the last five minutes of /32s" from a single
+/// object. Queries run the same discounted-descendant walk as the seed and
+/// are bit-for-bit identical to it on matching single-shard plain configs
+/// (property-tested in test_telemetry_hhh).
+///
+/// Walk semantics (unchanged from the seed): levels are visited from the
+/// most specific prefix upward; within a level every tracked prefix whose
+/// upper bound clears φ·N (no-false-negatives candidates) is considered in
+/// (estimate desc, prefix asc) order; a candidate is reported iff its
+/// *conditioned* count — estimate minus the estimates of already-reported
+/// strictly-more-specific HHHs it covers — strictly exceeds φ·N. N and the
+/// candidate set come from one snapshot view per level, so a query is
+/// internally consistent even while feeders keep pushing.
+///
+/// Cross-node aggregation rides the existing envelope machinery:
+/// `save()` emits one `summary_bytes` per level and `hhh_aggregate` folds
+/// images from many nodes with `restore_summary` + `summarizer::merge`,
+/// then answers the same conditioned-count queries over the merged views.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/builder.h"
+#include "api/result_set.h"
+#include "api/summarizer.h"
+#include "api/summary_bytes.h"
+#include "common/contracts.h"
+#include "net/ipv4.h"
+#include "obs/pipeline_metrics.h"
+
+namespace freq::telemetry {
+
+/// One reported hierarchical heavy hitter. Estimates are doubles because
+/// levels may run real-weighted (fading) policies; for plain count levels
+/// they are exact integers (≤ 2^53) and compare bit-for-bit against the
+/// seed's u64 rows.
+struct hhh_row {
+    std::uint32_t prefix = 0;   ///< masked address
+    unsigned prefix_len = 0;
+    double estimate = 0.0;      ///< sketch estimate of the full prefix traffic
+    double conditioned = 0.0;   ///< estimate minus reported descendants
+
+    std::string to_string() const { return net::format_prefix(prefix, prefix_len); }
+};
+
+/// Per-level knobs: the prefix length plus that level's lifetime policy.
+/// `decay` is read only for `lifetime_kind::fading`, `window_epochs` only
+/// for `lifetime_kind::windowed`.
+struct hhh_level_config {
+    unsigned prefix_len = 32;
+    lifetime_kind lifetime = lifetime_kind::plain;
+    double decay = 0.97;
+    std::uint32_t window_epochs = 4;
+};
+
+struct hhh_config {
+    /// Levels in any order; stored sorted descending (most specific first).
+    /// Empty means the byte-boundary default /32, /24, /16, /8 — all plain.
+    std::vector<hhh_level_config> levels = {};
+    std::uint32_t counters_per_level = 1024;  ///< k for each level's summarizer
+    std::uint64_t seed = 0;                   ///< level l hashes with seed + l + 1, like the seed module
+    std::uint32_t shards = 1;                 ///< engine shards per level
+    std::uint32_t producers = 1;              ///< concurrent feeders per level
+    /// > 0 enables each level's async snapshot service: queries then read
+    /// the cached published fold instead of folding on demand.
+    std::chrono::microseconds snapshot_every{0};
+};
+
+namespace detail {
+
+/// The discounted-descendant walk, shared by the live engine path and the
+/// merged-envelope path. `levels[i]` answers prefix length `lens[i]`;
+/// `lens` is sorted descending.
+inline std::vector<hhh_row> conditioned_walk(const std::vector<unsigned>& lens,
+                                             const std::vector<summarizer>& levels,
+                                             double phi) {
+    FREQ_REQUIRE(phi > 0.0 && phi < 1.0, "phi must lie in (0, 1)");
+    std::vector<hhh_row> out;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const unsigned len = lens[i];
+        // One view per level: a threshold-0 NFN query returns every tracked
+        // prefix together with the same view's N, so the φ·N cut and the
+        // candidate set cannot straddle a snapshot republish.
+        const result_set rs =
+            levels[i].frequent_items(error_mode::no_false_negatives, 0.0);
+        double threshold = phi * rs.total_weight();
+        if (levels[i].descriptor().weights == weight_kind::counts)
+            threshold = std::floor(threshold);  // the seed's u64 cast
+        std::vector<result_row> cand;
+        for (const result_row& r : rs.rows())
+            if (r.upper_bound > threshold) cand.push_back(r);
+        // Canonical order: estimate descending, prefix ascending. Same-level
+        // order never changes conditioned values (discounts only consult
+        // strictly more specific levels) but makes output deterministic
+        // across fold orders.
+        std::sort(cand.begin(), cand.end(), [](const result_row& a, const result_row& b) {
+            if (a.estimate != b.estimate) return a.estimate > b.estimate;
+            return a.id < b.id;
+        });
+        for (const result_row& c : cand) {
+            const auto prefix = static_cast<std::uint32_t>(c.id);
+            double discount = 0.0;
+            for (const hhh_row& r : out)
+                if (r.prefix_len > len && net::prefix_of(r.prefix, len) == prefix)
+                    discount += r.estimate;
+            const double cond = c.estimate > discount ? c.estimate - discount : 0.0;
+            if (cond > threshold)
+                out.push_back(hhh_row{prefix, len, c.estimate, cond});
+        }
+    }
+    return out;
+}
+
+}  // namespace detail
+
+/// A node's saved HHH state: one envelope per level, most specific first.
+/// Feed these to hhh_aggregate to fold across nodes.
+struct hhh_image {
+    std::vector<unsigned> prefix_lens;
+    std::vector<summary_bytes> levels;
+};
+
+/// Engine-backed HHH summarizer: owns one sharded façade summarizer per
+/// prefix level and fans every address update out to all of them.
+class hhh_summarizer {
+public:
+    explicit hhh_summarizer(hhh_config cfg) : cfg_(std::move(cfg)) {
+        if (cfg_.levels.empty())
+            for (const unsigned l : {32u, 24u, 16u, 8u})
+                cfg_.levels.push_back(hhh_level_config{.prefix_len = l});
+        std::sort(cfg_.levels.begin(), cfg_.levels.end(),
+                  [](const hhh_level_config& a, const hhh_level_config& b) {
+                      return a.prefix_len > b.prefix_len;
+                  });
+        for (const hhh_level_config& lc : cfg_.levels) {
+            FREQ_REQUIRE(lc.prefix_len <= 32, "IPv4 prefix level must be <= 32");
+            FREQ_REQUIRE(lens_.empty() || lens_.back() != lc.prefix_len,
+                         "duplicate HHH prefix level");
+            builder b;
+            b.u64_keys()
+                .max_counters(cfg_.counters_per_level)
+                .seed(cfg_.seed + lc.prefix_len + 1)
+                .sharded(cfg_.shards, cfg_.producers);
+            switch (lc.lifetime) {
+                case lifetime_kind::plain: b.counts().plain(); break;
+                case lifetime_kind::fading: b.fading(lc.decay); break;
+                case lifetime_kind::windowed:
+                    b.counts().sliding_window(lc.window_epochs);
+                    break;
+            }
+            if (cfg_.snapshot_every.count() > 0) b.snapshot_every(cfg_.snapshot_every);
+            lens_.push_back(lc.prefix_len);
+            levels_.push_back(b.build());
+        }
+    }
+
+    /// Single-threaded ingest of one packet/flow record. Use feeders for
+    /// concurrent ingestion.
+    void update(std::uint32_t ip, double weight = 1.0) {
+        for (std::size_t i = 0; i < levels_.size(); ++i)
+            levels_[i].update(net::prefix_of(ip, lens_[i]), weight);
+    }
+
+    /// One engine producer per level, bundled: push() masks the address per
+    /// level and hands each prefix to that level's ring. Distinct feeders
+    /// may run on distinct threads (up to hhh_config::producers each).
+    class feeder {
+    public:
+        void push(std::uint32_t ip, double weight = 1.0) {
+            for (std::size_t i = 0; i < feeders_.size(); ++i)
+                feeders_[i].push(net::prefix_of(ip, lens_[i]), weight);
+        }
+        void flush() {
+            for (summarizer::feeder& f : feeders_) f.flush();
+        }
+
+    private:
+        friend class hhh_summarizer;
+        feeder(std::vector<unsigned> lens, std::vector<summarizer::feeder> feeders)
+            : lens_(std::move(lens)), feeders_(std::move(feeders)) {}
+        std::vector<unsigned> lens_;
+        std::vector<summarizer::feeder> feeders_;
+    };
+
+    feeder make_feeder() {
+        std::vector<summarizer::feeder> fs;
+        fs.reserve(levels_.size());
+        for (summarizer& s : levels_) fs.push_back(s.make_feeder());
+        return feeder(lens_, std::move(fs));
+    }
+
+    /// Applied-barrier across every level (see summarizer::flush()).
+    void flush() {
+        for (summarizer& s : levels_) s.flush();
+    }
+
+    /// Advances epoch time on every level (fading decays, windows rotate;
+    /// no-op for plain levels).
+    void tick(std::uint64_t epochs = 1) {
+        for (summarizer& s : levels_) s.tick(epochs);
+    }
+
+    /// Advances a single level — per-level clocks let "/32s in the last
+    /// minute" tick faster than "/16s in the last hour".
+    void tick_level(std::size_t i, std::uint64_t epochs = 1) {
+        levels_.at(i).tick(epochs);
+    }
+
+    /// The conditioned-count HHH query (see file comment for semantics).
+    std::vector<hhh_row> query(double phi) const {
+        obs::pipeline().hhh_levels_queried.add(levels_.size());
+        return detail::conditioned_walk(lens_, levels_, phi);
+    }
+
+    std::size_t num_levels() const noexcept { return levels_.size(); }
+    unsigned prefix_len(std::size_t i) const { return lens_.at(i); }
+    const summarizer& level(std::size_t i) const { return levels_.at(i); }
+    const hhh_config& cfg() const noexcept { return cfg_; }
+
+    /// Total ingested weight at one level (index into cfg().levels order).
+    double total_weight(std::size_t i = 0) const { return levels_.at(i).total_weight(); }
+
+    std::size_t memory_bytes() const {
+        std::size_t total = 0;
+        for (const summarizer& s : levels_) total += s.memory_bytes();
+        return total;
+    }
+
+    /// Serializes every level through the versioned envelope (flushes
+    /// pending feeder pushes first, like summarizer::save()).
+    hhh_image save() {
+        hhh_image img;
+        img.prefix_lens = lens_;
+        img.levels.reserve(levels_.size());
+        for (summarizer& s : levels_) img.levels.push_back(s.save());
+        return img;
+    }
+
+private:
+    hhh_config cfg_;
+    std::vector<unsigned> lens_;     // sorted descending, parallel to levels_
+    std::vector<summarizer> levels_;
+};
+
+/// Cross-node HHH aggregation: folds per-level envelopes from N
+/// hhh_summarizer nodes (restore + merge, with the envelope layer's usual
+/// compatibility checks) and answers the same conditioned-count queries
+/// over the merged views. Node sketches should use the same seeds — which
+/// hhh_summarizer instances with equal hhh_config::seed do by construction.
+class hhh_aggregate {
+public:
+    void add_node(const hhh_image& img) {
+        FREQ_REQUIRE(img.prefix_lens.size() == img.levels.size(),
+                     "malformed hhh_image: level count mismatch");
+        if (merged_.empty()) {
+            lens_ = img.prefix_lens;
+            merged_.reserve(img.levels.size());
+            for (const summary_bytes& b : img.levels)
+                merged_.push_back(restore_summary(b));
+            return;
+        }
+        FREQ_REQUIRE(lens_ == img.prefix_lens,
+                     "hhh_image prefix levels do not match this aggregate");
+        for (std::size_t i = 0; i < merged_.size(); ++i) {
+            const summarizer node = restore_summary(img.levels[i]);
+            merged_[i].merge(node);
+        }
+    }
+
+    std::vector<hhh_row> query(double phi) const {
+        FREQ_REQUIRE(!merged_.empty(), "hhh_aggregate has no nodes");
+        obs::pipeline().hhh_levels_queried.add(merged_.size());
+        return detail::conditioned_walk(lens_, merged_, phi);
+    }
+
+    bool empty() const noexcept { return merged_.empty(); }
+    std::size_t num_levels() const noexcept { return merged_.size(); }
+    unsigned prefix_len(std::size_t i) const { return lens_.at(i); }
+    const summarizer& level(std::size_t i) const { return merged_.at(i); }
+
+private:
+    std::vector<unsigned> lens_;
+    std::vector<summarizer> merged_;
+};
+
+}  // namespace freq::telemetry
+
+#endif  // FREQ_TELEMETRY_HHH_SUMMARIZER_H

@@ -1,0 +1,162 @@
+#ifndef FREQ_TELEMETRY_TRACE_REPLAY_H
+#define FREQ_TELEMETRY_TRACE_REPLAY_H
+
+/// \file trace_replay.h
+/// Line-rate trace replay: drives an FQTR trace (stream/trace_io.h) through
+/// any sink at maximum rate in fixed-size chunks, timing every chunk so the
+/// report carries sustained records/sec plus p50/p99 chunk tails — the
+/// "line rate is a benchmarked claim" harness behind BENCH_hhh.json and
+/// `freq_cli replay`.
+///
+/// When the trace carries v2 timestamps and `tick_interval` is set, the
+/// replay converts timestamp progress into epoch ticks: crossing each
+/// `tick_interval`-sized timestamp boundary invokes the sink's tick hook,
+/// so fading/windowed summarizers decay in trace time rather than wall
+/// time. Tick hooks run inside the timed region — a replay measures the
+/// pipeline as deployed, barriers included.
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "api/summarizer.h"
+#include "obs/instruments.h"
+#include "obs/pipeline_metrics.h"
+#include "stream/trace_io.h"
+#include "telemetry/entropy_monitor.h"
+#include "telemetry/hhh_summarizer.h"
+
+namespace freq::telemetry {
+
+struct replay_options {
+    std::size_t chunk_records = 64 * 1024;  ///< records per timed chunk
+    /// Timestamp units per epoch tick; 0 (or a trace without timestamps)
+    /// disables trace-time ticking.
+    std::uint64_t tick_interval = 0;
+};
+
+struct replay_report {
+    std::uint64_t records = 0;
+    std::uint64_t ticks = 0;
+    double seconds = 0.0;
+    double records_per_sec = 0.0;
+    double chunk_p50_s = 0.0;
+    double chunk_p99_s = 0.0;
+};
+
+/// Replays \p trace through \p push (called as push(id, weight) per record)
+/// at maximum rate. \p tick is called as tick(epochs) whenever timestamp
+/// boundaries are crossed (see file comment). Increments
+/// `freq_replay_records_total` once per chunk.
+template <typename PushFn, typename TickFn>
+replay_report replay(const timed_trace& trace, const replay_options& opt,
+                     PushFn&& push, TickFn&& tick) {
+    using clock = std::chrono::steady_clock;
+    const std::size_t chunk =
+        opt.chunk_records == 0 ? std::size_t{64 * 1024} : opt.chunk_records;
+    const bool ticking = opt.tick_interval > 0 && trace.has_timestamps();
+
+    obs::basic_histogram chunk_ns;
+    replay_report rep;
+    std::uint64_t next_tick_at = 0;
+    if (ticking) next_tick_at = trace.timestamps.front() + opt.tick_interval;
+
+    const auto t0 = clock::now();
+    std::size_t i = 0;
+    const std::size_t n = trace.updates.size();
+    while (i < n) {
+        const std::size_t take = std::min(chunk, n - i);
+        const auto c0 = clock::now();
+        for (std::size_t j = i; j < i + take; ++j) {
+            if (ticking) {
+                const std::uint64_t ts = trace.timestamps[j];
+                if (ts >= next_tick_at) {
+                    const std::uint64_t epochs =
+                        (ts - next_tick_at) / opt.tick_interval + 1;
+                    tick(epochs);
+                    rep.ticks += epochs;
+                    next_tick_at += epochs * opt.tick_interval;
+                }
+            }
+            push(trace.updates[j].id, static_cast<double>(trace.updates[j].weight));
+        }
+        const auto c1 = clock::now();
+        chunk_ns.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(c1 - c0).count()));
+        obs::pipeline().replay_records.add(take);
+        i += take;
+    }
+    const auto t1 = clock::now();
+
+    rep.records = n;
+    rep.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rep.records_per_sec = rep.seconds > 0.0 ? static_cast<double>(n) / rep.seconds : 0.0;
+    const auto snap = chunk_ns.snap();
+    rep.chunk_p50_s = snap.quantile(0.5) / 1e9;
+    rep.chunk_p99_s = snap.quantile(0.99) / 1e9;
+    return rep;
+}
+
+template <typename PushFn>
+replay_report replay(const timed_trace& trace, const replay_options& opt,
+                     PushFn&& push) {
+    return replay(trace, opt, std::forward<PushFn>(push), [](std::uint64_t) {});
+}
+
+/// Replays into a façade summarizer through an engine feeder; timestamp
+/// ticks flush (applied-barrier) and advance the summarizer's epoch.
+inline replay_report replay_into(summarizer& s, const timed_trace& trace,
+                                 const replay_options& opt = {}) {
+    summarizer::feeder f = s.make_feeder();
+    replay_report rep = replay(
+        trace, opt, [&](std::uint64_t id, double w) { f.push(id, w); },
+        [&](std::uint64_t epochs) {
+            f.flush();
+            s.flush();
+            s.tick(epochs);
+        });
+    f.flush();
+    s.flush();
+    return rep;
+}
+
+/// Replays into an HHH summarizer (every record fans out to all prefix
+/// levels through the bundled feeder); ticks advance every level.
+inline replay_report replay_into(hhh_summarizer& h, const timed_trace& trace,
+                                 const replay_options& opt = {}) {
+    hhh_summarizer::feeder f = h.make_feeder();
+    replay_report rep = replay(
+        trace, opt,
+        [&](std::uint64_t id, double w) {
+            f.push(static_cast<std::uint32_t>(id), w);
+        },
+        [&](std::uint64_t epochs) {
+            f.flush();
+            h.flush();
+            h.tick(epochs);
+        });
+    f.flush();
+    h.flush();
+    return rep;
+}
+
+/// Replays into an entropy monitor (through its counting feeder, so the
+/// certified residual bound stays valid); ticks advance the monitor.
+inline replay_report replay_into(entropy_monitor& m, const timed_trace& trace,
+                                 const replay_options& opt = {}) {
+    entropy_monitor::feeder f = m.make_feeder();
+    replay_report rep = replay(
+        trace, opt, [&](std::uint64_t id, double w) { f.push(id, w); },
+        [&](std::uint64_t epochs) {
+            f.flush();
+            m.flush();
+            m.tick(epochs);
+        });
+    f.flush();
+    m.flush();
+    return rep;
+}
+
+}  // namespace freq::telemetry
+
+#endif  // FREQ_TELEMETRY_TRACE_REPLAY_H

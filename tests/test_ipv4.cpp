@@ -24,6 +24,29 @@ TEST(Ipv4, ParseRejectsMalformedInput) {
     EXPECT_EQ(parse_ipv4("1.2.3.4 "), std::nullopt);
 }
 
+TEST(Ipv4, ParseRejectsOverlongOctets) {
+    // At most 3 digits per octet: an unlimited-leading-zeros parse would
+    // accept non-canonical spellings the value-range check alone misses.
+    EXPECT_EQ(parse_ipv4("0000.1.2.3"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.0000.2.3"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.0000.3"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3.0000"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("0001.2.3.4"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3.00000000004"), std::nullopt);
+    // Up to 3 digits (even with leading zeros) stays accepted.
+    EXPECT_EQ(parse_ipv4("010.001.2.3"), (10u << 24) | (1u << 16) | (2u << 8) | 3u);
+    EXPECT_EQ(parse_ipv4("000.0.0.0"), 0u);
+}
+
+TEST(Ipv4, ParseRejectsSignsAndWhitespace) {
+    EXPECT_EQ(parse_ipv4("+1.2.3.4"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("-1.2.3.4"), std::nullopt);
+    EXPECT_EQ(parse_ipv4(" 1.2.3.4"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3.4\n"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1.2.3.4\t"), std::nullopt);
+    EXPECT_EQ(parse_ipv4("1. 2.3.4"), std::nullopt);
+}
+
 TEST(Ipv4, FormatRoundTrip) {
     for (const std::uint32_t addr : {0u, 0xffffffffu, 0x0a000001u, 0xc0a8012au, 0x7f000001u}) {
         const auto parsed = parse_ipv4(format_ipv4(addr));

@@ -1,0 +1,337 @@
+#include "telemetry/hhh_summarizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "hhh/hierarchical_heavy_hitters.h"
+#include "net/ipv4.h"
+#include "random/xoshiro.h"
+#include "stream/generators.h"
+#include "telemetry/entropy_monitor.h"
+
+namespace freq::telemetry {
+namespace {
+
+// Canonical form for cross-implementation comparison: same-level candidate
+// order is unspecified (it never affects values), so sort rows by
+// (prefix_len desc, estimate desc, prefix asc) before comparing.
+using canon_row = std::tuple<unsigned, std::uint64_t, std::uint32_t, std::uint64_t>;
+
+std::vector<canon_row> canon(const std::vector<hhh_row>& rows) {
+    std::vector<canon_row> out;
+    for (const auto& r : rows) {
+        out.emplace_back(r.prefix_len, static_cast<std::uint64_t>(r.estimate), r.prefix,
+                         static_cast<std::uint64_t>(r.conditioned));
+    }
+    std::sort(out.begin(), out.end(), [](const canon_row& a, const canon_row& b) {
+        if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+        if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) > std::get<1>(b);
+        return std::get<2>(a) < std::get<2>(b);
+    });
+    return out;
+}
+
+std::vector<canon_row> canon(
+    const std::vector<hhh::hierarchical_heavy_hitters::hhh_row>& rows) {
+    std::vector<canon_row> out;
+    for (const auto& r : rows) {
+        out.emplace_back(r.prefix_len, r.estimate, r.prefix, r.conditioned);
+    }
+    std::sort(out.begin(), out.end(), [](const canon_row& a, const canon_row& b) {
+        if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+        if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) > std::get<1>(b);
+        return std::get<2>(a) < std::get<2>(b);
+    });
+    return out;
+}
+
+bool has_row(const std::vector<hhh_row>& rows, std::uint32_t prefix, unsigned len) {
+    for (const auto& r : rows) {
+        if (r.prefix == prefix && r.prefix_len == len) return true;
+    }
+    return false;
+}
+
+TEST(TelemetryHhh, EngineMatchesSeedBitForBit) {
+    // Acceptance criterion: on identical single-shard plain configs the
+    // engine-backed path reproduces the seed hierarchical_heavy_hitters
+    // exactly — same candidate sets, same estimates, same conditioned
+    // counts — across several thresholds.
+    hhh::hierarchical_heavy_hitters seed_monitor(
+        {.levels = {32, 24, 16, 8}, .counters_per_level = 512, .seed = 7});
+    hhh_config cfg;
+    cfg.counters_per_level = 512;
+    cfg.seed = 7;
+    cfg.shards = 1;
+    hhh_summarizer engine_monitor(std::move(cfg));
+
+    caida_like_generator gen(
+        {.num_updates = 200'000, .num_flows = 20'000, .alpha = 1.1, .seed = 5});
+    for (const auto& pkt : gen.generate()) {
+        const auto ip = static_cast<std::uint32_t>(pkt.id);
+        seed_monitor.update(ip, pkt.weight);
+        engine_monitor.update(ip, static_cast<double>(pkt.weight));
+    }
+    engine_monitor.flush();
+
+    ASSERT_EQ(static_cast<double>(seed_monitor.total_weight()),
+              engine_monitor.total_weight(0));
+    // phi=0.2 exceeds every prefix's share — both sides must agree on empty.
+    for (const double phi : {0.01, 0.02, 0.05, 0.2}) {
+        const auto expected = canon(seed_monitor.query(phi));
+        const auto actual = canon(engine_monitor.query(phi));
+        EXPECT_EQ(actual, expected) << "phi=" << phi;
+        if (phi <= 0.05) {
+            EXPECT_FALSE(expected.empty()) << "vacuous parity check at phi=" << phi;
+        }
+    }
+}
+
+TEST(TelemetryHhh, DescendantExactlyAtThresholdIsExcluded) {
+    // Strict > semantics: a /32 carrying exactly phi*N conditioned weight is
+    // NOT a heavy hitter, and its /24 parent keeps the full (undiscounted)
+    // conditioned count. k is large enough that estimates are exact.
+    hhh_config cfg;
+    cfg.levels = {{.prefix_len = 32}, {.prefix_len = 24}};
+    cfg.counters_per_level = 256;
+    cfg.seed = 1;
+    hhh_summarizer h(std::move(cfg));
+    const std::uint32_t host_a = *net::parse_ipv4("1.2.3.4");
+    const std::uint32_t host_b = *net::parse_ipv4("1.2.3.5");
+    const std::uint32_t other = *net::parse_ipv4("9.9.9.9");
+    h.update(host_a, 100);  // exactly phi*N at phi=0.1, N=1000
+    h.update(host_b, 50);
+    h.update(other, 850);
+    h.flush();
+
+    const auto rows = h.query(0.1);
+    EXPECT_FALSE(has_row(rows, host_a, 32));
+    EXPECT_TRUE(has_row(rows, other, 32));
+    EXPECT_TRUE(has_row(rows, *net::parse_ipv4("1.2.3.0"), 24));
+    for (const auto& r : rows) {
+        if (r.prefix == *net::parse_ipv4("1.2.3.0") && r.prefix_len == 24) {
+            EXPECT_EQ(r.conditioned, 150.0);  // no reported descendant to discount
+        }
+        if (r.prefix == *net::parse_ipv4("9.9.9.0") && r.prefix_len == 24) {
+            ADD_FAILURE() << "9.9.9.0/24 fully discounted by its /32 yet reported";
+        }
+    }
+}
+
+TEST(TelemetryHhh, DescendantJustAboveThresholdFlipsBothLevels) {
+    // One extra unit of weight flips the verdicts: the /32 is now reported
+    // and the /24, discounted down to 50, no longer is.
+    hhh_config cfg;
+    cfg.levels = {{.prefix_len = 32}, {.prefix_len = 24}};
+    cfg.counters_per_level = 256;
+    cfg.seed = 1;
+    hhh_summarizer h(std::move(cfg));
+    const std::uint32_t host_a = *net::parse_ipv4("1.2.3.4");
+    h.update(host_a, 101);
+    h.update(*net::parse_ipv4("1.2.3.5"), 50);
+    h.update(*net::parse_ipv4("9.9.9.9"), 850);
+    h.flush();
+
+    const auto rows = h.query(0.1);  // threshold = floor(0.1 * 1001) = 100
+    EXPECT_TRUE(has_row(rows, host_a, 32));
+    EXPECT_FALSE(has_row(rows, *net::parse_ipv4("1.2.3.0"), 24));
+}
+
+TEST(TelemetryHhh, OverlappingLevelsDiscountThroughTheChain) {
+    // With /32, /30 and /24 all covering one hot host, only the most
+    // specific level reports it; every coarser cover is fully discounted.
+    hhh_config cfg;
+    cfg.levels = {{.prefix_len = 24}, {.prefix_len = 32}, {.prefix_len = 30}};
+    cfg.counters_per_level = 256;
+    cfg.seed = 2;
+    hhh_summarizer h(std::move(cfg));
+    EXPECT_EQ(h.prefix_len(0), 32u);  // levels sorted most specific first
+    EXPECT_EQ(h.prefix_len(1), 30u);
+    EXPECT_EQ(h.prefix_len(2), 24u);
+
+    const std::uint32_t hot = *net::parse_ipv4("1.2.3.4");
+    const std::uint32_t other = *net::parse_ipv4("7.7.7.7");
+    h.update(hot, 500);
+    h.update(other, 500);
+    h.flush();
+
+    const auto rows = h.query(0.2);  // threshold 200
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_TRUE(has_row(rows, hot, 32));
+    EXPECT_TRUE(has_row(rows, other, 32));
+}
+
+TEST(TelemetryHhh, EmptyLevelsReportNothing) {
+    // 300 hosts of weight 1 inside one /16: no /32 clears the threshold
+    // (that level contributes zero candidates) while the /16 aggregate does.
+    hhh_config cfg;
+    cfg.levels = {{.prefix_len = 32}, {.prefix_len = 16}};
+    cfg.counters_per_level = 512;
+    cfg.seed = 3;
+    hhh_summarizer h(std::move(cfg));
+    const std::uint32_t base = *net::parse_ipv4("1.1.0.0");
+    for (std::uint32_t i = 0; i < 300; ++i) {
+        h.update(base + i, 1);
+    }
+    h.flush();
+
+    const auto rows = h.query(0.5);  // threshold 150
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].prefix_len, 16u);
+    EXPECT_EQ(rows[0].prefix, base);
+    EXPECT_EQ(rows[0].conditioned, 300.0);
+}
+
+TEST(TelemetryHhh, PerLevelLifetimePolicies) {
+    // /32 fades (decay 0.5 per tick) while /24 stays plain: an old hot host
+    // drops out of the specific level but its subnet's all-time total keeps
+    // reporting — "recent hosts, all-time subnets".
+    hhh_config cfg;
+    cfg.levels = {{.prefix_len = 32, .lifetime = lifetime_kind::fading, .decay = 0.5},
+                  {.prefix_len = 24}};
+    cfg.counters_per_level = 256;
+    cfg.seed = 4;
+    hhh_summarizer h(std::move(cfg));
+    const std::uint32_t old_host = *net::parse_ipv4("9.8.7.6");
+    const std::uint32_t new_host = *net::parse_ipv4("3.3.3.3");
+    h.update(old_host, 64);
+    h.flush();
+    h.tick(3);  // old host decays 64 -> 8 at the /32 level (plain /24 unmoved)
+    h.update(new_host, 56);
+    h.flush();
+
+    const auto rows = h.query(0.25);
+    // /32 fading view: N = 8 + 56 = 64, threshold 16: only the new host.
+    EXPECT_TRUE(has_row(rows, new_host, 32));
+    EXPECT_FALSE(has_row(rows, old_host, 32));
+    // /24 plain view: N = 120, threshold 30: the old subnet still reports
+    // (nothing to discount — its /32 faded below threshold).
+    EXPECT_TRUE(has_row(rows, *net::parse_ipv4("9.8.7.0"), 24));
+    EXPECT_FALSE(has_row(rows, *net::parse_ipv4("3.3.3.0"), 24));
+}
+
+TEST(TelemetryHhh, AggregateMergesNodesThroughEnvelopes) {
+    // Two nodes with identical configs, disjoint traffic; the aggregate of
+    // their envelopes must answer exactly like one summarizer that saw both
+    // streams (k is large enough that merging is lossless).
+    const auto make = [] {
+        hhh_config cfg;
+        cfg.counters_per_level = 512;
+        cfg.seed = 11;
+        return hhh_summarizer(std::move(cfg));
+    };
+    hhh_summarizer node_a = make();
+    hhh_summarizer node_b = make();
+    hhh_summarizer combined = make();
+
+    xoshiro256ss rng(21);
+    for (int i = 0; i < 5'000; ++i) {
+        const auto ip_a = static_cast<std::uint32_t>(rng.below(100) * 7919 + 5);
+        const auto ip_b = static_cast<std::uint32_t>(0x50000000u + rng.below(100) * 131);
+        node_a.update(ip_a, 3);
+        combined.update(ip_a, 3);
+        node_b.update(ip_b, 2);
+        combined.update(ip_b, 2);
+    }
+    // A shared hot host so cross-node summation matters.
+    const std::uint32_t hot = *net::parse_ipv4("203.0.113.77");
+    node_a.update(hot, 20'000);
+    node_b.update(hot, 15'000);
+    combined.update(hot, 35'000);
+    combined.flush();
+
+    hhh_aggregate agg;
+    agg.add_node(node_a.save());
+    agg.add_node(node_b.save());
+    ASSERT_EQ(agg.num_levels(), combined.num_levels());
+
+    for (const double phi : {0.05, 0.2}) {
+        EXPECT_EQ(canon(agg.query(phi)), canon(combined.query(phi))) << "phi=" << phi;
+    }
+    EXPECT_TRUE(has_row(agg.query(0.2), hot, 32));
+}
+
+TEST(TelemetryHhh, AggregateRejectsMismatchedLevels) {
+    hhh_config a_cfg;
+    a_cfg.levels = {{.prefix_len = 32}, {.prefix_len = 24}};
+    hhh_config b_cfg;
+    b_cfg.levels = {{.prefix_len = 32}, {.prefix_len = 16}};
+    hhh_summarizer a(std::move(a_cfg));
+    hhh_summarizer b(std::move(b_cfg));
+    a.update(1, 1);
+    b.update(1, 1);
+    hhh_aggregate agg;
+    agg.add_node(a.save());
+    EXPECT_THROW(agg.add_node(b.save()), std::exception);
+}
+
+TEST(TelemetryHhh, RejectsBadConfigs) {
+    hhh_config dup;
+    dup.levels = {{.prefix_len = 24}, {.prefix_len = 24}};
+    EXPECT_THROW(hhh_summarizer{std::move(dup)}, std::exception);
+    hhh_config deep;
+    deep.levels = {{.prefix_len = 33}};
+    EXPECT_THROW(hhh_summarizer{std::move(deep)}, std::exception);
+    hhh_config ok;
+    hhh_summarizer h(std::move(ok));
+    EXPECT_THROW(h.query(0.0), std::exception);
+    EXPECT_THROW(h.query(1.0), std::exception);
+}
+
+TEST(TelemetryHhh, ConcurrentFeedersIngestEveryLevel) {
+    // Two producer threads, two shards per level: every level must account
+    // for the full pushed weight after the applied-barrier, and a query
+    // must walk cleanly. (Runs under the TSan CI job.)
+    hhh_config cfg;
+    cfg.counters_per_level = 512;
+    cfg.seed = 6;
+    cfg.shards = 2;
+    cfg.producers = 2;
+    hhh_summarizer h(std::move(cfg));
+
+    constexpr int per_thread = 20'000;
+    auto worker = [&h](std::uint64_t seed) {
+        auto feeder = h.make_feeder();
+        xoshiro256ss rng(seed);
+        for (int i = 0; i < per_thread; ++i) {
+            feeder.push(static_cast<std::uint32_t>(rng.below(1'000)) * 65'537u, 1.0);
+        }
+        feeder.flush();
+    };
+    std::thread t1(worker, 101);
+    std::thread t2(worker, 202);
+    t1.join();
+    t2.join();
+    h.flush();
+
+    for (std::size_t i = 0; i < h.num_levels(); ++i) {
+        EXPECT_EQ(h.total_weight(i), 2.0 * per_thread) << "level " << i;
+    }
+    const auto rows = h.query(0.01);
+    for (const auto& r : rows) {
+        EXPECT_GT(r.conditioned, 0.0);
+        EXPECT_GE(r.estimate, r.conditioned);
+    }
+}
+
+#ifndef FREQ_OBS_OFF
+TEST(TelemetryHhh, QueryCountsLevelsInObsRegistry) {
+    hhh_config cfg;
+    cfg.levels = {{.prefix_len = 32}, {.prefix_len = 24}, {.prefix_len = 8}};
+    hhh_summarizer h(std::move(cfg));
+    h.update(*net::parse_ipv4("1.2.3.4"), 10);
+    h.flush();
+    const std::uint64_t before = obs::pipeline().hhh_levels_queried.value();
+    (void)h.query(0.5);
+    (void)h.query(0.5);
+    EXPECT_EQ(obs::pipeline().hhh_levels_queried.value(), before + 6);
+}
+#endif
+
+}  // namespace
+}  // namespace freq::telemetry

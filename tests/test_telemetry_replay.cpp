@@ -1,0 +1,145 @@
+#include "telemetry/trace_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/builder.h"
+#include "obs/pipeline_metrics.h"
+#include "stream/generators.h"
+
+namespace freq::telemetry {
+namespace {
+
+timed_trace make_trace(std::uint64_t n, bool with_timestamps, std::uint64_t seed = 8) {
+    timed_trace t;
+    zipf_stream_generator gen(
+        {.num_updates = n, .num_distinct = 2'000, .alpha = 1.1, .seed = seed});
+    t.updates = gen.generate();
+    if (with_timestamps) {
+        t.timestamps.resize(t.updates.size());
+        for (std::size_t i = 0; i < t.timestamps.size(); ++i) t.timestamps[i] = i;
+    }
+    return t;
+}
+
+TEST(TelemetryReplay, CountsAndRates) {
+    const timed_trace trace = make_trace(100'000, false);
+    std::uint64_t pushed = 0;
+    double weight_sum = 0.0;
+    const replay_report rep =
+        replay(trace, {}, [&](std::uint64_t, double w) {
+            ++pushed;
+            weight_sum += w;
+        });
+    EXPECT_EQ(rep.records, trace.updates.size());
+    EXPECT_EQ(pushed, trace.updates.size());
+    EXPECT_GT(weight_sum, 0.0);
+    EXPECT_EQ(rep.ticks, 0u);
+    EXPECT_GT(rep.seconds, 0.0);
+    EXPECT_GT(rep.records_per_sec, 0.0);
+    EXPECT_LE(rep.chunk_p50_s, rep.chunk_p99_s);
+}
+
+TEST(TelemetryReplay, TimestampTicksAreExact) {
+    // ts = 0..n-1, one epoch per 1000 timestamp units: the first boundary
+    // sits at ts[0] + 1000, so exactly floor((n-1)/1000) ticks fire.
+    const std::uint64_t n = 10'000;
+    const timed_trace trace = make_trace(n, true);
+    std::uint64_t tick_calls = 0;
+    const replay_report rep = replay(
+        trace, {.tick_interval = 1'000}, [](std::uint64_t, double) {},
+        [&](std::uint64_t epochs) { tick_calls += epochs; });
+    EXPECT_EQ(rep.ticks, (n - 1) / 1'000);
+    EXPECT_EQ(tick_calls, rep.ticks);
+}
+
+TEST(TelemetryReplay, TicksBatchAcrossTimestampGaps) {
+    // A jump over several boundaries arrives as ONE tick(epochs) call so
+    // fading decay is applied the exact number of missed epochs.
+    timed_trace trace;
+    trace.updates = {{1, 1}, {2, 1}};
+    trace.timestamps = {0, 5'000};
+    std::vector<std::uint64_t> calls;
+    const replay_report rep = replay(
+        trace, {.tick_interval = 1'000}, [](std::uint64_t, double) {},
+        [&](std::uint64_t epochs) { calls.push_back(epochs); });
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls[0], 5u);  // boundaries at 1000..5000 inclusive
+    EXPECT_EQ(rep.ticks, 5u);
+}
+
+TEST(TelemetryReplay, NoTicksWithoutTimestamps) {
+    const timed_trace trace = make_trace(1'000, false);
+    std::uint64_t tick_calls = 0;
+    const replay_report rep = replay(
+        trace, {.tick_interval = 100}, [](std::uint64_t, double) {},
+        [&](std::uint64_t) { ++tick_calls; });
+    EXPECT_EQ(rep.ticks, 0u);
+    EXPECT_EQ(tick_calls, 0u);
+}
+
+TEST(TelemetryReplay, SingleRecordChunksStillComplete) {
+    const timed_trace trace = make_trace(257, false);
+    std::uint64_t pushed = 0;
+    const replay_report rep = replay(trace, {.chunk_records = 1},
+                                     [&](std::uint64_t, double) { ++pushed; });
+    EXPECT_EQ(pushed, 257u);
+    EXPECT_EQ(rep.records, 257u);
+}
+
+TEST(TelemetryReplay, ReplayIntoSummarizerAccountsEveryRecord) {
+    const timed_trace trace = make_trace(50'000, false);
+    double expected = 0.0;
+    for (const auto& u : trace.updates) expected += static_cast<double>(u.weight);
+
+    builder b;
+    b.u64_keys().max_counters(512).seed(4).sharded(2);
+    summarizer s = b.build();
+    const replay_report rep = replay_into(s, trace);
+    EXPECT_EQ(rep.records, trace.updates.size());
+    EXPECT_DOUBLE_EQ(s.total_weight(), expected);
+}
+
+TEST(TelemetryReplay, ReplayIntoHhhFansOutAllLevels) {
+    timed_trace trace = make_trace(20'000, true);
+    hhh_config cfg;
+    cfg.counters_per_level = 512;
+    cfg.seed = 6;
+    cfg.shards = 2;
+    hhh_summarizer h(std::move(cfg));
+    const replay_report rep = replay_into(h, trace, {.tick_interval = 5'000});
+    EXPECT_EQ(rep.records, trace.updates.size());
+    EXPECT_GT(rep.ticks, 0u);
+    double expected = 0.0;
+    for (const auto& u : trace.updates) expected += static_cast<double>(u.weight);
+    // Plain levels are tick-immune, so every level holds the full weight.
+    for (std::size_t i = 0; i < h.num_levels(); ++i) {
+        EXPECT_DOUBLE_EQ(h.total_weight(i), expected) << "level " << i;
+    }
+}
+
+TEST(TelemetryReplay, ReplayIntoEntropyMonitorKeepsCapHonest) {
+    const timed_trace trace = make_trace(30'000, false);
+    entropy_monitor mon(entropy_monitor_config{
+        .max_counters = 512, .seed = 12, .shards = 2});
+    const replay_report rep = replay_into(mon, trace);
+    EXPECT_EQ(rep.records, trace.updates.size());
+    EXPECT_EQ(mon.raw_updates(), trace.updates.size());
+    const entropy_interval iv = mon.estimate();
+    EXPECT_LE(iv.lower, iv.upper);
+    EXPECT_GT(iv.upper, 0.0);
+}
+
+#ifndef FREQ_OBS_OFF
+TEST(TelemetryReplay, RecordsCounterAdvances) {
+    const timed_trace trace = make_trace(12'345, false);
+    const std::uint64_t before = obs::pipeline().replay_records.value();
+    (void)replay(trace, {}, [](std::uint64_t, double) {});
+    EXPECT_EQ(obs::pipeline().replay_records.value(), before + 12'345);
+}
+#endif
+
+}  // namespace
+}  // namespace freq::telemetry

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "stream/generators.h"
 
@@ -67,6 +69,144 @@ TEST_F(TraceIo, TruncatedRecordsRejected) {
 
 TEST_F(TraceIo, UnwritablePathThrows) {
     EXPECT_THROW(write_trace("/nonexistent/dir/trace.fqtr", {}), std::runtime_error);
+}
+
+TEST_F(TraceIo, MalformedCountRejectedBeforeAllocating) {
+    // A valid v1 header claiming 2^60 records over an 8-byte body must be
+    // rejected by the count-vs-file-size validation, not by attempting (and
+    // possibly dying on) an exabyte reserve.
+    {
+        std::FILE* f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const std::uint32_t magic = 0x52545146, version = 1;
+        const std::uint64_t count = 1ULL << 60;
+        std::fwrite(&magic, 4, 1, f);
+        std::fwrite(&version, 4, 1, f);
+        std::fwrite(&count, 8, 1, f);
+        const std::uint64_t stub = 7;
+        std::fwrite(&stub, 8, 1, f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+    EXPECT_THROW(read_timed_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIo, MalformedTraceFuzz) {
+    // Corrupt/truncate a valid trace every which way: the reader must
+    // either return cleanly or throw std::runtime_error — never crash or
+    // over-allocate.
+    zipf_stream_generator gen({.num_updates = 500, .num_distinct = 50, .seed = 9});
+    const auto stream = gen.generate();
+    write_trace(path_, stream);
+    std::vector<std::uint8_t> image;
+    {
+        std::FILE* f = std::fopen(path_.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        image.resize(std::filesystem::file_size(path_));
+        ASSERT_EQ(std::fread(image.data(), 1, image.size(), f), image.size());
+        std::fclose(f);
+    }
+    std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> mutated = image;
+        switch (trial % 3) {
+            case 0:  // truncate at a random offset
+                mutated.resize(next() % (mutated.size() + 1));
+                break;
+            case 1:  // flip a random byte
+                mutated[next() % mutated.size()] =
+                    static_cast<std::uint8_t>(next() & 0xff);
+                break;
+            default:  // stomp 8 bytes somewhere in the header region
+                for (int b = 0; b < 8; ++b) {
+                    mutated[(next() % 24) % mutated.size()] =
+                        static_cast<std::uint8_t>(next() & 0xff);
+                }
+                break;
+        }
+        {
+            std::FILE* f = std::fopen(path_.c_str(), "wb");
+            ASSERT_NE(f, nullptr);
+            std::fwrite(mutated.data(), 1, mutated.size(), f);
+            std::fclose(f);
+        }
+        try {
+            (void)read_timed_trace(path_);
+        } catch (const std::runtime_error&) {
+            // expected for malformed images
+        }
+    }
+}
+
+TEST_F(TraceIo, V2RoundTripWithTimestamps) {
+    zipf_stream_generator gen({.num_updates = 100'000, .num_distinct = 5'000, .seed = 4});
+    const auto stream = gen.generate();
+    std::vector<std::uint64_t> ts(stream.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        ts[i] = 1'000 + i * 17;
+    }
+    write_trace(path_, stream, ts);
+    const timed_trace loaded = read_timed_trace(path_);
+    EXPECT_TRUE(loaded.has_timestamps());
+    EXPECT_EQ(loaded.updates, stream);
+    EXPECT_EQ(loaded.timestamps, ts);
+    // The plain reader accepts v2 images and drops timestamps.
+    EXPECT_EQ(read_trace(path_), stream);
+}
+
+TEST_F(TraceIo, V2TimestampSizeMismatchThrows) {
+    const update_stream<std::uint64_t, std::uint64_t> stream = {{1, 1}, {2, 2}};
+    EXPECT_THROW(write_trace(path_, stream, {1}), std::invalid_argument);
+}
+
+TEST_F(TraceIo, V2TruncatedRecordsRejected) {
+    const update_stream<std::uint64_t, std::uint64_t> stream = {{1, 1}, {2, 2}, {3, 3}};
+    write_trace(path_, stream, {10, 20, 30});
+    std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 8);
+    EXPECT_THROW(read_timed_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIo, V2UnknownFlagsRejected) {
+    {
+        std::FILE* f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const std::uint32_t magic = 0x52545146, version = 2, flags = 0x2, reserved = 0;
+        const std::uint64_t count = 0;
+        std::fwrite(&magic, 4, 1, f);
+        std::fwrite(&version, 4, 1, f);
+        std::fwrite(&flags, 4, 1, f);
+        std::fwrite(&reserved, 4, 1, f);
+        std::fwrite(&count, 8, 1, f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(read_timed_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIo, V1HandcraftedImageStillLoads) {
+    // Byte-for-byte v1 layout written without the library: compatibility
+    // with pre-v2 images is a contract, not an implementation detail.
+    {
+        std::FILE* f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const std::uint32_t magic = 0x52545146, version = 1;
+        const std::uint64_t count = 2;
+        const std::uint64_t records[4] = {111, 7, 222, 9};
+        std::fwrite(&magic, 4, 1, f);
+        std::fwrite(&version, 4, 1, f);
+        std::fwrite(&count, 8, 1, f);
+        std::fwrite(records, 8, 4, f);
+        std::fclose(f);
+    }
+    const timed_trace loaded = read_timed_trace(path_);
+    EXPECT_FALSE(loaded.has_timestamps());
+    const update_stream<std::uint64_t, std::uint64_t> expected = {{111, 7}, {222, 9}};
+    EXPECT_EQ(loaded.updates, expected);
 }
 
 }  // namespace
