@@ -1,0 +1,143 @@
+/// The algorithm axis of the façade, raced head-to-head: the same Zipf
+/// stream runs through builder().algorithm(...) for the paper's sketch and
+/// the three baseline backends (count_min, count_sketch, space_saving), all
+/// behind the identical summarizer handle — so the comparison measures the
+/// algorithms, not their plumbing. Reported per algorithm: per-update
+/// ingest rate and top-100 recall against exact ground truth.
+///
+/// Acceptance (the paper's core speed claim, §4.2-§4.4 in façade form):
+/// the paper sketch must be the fastest of the four at equal k. Gated on
+/// machines with >= 4 hardware threads; below that the check degrades to
+/// an explicit [INFO] line like the other benches.
+///
+///   build/bench_backends            # FREQ_BENCH_SCALE scales the stream
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "api/builder.h"
+#include "bench/bench_common.h"
+#include "stream/exact_counter.h"
+
+namespace {
+
+using namespace freq;
+
+constexpr std::uint32_t k_counters = 2048;
+constexpr std::size_t k_top = 100;
+
+struct backend_result {
+    const char* name;
+    double mups;
+    double recall;
+    double max_error;
+    std::size_t bytes;
+};
+
+}  // namespace
+
+int main() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::uint64_t n = bench::scaled(4'000'000);
+    const auto stream = bench::zipf_merge_stream(n, /*seed=*/2017);
+    bench::print_stream_stats(stream, "zipf(1.05)");
+
+    // Exact top-100 ground truth for the recall column.
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> truth(exact.counts().begin(),
+                                                               exact.counts().end());
+    std::sort(truth.begin(), truth.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::unordered_set<std::uint64_t> heavy;
+    for (std::size_t i = 0; i < k_top && i < truth.size(); ++i) {
+        heavy.insert(truth[i].first);
+    }
+
+    bench::print_header(
+        "one stream, four algorithms behind builder().algorithm(...)",
+        "algorithm         M upd/s   top-100 recall     max_error        KiB");
+
+    const struct {
+        algo a;
+        const char* name;
+    } specs[] = {{algo::paper, "paper"},
+                 {algo::count_min, "count_min"},
+                 {algo::count_sketch, "count_sketch"},
+                 {algo::space_saving, "space_saving"}};
+
+    std::vector<backend_result> results;
+    double sink = 0.0;  // defeat dead-code elimination on query results
+    for (const auto& spec : specs) {
+        auto s = builder().algorithm(spec.a).max_counters(k_counters).seed(1).build();
+        bench::stopwatch sw;
+        s.update(std::span<const update64>(stream.data(), stream.size()));
+        const double seconds = sw.seconds();
+
+        std::size_t found = 0;
+        const auto top = s.top_items(k_top);
+        for (const auto& r : top) {
+            found += heavy.contains(r.id);
+            sink += r.estimate;
+        }
+        const backend_result res{
+            spec.name, static_cast<double>(stream.size()) / seconds / 1e6,
+            static_cast<double>(found) / static_cast<double>(heavy.size()),
+            s.maximum_error(), s.memory_bytes() / 1024};
+        results.push_back(res);
+        std::printf("%-15s %9.2f %16.3f %13.4g %10zu\n", res.name, res.mups, res.recall,
+                    res.max_error, res.bytes);
+    }
+    if (sink == 0xdeadbeef) {
+        std::printf("impossible %f\n", sink);
+    }
+
+    const double paper_mups = results[0].mups;
+    bool fastest = true;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        fastest = fastest && paper_mups >= results[i].mups;
+    }
+    if (hw >= 4) {
+        bench::check(fastest,
+                     "the paper sketch ingests fastest of the four algorithms at equal k");
+    } else {
+        std::printf("[INFO] paper sketch %s the fastest of the four — informational "
+                    "only: %u hardware thread(s) < 4 required for the gate\n",
+                    fastest ? "is" : "is NOT", hw);
+    }
+
+    FILE* json = std::fopen("BENCH_backends.json", "w");
+    if (json != nullptr) {
+        std::fprintf(json, "{\n");
+        std::fprintf(json, "  \"bench\": \"backends\",\n");
+        std::fprintf(json,
+                     "  \"stream\": {\"n\": %llu, \"alpha\": 1.05, \"k\": %u, "
+                     "\"top\": %zu},\n",
+                     static_cast<unsigned long long>(stream.size()), k_counters, k_top);
+        std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json,
+                     "  \"acceptance\": {\"target\": \"paper fastest of four\", "
+                     "\"gated\": %s, \"met\": %s},\n",
+                     hw >= 4 ? "true" : "false", fastest ? "true" : "false");
+        std::fprintf(json, "  \"algorithms\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& r = results[i];
+            std::fprintf(json,
+                         "    {\"name\": \"%s\", \"mups\": %.3f, \"recall\": %.4f, "
+                         "\"max_error\": %.6g, \"kib\": %zu}%s\n",
+                         r.name, r.mups, r.recall, r.max_error, r.bytes,
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n");
+        std::fprintf(json, "}\n");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_backends.json\n");
+    }
+    return 0;
+}

@@ -20,12 +20,18 @@
 ///   freq_cli run   <trace.fqtr> [--algo smed|smin|rbmc|mhe|cm] [--k K]
 ///                  [--phi PHI] [--exact]
 ///   freq_cli sketch <trace.fqtr> <out.sk> [--k K] [--key u64|text]
+///                  [--algo paper|count_min|count_sketch|space_saving]
 ///                  [--policy plain|fading|window] [--decay R] [--window E]
 ///                  [--tick-every N] [--shards S] [--snapshot-every MS]
 ///                  [--stats-every N]   (telemetry dump every N updates)
+///                  --algo picks the sketch algorithm behind the façade
+///                  (default: the paper's); the chosen algorithm travels in
+///                  the envelope, so query/report/merge need no flag.
 ///   freq_cli merge <out.sk> <in1.sk> <in2.sk> [...]
 ///   freq_cli query <sketch.sk> <id-or-word> [...]
 ///   freq_cli report <sketch.sk> [--phi PHI] [--mode nfp|nfn]
+///                  (prints the envelope's algorithm tag with the report;
+///                  count_min sketches answer --mode nfn only)
 ///   freq_cli hhh   <trace.fqtr> [--phi PHI] [--levels 32,24,16,8] [--k K]
 ///                  [--shards S] [--policy plain|fading|window] [--decay R]
 ///                  [--window E] [--snapshot-every MS] [--tick-every T]
@@ -415,6 +421,19 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes)
 summarizer build_from_flags(const args& a) {
     builder b;
     b.max_counters(a.k).seed(a.seed);
+    // "smed" (the run-verb default) is the paper sketch too, so a bare
+    // `sketch` invocation keeps building the paper summarizer.
+    if (a.algo == "count_min") {
+        b.algorithm(algo::count_min);
+    } else if (a.algo == "count_sketch") {
+        b.algorithm(algo::count_sketch);
+    } else if (a.algo == "space_saving") {
+        b.algorithm(algo::space_saving);
+    } else if (a.algo != "paper" && a.algo != "smed") {
+        throw std::invalid_argument(
+            "unknown --algo " + a.algo +
+            " (expected paper|count_min|count_sketch|space_saving)");
+    }
     if (a.key == "text") {
         b.text_keys();
     } else if (a.key != "u64") {
@@ -554,6 +573,7 @@ int cmd_report(const args& a) {
     const auto s = restore_summary(read_file(a.positional[0]));
     const error_mode mode = mode_from_flags(a);
     const auto rs = s.frequent_items(mode, a.phi * s.total_weight());
+    std::printf("algorithm: %s\n", to_string(s.descriptor().algorithm));
     std::printf("%s\n%s\n", s.descriptor().to_string().c_str(), rs.to_string().c_str());
     std::printf("guarantee: %s over threshold %.6g (phi=%.4g%%, N=%.6g, max_error=%.6g)\n",
                 rs.mode() == error_mode::no_false_positives

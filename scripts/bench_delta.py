@@ -35,7 +35,8 @@ REGRESSION_THRESHOLD = 0.25
 
 # Leaf-name fragments whose direction is unambiguous. Anything matching
 # neither set (counters, config echoes, stall totals) never warns.
-HIGHER_IS_BETTER = ("mups", "speedup", "rate", "per_second", "per_sec", "throughput")
+HIGHER_IS_BETTER = ("mups", "speedup", "rate", "per_second", "per_sec", "throughput",
+                    "recall")
 LOWER_IS_BETTER = ("seconds", "_s", "latency", "overhead_pct", "_ns")
 
 

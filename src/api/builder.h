@@ -3,10 +3,11 @@
 
 /// \file builder.h
 /// The fluent runtime configurator of the façade: `freq::builder` picks the
-/// key type, weight type, k / sketch knobs, lifetime policy (with its decay
-/// or window parameters), storage backend and optional engine sharding *at
-/// runtime* — from config, flags or a wire descriptor — and materializes
-/// the matching template instantiation behind a `freq::summarizer` handle:
+/// algorithm (the paper's sketch or one of the §1.3 baselines), key type,
+/// weight type, k / sketch knobs, lifetime policy (with its decay or window
+/// parameters), counter storage and optional engine sharding *at runtime* —
+/// from config, flags or a wire descriptor — and materializes the matching
+/// template instantiation behind a `freq::summarizer` handle:
 ///
 ///   auto s = freq::builder()
 ///                .text_keys()
@@ -24,8 +25,22 @@
 /// instantiation from bytes alone — the receiving service needs no
 /// compile-time knowledge of what the sender ran.
 ///
+/// The algorithm axis selects *what is computed*, the storage axis *how the
+/// paper sketch stores counters*:
+///
+///   auto cm = freq::builder()
+///                 .algorithm(freq::algo::count_min)
+///                 .max_counters(1024)
+///                 .build();
+///
+/// runs a Count-Min sketch (baselines/backend_summaries.h) behind the same
+/// handle — same update()/frequent_items()/save() surface, same sharded
+/// engine, same envelope wire format (with an algorithm tag). The baselines
+/// count u64 keys in table storage; count_min and space_saving also accept
+/// fading(), count_sketch is plain/counts only.
+///
 /// Unsupported combinations are rejected at build() with a precise message:
-/// fading requires real weights, and the map backend has no sliding window
+/// fading requires real weights, and the map storage has no sliding window
 /// and no sharding. Text keys shard like integer ones: the engine counts
 /// fingerprints on the ring hot path and each shard owns the spelling
 /// dictionary slice for the keys routed to it (engine/stream_engine.h), so
@@ -49,6 +64,7 @@
 #include "api/result_set.h"
 #include "api/summarizer.h"
 #include "api/summary_bytes.h"
+#include "baselines/backend_summaries.h"
 #include "common/contracts.h"
 #include "core/basic_frequent_items.h"
 #include "core/generic_frequent_items.h"
@@ -166,9 +182,11 @@ std::uint64_t clock_of(const Sketch& s) {
 /// and capacities may differ — §3.2 even recommends distinct hash seeds.
 inline void require_merge_compatible(const summary_descriptor& a,
                                      const summary_descriptor& b) {
-    FREQ_REQUIRE(a.keys == b.keys && a.weights == b.weights &&
-                     a.lifetime == b.lifetime && a.backend == b.backend,
-                 "merging summarizers requires identical key/weight/lifetime/backend");
+    FREQ_REQUIRE(a.algorithm == b.algorithm && a.keys == b.keys &&
+                     a.weights == b.weights && a.lifetime == b.lifetime &&
+                     a.backend == b.backend,
+                 "merging summarizers requires identical "
+                 "algorithm/key/weight/lifetime/storage");
     if (a.lifetime == lifetime_kind::fading) {
         FREQ_REQUIRE(a.sketch.decay == b.sketch.decay,
                      "merging fading summarizers requires equal decay factors");
@@ -845,18 +863,33 @@ public:
         return *this;
     }
 
-    // --- storage backend -----------------------------------------------------
+    // --- algorithm -----------------------------------------------------------
 
-    builder& table_backend() {
-        backend_ = backend_kind::table;
+    /// Which sketch algorithm the summarizer runs (default: the paper's).
+    /// The baselines (baselines/backend_summaries.h) count u64 keys in
+    /// table storage; count_min and space_saving also support fading(),
+    /// count_sketch is plain/counts only. See the file comment.
+    builder& algorithm(algo a) {
+        algo_ = a;
         return *this;
     }
-    /// Node-map storage with exact-median decrements: slower, but carries
-    /// the deterministic Theorem 2 bound. u64 keys, no window, no sharding.
-    builder& map_backend() {
-        backend_ = backend_kind::map;
+
+    // --- counter storage -----------------------------------------------------
+
+    /// How the paper sketch stores counters: `storage::table` (the default
+    /// open-addressed array) or `storage::map` (node-map with exact-median
+    /// decrements: slower, but carries the deterministic Theorem 2 bound —
+    /// u64 keys, no window, no sharding).
+    builder& storage(freq::storage s) {
+        backend_ = s;
         return *this;
     }
+    /// \deprecated Spelling kept for source compatibility; use
+    /// `storage(freq::storage::table)`.
+    builder& table_backend() { return storage(freq::storage::table); }
+    /// \deprecated Spelling kept for source compatibility; use
+    /// `storage(freq::storage::map)`.
+    builder& map_backend() { return storage(freq::storage::map); }
 
     // --- engine sharding -----------------------------------------------------
 
@@ -891,6 +924,7 @@ public:
 
     summarizer build() const {
         summary_descriptor d;
+        d.algorithm = algo_;
         d.keys = keys_;
         d.lifetime = lifetime_;
         d.backend = backend_;
@@ -903,12 +937,29 @@ public:
                      "fading summaries need real weights (decayed counts are "
                      "fractional); drop counts() or use real_weights()");
         FREQ_REQUIRE(d.backend != backend_kind::map || d.keys == key_kind::u64,
-                     "the map backend takes u64 keys (text keys are table-backed)");
+                     "the map storage takes u64 keys (text keys are table-stored)");
         FREQ_REQUIRE(d.backend != backend_kind::map || d.lifetime != lifetime_kind::windowed,
-                     "the map backend has no sliding-window policy; use the table "
-                     "backend for windows");
+                     "the map storage has no sliding-window policy; use the table "
+                     "storage for windows");
         FREQ_REQUIRE(!sharded_ || d.backend == backend_kind::table,
-                     "sharded ingestion requires the table backend");
+                     "sharded ingestion requires the table storage");
+        if (d.algorithm != algo::paper) {
+            FREQ_REQUIRE(d.keys == key_kind::u64,
+                         "the baseline algorithms count u64 keys; text keys need "
+                         "algorithm(algo::paper)");
+            FREQ_REQUIRE(d.backend == backend_kind::table,
+                         "the storage axis tunes the paper sketch; the baseline "
+                         "algorithms bring their own structures (use storage::table)");
+            FREQ_REQUIRE(d.lifetime != lifetime_kind::windowed,
+                         "the sliding-window policy is paper-only; count_min and "
+                         "space_saving support fading(), count_sketch is plain");
+        }
+        if (d.algorithm == algo::count_sketch) {
+            FREQ_REQUIRE(d.weights == weight_kind::counts &&
+                             d.lifetime == lifetime_kind::plain,
+                         "count_sketch keeps signed integer cells: counts weights "
+                         "and the plain lifetime only");
+        }
         FREQ_REQUIRE(!snapshot_interval_.has_value() || sharded_,
                      "snapshot_every() caches the sharded engine's fold; add "
                      ".sharded(...) or drop it for direct standalone reads");
@@ -961,8 +1012,62 @@ private:
         return std::make_unique<detail::engine_text_summarizer<W, L>>(d, cfg);
     }
 
+    /// Baseline-algorithm instantiations (u64 keys, table storage, plain or
+    /// — for count_min / space_saving — fading; build() vetted the combo).
+    static std::unique_ptr<detail::summarizer_impl> make_baseline(
+        const summary_descriptor& d) {
+        const bool real = d.weights == weight_kind::real;
+        switch (d.algorithm) {
+            case algo::count_min:
+                if (d.lifetime == lifetime_kind::fading) {
+                    return standalone<count_min_summary<double, exponential_fading>>(d);
+                }
+                return real
+                           ? standalone<count_min_summary<double, plain_lifetime>>(d)
+                           : standalone<count_min_summary<std::uint64_t, plain_lifetime>>(d);
+            case algo::count_sketch:
+                return standalone<count_sketch_summary>(d);
+            default:  // algo::space_saving
+                if (d.lifetime == lifetime_kind::fading) {
+                    return standalone<space_saving_summary<double, exponential_fading>>(d);
+                }
+                return real ? standalone<space_saving_summary<double, plain_lifetime>>(d)
+                            : standalone<
+                                  space_saving_summary<std::uint64_t, plain_lifetime>>(d);
+        }
+    }
+
+    static std::unique_ptr<detail::summarizer_impl> engine_baseline(
+        const summary_descriptor& d, const engine_config& cfg) {
+        const bool real = d.weights == weight_kind::real;
+        switch (d.algorithm) {
+            case algo::count_min:
+                if (d.lifetime == lifetime_kind::fading) {
+                    return engine_impl<count_min_summary<double, exponential_fading>>(d,
+                                                                                      cfg);
+                }
+                return real ? engine_impl<count_min_summary<double, plain_lifetime>>(d, cfg)
+                            : engine_impl<count_min_summary<std::uint64_t, plain_lifetime>>(
+                                  d, cfg);
+            case algo::count_sketch:
+                return engine_impl<count_sketch_summary>(d, cfg);
+            default:  // algo::space_saving
+                if (d.lifetime == lifetime_kind::fading) {
+                    return engine_impl<space_saving_summary<double, exponential_fading>>(
+                        d, cfg);
+                }
+                return real
+                           ? engine_impl<space_saving_summary<double, plain_lifetime>>(d, cfg)
+                           : engine_impl<
+                                 space_saving_summary<std::uint64_t, plain_lifetime>>(d, cfg);
+        }
+    }
+
     static std::unique_ptr<detail::summarizer_impl> make_standalone(
         const summary_descriptor& d) {
+        if (d.algorithm != algo::paper) {
+            return make_baseline(d);
+        }
         const bool real = d.weights == weight_kind::real;
         switch (d.keys) {
             case key_kind::u64:
@@ -1007,6 +1112,9 @@ private:
 
     static std::unique_ptr<detail::summarizer_impl> make_engine(
         const summary_descriptor& d, const engine_config& cfg) {
+        if (d.algorithm != algo::paper) {
+            return engine_baseline(d, cfg);
+        }
         const bool real = d.weights == weight_kind::real;
         if (d.keys == key_kind::text) {
             switch (d.lifetime) {
@@ -1040,6 +1148,7 @@ private:
 
     sketch_config sketch_{};
     engine_config engine_{};
+    algo algo_ = algo::paper;
     key_kind keys_ = key_kind::u64;
     std::optional<weight_kind> weights_;
     lifetime_kind lifetime_ = lifetime_kind::plain;
@@ -1069,6 +1178,35 @@ inline summarizer restore_summary(const summary_bytes& b,
             typename sketch_type::weight_type, typename sketch_type::lifetime_policy>>(
             d, envelope_load<sketch_type>(b, max_accepted_counters));
     };
+    // The algorithm tag routes first: baseline envelopes are always
+    // u64-keyed and table-stored (parse_header enforced the combination).
+    if (d.algorithm != algo::paper) {
+        switch (d.algorithm) {
+            case algo::count_min:
+                if (d.lifetime == lifetime_kind::fading) {
+                    return summarizer(u64_impl(
+                        std::type_identity<count_min_summary<double, exponential_fading>>{}));
+                }
+                return summarizer(
+                    real ? u64_impl(std::type_identity<
+                                    count_min_summary<double, plain_lifetime>>{})
+                         : u64_impl(std::type_identity<
+                                    count_min_summary<std::uint64_t, plain_lifetime>>{}));
+            case algo::count_sketch:
+                return summarizer(u64_impl(std::type_identity<count_sketch_summary>{}));
+            default:  // algo::space_saving
+                if (d.lifetime == lifetime_kind::fading) {
+                    return summarizer(u64_impl(std::type_identity<
+                                               space_saving_summary<double,
+                                                                    exponential_fading>>{}));
+                }
+                return summarizer(
+                    real ? u64_impl(std::type_identity<
+                                    space_saving_summary<double, plain_lifetime>>{})
+                         : u64_impl(std::type_identity<
+                                    space_saving_summary<std::uint64_t, plain_lifetime>>{}));
+        }
+    }
     if (d.keys == key_kind::u64 && d.backend == backend_kind::map) {
         switch (d.lifetime) {
             case lifetime_kind::plain:

@@ -14,24 +14,33 @@
 ///
 ///   header (48 B): magic 'FQEN' u32 | version u8 | key_kind u8 |
 ///     weight_kind u8 | lifetime u8 | backend u8 | minor_version u8 |
-///     reserved u8[2] | max_counters u32 | sample_size u32 |
+///     algorithm u8 | reserved u8 | max_counters u32 | sample_size u32 |
 ///     decrement_quantile f64 | seed u64 | decay f64 | window_epochs u32
 ///   policy state: fading → now u64, inflation f64; windowed → now u64
-///   body:
+///   body (algo::paper):
 ///     non-windowed → offset W | total W | n u32 | n × (key u64, counter W)
 ///     windowed     → epoch_count u32 | per live non-empty epoch:
 ///                    abs_epoch u64, then the non-windowed body
 ///   text keys append the spelling dictionary (minor ≥ 1):
 ///                    segment_count u32 | per segment:
 ///                    dict_n u32 | dict_n × (fp u64, len u32, bytes)
+///   body (baseline algorithms; see backend_summaries.h):
+///     count_min    → [fading clock] | total W | width·depth cells W |
+///                    cand_n u32 | cand_n × candidate id u64
+///     count_sketch → total u64 | width·depth cells i64 (two's complement) |
+///                    cand_n u32 | cand_n × candidate id u64
+///     space_saving → [fading clock] | total W | n u32 |
+///                    n × (id u64, count W, error W)
 ///
 /// The minor version (formerly the first reserved byte, so minor-0 images
-/// are exactly the pre-bump format) versions the dictionary section: minor
-/// 0 carried a single unframed dictionary; minor 1 frames it into
+/// are exactly the pre-bump format) versions the layout twice over: minor
+/// 0 carried a single unframed text dictionary; minor 1 frames it into
 /// *segments* so a sharded engine's per-shard dictionary slices can ship
-/// without being unioned first (envelope_save_sharded_text). Readers union
-/// all segments (first spelling wins) and re-apply the prune discipline;
-/// minor-0 images remain restorable.
+/// without being unioned first (envelope_save_sharded_text); minor 2 turns
+/// header byte 10 into the algorithm tag (algo::paper = 0, the old
+/// reserved value, so minor-≤1 images restore as the paper sketch).
+/// Readers union all segments (first spelling wins) and re-apply the prune
+/// discipline; minor-0/1 images remain restorable.
 ///
 /// Canonical encoding: counter rows are sorted by key and dictionary
 /// entries by fingerprint, so save → restore → save is byte-identical (the
@@ -53,6 +62,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/backend_summaries.h"
 #include "common/bytes.h"
 #include "common/contracts.h"
 #include "core/basic_frequent_items.h"
@@ -89,6 +99,22 @@ enum class backend_kind : std::uint8_t {
     map = 1,    ///< node-based map, exact-median decrement (Theorem 2 bound)
 };
 
+/// The preferred name for the counter-storage axis: builder::storage() takes
+/// it, and it frees the word "backend" for the *algorithm* axis below.
+using storage = backend_kind;
+
+/// The algorithm axis of the façade: which sketch family maintains the
+/// counters. paper is the counter-based sketch this repo reproduces; the
+/// other three are the §1.3 baselines promoted to runtime-selectable
+/// backends (src/baselines/backend_summaries.h). Wire tag: header byte 10
+/// (reserved-zero before minor 2, so legacy images decode as paper).
+enum class algo : std::uint8_t {
+    paper = 0,         ///< Algorithm 4 counter-based sketch (the default)
+    count_min = 1,     ///< Count-Min [CM05]: point-query sketch, no lower bounds
+    count_sketch = 2,  ///< Count sketch [CCF02]: unbiased median-of-rows estimates
+    space_saving = 3,  ///< Space Saving [MAE05]: exact top-k order, O(log k) updates
+};
+
 inline const char* to_string(key_kind k) { return k == key_kind::u64 ? "u64" : "text"; }
 inline const char* to_string(weight_kind w) {
     return w == weight_kind::counts ? "counts" : "real";
@@ -103,15 +129,24 @@ inline const char* to_string(lifetime_kind l) {
 inline const char* to_string(backend_kind b) {
     return b == backend_kind::table ? "table" : "map";
 }
+inline const char* to_string(algo a) {
+    switch (a) {
+        case algo::paper: return "paper";
+        case algo::count_min: return "count_min";
+        case algo::count_sketch: return "count_sketch";
+        default: return "space_saving";
+    }
+}
 
 /// Everything needed to materialize (or reject) a summary instantiation at
-/// runtime: the four type tags plus the full sketch_config. Two summaries
+/// runtime: the five type tags plus the full sketch_config. Two summaries
 /// are merge-compatible exactly when their descriptors compare equal.
 struct summary_descriptor {
     key_kind keys = key_kind::u64;
     weight_kind weights = weight_kind::counts;
     lifetime_kind lifetime = lifetime_kind::plain;
     backend_kind backend = backend_kind::table;
+    algo algorithm = algo::paper;
     sketch_config sketch{};
 
     friend bool operator==(const summary_descriptor&, const summary_descriptor&) = default;
@@ -119,7 +154,8 @@ struct summary_descriptor {
     std::string to_string() const {
         return std::string("summary_descriptor(") + freq::to_string(keys) + ", " +
                freq::to_string(weights) + ", " + freq::to_string(lifetime) + ", " +
-               freq::to_string(backend) + ", k=" + std::to_string(sketch.max_counters) + ")";
+               freq::to_string(backend) + ", " + freq::to_string(algorithm) +
+               ", k=" + std::to_string(sketch.max_counters) + ")";
     }
 };
 
@@ -160,6 +196,7 @@ struct summary_traits<basic_frequent_items<K, W, P>> {
     static constexpr weight_kind weights = detail::weight_kind_of<W>();
     static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<P>();
     static constexpr backend_kind backend = backend_kind::table;
+    static constexpr algo algorithm = algo::paper;
 };
 
 template <typename K, typename W>
@@ -172,6 +209,7 @@ struct summary_traits<fingerprint_frequent_items<std::string, W, L, T>> {
     static constexpr weight_kind weights = detail::weight_kind_of<W>();
     static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
     static constexpr backend_kind backend = backend_kind::table;
+    static constexpr algo algorithm = algo::paper;
 };
 
 template <typename W, typename H, typename E, typename L>
@@ -180,6 +218,36 @@ struct summary_traits<generic_frequent_items<std::uint64_t, W, H, E, L>> {
     static constexpr weight_kind weights = detail::weight_kind_of<W>();
     static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
     static constexpr backend_kind backend = backend_kind::map;
+    static constexpr algo algorithm = algo::paper;
+};
+
+// The baseline adapters (src/baselines/backend_summaries.h): u64 keys and
+// table-style storage by construction, tagged with their own algorithm.
+template <typename W, typename L>
+struct summary_traits<count_min_summary<W, L>> {
+    static constexpr key_kind keys = key_kind::u64;
+    static constexpr weight_kind weights = detail::weight_kind_of<W>();
+    static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
+    static constexpr backend_kind backend = backend_kind::table;
+    static constexpr algo algorithm = algo::count_min;
+};
+
+template <>
+struct summary_traits<count_sketch_summary> {
+    static constexpr key_kind keys = key_kind::u64;
+    static constexpr weight_kind weights = weight_kind::counts;
+    static constexpr lifetime_kind lifetime = lifetime_kind::plain;
+    static constexpr backend_kind backend = backend_kind::table;
+    static constexpr algo algorithm = algo::count_sketch;
+};
+
+template <typename W, typename L>
+struct summary_traits<space_saving_summary<W, L>> {
+    static constexpr key_kind keys = key_kind::u64;
+    static constexpr weight_kind weights = detail::weight_kind_of<W>();
+    static constexpr lifetime_kind lifetime = detail::lifetime_kind_of<L>();
+    static constexpr backend_kind backend = backend_kind::table;
+    static constexpr algo algorithm = algo::space_saving;
 };
 
 // --- the envelope value type -------------------------------------------------
@@ -192,11 +260,18 @@ class summary_bytes {
 public:
     static constexpr std::uint32_t magic = 0x4e455146;  // "FQEN"
     static constexpr std::uint8_t current_version = 1;
-    /// Minor format revision (dictionary-section framing; see file header).
-    /// Text writers emit the current minor; non-text envelopes — whose
-    /// layout minor 1 did not touch — keep writing 0 so pre-bump peers can
-    /// still read them. Readers accept any minor up to the current one.
-    static constexpr std::uint8_t current_minor_version = 1;
+    /// Minor format revisions: 1 framed the text dictionary section into
+    /// segments, 2 turned header byte 10 (previously reserved-zero) into the
+    /// algorithm tag. Each writer emits the *lowest* minor whose layout it
+    /// needs — paper/u64 images write 0, paper/text images write 1
+    /// (text_dictionary_minor), baseline-algorithm images write 2 — so
+    /// paper envelopes stay byte-identical to pre-bump ones and readable by
+    /// pre-bump peers in a mixed-version fleet. Readers accept any minor up
+    /// to the current one; minor ≤ 1 images decode as algo::paper.
+    static constexpr std::uint8_t current_minor_version = 2;
+    /// The minor that introduced dictionary-segment framing (what paper
+    /// text writers emit).
+    static constexpr std::uint8_t text_dictionary_minor = 1;
     static constexpr std::size_t header_size = 48;
 
     /// Validates the header and takes ownership of \p bytes. Throws
@@ -237,17 +312,26 @@ public:
         FREQ_REQUIRE(weights <= 1, "envelope weight kind out of range");
         FREQ_REQUIRE(lifetime <= 2, "envelope lifetime kind out of range");
         FREQ_REQUIRE(backend <= 1, "envelope backend kind out of range");
-        // Minor revisions change the dictionary-section layout, so an
-        // unknown minor cannot be skipped over — reject it.
+        // Minor revisions change the body layout, so an unknown minor
+        // cannot be skipped over — reject it.
         minor = r.get_u8();
         FREQ_REQUIRE(minor <= current_minor_version, "unsupported envelope minor version");
-        for (int i = 0; i < 2; ++i) {
-            FREQ_REQUIRE(r.get_u8() == 0, "envelope reserved bytes must be zero");
+        // Byte 10: the algorithm tag (minor ≥ 2). It was a reserved-zero
+        // byte before, so legacy images decode as algo::paper and a nonzero
+        // value in a minor-≤1 image is still the old "reserved bytes must
+        // be zero" error, not a silent reinterpretation.
+        const std::uint8_t algorithm = r.get_u8();
+        if (minor < 2) {
+            FREQ_REQUIRE(algorithm == 0, "envelope reserved bytes must be zero");
         }
+        FREQ_REQUIRE(algorithm <= static_cast<std::uint8_t>(algo::space_saving),
+                     "envelope algorithm tag out of range");
+        FREQ_REQUIRE(r.get_u8() == 0, "envelope reserved bytes must be zero");
         d.keys = static_cast<key_kind>(keys);
         d.weights = static_cast<weight_kind>(weights);
         d.lifetime = static_cast<lifetime_kind>(lifetime);
         d.backend = static_cast<backend_kind>(backend);
+        d.algorithm = static_cast<algo>(algorithm);
         d.sketch.max_counters = r.get_u32();
         d.sketch.sample_size = r.get_u32();
         d.sketch.decrement_quantile = r.get_f64();
@@ -257,7 +341,15 @@ public:
         FREQ_REQUIRE(d.lifetime != lifetime_kind::fading || d.weights == weight_kind::real,
                      "fading summaries require real weights");
         FREQ_REQUIRE(d.backend != backend_kind::map || d.lifetime != lifetime_kind::windowed,
-                     "the map backend has no sliding-window policy");
+                     "the map storage has no sliding-window policy");
+        FREQ_REQUIRE(d.algorithm == algo::paper ||
+                         (d.keys == key_kind::u64 && d.backend == backend_kind::table &&
+                          d.lifetime != lifetime_kind::windowed),
+                     "baseline algorithms ship u64 keys, table storage and no window");
+        FREQ_REQUIRE(d.algorithm != algo::count_sketch ||
+                         (d.weights == weight_kind::counts &&
+                          d.lifetime == lifetime_kind::plain),
+                     "count_sketch envelopes are counts-weighted and plain-lifetime");
         return version;
     }
 
@@ -458,6 +550,157 @@ struct summary_serde_access {
                         [&](std::uint64_t key, W c) { s.counters_.emplace(key, c); });
     }
 
+    // -- baseline adapters (src/baselines/backend_summaries.h) ----------------
+
+    /// Candidate ids sorted ascending: n | n × id u64. Only the ids reach
+    /// the wire — the tracker's keys are rebuilt from the restored cells on
+    /// load, so the encoding stays canonical (the tracker's internal heap
+    /// order, a function of arrival history, never leaks into the bytes).
+    template <typename Tracker>
+    static void put_candidates(byte_writer& w, const Tracker& t) {
+        std::vector<std::uint64_t> ids;
+        ids.reserve(t.size());
+        t.for_each_id([&](std::uint64_t id) { ids.push_back(id); });
+        std::sort(ids.begin(), ids.end());
+        w.put_u32(static_cast<std::uint32_t>(ids.size()));
+        for (const std::uint64_t id : ids) {
+            w.put_u64(id);
+        }
+    }
+
+    template <typename NoteId>
+    static void get_candidates(byte_reader& r, std::size_t capacity, NoteId&& note) {
+        const std::uint32_t n = r.get_u32();
+        FREQ_REQUIRE(n <= capacity, "envelope candidate count exceeds capacity");
+        std::uint64_t prev = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint64_t id = r.get_u64();
+            FREQ_REQUIRE(i == 0 || id > prev,
+                         "envelope candidate ids must be strictly ascending");
+            prev = id;
+            note(id);
+        }
+    }
+
+    template <typename W, typename L>
+    static void put_summary(byte_writer& w, const count_min_summary<W, L>& s) {
+        if constexpr (L::decaying) {
+            w.put_u64(s.policy_.now());
+            w.put_f64(s.policy_.inflation());
+        }
+        put_weight<W>(w, s.cm_.total_weight());
+        for (const W c : s.cm_.cells()) {
+            put_weight<W>(w, c);
+        }
+        put_candidates(w, s.tracker_);
+    }
+
+    template <typename W, typename L>
+    static void get_summary(byte_reader& r, count_min_summary<W, L>& s) {
+        if constexpr (L::decaying) {
+            const std::uint64_t now = r.get_u64();
+            const double inflation = r.get_f64();
+            s.policy_.restore(now, inflation);
+        }
+        const W total = get_weight<W>(r);
+        std::vector<W> cells(s.cm_.cells().size());
+        for (W& c : cells) {
+            c = get_weight<W>(r);
+            if constexpr (std::is_floating_point_v<W>) {
+                FREQ_REQUIRE(c >= W{0}, "envelope contains a negative count-min cell");
+            }
+        }
+        if constexpr (std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(total >= W{0}, "envelope total weight is negative");
+        }
+        s.cm_.restore_cells(cells, total);
+        get_candidates(r, s.tracker_.capacity(), [&](std::uint64_t id) {
+            s.tracker_.note(id, s.cm_.estimate(id));
+        });
+    }
+
+    static void put_summary(byte_writer& w, const count_sketch_summary& s) {
+        w.put_u64(s.cs_.total_weight());
+        // Cells are signed; they travel as two's-complement u64 bit images.
+        for (const std::int64_t c : s.cs_.cells()) {
+            w.put_u64(static_cast<std::uint64_t>(c));
+        }
+        put_candidates(w, s.tracker_);
+    }
+
+    static void get_summary(byte_reader& r, count_sketch_summary& s) {
+        const std::uint64_t total = r.get_u64();
+        std::vector<std::int64_t> cells(s.cs_.cells().size());
+        for (std::int64_t& c : cells) {
+            c = static_cast<std::int64_t>(r.get_u64());
+        }
+        s.cs_.restore_cells(cells, total);
+        get_candidates(r, s.tracker_.capacity(), [&](std::uint64_t id) {
+            s.tracker_.note(id, s.cs_.estimate(id));
+        });
+    }
+
+    template <typename W, typename L>
+    static void put_summary(byte_writer& w, const space_saving_summary<W, L>& s) {
+        using entry = typename space_saving_heap<std::uint64_t, W>::entry;
+        if constexpr (L::decaying) {
+            w.put_u64(s.policy_.now());
+            w.put_f64(s.policy_.inflation());
+        }
+        put_weight<W>(w, s.ss_.total_weight());
+        std::vector<entry> rows;
+        rows.reserve(s.ss_.num_counters());
+        s.ss_.for_each_entry([&](std::uint64_t id, W count, W error) {
+            if (count > W{0}) {
+                rows.push_back(entry{id, count, error});
+            }
+        });
+        std::sort(rows.begin(), rows.end(),
+                  [](const entry& a, const entry& b) { return a.id < b.id; });
+        w.put_u32(static_cast<std::uint32_t>(rows.size()));
+        for (const entry& e : rows) {
+            w.put_u64(e.id);
+            put_weight<W>(w, e.count);
+            put_weight<W>(w, e.error);
+        }
+    }
+
+    template <typename W, typename L>
+    static void get_summary(byte_reader& r, space_saving_summary<W, L>& s) {
+        using entry = typename space_saving_heap<std::uint64_t, W>::entry;
+        if constexpr (L::decaying) {
+            const std::uint64_t now = r.get_u64();
+            const double inflation = r.get_f64();
+            s.policy_.restore(now, inflation);
+        }
+        const W total = get_weight<W>(r);
+        if constexpr (std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(total >= W{0}, "envelope total weight is negative");
+        }
+        const std::uint32_t n = r.get_u32();
+        FREQ_REQUIRE(n <= s.ss_.capacity(), "envelope counter count exceeds capacity");
+        std::vector<entry> rows;
+        rows.reserve(n);
+        std::uint64_t prev = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint64_t id = r.get_u64();
+            FREQ_REQUIRE(i == 0 || id > prev,
+                         "envelope counter rows must be strictly ascending by key");
+            prev = id;
+            const W count = get_weight<W>(r);
+            const W error = get_weight<W>(r);
+            FREQ_REQUIRE(count > W{0}, "envelope contains a non-positive counter");
+            if constexpr (std::is_floating_point_v<W>) {
+                FREQ_REQUIRE(error >= W{0},
+                             "envelope space-saving error bound out of range");
+            }
+            FREQ_REQUIRE(error <= count,
+                         "envelope space-saving error bound out of range");
+            rows.push_back(entry{id, count, error});
+        }
+        s.ss_.assign(rows, total);
+    }
+
     // -- text keys: inner summary + spelling dictionary segments --------------
 
     static constexpr std::uint32_t max_spelling_bytes = 1u << 20;
@@ -564,13 +807,19 @@ struct summary_serde_access {
 namespace detail {
 
 /// Writes the 48-byte envelope header for \p Summary's tags + \p cfg.
-/// Only the text dictionary section changed in minor 1, so non-text
-/// envelopes keep writing minor 0 — their bytes stay readable by pre-bump
-/// peers in a mixed-version fleet (the §3 architecture ships summaries
-/// between machines that upgrade independently).
+/// Each writer emits the *lowest* minor whose layout it needs — paper/u64
+/// images write 0, paper/text images write 1 (segmented dictionary),
+/// baseline-algorithm images write 2 (algorithm tag) — so paper envelopes
+/// stay readable by pre-bump peers in a mixed-version fleet (the §3
+/// architecture ships summaries between machines that upgrade
+/// independently).
 template <typename Summary>
 void put_envelope_header(byte_writer& w, const sketch_config& cfg) {
     using traits = summary_traits<Summary>;
+    constexpr std::uint8_t minor =
+        traits::algorithm != algo::paper   ? summary_bytes::current_minor_version
+        : traits::keys == key_kind::text ? summary_bytes::text_dictionary_minor
+                                         : std::uint8_t{0};
     w.reserve(summary_bytes::header_size + 64);
     w.put_u32(summary_bytes::magic);
     w.put_u8(summary_bytes::current_version);
@@ -578,8 +827,8 @@ void put_envelope_header(byte_writer& w, const sketch_config& cfg) {
     w.put_u8(static_cast<std::uint8_t>(traits::weights));
     w.put_u8(static_cast<std::uint8_t>(traits::lifetime));
     w.put_u8(static_cast<std::uint8_t>(traits::backend));
-    w.put_u8(traits::keys == key_kind::text ? summary_bytes::current_minor_version : 0);
-    w.put_u8(0);
+    w.put_u8(minor);
+    w.put_u8(static_cast<std::uint8_t>(traits::algorithm));
     w.put_u8(0);
     w.put_u32(cfg.max_counters);
     w.put_u32(cfg.sample_size);
@@ -638,7 +887,8 @@ Summary envelope_load(const summary_bytes& b,
     using traits = summary_traits<Summary>;
     const summary_descriptor& d = b.descriptor();
     FREQ_REQUIRE(d.keys == traits::keys && d.weights == traits::weights &&
-                     d.lifetime == traits::lifetime && d.backend == traits::backend,
+                     d.lifetime == traits::lifetime && d.backend == traits::backend &&
+                     d.algorithm == traits::algorithm,
                  "envelope holds a different summary instantiation");
     FREQ_REQUIRE(d.sketch.max_counters <= max_accepted_counters,
                  "envelope capacity exceeds the caller's acceptance bound");

@@ -1,0 +1,860 @@
+#ifndef FREQ_BASELINES_BACKEND_SUMMARIES_H
+#define FREQ_BASELINES_BACKEND_SUMMARIES_H
+
+/// \file backend_summaries.h
+/// The §1.3 baselines promoted to façade backends: adapters wrapping
+/// count_min_sketch, count_sketch and space_saving_heap behind the
+/// sketch_backend concept (core/counter_maintenance.h), so
+/// `builder().algorithm(freq::algo::{count_min,count_sketch,space_saving})`
+/// can run any of them through the type-erased summarizer, the sharded
+/// stream_engine, the snapshot service and the summary_bytes envelope —
+/// the same surfaces the paper's sketch uses.
+///
+/// Design notes:
+///  * Composition, not reimplementation: each adapter owns the original
+///    baseline class and adds exactly what the façade contract needs —
+///    sketch_config mapping, batched updates, lifetime clocks, heavy-hitter
+///    *enumeration*, and serde hooks. The baselines stay usable standalone.
+///  * Enumeration for linear sketches: count-min / count-sketch answer
+///    point queries only, so each adapter carries a candidate_tracker — a
+///    position-tracked min-heap of the max_counters ids with the largest
+///    current estimates (the standard "sketch + heap" heavy-hitter
+///    construction). frequent_items / top_items report from the tracker;
+///    only the *ids* ever reach the serde wire (keys are rebuilt from the
+///    restored cells), keeping the envelope encoding canonical.
+///  * Lifetime: plain works everywhere. exponential_fading rides on
+///    linearity — arrivals scale up by the inflation factor, queries scale
+///    down, and the rare renormalization pass is the baseline's scale_all
+///    (count_min, space_saving). count_sketch stays plain-only: its u64
+///    weights cannot carry forward-decay fractions (the façade rejects the
+///    combination with a typed error). epoch_window is rejected for all
+///    three — a ring of linear sketches is a different data structure, not
+///    a policy instantiation.
+///  * Error envelopes: count_min bounds are one-sided (lower_bound = 0,
+///    estimate never underestimates) and its expected error e·N/width is
+///    *probabilistic* — so its no-false-positives mode is vacuous and
+///    FREQ_REQUIRE-rejected. count_sketch estimates are unbiased with an
+///    AMS-style ±3·sqrt(F₂/width) envelope (also probabilistic; both query
+///    modes allowed, documented as best-effort). space_saving keeps the
+///    deterministic c(i) − e(i) ≤ f_i ≤ c(i) brackets.
+///  * Sharded merging: the linear sketches opt out of the engine's
+///    per-shard seed perturbation (`merge_requires_equal_seeds`) because
+///    cellwise merge needs identical hash functions; that is sound for the
+///    engine because shards partition the key space. space_saving merges
+///    entry-wise by id (seed-agnostic) with the standard min-counter
+///    adjustment for ids the other summary may have evicted.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "baselines/count_min_sketch.h"
+#include "baselines/count_sketch.h"
+#include "baselines/space_saving_heap.h"
+#include "common/contracts.h"
+#include "core/counter_maintenance.h"
+#include "core/lifetime_policy.h"
+#include "core/sketch_config.h"
+#include "stream/update.h"
+#include "table/flat_index.h"
+
+namespace freq {
+
+struct summary_serde_access;  // api/summary_bytes.h — the serde friend
+
+namespace detail {
+
+/// The (up to) capacity ids with the largest keys seen so far: a
+/// position-tracked binary min-heap (root = smallest tracked key) plus a
+/// flat hash index, the same layout as space_saving_heap. note(id, key)
+/// re-keys a tracked id in O(log k), admits new ids while space remains,
+/// and otherwise evicts the minimum only when the new key beats it. Keys
+/// are in the owner's RAW storage units (a fading owner re-scales them via
+/// scale_all alongside its cells, which is monotone and so preserves the
+/// heap order).
+template <typename W>
+class candidate_tracker {
+public:
+    candidate_tracker(std::uint32_t capacity, std::uint64_t seed)
+        : capacity_(capacity), index_(capacity, seed ^ 0x9e37'79b9'7f4a'7c15ULL) {
+        FREQ_REQUIRE(capacity >= 1, "candidate_tracker needs at least one slot");
+        heap_.reserve(capacity);
+    }
+
+    std::size_t size() const noexcept { return heap_.size(); }
+    std::uint32_t capacity() const noexcept { return capacity_; }
+    bool contains(std::uint64_t id) const { return index_.find(id) != nullptr; }
+    W min_key() const noexcept { return heap_.empty() ? W{0} : heap_[0].key; }
+
+    /// Observes id's current key (its fresh raw estimate). Tracked ids are
+    /// re-keyed in place; untracked ids displace the minimum only when
+    /// strictly larger, so the tracker converges on the top-capacity set.
+    void note(std::uint64_t id, W key) {
+        if (std::uint32_t* pos = index_.find(id)) {
+            const W old = heap_[*pos].key;
+            heap_[*pos].key = key;
+            if (key >= old) {
+                sift_down(*pos);
+            } else {
+                sift_up(*pos);
+            }
+            return;
+        }
+        if (heap_.size() < capacity_) {
+            heap_.push_back(slot{id, key});
+            index_.put(id, static_cast<std::uint32_t>(heap_.size() - 1));
+            sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+            return;
+        }
+        if (!(key > heap_[0].key)) {
+            return;
+        }
+        index_.erase(heap_[0].id);
+        heap_[0] = slot{id, key};
+        index_.put(id, 0);
+        sift_down(0);
+    }
+
+    /// Uniform re-scaling (monotone — heap order preserved); the fading
+    /// owner's renormalization hook.
+    void scale_all(double factor) {
+        for (slot& s : heap_) {
+            s.key = static_cast<W>(static_cast<double>(s.key) * factor);
+        }
+    }
+
+    template <typename F>
+    void for_each_id(F&& f) const {
+        for (const slot& s : heap_) {
+            f(s.id);
+        }
+    }
+
+    void clear() {
+        heap_.clear();
+        index_.clear();
+    }
+
+    std::size_t memory_bytes() const noexcept {
+        return heap_.capacity() * sizeof(slot) + index_.memory_bytes();
+    }
+
+private:
+    struct slot {
+        std::uint64_t id;
+        W key;
+    };
+
+    void sift_up(std::uint32_t pos) {
+        while (pos > 0) {
+            const std::uint32_t parent = (pos - 1) / 2;
+            if (heap_[parent].key <= heap_[pos].key) {
+                break;
+            }
+            swap_slots(pos, parent);
+            pos = parent;
+        }
+    }
+
+    void sift_down(std::uint32_t pos) {
+        const auto n = static_cast<std::uint32_t>(heap_.size());
+        for (;;) {
+            std::uint32_t smallest = pos;
+            const std::uint32_t left = 2 * pos + 1;
+            const std::uint32_t right = 2 * pos + 2;
+            if (left < n && heap_[left].key < heap_[smallest].key) {
+                smallest = left;
+            }
+            if (right < n && heap_[right].key < heap_[smallest].key) {
+                smallest = right;
+            }
+            if (smallest == pos) {
+                return;
+            }
+            swap_slots(pos, smallest);
+            pos = smallest;
+        }
+    }
+
+    void swap_slots(std::uint32_t a, std::uint32_t b) {
+        std::swap(heap_[a], heap_[b]);
+        index_.put(heap_[a].id, a);
+        index_.put(heap_[b].id, b);
+    }
+
+    std::uint32_t capacity_;
+    std::vector<slot> heap_;
+    flat_index<std::uint64_t, std::uint32_t> index_;
+};
+
+}  // namespace detail
+
+// --- count-min ---------------------------------------------------------------
+
+/// Count-Min behind the façade contract: width = max_counters (rounded to a
+/// power of two), depth 4, plus a candidate tracker for enumeration.
+/// Estimates never underestimate; lower_bound is always 0, so only the
+/// no-false-negatives query mode is meaningful (no_false_positives is
+/// rejected with a typed error). maximum_error() is the *expected* e·N/width
+/// bound — probabilistic, unlike the paper sketch's deterministic offset.
+template <typename W = std::uint64_t, typename L = plain_lifetime>
+class count_min_summary {
+public:
+    using key_type = std::uint64_t;
+    using weight_type = W;
+    using lifetime_policy = L;
+
+    static_assert(!L::windowed,
+                  "count_min has no sliding-window instantiation (a ring of "
+                  "linear sketches is a different structure, not a policy)");
+    static_assert(!L::decaying || std::is_floating_point_v<W>,
+                  "fading count_min requires real weights");
+
+    /// Cellwise merge needs identical hash seeds — the engine must not
+    /// perturb per-shard seeds (sound: shards partition the key space).
+    static constexpr bool merge_requires_equal_seeds = true;
+
+    struct row {
+        std::uint64_t id;
+        W estimate;
+        W lower_bound;
+        W upper_bound;
+    };
+
+    explicit count_min_summary(const sketch_config& cfg)
+        : cfg_(cfg),
+          cm_(typename count_min_sketch<std::uint64_t, W>::config{
+              .width = std::max<std::uint32_t>(2u, cfg.max_counters),
+              .depth = 4,
+              .conservative = false,
+              .seed = cfg.seed}),
+          tracker_(cfg.max_counters, cfg.seed) {
+        policy_.configure(cfg);
+    }
+
+    void update(std::uint64_t id, W weight = W{1}) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+        }
+        if (weight == W{0}) {
+            return;
+        }
+        if constexpr (L::decaying) {
+            weight = static_cast<W>(weight * policy_.inflation());
+        }
+        cm_.update(id, weight);
+        tracker_.note(id, cm_.estimate(id));
+    }
+
+    /// Batched ingest (the engine's drain path). Validates the whole batch
+    /// before touching state so the all-or-nothing boundary sits at the
+    /// batch, matching basic_frequent_items.
+    void update(std::span<const freq::update<std::uint64_t, W>> batch) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            for (const auto& u : batch) {
+                FREQ_REQUIRE(u.weight >= W{0}, "update weights must be non-negative");
+            }
+        }
+        for (const auto& u : batch) {
+            if (u.weight == W{0}) {
+                continue;
+            }
+            W weight = u.weight;
+            if constexpr (L::decaying) {
+                weight = static_cast<W>(weight * policy_.inflation());
+            }
+            cm_.update(u.id, weight);
+            tracker_.note(u.id, cm_.estimate(u.id));
+        }
+    }
+
+    /// Advances the fading clock; a no-op under the plain policy. Mirrors
+    /// basic_frequent_items::tick including the bulk-jump fast path.
+    void tick(std::uint64_t epochs = 1) {
+        if constexpr (L::decaying) {
+            if (epochs == 0) {
+                return;
+            }
+            if (epochs == 1) {
+                if (policy_.tick()) {
+                    renormalize();
+                }
+                return;
+            }
+            const double rebase = policy_.renormalize();
+            policy_.jump(epochs);
+            const double factor =
+                rebase * std::pow(policy_.decay(), static_cast<double>(epochs));
+            if (!(factor > 0.0)) {
+                cm_.scale_all(0.0);
+                tracker_.scale_all(0.0);
+            } else if (factor < 1.0) {
+                cm_.scale_all(factor);
+                tracker_.scale_all(factor);
+            }
+        } else {
+            (void)epochs;
+        }
+    }
+
+    /// Cellwise merge (linearity), then the candidate set is rebuilt as the
+    /// top-capacity of the *union* of both trackers under post-merge
+    /// estimates. Under fading the clocks align on the later tick first,
+    /// exactly like the paper core's merge.
+    void merge(const count_min_summary& other) {
+        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
+        if constexpr (L::decaying) {
+            FREQ_REQUIRE(policy_.decay() == other.policy_.decay(),
+                         "merging fading sketches requires equal decay factors");
+            if (other.policy_.now() > policy_.now()) {
+                tick(other.policy_.now() - policy_.now());
+            }
+            cm_.merge_scaled(other.cm_, policy_.align_factor(other.policy_));
+        } else {
+            cm_.merge(other.cm_);
+        }
+        std::vector<std::uint64_t> ids;
+        ids.reserve(tracker_.size() + other.tracker_.size());
+        tracker_.for_each_id([&](std::uint64_t id) { ids.push_back(id); });
+        other.tracker_.for_each_id([&](std::uint64_t id) { ids.push_back(id); });
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        tracker_.clear();
+        for (const std::uint64_t id : ids) {
+            tracker_.note(id, cm_.estimate(id));
+        }
+    }
+
+    // --- queries (decayed units under a fading policy) -----------------------
+
+    W estimate(std::uint64_t id) const { return present(cm_.estimate(id)); }
+    W lower_bound(std::uint64_t) const { return W{0}; }
+    W upper_bound(std::uint64_t id) const { return estimate(id); }
+    W total_weight() const { return present(cm_.total_weight()); }
+
+    /// Expected point-query error e·N/width — probabilistic (per query,
+    /// failure probability ≤ e^{-depth}), not the deterministic bound the
+    /// paper sketch carries.
+    W maximum_error() const {
+        const double n = static_cast<double>(cm_.total_weight());
+        return present(static_cast<W>(2.718281828 * n / cm_.width()));
+    }
+
+    std::uint32_t num_counters() const noexcept {
+        return static_cast<std::uint32_t>(tracker_.size());
+    }
+    std::uint32_t capacity() const noexcept { return tracker_.capacity(); }
+    std::size_t memory_bytes() const noexcept {
+        return cm_.memory_bytes() + tracker_.memory_bytes();
+    }
+    const sketch_config& config() const noexcept { return cfg_; }
+    const L& policy() const noexcept { return policy_; }
+
+    /// Tracked candidates whose upper bound exceeds \p threshold, sorted by
+    /// descending estimate. Only no_false_negatives is meaningful: with
+    /// lower_bound ≡ 0 a no-false-positives query could never report
+    /// anything, so asking for it is a usage error, not an empty answer.
+    std::vector<row> frequent_items(error_type et, W threshold) const {
+        FREQ_REQUIRE(et == error_type::no_false_negatives,
+                     "count_min has no lower bounds, so no_false_positives is "
+                     "vacuous; query no_false_negatives or pick an algorithm "
+                     "with two-sided bounds");
+        std::vector<row> out;
+        tracker_.for_each_id([&](std::uint64_t id) {
+            const W ub = estimate(id);
+            if (ub > threshold) {
+                out.push_back(row{id, ub, W{0}, ub});
+            }
+        });
+        sort_desc(out);
+        return out;
+    }
+
+    std::vector<row> frequent_items(error_type et) const {
+        return frequent_items(et, maximum_error());
+    }
+
+    std::vector<row> top_items(std::size_t m) const {
+        std::vector<row> out;
+        out.reserve(tracker_.size());
+        tracker_.for_each_id([&](std::uint64_t id) {
+            const W ub = estimate(id);
+            out.push_back(row{id, ub, W{0}, ub});
+        });
+        sort_desc(out);
+        if (out.size() > m) {
+            out.resize(m);
+        }
+        return out;
+    }
+
+    std::string to_string() const {
+        return "count_min_summary(w=" + std::to_string(cm_.width()) +
+               ", d=" + std::to_string(cm_.depth()) +
+               ", candidates=" + std::to_string(tracker_.size()) +
+               ", N=" + std::to_string(static_cast<double>(total_weight())) + ")";
+    }
+
+private:
+    friend struct summary_serde_access;
+
+    W present(W raw) const {
+        if constexpr (L::decaying) {
+            return static_cast<W>(raw / policy_.inflation());
+        } else {
+            return raw;
+        }
+    }
+
+    void renormalize() {
+        const double factor = policy_.renormalize();
+        cm_.scale_all(factor);
+        tracker_.scale_all(factor);
+    }
+
+    static void sort_desc(std::vector<row>& rows) {
+        std::sort(rows.begin(), rows.end(),
+                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
+    }
+
+    sketch_config cfg_;
+    count_min_sketch<std::uint64_t, W> cm_;
+    detail::candidate_tracker<W> tracker_;
+    L policy_;
+};
+
+// --- count-sketch ------------------------------------------------------------
+
+/// Count sketch behind the façade contract: width = max_counters (rounded
+/// to a power of two), depth 5, candidate tracker for enumeration. The
+/// estimate is the unbiased median-of-rows, bracketed by the AMS-style
+/// ±3·sqrt(F₂/width) envelope computed from the sketch's own cells (a
+/// self-estimate of the second moment — probabilistic in both directions,
+/// so both query modes are allowed but best-effort). Plain lifetime and u64
+/// weights only: the underlying counters are signed integers and cannot
+/// carry forward-decay fractions.
+class count_sketch_summary {
+public:
+    using key_type = std::uint64_t;
+    using weight_type = std::uint64_t;
+    using lifetime_policy = plain_lifetime;
+
+    /// Cellwise merge needs identical hash seeds (see count_min_summary).
+    static constexpr bool merge_requires_equal_seeds = true;
+
+    struct row {
+        std::uint64_t id;
+        std::uint64_t estimate;
+        std::uint64_t lower_bound;
+        std::uint64_t upper_bound;
+    };
+
+    explicit count_sketch_summary(const sketch_config& cfg)
+        : cfg_(cfg),
+          cs_(count_sketch<std::uint64_t>::config{
+              .width = std::max<std::uint32_t>(2u, cfg.max_counters),
+              .depth = 5,
+              .seed = cfg.seed}),
+          tracker_(cfg.max_counters, cfg.seed) {}
+
+    void update(std::uint64_t id, std::uint64_t weight = 1) {
+        if (weight == 0) {
+            return;
+        }
+        cs_.update(id, weight);
+        tracker_.note(id, cs_.estimate(id));
+    }
+
+    void update(std::span<const freq::update<std::uint64_t, std::uint64_t>> batch) {
+        for (const auto& u : batch) {
+            update(u.id, u.weight);
+        }
+    }
+
+    void tick(std::uint64_t = 1) noexcept {}  // plain lifetime: no clock
+
+    void merge(const count_sketch_summary& other) {
+        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
+        cs_.merge(other.cs_);
+        std::vector<std::uint64_t> ids;
+        ids.reserve(tracker_.size() + other.tracker_.size());
+        tracker_.for_each_id([&](std::uint64_t id) { ids.push_back(id); });
+        other.tracker_.for_each_id([&](std::uint64_t id) { ids.push_back(id); });
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        tracker_.clear();
+        for (const std::uint64_t id : ids) {
+            tracker_.note(id, cs_.estimate(id));
+        }
+    }
+
+    // --- queries -------------------------------------------------------------
+
+    std::uint64_t estimate(std::uint64_t id) const { return cs_.estimate(id); }
+
+    std::uint64_t lower_bound(std::uint64_t id) const {
+        const std::uint64_t est = cs_.estimate(id);
+        const std::uint64_t err = maximum_error();
+        return est > err ? est - err : 0;
+    }
+
+    std::uint64_t upper_bound(std::uint64_t id) const {
+        return cs_.estimate(id) + maximum_error();
+    }
+
+    std::uint64_t total_weight() const noexcept { return cs_.total_weight(); }
+
+    /// ±3·sqrt(F₂_med/width): the median over rows of the per-row
+    /// sum-of-squared-cells estimates F₂ (AMS), and one row's estimate has
+    /// standard deviation ≤ sqrt(F₂/width) — three deviations around the
+    /// median-of-5 make per-item misses rare. O(width·depth) per call;
+    /// cached by enumeration queries.
+    std::uint64_t maximum_error() const {
+        const auto cells = cs_.cells();
+        const std::uint32_t width = cs_.width();
+        const std::uint32_t depth = cs_.depth();
+        std::vector<double> f2(depth, 0.0);
+        for (std::uint32_t j = 0; j < depth; ++j) {
+            for (std::uint32_t i = 0; i < width; ++i) {
+                const auto c = static_cast<double>(
+                    cells[static_cast<std::size_t>(j) * width + i]);
+                f2[j] += c * c;
+            }
+        }
+        std::nth_element(f2.begin(), f2.begin() + depth / 2, f2.end());
+        return static_cast<std::uint64_t>(3.0 * std::sqrt(f2[depth / 2] / width));
+    }
+
+    std::uint32_t num_counters() const noexcept {
+        return static_cast<std::uint32_t>(tracker_.size());
+    }
+    std::uint32_t capacity() const noexcept { return tracker_.capacity(); }
+    std::size_t memory_bytes() const noexcept {
+        return cs_.memory_bytes() + tracker_.memory_bytes();
+    }
+    const sketch_config& config() const noexcept { return cfg_; }
+    const plain_lifetime& policy() const noexcept { return policy_; }
+
+    /// Tracked candidates whose chosen bound exceeds \p threshold, sorted
+    /// by descending estimate. Both modes are allowed; the envelopes are
+    /// probabilistic, so "no false X" is with high probability, not the
+    /// paper sketch's certainty.
+    std::vector<row> frequent_items(error_type et, std::uint64_t threshold) const {
+        const std::uint64_t err = maximum_error();
+        std::vector<row> out;
+        tracker_.for_each_id([&](std::uint64_t id) {
+            const std::uint64_t est = cs_.estimate(id);
+            const std::uint64_t lb = est > err ? est - err : 0;
+            const std::uint64_t ub = est + err;
+            const std::uint64_t bound = et == error_type::no_false_positives ? lb : ub;
+            if (bound > threshold) {
+                out.push_back(row{id, est, lb, ub});
+            }
+        });
+        sort_desc(out);
+        return out;
+    }
+
+    std::vector<row> frequent_items(error_type et) const {
+        return frequent_items(et, maximum_error());
+    }
+
+    std::vector<row> top_items(std::size_t m) const {
+        const std::uint64_t err = maximum_error();
+        std::vector<row> out;
+        out.reserve(tracker_.size());
+        tracker_.for_each_id([&](std::uint64_t id) {
+            const std::uint64_t est = cs_.estimate(id);
+            out.push_back(row{id, est, est > err ? est - err : 0, est + err});
+        });
+        sort_desc(out);
+        if (out.size() > m) {
+            out.resize(m);
+        }
+        return out;
+    }
+
+    std::string to_string() const {
+        return "count_sketch_summary(w=" + std::to_string(cs_.width()) +
+               ", d=" + std::to_string(cs_.depth()) +
+               ", candidates=" + std::to_string(tracker_.size()) +
+               ", N=" + std::to_string(total_weight()) + ")";
+    }
+
+private:
+    friend struct summary_serde_access;
+
+    static void sort_desc(std::vector<row>& rows) {
+        std::sort(rows.begin(), rows.end(),
+                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
+    }
+
+    sketch_config cfg_;
+    count_sketch<std::uint64_t> cs_;
+    detail::candidate_tracker<std::uint64_t> tracker_;
+    plain_lifetime policy_;
+};
+
+// --- space-saving ------------------------------------------------------------
+
+/// Space Saving behind the façade contract. The heap already *is* a
+/// heavy-hitter summary — the adapter adds the sketch_config mapping,
+/// batched updates, the fading clock (scale_all renorm, like the paper
+/// core), deterministic c−e ≤ f ≤ c query brackets, and a seed-agnostic
+/// entry-wise merge (Agarwal et al.'s mergeable-summaries construction:
+/// matching ids add counts and errors; one-sided ids absorb the other
+/// side's min-counter as extra error; keep the top-capacity by count).
+template <typename W = std::uint64_t, typename L = plain_lifetime>
+class space_saving_summary {
+public:
+    using key_type = std::uint64_t;
+    using weight_type = W;
+    using lifetime_policy = L;
+
+    static_assert(!L::windowed,
+                  "space_saving has no sliding-window instantiation");
+    static_assert(!L::decaying || std::is_floating_point_v<W>,
+                  "fading space_saving requires real weights");
+
+    struct row {
+        std::uint64_t id;
+        W estimate;
+        W lower_bound;
+        W upper_bound;
+    };
+
+    explicit space_saving_summary(const sketch_config& cfg)
+        : cfg_(cfg), ss_(cfg.max_counters, cfg.seed) {
+        policy_.configure(cfg);
+    }
+
+    void update(std::uint64_t id, W weight = W{1}) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            FREQ_REQUIRE(weight >= W{0}, "update weights must be non-negative");
+        }
+        if (weight == W{0}) {
+            return;
+        }
+        if constexpr (L::decaying) {
+            weight = static_cast<W>(weight * policy_.inflation());
+        }
+        ss_.update(id, weight);
+    }
+
+    void update(std::span<const freq::update<std::uint64_t, W>> batch) {
+        if constexpr (std::is_signed_v<W> || std::is_floating_point_v<W>) {
+            for (const auto& u : batch) {
+                FREQ_REQUIRE(u.weight >= W{0}, "update weights must be non-negative");
+            }
+        }
+        for (const auto& u : batch) {
+            if (u.weight == W{0}) {
+                continue;
+            }
+            W weight = u.weight;
+            if constexpr (L::decaying) {
+                weight = static_cast<W>(weight * policy_.inflation());
+            }
+            ss_.update(u.id, weight);
+        }
+    }
+
+    void tick(std::uint64_t epochs = 1) {
+        if constexpr (L::decaying) {
+            if (epochs == 0) {
+                return;
+            }
+            if (epochs == 1) {
+                if (policy_.tick()) {
+                    ss_.scale_all(policy_.renormalize());
+                }
+                return;
+            }
+            const double rebase = policy_.renormalize();
+            policy_.jump(epochs);
+            const double factor =
+                rebase * std::pow(policy_.decay(), static_cast<double>(epochs));
+            ss_.scale_all(factor > 0.0 ? std::min(factor, 1.0) : 0.0);
+        } else {
+            (void)epochs;
+        }
+    }
+
+    /// Entry-wise merge by id. Ids present on both sides add counts and
+    /// error terms; ids only one side tracks absorb the other side's
+    /// min-counter into both (the other stream may have fed the id up to
+    /// that much before evicting it). The top-capacity entries by count
+    /// survive; totals add. Seed-agnostic, so it also serves the sharded
+    /// engine's fold (shards partition keys, making the min-counter
+    /// adjustment merely conservative).
+    void merge(const space_saving_summary& other) {
+        FREQ_REQUIRE(&other != this, "cannot merge a sketch into itself");
+        double f = 1.0;
+        if constexpr (L::decaying) {
+            FREQ_REQUIRE(policy_.decay() == other.policy_.decay(),
+                         "merging fading sketches requires equal decay factors");
+            if (other.policy_.now() > policy_.now()) {
+                tick(other.policy_.now() - policy_.now());
+            }
+            f = policy_.align_factor(other.policy_);
+        }
+        using entry = typename space_saving_heap<std::uint64_t, W>::entry;
+        std::vector<entry> mine;
+        mine.reserve(ss_.num_counters());
+        ss_.for_each_entry([&](std::uint64_t id, W count, W error) {
+            mine.push_back(entry{id, count, error});
+        });
+        std::vector<entry> theirs;
+        theirs.reserve(other.ss_.num_counters());
+        other.ss_.for_each_entry([&](std::uint64_t id, W count, W error) {
+            theirs.push_back(entry{id, static_cast<W>(count * f),
+                                   static_cast<W>(error * f)});
+        });
+        const auto by_id = [](const entry& a, const entry& b) { return a.id < b.id; };
+        std::sort(mine.begin(), mine.end(), by_id);
+        std::sort(theirs.begin(), theirs.end(), by_id);
+        const W min_mine =
+            ss_.num_counters() == ss_.capacity() ? ss_.min_counter() : W{0};
+        const W min_theirs = other.ss_.num_counters() == other.ss_.capacity()
+                                 ? static_cast<W>(other.ss_.min_counter() * f)
+                                 : W{0};
+        std::vector<entry> merged;
+        merged.reserve(mine.size() + theirs.size());
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < mine.size() || j < theirs.size()) {
+            if (j == theirs.size() || (i < mine.size() && mine[i].id < theirs[j].id)) {
+                merged.push_back(entry{mine[i].id,
+                                       static_cast<W>(mine[i].count + min_theirs),
+                                       static_cast<W>(mine[i].error + min_theirs)});
+                ++i;
+            } else if (i == mine.size() || theirs[j].id < mine[i].id) {
+                merged.push_back(entry{theirs[j].id,
+                                       static_cast<W>(theirs[j].count + min_mine),
+                                       static_cast<W>(theirs[j].error + min_mine)});
+                ++j;
+            } else {
+                merged.push_back(entry{mine[i].id,
+                                       static_cast<W>(mine[i].count + theirs[j].count),
+                                       static_cast<W>(mine[i].error + theirs[j].error)});
+                ++i;
+                ++j;
+            }
+        }
+        if (merged.size() > ss_.capacity()) {
+            std::sort(merged.begin(), merged.end(), [](const entry& a, const entry& b) {
+                return a.count != b.count ? a.count > b.count : a.id < b.id;
+            });
+            merged.resize(ss_.capacity());
+        }
+        const W total =
+            static_cast<W>(ss_.total_weight() + other.ss_.total_weight() * f);
+        ss_.assign(merged, total);
+    }
+
+    // --- queries (decayed units under a fading policy) -----------------------
+
+    W estimate(std::uint64_t id) const { return present(ss_.estimate(id)); }
+    W lower_bound(std::uint64_t id) const { return present(ss_.lower_bound(id)); }
+    W upper_bound(std::uint64_t id) const { return present(ss_.upper_bound(id)); }
+    W total_weight() const { return present(ss_.total_weight()); }
+
+    /// Deterministic: an untracked item's frequency is at most the minimum
+    /// counter (0 while unassigned counters remain), and every tracked
+    /// bracket is at most that wide too.
+    W maximum_error() const {
+        return present(ss_.num_counters() == ss_.capacity() ? ss_.min_counter()
+                                                            : W{0});
+    }
+
+    std::uint32_t num_counters() const noexcept { return ss_.num_counters(); }
+    std::uint32_t capacity() const noexcept { return ss_.capacity(); }
+    std::size_t memory_bytes() const noexcept { return ss_.memory_bytes(); }
+    const sketch_config& config() const noexcept { return cfg_; }
+    const L& policy() const noexcept { return policy_; }
+
+    /// Tracked items whose bound (chosen by \p et) exceeds \p threshold,
+    /// sorted by descending estimate — the same deterministic NFP/NFN
+    /// semantics as the paper sketch, from c−e / c brackets.
+    std::vector<row> frequent_items(error_type et, W threshold) const {
+        std::vector<row> out;
+        ss_.for_each_entry([&](std::uint64_t id, W count, W error) {
+            const W ub = present(count);
+            const W lb = present(static_cast<W>(count - error));
+            const W bound = et == error_type::no_false_positives ? lb : ub;
+            if (bound > threshold) {
+                out.push_back(row{id, ub, lb, ub});
+            }
+        });
+        sort_desc(out);
+        return out;
+    }
+
+    std::vector<row> frequent_items(error_type et) const {
+        return frequent_items(et, maximum_error());
+    }
+
+    std::vector<row> top_items(std::size_t m) const {
+        std::vector<row> out;
+        out.reserve(ss_.num_counters());
+        ss_.for_each_entry([&](std::uint64_t id, W count, W error) {
+            out.push_back(row{id, present(count),
+                              present(static_cast<W>(count - error)), present(count)});
+        });
+        sort_desc(out);
+        if (out.size() > m) {
+            out.resize(m);
+        }
+        return out;
+    }
+
+    std::string to_string() const {
+        return "space_saving_summary(k=" + std::to_string(ss_.capacity()) +
+               ", counters=" + std::to_string(ss_.num_counters()) +
+               ", N=" + std::to_string(static_cast<double>(total_weight())) + ")";
+    }
+
+private:
+    friend struct summary_serde_access;
+
+    W present(W raw) const {
+        if constexpr (L::decaying) {
+            return static_cast<W>(raw / policy_.inflation());
+        } else {
+            return raw;
+        }
+    }
+
+    static void sort_desc(std::vector<row>& rows) {
+        std::sort(rows.begin(), rows.end(),
+                  [](const row& a, const row& b) { return a.estimate > b.estimate; });
+    }
+
+    sketch_config cfg_;
+    space_saving_heap<std::uint64_t, W> ss_;
+    L policy_;
+};
+
+// Every façade-reachable instantiation models the backend concept — the
+// compile-time contract the engine, summarizer and snapshot service program
+// against.
+static_assert(sketch_backend<count_min_summary<std::uint64_t, plain_lifetime>>);
+static_assert(sketch_backend<count_min_summary<double, exponential_fading>>);
+static_assert(sketch_backend<count_sketch_summary>);
+static_assert(sketch_backend<space_saving_summary<std::uint64_t, plain_lifetime>>);
+static_assert(sketch_backend<space_saving_summary<double, exponential_fading>>);
+static_assert(detail::merge_requires_equal_seeds_v<count_sketch_summary> &&
+              detail::merge_requires_equal_seeds_v<
+                  count_min_summary<std::uint64_t, plain_lifetime>> &&
+              !detail::merge_requires_equal_seeds_v<
+                  space_saving_summary<std::uint64_t, plain_lifetime>>);
+
+}  // namespace freq
+
+#endif  // FREQ_BASELINES_BACKEND_SUMMARIES_H

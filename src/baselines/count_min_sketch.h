@@ -23,6 +23,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/bits.h"
@@ -126,6 +127,42 @@ public:
             rows_[i] += other.rows_[i];
         }
         total_weight_ += other.total_weight_;
+    }
+
+    /// Cellwise merge with \p other's cells pre-scaled by \p factor —
+    /// linearity lets a time-fading caller align two inflation clocks
+    /// before adding (backend_summaries.h). Meaningful for floating W.
+    void merge_scaled(const count_min_sketch& other, double factor) {
+        FREQ_REQUIRE(cfg_.width == other.cfg_.width && cfg_.depth == other.cfg_.depth &&
+                         cfg_.seed == other.cfg_.seed,
+                     "count_min merge requires identical configuration");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            rows_[i] += static_cast<W>(static_cast<double>(other.rows_[i]) * factor);
+        }
+        total_weight_ += static_cast<W>(static_cast<double>(other.total_weight_) * factor);
+    }
+
+    /// Uniformly scales every cell and the running total — the renorm hook
+    /// a time-fading wrapper needs (mirrors counter_table::scale_all).
+    /// Sound by linearity: scaling all cells scales every estimate.
+    void scale_all(double factor) {
+        for (W& c : rows_) {
+            c = static_cast<W>(static_cast<double>(c) * factor);
+        }
+        total_weight_ = static_cast<W>(static_cast<double>(total_weight_) * factor);
+    }
+
+    /// The raw cell array (row-major, width() × depth()) — what the serde
+    /// envelope ships.
+    std::span<const W> cells() const noexcept { return rows_; }
+
+    /// Restores cells + total from envelope bytes (count validated by the
+    /// caller against width() × depth()).
+    void restore_cells(std::span<const W> cells, W total) {
+        FREQ_REQUIRE(cells.size() == rows_.size(),
+                     "count_min cell count does not match the configuration");
+        std::copy(cells.begin(), cells.end(), rows_.begin());
+        total_weight_ = total;
     }
 
 private:

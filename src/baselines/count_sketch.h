@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bits.h"
@@ -79,7 +80,22 @@ public:
     }
 
     std::uint64_t total_weight() const noexcept { return total_weight_; }
+    std::uint32_t width() const noexcept { return cfg_.width; }
+    std::uint32_t depth() const noexcept { return cfg_.depth; }
     std::size_t memory_bytes() const noexcept { return rows_.size() * sizeof(std::int64_t); }
+
+    /// The raw signed cell array (row-major, width() × depth()) — what the
+    /// serde envelope ships and what the AMS-style F₂ error bound reads.
+    std::span<const std::int64_t> cells() const noexcept { return rows_; }
+
+    /// Restores cells + total from envelope bytes (count validated by the
+    /// caller against width() × depth()).
+    void restore_cells(std::span<const std::int64_t> cells, std::uint64_t total) {
+        FREQ_REQUIRE(cells.size() == rows_.size(),
+                     "count_sketch cell count does not match the configuration");
+        std::copy(cells.begin(), cells.end(), rows_.begin());
+        total_weight_ = total;
+    }
 
     static std::size_t bytes_for(std::uint32_t width, std::uint32_t depth) noexcept {
         return static_cast<std::size_t>(ceil_pow2(width)) * depth * sizeof(std::int64_t);

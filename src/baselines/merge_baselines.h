@@ -42,11 +42,46 @@ namespace freq {
 
 namespace detail {
 
+/// The façade merge path (basic_frequent_items::merge) aligns fading
+/// clocks itself — it ticks the older side forward and rescales via
+/// align_factor. The §3.1 baselines add raw counters directly, so they
+/// must instead *reject* what they cannot align: merging summaries whose
+/// landmarks differ would silently add values in incompatible units. A
+/// constexpr no-op for plain summaries.
+template <typename S>
+void require_aligned_lifetime_clocks([[maybe_unused]] const S& a,
+                                     [[maybe_unused]] const S& b) {
+    if constexpr (S::lifetime_policy::decaying) {
+        FREQ_REQUIRE(a.policy().decay() == b.policy().decay(),
+                     "merging fading summaries requires equal decay factors");
+        FREQ_REQUIRE(a.policy().now() == b.policy().now() &&
+                         a.policy().inflation() == b.policy().inflation(),
+                     "fading clocks are misaligned: tick() the older summary "
+                     "forward to the later clock before a baseline merge");
+    }
+}
+
+/// Presented-units value (what maximum_error() / total_weight() report)
+/// back to RAW storage units — combine_counters rows are raw, so the
+/// offset/total arithmetic must be too.
+template <typename S>
+typename S::weight_type raw_units(const S& s, typename S::weight_type presented) {
+    if constexpr (S::lifetime_policy::decaying) {
+        return static_cast<typename S::weight_type>(presented * s.policy().inflation());
+    } else {
+        return presented;
+    }
+}
+
 /// Step 1-2 of §3.1's procedure: accumulate both summaries' raw counters
 /// into a scratch table of capacity k1 + k2 and dump them into a vector.
-template <typename K, typename W>
-std::vector<std::pair<K, W>> combine_counters(const frequent_items_sketch<K, W>& a,
-                                              const frequent_items_sketch<K, W>& b) {
+/// Sound across fading summaries only once the clocks are aligned (the
+/// callers check first) — equal landmarks make raw counters addable.
+template <typename S>
+std::vector<std::pair<typename S::key_type, typename S::weight_type>> combine_counters(
+    const S& a, const S& b) {
+    using K = typename S::key_type;
+    using W = typename S::weight_type;
     counter_table<K, W> scratch(a.capacity() + b.capacity());
     a.for_each([&](K id, W c) { scratch.upsert(id, c); });
     b.for_each([&](K id, W c) { scratch.upsert(id, c); });
@@ -54,6 +89,21 @@ std::vector<std::pair<K, W>> combine_counters(const frequent_items_sketch<K, W>&
     rows.reserve(scratch.size());
     scratch.for_each([&](K id, W c) { rows.emplace_back(id, c); });
     return rows;
+}
+
+/// Builds the merged summary, threading the fading clock through when the
+/// summary type carries one.
+template <typename S>
+S merged_from_raw(const S& a,
+                  std::span<const std::pair<typename S::key_type,
+                                            typename S::weight_type>> rows,
+                  typename S::weight_type offset, typename S::weight_type total) {
+    if constexpr (S::lifetime_policy::decaying) {
+        return S::from_raw(a.config(), rows, offset, total, a.policy().now(),
+                           a.policy().inflation());
+    } else {
+        return S::from_raw(a.config(), rows, offset, total);
+    }
 }
 
 }  // namespace detail
@@ -67,10 +117,17 @@ std::size_t merge_scratch_bytes(std::uint32_t k1, std::uint32_t k2) {
            static_cast<std::size_t>(k1 + k2) * sizeof(std::pair<K, W>);
 }
 
-/// Agarwal et al. [ACH+13] sort-based merge (see file comment).
-template <typename K, typename W>
-frequent_items_sketch<K, W> ach_sort_merge(const frequent_items_sketch<K, W>& a,
-                                           const frequent_items_sketch<K, W>& b) {
+/// Agarwal et al. [ACH+13] sort-based merge (see file comment). Works on
+/// any flat counter-based summary — frequent_items_sketch, or a
+/// basic_frequent_items instantiation (plain or fading; fading inputs must
+/// arrive clock-aligned, see require_aligned_lifetime_clocks).
+template <typename S>
+S ach_sort_merge(const S& a, const S& b) {
+    using K = typename S::key_type;
+    using W = typename S::weight_type;
+    static_assert(!S::lifetime_policy::windowed,
+                  "the §3.1 baselines merge flat summaries, not epoch rings");
+    detail::require_aligned_lifetime_clocks(a, b);
     auto rows = detail::combine_counters(a, b);
     std::sort(rows.begin(), rows.end(),
               [](const auto& x, const auto& y) { return x.second > y.second; });
@@ -80,17 +137,24 @@ frequent_items_sketch<K, W> ach_sort_merge(const frequent_items_sketch<K, W>& a,
         dropped = rows[k].second;
         rows.resize(k);
     }
-    return frequent_items_sketch<K, W>::from_raw(
-        a.config(), std::span<const std::pair<K, W>>(rows),
-        a.maximum_error() + b.maximum_error() + dropped,
-        a.total_weight() + b.total_weight());
+    return detail::merged_from_raw(
+        a, std::span<const std::pair<K, W>>(rows),
+        static_cast<W>(detail::raw_units(a, a.maximum_error()) +
+                       detail::raw_units(b, b.maximum_error()) + dropped),
+        static_cast<W>(detail::raw_units(a, a.total_weight()) +
+                       detail::raw_units(b, b.total_weight())));
 }
 
 /// Quickselect-based variant of the [ACH+13] merge (§3.1's improvement,
-/// "Hoa61" in Fig. 4).
-template <typename K, typename W>
-frequent_items_sketch<K, W> hoa61_merge(const frequent_items_sketch<K, W>& a,
-                                        const frequent_items_sketch<K, W>& b) {
+/// "Hoa61" in Fig. 4). Same summary-type generality and clock-alignment
+/// requirement as ach_sort_merge.
+template <typename S>
+S hoa61_merge(const S& a, const S& b) {
+    using K = typename S::key_type;
+    using W = typename S::weight_type;
+    static_assert(!S::lifetime_policy::windowed,
+                  "the §3.1 baselines merge flat summaries, not epoch rings");
+    detail::require_aligned_lifetime_clocks(a, b);
     auto rows = detail::combine_counters(a, b);
     const std::uint32_t k = a.capacity();
     W dropped{0};
@@ -125,10 +189,12 @@ frequent_items_sketch<K, W> hoa61_merge(const frequent_items_sketch<K, W>& a,
         }
         rows = std::move(kept);
     }
-    return frequent_items_sketch<K, W>::from_raw(
-        a.config(), std::span<const std::pair<K, W>>(rows),
-        a.maximum_error() + b.maximum_error() + dropped,
-        a.total_weight() + b.total_weight());
+    return detail::merged_from_raw(
+        a, std::span<const std::pair<K, W>>(rows),
+        static_cast<W>(detail::raw_units(a, a.maximum_error()) +
+                       detail::raw_units(b, b.maximum_error()) + dropped),
+        static_cast<W>(detail::raw_units(a, a.total_weight()) +
+                       detail::raw_units(b, b.total_weight())));
 }
 
 }  // namespace freq

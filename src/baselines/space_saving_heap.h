@@ -18,6 +18,8 @@
 /// bounds are available: c(i) − e(i) ≤ f_i ≤ c(i).
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.h"
@@ -31,6 +33,15 @@ class space_saving_heap {
 public:
     using key_type = K;
     using weight_type = W;
+
+    /// One counter slot: id, count c(i) and absorbed-error term e(i).
+    /// Public because the serde envelope and merge helpers ship entries
+    /// wholesale (backend_summaries.h).
+    struct entry {
+        K id;
+        W count;
+        W error;
+    };
 
     explicit space_saving_heap(std::uint32_t max_counters, std::uint64_t seed = 0)
         : max_counters_(max_counters), index_(max_counters, seed) {
@@ -123,13 +134,50 @@ public:
         }
     }
 
-private:
-    struct entry {
-        K id;
-        W count;
-        W error;
-    };
+    /// Entry-level enumeration including the error terms, for serde and
+    /// entry-wise merging.
+    template <typename F>
+    void for_each_entry(F&& f) const {
+        for (const auto& e : heap_) {
+            f(e.id, e.count, e.error);
+        }
+    }
 
+    /// Uniformly scales every counter, error term and the running total —
+    /// the renorm hook a time-fading wrapper needs (mirrors
+    /// counter_table::scale_all). Scaling is monotone, so the heap order
+    /// and the index positions are preserved as-is.
+    void scale_all(double factor) {
+        for (entry& e : heap_) {
+            e.count = static_cast<W>(static_cast<double>(e.count) * factor);
+            e.error = static_cast<W>(static_cast<double>(e.error) * factor);
+        }
+        total_weight_ = static_cast<W>(static_cast<double>(total_weight_) * factor);
+    }
+
+    /// Replaces the heap contents wholesale — the serde-restore / merge
+    /// hook. Callers pass entries with count > 0 and 0 ≤ error ≤ count;
+    /// uniqueness is re-checked here because the index insert would
+    /// otherwise silently overwrite a duplicate. Heap order is rebuilt, so
+    /// the input may arrive in any order (the envelope ships it sorted by
+    /// id for canonical bytes).
+    void assign(std::span<const entry> entries, W total) {
+        FREQ_REQUIRE(entries.size() <= max_counters_,
+                     "space_saving_heap assign exceeds capacity");
+        heap_.assign(entries.begin(), entries.end());
+        index_.clear();
+        for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(heap_.size()); ++i) {
+            FREQ_REQUIRE(index_.find(heap_[i].id) == nullptr,
+                         "space_saving_heap assign requires unique ids");
+            index_.put(heap_[i].id, i);
+        }
+        for (std::uint32_t i = static_cast<std::uint32_t>(heap_.size()) / 2; i-- > 0;) {
+            sift_down(i);
+        }
+        total_weight_ = total;
+    }
+
+private:
     void sift_up(std::uint32_t pos) {
         while (pos > 0) {
             const std::uint32_t parent = (pos - 1) / 2;

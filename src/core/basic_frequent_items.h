@@ -29,6 +29,7 @@
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.h"
@@ -371,6 +372,35 @@ public:
             offset_ += other.offset_;
             total_weight_ = combined_weight;
         }
+    }
+
+    /// Builds a summary directly from raw (id, counter) rows, bypassing the
+    /// update path — the §3.1 merge baselines (merge_baselines.h) compute
+    /// the merged counter set themselves. Rows must hold distinct ids and
+    /// positive counters (at most cfg.max_counters), all in RAW storage
+    /// units; under a fading policy the (now, inflation) pair names the
+    /// landmark those units are relative to.
+    static basic_frequent_items from_raw(const sketch_config& cfg,
+                                         std::span<const std::pair<K, W>> rows, W offset,
+                                         W total_weight, std::uint64_t now = 0,
+                                         double inflation = 1.0) {
+        FREQ_REQUIRE(rows.size() <= cfg.max_counters,
+                     "from_raw row count exceeds sketch capacity");
+        basic_frequent_items s(cfg);
+        if constexpr (LifetimePolicy::decaying) {
+            s.policy_.restore(now, inflation);
+        } else {
+            FREQ_REQUIRE(now == 0 && inflation == 1.0,
+                         "plain summaries carry no lifetime clock");
+        }
+        for (const auto& [id, c] : rows) {
+            FREQ_REQUIRE(c > W{0}, "from_raw counters must be positive");
+            FREQ_REQUIRE(s.table_.find(id) == nullptr, "from_raw ids must be distinct");
+            s.table_.upsert(id, c);
+        }
+        s.offset_ = offset;
+        s.total_weight_ = total_weight;
+        return s;
     }
 
     /// One-line human-readable summary (examples / debugging).

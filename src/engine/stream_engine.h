@@ -81,6 +81,7 @@
 #include <vector>
 
 #include "common/contracts.h"
+#include "core/counter_maintenance.h"
 #include "core/frequent_items_sketch.h"
 #include "core/sketch_config.h"
 #include "engine/shard.h"
@@ -341,7 +342,15 @@ public:
         shards_.reserve(cfg.num_shards);
         for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
             sketch_config local = cfg.sketch;
-            local.seed = cfg.sketch.seed + s;
+            // Per-shard seed perturbation decorrelates the counter cores'
+            // decrement sampling — but linear-sketch backends (count_min /
+            // count_sketch) opt out via merge_requires_equal_seeds: their
+            // cellwise merge composes across shards only under identical
+            // hash functions, which is sound because shards partition the
+            // key space (equal seeds never double-count an item).
+            if constexpr (!detail::merge_requires_equal_seeds_v<Sketch>) {
+                local.seed = cfg.sketch.seed + s;
+            }
             shards_.push_back(std::make_unique<engine_shard<K, W, Sketch>>(
                 local, cfg.num_producers, cfg.ring_capacity, cfg.drain_batch,
                 cfg.spelling_channel_capacity));
@@ -646,7 +655,8 @@ private:
     };
 
     /// Config of the empty sketch incremental folds merge into. Must match
-    /// shard 0's config bit-for-bit (the engine seeds shard s with
+    /// shard 0's config bit-for-bit (for seed-perturbing backends the
+    /// engine seeds shard s with
     /// cfg.sketch.seed + s): the non-incremental path publishes a clone of
     /// shard 0, and snapshot consumers — the serde envelope descriptor in
     /// particular — must see the same config regardless of which fold path

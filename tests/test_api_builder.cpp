@@ -420,5 +420,140 @@ TEST(ApiSummarizer, EmptySummarizerThrowsNotCrashes) {
     EXPECT_THROW((void)empty.total_weight(), std::invalid_argument);
 }
 
+// --- the algorithm axis ------------------------------------------------------
+
+TEST(ApiAlgorithms, EveryBackendConstructsStandaloneAndSharded) {
+    for (const algo a : {algo::paper, algo::count_min, algo::count_sketch,
+                         algo::space_saving}) {
+        auto s = builder().algorithm(a).max_counters(128).seed(5).build();
+        ASSERT_TRUE(s.valid());
+        EXPECT_EQ(s.descriptor().algorithm, a);
+        auto e = builder().algorithm(a).max_counters(128).seed(5).sharded(2).build();
+        EXPECT_TRUE(e.sharded());
+        EXPECT_EQ(e.descriptor().algorithm, a);
+        for (std::uint64_t i = 0; i < 2'000; ++i) {
+            s.update(i % 37);
+            e.update(i % 37);
+        }
+        e.flush();
+        EXPECT_DOUBLE_EQ(s.total_weight(), 2'000.0);
+        EXPECT_DOUBLE_EQ(e.total_weight(), 2'000.0);
+        // A sharded snapshot is a mergeable standalone summary of the same
+        // algorithm — the engine + snapshot path works for every backend.
+        auto snap = e.snapshot();
+        EXPECT_EQ(snap.descriptor().algorithm, a);
+        EXPECT_DOUBLE_EQ(snap.total_weight(), 2'000.0);
+        snap.merge(s);
+        EXPECT_DOUBLE_EQ(snap.total_weight(), 4'000.0);
+    }
+}
+
+TEST(ApiAlgorithms, InvalidCombinationsThrowPrecisely) {
+    EXPECT_THROW(builder().algorithm(algo::count_min).text_keys().build(),
+                 std::invalid_argument);
+    EXPECT_THROW(builder().algorithm(algo::space_saving).storage(storage::map).build(),
+                 std::invalid_argument);
+    EXPECT_THROW(builder().algorithm(algo::count_min).sliding_window(3).build(),
+                 std::invalid_argument);
+    EXPECT_THROW(builder().algorithm(algo::count_sketch).fading(0.5).build(),
+                 std::invalid_argument);
+    EXPECT_THROW(builder().algorithm(algo::count_sketch).real_weights().build(),
+                 std::invalid_argument);
+    // Fading is fine for count_min / space_saving...
+    auto cm = builder().algorithm(algo::count_min).max_counters(32).fading(0.5).build();
+    auto ss = builder().algorithm(algo::space_saving).max_counters(32).fading(0.5).build();
+    cm.update(std::uint64_t{1}, 8.0);
+    ss.update(std::uint64_t{1}, 8.0);
+    cm.tick();
+    ss.tick();
+    EXPECT_DOUBLE_EQ(cm.estimate(1), 4.0);
+    EXPECT_DOUBLE_EQ(ss.estimate(1), 4.0);
+    // ... and merging across algorithms is a typed error, not a crash.
+    auto paper = builder().max_counters(32).build();
+    auto other = builder().algorithm(algo::space_saving).max_counters(32).build();
+    EXPECT_THROW(paper.merge(other), std::invalid_argument);
+}
+
+TEST(ApiThresholdModes, SpaceSavingAgainstExactCounter) {
+    const auto stream = test_stream(90);
+    auto s = builder().algorithm(algo::space_saving).max_counters(k).build();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+    std::unordered_map<std::uint64_t, double> truth;
+    for (const auto& [id, f] : exact.counts()) {
+        truth[id] = static_cast<double>(f);
+    }
+    ASSERT_GT(s.maximum_error(), 0.0) << "stream too small to fill the heap";
+    for (const double phi : {0.002, 0.01}) {
+        check_threshold_modes(s, truth, phi * s.total_weight());
+    }
+}
+
+TEST(ApiThresholdModes, CountMinNfnAgainstExactCounter) {
+    const auto stream = test_stream(91);
+    auto s = builder().algorithm(algo::count_min).max_counters(k).seed(7).build();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+    // Count-Min never undercounts: estimates upper-bound the truth, and the
+    // NFN report covers everything whose true frequency clears the bar.
+    const double threshold = 0.005 * s.total_weight();
+    const auto nfn = s.frequent_items(error_mode::no_false_negatives, threshold);
+    const auto ids = returned_ids(nfn);
+    for (const auto& [id, f] : exact.counts()) {
+        EXPECT_GE(s.estimate(id), static_cast<double>(f));
+        if (static_cast<double>(f) > threshold) {
+            EXPECT_TRUE(ids.contains(id)) << "false negative: id " << id;
+        }
+    }
+    // One-sided bounds make no_false_positives vacuous — a typed error.
+    EXPECT_THROW((void)s.frequent_items(error_mode::no_false_positives, threshold),
+                 std::invalid_argument);
+}
+
+TEST(ApiThresholdModes, CountSketchEstimatesWithinItsErrorBound) {
+    const auto stream = test_stream(92);
+    auto s = builder().algorithm(algo::count_sketch).max_counters(k).seed(9).build();
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+    ASSERT_GT(s.maximum_error(), 0.0);
+    // Median-of-rows estimates land within the reported 3σ envelope for the
+    // heavy ids (per-id failure odds ~(2/9)^⌈depth/2⌉; seeds are pinned).
+    const auto top = s.top_items(20);
+    ASSERT_FALSE(top.rows().empty());
+    for (const auto& r : top) {
+        const double f = static_cast<double>(exact.frequency(r.id));
+        EXPECT_NEAR(r.estimate, f, s.maximum_error()) << "id " << r.id;
+        EXPECT_LE(r.lower_bound, r.estimate);
+        EXPECT_GE(r.upper_bound, r.estimate);
+    }
+    // Both threshold modes answer (two-sided bounds), rows sorted.
+    const double threshold = 0.01 * s.total_weight();
+    const auto nfp = s.frequent_items(error_mode::no_false_positives, threshold);
+    const auto nfn = s.frequent_items(error_mode::no_false_negatives, threshold);
+    EXPECT_GE(nfn.size(), nfp.size());
+}
+
+TEST(ApiAlgorithms, ShardedBaselinesMatchStandaloneTotals) {
+    const auto stream = test_stream(93, 60'000);
+    for (const algo a : {algo::count_min, algo::count_sketch, algo::space_saving}) {
+        auto lone = builder().algorithm(a).max_counters(k).seed(3).build();
+        auto shard = builder().algorithm(a).max_counters(k).seed(3).sharded(2).build();
+        lone.update(std::span<const update64>(stream.data(), stream.size()));
+        shard.update(std::span<const update64>(stream.data(), stream.size()));
+        shard.flush();
+        EXPECT_DOUBLE_EQ(shard.total_weight(), lone.total_weight());
+        // Shards partition the key space, so heavy estimates agree with the
+        // standalone run for the deterministic backends.
+        if (a != algo::count_sketch) {
+            for (const auto& r : lone.top_items(5)) {
+                EXPECT_GT(shard.estimate(r.id), 0.0);
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace freq

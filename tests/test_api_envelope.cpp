@@ -93,13 +93,23 @@ builder variant(int i) {
         case 10: b.sliding_window(3).sharded(2); break;
         case 11: b.text_keys().plain().sharded(2); break;
         case 12: b.text_keys().fading(0.6).sharded(2); break;
-        default: b.text_keys().sliding_window(3).sharded(2); break;
+        case 13: b.text_keys().sliding_window(3).sharded(2); break;
+        // The algorithm axis: every baseline instantiation the builder can
+        // materialize, standalone and sharded.
+        case 14: b.algorithm(algo::count_min).plain(); break;
+        case 15: b.algorithm(algo::count_min).real_weights(); break;
+        case 16: b.algorithm(algo::count_min).fading(0.6); break;
+        case 17: b.algorithm(algo::count_sketch).plain(); break;
+        case 18: b.algorithm(algo::space_saving).plain(); break;
+        case 19: b.algorithm(algo::space_saving).fading(0.6); break;
+        case 20: b.algorithm(algo::count_min).sharded(2); break;
+        default: b.algorithm(algo::space_saving).sharded(2); break;
     }
     return b;
 }
 
 TEST(ApiEnvelope, BitExactRoundTripForEveryInstantiation) {
-    for (int i = 0; i <= 13; ++i) {
+    for (int i = 0; i <= 21; ++i) {
         SCOPED_TRACE("variant " + std::to_string(i));
         auto s = variant(i).build();
         feed(s, 100 + static_cast<std::uint64_t>(i));
@@ -128,6 +138,47 @@ TEST(ApiEnvelope, DescriptorSurvivesTheWire) {
     EXPECT_EQ(d.sketch.max_counters, 128u);
     EXPECT_EQ(d.sketch.seed, 9u);
     EXPECT_DOUBLE_EQ(d.sketch.decay, 0.75);
+}
+
+TEST(ApiEnvelope, BaselineDescriptorCarriesTheAlgorithmTag) {
+    auto s = builder().algorithm(algo::space_saving).max_counters(64).seed(4).build();
+    s.update(std::uint64_t{1}, 3.0);
+    const auto bytes = s.save();
+    EXPECT_EQ(bytes.descriptor().algorithm, algo::space_saving);
+    EXPECT_EQ(bytes.bytes()[10], static_cast<std::uint8_t>(algo::space_saving));
+    auto restored = restore_summary(bytes);
+    EXPECT_EQ(restored.descriptor().algorithm, algo::space_saving);
+    EXPECT_DOUBLE_EQ(restored.estimate(1), 3.0);
+}
+
+TEST(ApiEnvelope, LegacyMinorImagesRestoreAsThePaperAlgorithm) {
+    // Paper envelopes still write the pre-algorithm-tag minor versions (0
+    // for u64, 1 for text) with a zero tag byte — byte-identical to what
+    // older writers produced — and restore as algo::paper.
+    auto u64s = builder().max_counters(32).seed(6).build();
+    u64s.update(std::uint64_t{5}, 2.0);
+    const auto u64b = u64s.save();
+    EXPECT_EQ(u64b.bytes()[9], 0u) << "paper u64 images must stay minor 0";
+    EXPECT_EQ(u64b.bytes()[10], 0u) << "legacy images carry a zero algorithm tag";
+    EXPECT_EQ(restore_summary(u64b).descriptor().algorithm, algo::paper);
+
+    auto texts = builder().text_keys().max_counters(32).seed(6).build();
+    texts.update("word", 2.0);
+    const auto textb = texts.save();
+    EXPECT_EQ(textb.bytes()[9], 1u) << "paper text images must stay minor 1";
+    EXPECT_EQ(textb.bytes()[10], 0u);
+    EXPECT_EQ(restore_summary(textb).descriptor().algorithm, algo::paper);
+
+    // A minor-<=1 image claiming a baseline algorithm is from the future of
+    // that layout — rejected, not misread.
+    auto bad = u64b.bytes();
+    bad[10] = static_cast<std::uint8_t>(algo::count_min);
+    EXPECT_THROW((void)restore_summary(std::move(bad)), std::invalid_argument);
+
+    // Baseline envelopes need the tagged layout: minor 2.
+    auto cms = builder().algorithm(algo::count_min).max_counters(32).build();
+    cms.update(std::uint64_t{5}, 2.0);
+    EXPECT_EQ(cms.save().bytes()[9], summary_bytes::current_minor_version);
 }
 
 TEST(ApiEnvelope, RestoredWindowedSummaryKeepsEvicting) {

@@ -1,0 +1,321 @@
+/// The baseline backend adapters (baselines/backend_summaries.h): each one
+/// wraps a §1.3 baseline behind the sketch_backend concept the façade and
+/// the sharded engine program against. These tests drive the adapters
+/// directly — their error envelopes against exact ground truth, merge
+/// semantics (including the equal-seeds trait and fading clock alignment),
+/// tick/renormalization behavior, and the candidate tracker that turns a
+/// cells-only sketch into an enumerable summary.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/backend_summaries.h"
+#include "core/counter_maintenance.h"
+#include "engine/stream_engine.h"
+#include "stream/exact_counter.h"
+#include "stream/generators.h"
+
+namespace freq {
+namespace {
+
+using cm_u64 = count_min_summary<std::uint64_t, plain_lifetime>;
+using cm_fading = count_min_summary<double, exponential_fading>;
+using ss_u64 = space_saving_summary<std::uint64_t, plain_lifetime>;
+using ss_fading = space_saving_summary<double, exponential_fading>;
+
+// The concept is the contract the builder and engine dispatch over.
+static_assert(sketch_backend<cm_u64>);
+static_assert(sketch_backend<cm_fading>);
+static_assert(sketch_backend<count_sketch_summary>);
+static_assert(sketch_backend<ss_u64>);
+static_assert(sketch_backend<ss_fading>);
+static_assert(sketch_backend<basic_frequent_items<std::uint64_t, std::uint64_t>>);
+
+// Sketch-based backends fold shards cellwise, which only lines up under a
+// shared seed; the enumerating backends merge across seeds.
+static_assert(detail::merge_requires_equal_seeds_v<cm_u64>);
+static_assert(detail::merge_requires_equal_seeds_v<count_sketch_summary>);
+static_assert(!detail::merge_requires_equal_seeds_v<ss_u64>);
+static_assert(
+    !detail::merge_requires_equal_seeds_v<basic_frequent_items<std::uint64_t, std::uint64_t>>);
+
+update_stream<std::uint64_t, std::uint64_t> zipf(std::uint64_t seed,
+                                                 std::uint64_t n = 80'000) {
+    zipf_stream_generator gen({.num_updates = n,
+                               .num_distinct = 8'000,
+                               .alpha = 1.1,
+                               .min_weight = 1,
+                               .max_weight = 50,
+                               .seed = seed});
+    return gen.generate();
+}
+
+sketch_config small_cfg(std::uint64_t seed = 9) {
+    return sketch_config{.max_counters = 256, .seed = seed};
+}
+
+TEST(CountMinAdapter, NeverUndercountsAndReportsItsEnvelope) {
+    cm_u64 s(small_cfg());
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    const auto stream = zipf(1);
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+    EXPECT_EQ(s.total_weight(), exact.total_weight());
+    for (const auto& [id, f] : exact.counts()) {
+        EXPECT_GE(s.estimate(id), f) << id;          // CM overestimates only
+        EXPECT_EQ(s.lower_bound(id), 0u);            // ... so lb is vacuous
+        EXPECT_EQ(s.upper_bound(id), s.estimate(id));
+    }
+    // e·N/width: positive once weight arrived, scales with the stream.
+    EXPECT_GT(s.maximum_error(), 0u);
+    EXPECT_EQ(s.num_counters(), s.capacity());  // tracker full on this stream
+
+    // Every tracked candidate's estimate clears the report threshold logic.
+    const auto rows = s.frequent_items(error_type::no_false_negatives,
+                                       s.total_weight() / 100);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i - 1].estimate, rows[i].estimate);
+    }
+    // One-sided bounds: NFP is vacuous, rejected with a typed error.
+    EXPECT_THROW((void)s.frequent_items(error_type::no_false_positives, 0),
+                 std::invalid_argument);
+}
+
+TEST(CountMinAdapter, TrackerKeepsTheHeavyIds) {
+    cm_u64 s(small_cfg());
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    const auto stream = zipf(2);
+    for (const auto& u : stream) {
+        s.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    // The true top ids must all be tracked: tracker keys are CM estimates,
+    // which upper-bound the true counts.
+    std::unordered_set<std::uint64_t> tracked;
+    for (const auto& r : s.top_items(s.capacity())) {
+        tracked.insert(r.id);
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(exact.counts().begin(),
+                                                                exact.counts().end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t i = 0; i < 20 && i < sorted.size(); ++i) {
+        EXPECT_TRUE(tracked.contains(sorted[i].first))
+            << "heavy id " << sorted[i].first << " (f=" << sorted[i].second
+            << ") missing from the tracker";
+    }
+}
+
+TEST(CountMinAdapter, BatchValidatesBeforeApplyingAnything) {
+    cm_u64 s(small_cfg());
+    const std::vector<update64> batch{{1, 5}, {2, 0}, {3, 7}};
+    s.update(std::span<const update64>(batch.data(), batch.size()));
+    EXPECT_EQ(s.total_weight(), 12u);  // zero-weight entries skipped, not errors
+}
+
+TEST(CountMinAdapter, MergeIsCellwiseAndRebuildsTheTracker) {
+    cm_u64 a(small_cfg(5));
+    cm_u64 b(small_cfg(5));
+    cm_u64 whole(small_cfg(5));
+    for (const auto& u : zipf(3)) {
+        a.update(u.id, u.weight);
+        whole.update(u.id, u.weight);
+    }
+    for (const auto& u : zipf(4)) {
+        b.update(u.id, u.weight);
+        whole.update(u.id, u.weight);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total_weight(), whole.total_weight());
+    // Cellwise fold: merged estimates match the single-stream sketch exactly.
+    for (const auto& r : whole.top_items(32)) {
+        EXPECT_EQ(a.estimate(r.id), whole.estimate(r.id)) << r.id;
+    }
+    // Distinct seeds hash to different cells — a typed error, not garbage.
+    cm_u64 other(small_cfg(6));
+    other.update(1, 1);
+    EXPECT_THROW(a.merge(other), std::invalid_argument);
+}
+
+TEST(CountMinAdapter, FadingTicksMirrorThePaperPolicy) {
+    sketch_config cfg = small_cfg();
+    cfg.decay = 0.5;
+    cm_fading s(cfg);
+    s.update(1, 64.0);
+    s.tick();
+    EXPECT_DOUBLE_EQ(s.estimate(1), 32.0);
+    s.tick(3);  // bulk jump: 32 / 2^3
+    EXPECT_DOUBLE_EQ(s.estimate(1), 4.0);
+    EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+    // Clock-aligning merge: the younger side ticks forward internally.
+    cm_fading young(cfg);
+    young.update(2, 8.0);
+    young.tick(4);  // now equal clocks
+    s.merge(young);
+    EXPECT_DOUBLE_EQ(s.estimate(2), 0.5);
+    EXPECT_DOUBLE_EQ(s.estimate(1), 4.0);
+}
+
+TEST(CountSketchAdapter, TwoSidedBoundsBracketTheMedianEstimate) {
+    count_sketch_summary s(small_cfg(11));
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    const auto stream = zipf(5);
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+    EXPECT_EQ(s.total_weight(), exact.total_weight());
+    ASSERT_GT(s.maximum_error(), 0u);
+    for (const auto& r : s.top_items(20)) {
+        EXPECT_LE(r.lower_bound, r.estimate);
+        EXPECT_GE(r.upper_bound, r.estimate);
+        // lb clamps at zero, so the row envelope is at most 2σ·3 wide.
+        EXPECT_LE(r.upper_bound - r.lower_bound, 2 * s.maximum_error());
+        // 3σ envelope around the unbiased median estimate (seeds pinned).
+        const std::uint64_t f = exact.frequency(r.id);
+        EXPECT_LE(f, r.estimate + s.maximum_error()) << r.id;
+        EXPECT_GE(f + s.maximum_error(), r.estimate) << r.id;
+    }
+    // Both threshold modes answer (two-sided bounds).
+    const auto nfp = s.frequent_items(error_type::no_false_positives,
+                                      s.total_weight() / 50);
+    const auto nfn = s.frequent_items(error_type::no_false_negatives,
+                                      s.total_weight() / 50);
+    EXPECT_GE(nfn.size(), nfp.size());
+}
+
+TEST(CountSketchAdapter, EqualSeedMergeAddsStreams) {
+    count_sketch_summary a(small_cfg(13));
+    count_sketch_summary b(small_cfg(13));
+    count_sketch_summary whole(small_cfg(13));
+    for (const auto& u : zipf(6, 30'000)) {
+        a.update(u.id, u.weight);
+        whole.update(u.id, u.weight);
+    }
+    for (const auto& u : zipf(7, 30'000)) {
+        b.update(u.id, u.weight);
+        whole.update(u.id, u.weight);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total_weight(), whole.total_weight());
+    for (const auto& r : whole.top_items(16)) {
+        EXPECT_EQ(a.estimate(r.id), whole.estimate(r.id)) << r.id;
+    }
+    count_sketch_summary other(small_cfg(14));
+    other.update(1, 1);
+    EXPECT_THROW(a.merge(other), std::invalid_argument);
+}
+
+TEST(SpaceSavingAdapter, DeterministicBracketsAgainstExact) {
+    ss_u64 s(small_cfg());
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    const auto stream = zipf(8);
+    s.update(std::span<const update64>(stream.data(), stream.size()));
+    exact.consume(stream);
+    EXPECT_EQ(s.total_weight(), exact.total_weight());
+    for (const auto& [id, f] : exact.counts()) {
+        EXPECT_LE(s.lower_bound(id), f) << id;  // c - e never overshoots
+        EXPECT_GE(s.upper_bound(id), f) << id;  // c never undershoots
+    }
+    // Full heap: the maximum error is the minimum counter.
+    ASSERT_EQ(s.num_counters(), s.capacity());
+    EXPECT_GT(s.maximum_error(), 0u);
+}
+
+TEST(SpaceSavingAdapter, SeedAgnosticMergeKeepsBounds) {
+    // Unlike the sketches, Space-Saving merges entry-wise — summaries built
+    // under different hash seeds (the engine's shards, ordinarily) merge.
+    ss_u64 a(small_cfg(21));
+    ss_u64 b(small_cfg(22));
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    for (const auto& u : zipf(9)) {
+        a.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    for (const auto& u : zipf(10)) {
+        b.update(u.id, u.weight);
+        exact.update(u.id, u.weight);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total_weight(), exact.total_weight());
+    EXPECT_LE(a.num_counters(), a.capacity());
+    for (const auto& r : a.top_items(a.capacity())) {
+        const std::uint64_t f = exact.frequency(r.id);
+        EXPECT_LE(r.lower_bound, f) << r.id;
+        EXPECT_GE(r.upper_bound, f) << r.id;
+    }
+}
+
+TEST(SpaceSavingAdapter, FadingDecaysAndAlignsOnMerge) {
+    sketch_config cfg = small_cfg();
+    cfg.decay = 0.5;
+    ss_fading s(cfg);
+    s.update(1, 64.0);
+    s.tick(2);
+    EXPECT_DOUBLE_EQ(s.estimate(1), 16.0);
+    ss_fading young(cfg);
+    young.update(2, 4.0);
+    s.merge(young);  // merge aligns the younger clock itself
+    EXPECT_DOUBLE_EQ(s.estimate(2), 1.0);
+    EXPECT_DOUBLE_EQ(s.total_weight(), 17.0);
+    // Unequal decay factors cannot be aligned — typed error.
+    sketch_config other_cfg = small_cfg();
+    other_cfg.decay = 0.9;
+    ss_fading other(other_cfg);
+    other.update(3, 1.0);
+    EXPECT_THROW(s.merge(other), std::invalid_argument);
+}
+
+TEST(BackendAdapters, ShardedEngineFoldsEveryBackend) {
+    // The engine must shard any sketch_backend: equal-seed shards for the
+    // cellwise sketches (the concept trait gates the seed perturbation),
+    // entry-wise folds for space saving.
+    const auto stream = zipf(12, 40'000);
+    exact_counter<std::uint64_t, std::uint64_t> exact;
+    exact.consume(stream);
+
+    auto run = [&](auto tag) {
+        using S = typename decltype(tag)::type;
+        engine_config cfg;
+        cfg.num_shards = 2;
+        cfg.num_producers = 1;
+        cfg.sketch = small_cfg();
+        stream_engine<std::uint64_t, std::uint64_t, S> eng(cfg);
+        auto p = eng.make_producer();
+        for (const auto& u : stream) {
+            p.push(u.id, u.weight);
+        }
+        p.flush();
+        eng.flush();
+        const S snap = eng.snapshot();
+        EXPECT_EQ(snap.total_weight(), exact.total_weight());
+    };
+    run(std::type_identity<cm_u64>{});
+    run(std::type_identity<count_sketch_summary>{});
+    run(std::type_identity<ss_u64>{});
+}
+
+TEST(CandidateTracker, EvictsTheSmallestAndTracksReKeys) {
+    detail::candidate_tracker<std::uint64_t> t(3, 42);
+    t.note(1, 10);
+    t.note(2, 20);
+    t.note(3, 30);
+    EXPECT_EQ(t.min_key(), 10u);
+    t.note(4, 5);  // below the min of a full tracker: ignored
+    EXPECT_FALSE(t.contains(4));
+    t.note(5, 15);  // evicts id 1 (key 10)
+    EXPECT_FALSE(t.contains(1));
+    EXPECT_TRUE(t.contains(5));
+    EXPECT_EQ(t.min_key(), 15u);
+    t.note(2, 50);  // re-key an existing id upward
+    EXPECT_EQ(t.min_key(), 15u);
+    t.note(5, 2);  // re-key downward: stays tracked, becomes the min
+    EXPECT_EQ(t.min_key(), 2u);
+    std::unordered_set<std::uint64_t> ids;
+    t.for_each_id([&](std::uint64_t id) { ids.insert(id); });
+    EXPECT_EQ(ids, (std::unordered_set<std::uint64_t>{2, 3, 5}));
+}
+
+}  // namespace
+}  // namespace freq

@@ -255,5 +255,43 @@ TEST(Merge, SameHashSeedStaysCorrect) {
     check_bounds(a, exact);
 }
 
+// The generalized §3.1 baselines also merge fading summaries — but only
+// clock-aligned ones. Unlike the façade merge (which ticks the older side
+// forward itself), they add raw counters, so misaligned landmarks would
+// silently mix incompatible units: a typed error instead.
+TEST(MergeBaselines, FadingMergesRequireAlignedClocks) {
+    using fading_items = basic_frequent_items<std::uint64_t, double, exponential_fading>;
+    const sketch_config cfg{.max_counters = 64, .seed = 1, .decay = 0.5};
+    fading_items a(cfg);
+    fading_items b(cfg);
+    a.update(1, 80.0);
+    b.update(2, 40.0);
+    a.tick(2);
+    b.tick(2);
+
+    // Aligned: both baselines fold the decayed streams exactly.
+    const auto sorted = ach_sort_merge(a, b);
+    const auto selected = hoa61_merge(a, b);
+    EXPECT_NEAR(sorted.total_weight(), 30.0, 1e-9);
+    EXPECT_NEAR(selected.total_weight(), 30.0, 1e-9);
+    EXPECT_NEAR(sorted.estimate(1), 20.0, 1e-9);
+    EXPECT_NEAR(sorted.estimate(2), 10.0, 1e-9);
+    // The merged summary carries the shared clock and keeps decaying.
+    auto aged = sorted;
+    aged.tick();
+    EXPECT_NEAR(aged.estimate(1), 10.0, 1e-9);
+
+    // Misaligned clock: rejected, not silently added.
+    b.tick();
+    EXPECT_THROW((void)ach_sort_merge(a, b), std::invalid_argument);
+    EXPECT_THROW((void)hoa61_merge(a, b), std::invalid_argument);
+
+    // Unequal decay factors: rejected even at equal epoch counts.
+    fading_items c(sketch_config{.max_counters = 64, .seed = 1, .decay = 0.9});
+    c.update(3, 1.0);
+    c.tick(3);
+    EXPECT_THROW((void)ach_sort_merge(a, c), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace freq
