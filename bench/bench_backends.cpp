@@ -48,6 +48,8 @@ int main() {
     const auto stream = bench::zipf_merge_stream(n, /*seed=*/2017);
     bench::print_stream_stats(stream, "zipf(1.05)");
 
+    bench::alloc_phase allocs;  // heap traffic of the measured region
+
     // Exact top-100 ground truth for the recall column.
     exact_counter<std::uint64_t, std::uint64_t> exact;
     exact.consume(stream);
@@ -121,6 +123,9 @@ int main() {
                      "\"top\": %zu},\n",
                      static_cast<unsigned long long>(stream.size()), k_counters, k_top);
         std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json, "  ");
+        allocs.write_json_fields(json, "");
+        std::fprintf(json, ",\n");
         std::fprintf(json,
                      "  \"acceptance\": {\"target\": \"paper fastest of four\", "
                      "\"gated\": %s, \"met\": %s},\n",

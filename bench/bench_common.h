@@ -14,11 +14,13 @@
 /// EXPERIMENTS.md). Set FREQ_BENCH_SCALE=16 to approximate the paper's n.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,60 @@
 #include "stream/update.h"
 
 namespace freq::bench {
+
+// --- heap-allocation counting ------------------------------------------------
+
+namespace detail {
+/// Process-wide allocation counters, fed by the replacement operator
+/// new/delete defined at the bottom of this header. Relaxed atomics: the
+/// benches read deltas between phase boundaries on one thread; worker
+/// threads' allocations land eventually (the phases join their workers
+/// before reading).
+inline std::atomic<std::uint64_t> alloc_count{0};
+inline std::atomic<std::uint64_t> alloc_bytes{0};
+
+inline void note_alloc(std::size_t n) noexcept {
+    alloc_count.fetch_add(1, std::memory_order_relaxed);
+    alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Heap allocations observed during one bench phase: construct at the
+/// phase's start, read the deltas when it ends. Counts allocations, not
+/// live bytes — frees are deliberately ignored, because the question the
+/// benches ask is "how much allocator traffic does this phase generate",
+/// and a phase that churns a million short-lived nodes should not report
+/// zero.
+class alloc_phase {
+public:
+    alloc_phase() { reset(); }
+
+    void reset() {
+        start_count_ = detail::alloc_count.load(std::memory_order_relaxed);
+        start_bytes_ = detail::alloc_bytes.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const {
+        return detail::alloc_count.load(std::memory_order_relaxed) - start_count_;
+    }
+    std::uint64_t bytes() const {
+        return detail::alloc_bytes.load(std::memory_order_relaxed) - start_bytes_;
+    }
+
+    /// Appends `"<prefix>alloc_count": ..., "<prefix>alloc_bytes": ..."`
+    /// (no trailing comma) to an open JSON stream — same shape as
+    /// latency_recorder::write_json_fields. bench_delta.py treats both
+    /// fields as lower-is-better.
+    void write_json_fields(std::FILE* json, const char* prefix) const {
+        std::fprintf(json, "\"%salloc_count\": %llu, \"%salloc_bytes\": %llu", prefix,
+                     static_cast<unsigned long long>(count()), prefix,
+                     static_cast<unsigned long long>(bytes()));
+    }
+
+private:
+    std::uint64_t start_count_ = 0;
+    std::uint64_t start_bytes_ = 0;
+};
 
 inline double scale_factor() {
     const char* env = std::getenv("FREQ_BENCH_SCALE");
@@ -180,5 +236,60 @@ inline void print_stream_stats(const update_stream<std::uint64_t, std::uint64_t>
 }
 
 }  // namespace freq::bench
+
+// --- replacement global allocation functions ---------------------------------
+// Every bench binary is a single translation unit including this header
+// exactly once, so defining the replaceable allocation functions here is
+// ODR-safe and hooks *all* heap traffic of the process — libfreq's, the
+// standard library's, the workload's — into the counters above. Disable
+// with -DFREQ_BENCH_NO_ALLOC_HOOK (e.g. for a TU that links something with
+// its own replacement).
+#ifndef FREQ_BENCH_NO_ALLOC_HOOK
+
+void* operator new(std::size_t n) {
+    freq::bench::detail::note_alloc(n);
+    if (void* p = std::malloc(n != 0 ? n : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void* operator new(std::size_t n, std::align_val_t al) {
+    freq::bench::detail::note_alloc(n);
+    const std::size_t a = std::max(static_cast<std::size_t>(al), sizeof(void*));
+    void* p = nullptr;
+    // posix_memalign over std::aligned_alloc: no size-multiple-of-alignment
+    // requirement, and glibc frees both with plain free().
+    if (posix_memalign(&p, a, n != 0 ? n : 1) != 0) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+    freq::bench::detail::note_alloc(n);
+    return std::malloc(n != 0 ? n : 1);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+    return ::operator new(n, t);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // FREQ_BENCH_NO_ALLOC_HOOK
 
 #endif  // FREQ_BENCH_BENCH_COMMON_H

@@ -120,6 +120,7 @@ std::pair<double, std::vector<std::uint64_t>> run_engine(
 }  // namespace
 
 int main() {
+    bench::alloc_phase allocs;  // heap traffic of the whole run
     const std::uint64_t n = bench::scaled(4'000'000);
     const std::uint64_t per_epoch = n / epochs;
     const std::uint64_t distinct = std::max<std::uint64_t>(n / 10, 1'000);
@@ -228,6 +229,9 @@ int main() {
     if (json != nullptr) {
         std::fprintf(json, "{\n");
         std::fprintf(json, "  \"bench\": \"lifetime_policies\",\n");
+        std::fprintf(json, "  ");
+        allocs.write_json_fields(json, "");
+        std::fprintf(json, ",\n");
         std::fprintf(json,
                      "  \"stream\": {\"n\": %llu, \"alpha\": 1.1, \"distinct\": %llu, "
                      "\"epochs\": %d, \"drift_per_epoch\": %llu},\n",

@@ -169,6 +169,7 @@ engine_run time_text_engine(const std::vector<std::pair<std::string, std::uint64
 }  // namespace
 
 int main() {
+    bench::alloc_phase allocs;  // heap traffic of the whole run
     const std::uint64_t n = bench::scaled(4'000'000);
     zipf_stream_generator gen({.num_updates = n,
                                .num_distinct = n / 10,
@@ -255,6 +256,9 @@ int main() {
         std::fprintf(json, "  \"stream\": {\"n\": %llu, \"alpha\": 1.1, \"k\": %u},\n",
                      static_cast<unsigned long long>(n), k);
         std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json, "  ");
+        allocs.write_json_fields(json, "");
+        std::fprintf(json, ",\n");
         std::fprintf(json, "  \"shard_counts\": [");
         for (std::size_t i = 0; i < runs.size(); ++i) {
             std::fprintf(json, "%u%s", runs[i].shards, i + 1 < runs.size() ? ", " : "");

@@ -39,6 +39,7 @@ constexpr unsigned k_levels = 4;
 }  // namespace
 
 int main() {
+    bench::alloc_phase allocs;  // heap traffic of the whole run
     const unsigned hw = std::thread::hardware_concurrency();
     timed_trace trace;
     trace.updates = bench::caida_stream();
@@ -117,6 +118,9 @@ int main() {
                      "\"shards_per_level\": %u, \"levels\": %u},\n",
                      static_cast<unsigned long long>(n), k_counters, k_shards, k_levels);
         std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json, "  ");
+        allocs.write_json_fields(json, "");
+        std::fprintf(json, ",\n");
         std::fprintf(json,
                      "  \"acceptance\": {\"target_update_ratio\": 0.9, \"gated\": %s, "
                      "\"met\": %s},\n",

@@ -150,6 +150,7 @@ ingest_run time_ingest(const stream_t& stream, reader_mode mode,
 }  // namespace
 
 int main() {
+    bench::alloc_phase allocs;  // heap traffic of the whole run
     const std::uint64_t n = bench::scaled(2'000'000);
     zipf_stream_generator gen({.num_updates = n,
                                .num_distinct = n / 10,
@@ -329,6 +330,9 @@ int main() {
                      "\"shards\": %u},\n",
                      static_cast<unsigned long long>(n), k, shards);
         std::fprintf(json, "  \"hardware_threads\": %u,\n", hw);
+        std::fprintf(json, "  ");
+        allocs.write_json_fields(json, "");
+        std::fprintf(json, ",\n");
         std::fprintf(json, "  \"acceptance\": {\"target_read_speedup\": 10.0, "
                      "\"gated\": %s, \"met\": %s, "
                      "\"target_incremental_speedup\": 2.0, "

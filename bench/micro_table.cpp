@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/simd.h"
 #include "random/xoshiro.h"
 #include "table/counter_table.h"
@@ -27,6 +28,8 @@
 namespace {
 
 using namespace freq;
+
+bench::alloc_phase g_allocs;  // heap traffic of the whole run
 
 template <bool UseSimd>
 using table_t = counter_table<std::uint64_t, std::uint64_t, UseSimd>;
@@ -263,11 +266,15 @@ void write_table_json(const std::map<std::string, double>& s) {
     }
     std::fprintf(json,
                  "{\n  \"bench\": \"counter_table_simd\",\n"
-                 "  \"isa\": \"%s\",\n  \"simd_compiled\": %s,\n"
+                 "  \"isa\": \"%s\",\n  \"simd_compiled\": %s,\n",
+                 simd::isa_name(), simd::compiled ? "true" : "false");
+    std::fprintf(json, "  ");
+    g_allocs.write_json_fields(json, "");
+    std::fprintf(json, ",\n");
+    std::fprintf(json,
                  "  \"points\": [%s\n  ],\n"
                  "  \"acceptance\": {\"simd_not_slower_than_scalar\": %s}\n}\n",
-                 simd::isa_name(), simd::compiled ? "true" : "false", points.c_str(),
-                 pass ? "true" : "false");
+                 points.c_str(), pass ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_table.json (isa=%s)\n", simd::isa_name());
 }
@@ -301,6 +308,7 @@ BENCHMARK_TEMPLATE(BM_FillToCapacity, false)
     ->Arg(1024)->Arg(65536)->Repetitions(3)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+    g_allocs.reset();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;

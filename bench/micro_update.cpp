@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "api/builder.h"
+#include "bench/bench_common.h"
 #include "baselines/rbmc.h"
 #include "baselines/space_saving_heap.h"
 #include "baselines/stream_summary.h"
@@ -31,6 +32,8 @@
 namespace {
 
 using namespace freq;
+
+bench::alloc_phase g_allocs;  // heap traffic of the whole run
 
 update_stream<std::uint64_t, std::uint64_t> mix_stream(bool hit_heavy) {
     zipf_stream_generator gen({
@@ -362,10 +365,15 @@ void write_api_json(const std::map<std::string, double>& s) {
     }
     std::fprintf(json,
                  "{\n  \"bench\": \"api_facade_overhead\",\n"
-                 "  \"stream\": \"hit_heavy_zipf_1M\",\n  \"obs_off\": %s,\n"
+                 "  \"stream\": \"hit_heavy_zipf_1M\",\n  \"obs_off\": %s,\n",
+                 obs_off);
+    std::fprintf(json, "  ");
+    g_allocs.write_json_fields(json, "");
+    std::fprintf(json, ",\n");
+    std::fprintf(json,
                  "  \"points\": [%s\n  ],\n"
                  "  \"acceptance\": {\"batch_overhead_le_15pct\": %s%s}%s%s\n}\n",
-                 obs_off, points.c_str(), pass ? "true" : "false", obs_accept.c_str(),
+                 points.c_str(), pass ? "true" : "false", obs_accept.c_str(),
                  text_point.c_str(), obs_points.c_str());
     std::fclose(json);
     std::printf("wrote BENCH_api.json\n");
@@ -386,6 +394,7 @@ BENCHMARK(BM_DirectTextLoop)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FacadeTextLoop)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+    g_allocs.reset();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;

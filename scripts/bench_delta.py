@@ -37,7 +37,8 @@ REGRESSION_THRESHOLD = 0.25
 # neither set (counters, config echoes, stall totals) never warns.
 HIGHER_IS_BETTER = ("mups", "speedup", "rate", "per_second", "per_sec", "throughput",
                     "recall")
-LOWER_IS_BETTER = ("seconds", "_s", "latency", "overhead_pct", "_ns")
+LOWER_IS_BETTER = ("seconds", "_s", "latency", "overhead_pct", "_ns",
+                   "alloc_count", "alloc_bytes", "_bytes")
 
 
 def regression_fraction(name, before, after):

@@ -1,0 +1,235 @@
+/// \file mem.cpp
+/// Out-of-line half of common/mem.h: the sysfs topology parse and the
+/// mmap/madvise/sched_setaffinity syscall wrappers. Everything here honors
+/// the degradation contract — any failure returns the documented fallback
+/// instead of surfacing an error, because placement is an optimization,
+/// never a correctness requirement.
+
+#include "common/mem.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__) && !defined(FREQ_NUMA_OFF)
+#define FREQ_MEM_LINUX 1
+#include <sched.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define FREQ_MEM_LINUX 0
+#endif
+
+namespace freq::mem {
+
+namespace {
+
+/// First line of \p path, or empty when unreadable.
+std::string read_line(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line)) {
+        return {};
+    }
+    return line;
+}
+
+/// Parses a kernel cpulist ("0-3,8,10-11") into explicit CPU ids.
+std::vector<int> parse_cpulist(const std::string& list) {
+    std::vector<int> cpus;
+    std::stringstream ss(list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty()) {
+            continue;
+        }
+        const std::size_t dash = tok.find('-');
+        char* end = nullptr;
+        if (dash == std::string::npos) {
+            const long cpu = std::strtol(tok.c_str(), &end, 10);
+            if (end != tok.c_str() && cpu >= 0) {
+                cpus.push_back(static_cast<int>(cpu));
+            }
+        } else {
+            const long lo = std::strtol(tok.c_str(), &end, 10);
+            const long hi = std::strtol(tok.c_str() + dash + 1, &end, 10);
+            for (long cpu = lo; cpu >= 0 && cpu <= hi; ++cpu) {
+                cpus.push_back(static_cast<int>(cpu));
+            }
+        }
+    }
+    return cpus;
+}
+
+/// THP "enabled" files look like "always [madvise] never" — available
+/// unless the bracket sits on "never".
+bool thp_from_enabled_line(const std::string& line) {
+    if (line.empty()) {
+        return false;
+    }
+    const std::size_t open = line.find('[');
+    const std::size_t close = line.find(']');
+    if (open == std::string::npos || close == std::string::npos || close <= open) {
+        return false;
+    }
+    return line.substr(open + 1, close - open - 1) != "never";
+}
+
+}  // namespace
+
+topology detect_topology(const std::string& sysfs_root) {
+    topology topo;
+    if constexpr (!numa_compiled) {
+        return topo;  // degraded single-node view, no filesystem access
+    }
+    // Nodes: <root>/devices/system/node/nodeN/cpulist. Probe ids densely
+    // from 0; sysfs numbers nodes contiguously on every kernel we target,
+    // and a fake test tree can do the same.
+    for (int id = 0;; ++id) {
+        const std::string cpulist = read_line(
+            sysfs_root + "/devices/system/node/node" + std::to_string(id) + "/cpulist");
+        if (cpulist.empty()) {
+            break;
+        }
+        topology_node node;
+        node.id = id;
+        node.cpus = parse_cpulist(cpulist);
+        topo.nodes.push_back(std::move(node));
+    }
+    topo.thp_available = thp_from_enabled_line(
+        read_line(sysfs_root + "/kernel/mm/transparent_hugepage/enabled"));
+    // Explicit hugepage pool: the default size is the one the kernel
+    // advertises under hugepages-<kB>kB with a non-zero nr_hugepages.
+    for (const std::size_t kb : {2048u, 1048576u}) {
+        const std::string nr = read_line(sysfs_root + "/kernel/mm/hugepages/hugepages-" +
+                                         std::to_string(kb) + "kB/nr_hugepages");
+        if (!nr.empty() && std::strtoull(nr.c_str(), nullptr, 10) > 0) {
+            topo.explicit_hugepage_bytes = kb * 1024;
+            break;
+        }
+    }
+    return topo;
+}
+
+const topology& host_topology() {
+    static const topology topo = detect_topology("/sys");
+    return topo;
+}
+
+bool pin_thread_to_node([[maybe_unused]] const topology& topo,
+                        [[maybe_unused]] int node) noexcept {
+#if FREQ_MEM_LINUX
+    if (node < 0) {
+        return false;
+    }
+    const topology_node* n = topo.find_node(node);
+    if (n == nullptr || n->cpus.empty()) {
+        return false;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    bool any = false;
+    for (const int cpu : n->cpus) {
+        if (cpu >= 0 && cpu < CPU_SETSIZE) {
+            CPU_SET(cpu, &set);
+            any = true;
+        }
+    }
+    if (!any) {
+        return false;
+    }
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    return false;
+#endif
+}
+
+bool advise_hugepages([[maybe_unused]] void* p,
+                      [[maybe_unused]] std::size_t bytes) noexcept {
+#if FREQ_MEM_LINUX && defined(MADV_HUGEPAGE)
+    const std::size_t page = 4096;
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t lo = (addr + page - 1) & ~(page - 1);
+    const std::uintptr_t hi = (addr + bytes) & ~(page - 1);
+    if (hi <= lo) {
+        return false;  // range too small to contain a full page
+    }
+    return madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE) == 0;
+#else
+    return false;
+#endif
+}
+
+void first_touch(void* p, std::size_t bytes) noexcept {
+    if (p == nullptr) {
+        return;
+    }
+    auto* bytes_ptr = static_cast<volatile char*>(p);
+    for (std::size_t off = 0; off < bytes; off += 4096) {
+        bytes_ptr[off] = 0;
+    }
+}
+
+page_block page_alloc(std::size_t bytes, [[maybe_unused]] bool want_hugepages) {
+    page_block block;
+    if (bytes == 0) {
+        return block;
+    }
+#if FREQ_MEM_LINUX
+    const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    const std::size_t rounded = (bytes + page - 1) & ~(page - 1);
+#if defined(MAP_HUGETLB)
+    if (want_hugepages && host_topology().explicit_hugepage_bytes != 0) {
+        const std::size_t huge = host_topology().explicit_hugepage_bytes;
+        const std::size_t huge_rounded = (bytes + huge - 1) & ~(huge - 1);
+        void* p = mmap(nullptr, huge_rounded, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+        if (p != MAP_FAILED) {
+            block.ptr = p;
+            block.bytes = huge_rounded;
+            block.mapped = true;
+            block.huge = true;
+            obs::pipeline().mem_hugepage_regions.add(1);
+            return block;
+        }
+        // Pool exhausted or permission denied: fall through to THP advice.
+    }
+#endif
+    void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        block.ptr = p;
+        block.bytes = rounded;
+        block.mapped = true;
+        if (want_hugepages && advise_hugepages(p, rounded)) {
+            block.thp_advised = true;
+            obs::pipeline().mem_hugepage_regions.add(1);
+        }
+        return block;
+    }
+#endif
+    // Final fallback: ordinary heap memory, zeroed to match the mmap paths.
+    block.ptr = ::operator new(bytes);
+    block.bytes = bytes;
+    block.mapped = false;
+    std::memset(block.ptr, 0, bytes);
+    return block;
+}
+
+void page_free(page_block& block) noexcept {
+    if (block.ptr == nullptr) {
+        return;
+    }
+#if FREQ_MEM_LINUX
+    if (block.mapped) {
+        munmap(block.ptr, block.bytes);
+        block = page_block{};
+        return;
+    }
+#endif
+    ::operator delete(block.ptr);
+    block = page_block{};
+}
+
+}  // namespace freq::mem

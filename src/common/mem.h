@@ -1,0 +1,322 @@
+#ifndef FREQ_COMMON_MEM_H
+#define FREQ_COMMON_MEM_H
+
+/// \file mem.h
+/// Where bytes live, as a first-class property of the pipeline.
+///
+/// The paper's central claim is that the sketch runs at the speed of the
+/// memory system (§2.3.3 sizes the table so indexing stays cache friendly);
+/// once the arithmetic is vectorized, the remaining ceiling is *placement*:
+/// which NUMA node a shard's table faults onto, whether the hot arrays sit
+/// on huge pages (TLB relief), and how much allocator traffic the steady
+/// state generates. This header gathers those concerns:
+///
+///   * topology       — NUMA nodes + cpulists + hugepage availability,
+///                      parsed straight from sysfs (no libnuma dependency;
+///                      the root is a parameter so tests feed a fake tree)
+///   * pin_thread_to_node — sched_setaffinity onto one node's cpulist
+///   * page_alloc     — page-granular buffers, optionally explicit-hugetlb
+///                      backed or madvise(MADV_HUGEPAGE)-advised, with
+///                      graceful fallback to ordinary pages / operator new
+///   * arena          — bump-pointer allocator with bulk reset, the backing
+///                      store of the spelling dictionary's string bytes
+///   * first_touch    — commit freshly-mapped pages from the calling
+///                      thread, so first-touch NUMA policy places them on
+///                      the caller's node
+///   * placement      — the hint struct threaded through counter_table /
+///                      shard construction
+///
+/// Degradation contract: a -DFREQ_NUMA_OFF build (CMake -DFREQ_NUMA=OFF), a
+/// non-Linux host, a single-node machine, or a kernel without THP all
+/// degrade every operation here to a well-defined no-op — same results,
+/// same envelopes, bit-for-bit; only the page placement differs.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "obs/pipeline_metrics.h"
+
+namespace freq::mem {
+
+/// True when the build can even try NUMA/hugepage syscalls. OFF builds and
+/// non-Linux hosts compile the same API surface; every call degrades.
+#if defined(FREQ_NUMA_OFF) || !defined(__linux__)
+inline constexpr bool numa_compiled = false;
+#else
+inline constexpr bool numa_compiled = true;
+#endif
+
+// --- topology ----------------------------------------------------------------
+
+/// One NUMA node and the CPUs that belong to it.
+struct topology_node {
+    int id = 0;
+    std::vector<int> cpus;
+};
+
+/// The host memory topology, as sysfs describes it. Default-constructed =
+/// the degraded single-node view (what FREQ_NUMA=OFF and non-Linux get).
+struct topology {
+    std::vector<topology_node> nodes;
+    /// Transparent huge pages available (enabled != "never").
+    bool thp_available = false;
+    /// Size of the default explicit-hugepage pool, 0 when none configured.
+    std::size_t explicit_hugepage_bytes = 0;
+
+    std::size_t num_nodes() const noexcept { return nodes.empty() ? 1 : nodes.size(); }
+    bool multi_node() const noexcept { return nodes.size() > 1; }
+
+    /// Round-robin worker->node assignment; -1 when the topology is
+    /// degenerate (no parsed nodes, or a single node: pinning would only
+    /// constrain the scheduler without changing placement).
+    int node_for_worker(std::size_t worker_index) const noexcept {
+        if (nodes.size() < 2) {
+            return -1;
+        }
+        return nodes[worker_index % nodes.size()].id;
+    }
+
+    const topology_node* find_node(int id) const noexcept {
+        for (const auto& n : nodes) {
+            if (n.id == id) {
+                return &n;
+            }
+        }
+        return nullptr;
+    }
+};
+
+/// Parses \p sysfs_root ("/sys" on a live host; tests pass a fake tree):
+/// node list from <root>/devices/system/node/node*/cpulist, THP state from
+/// <root>/kernel/mm/transparent_hugepage/enabled, hugepage pool from
+/// <root>/kernel/mm/hugepages/. Unreadable paths yield the degraded view.
+topology detect_topology(const std::string& sysfs_root = "/sys");
+
+/// The cached live-host topology (detect_topology("/sys") once per process;
+/// the degraded view under FREQ_NUMA_OFF without touching sysfs at all).
+const topology& host_topology();
+
+/// Pins the calling thread to \p node's cpulist. Returns true on success;
+/// false (and leaves affinity untouched) for node -1, unknown nodes, empty
+/// cpulists, failed syscalls, or degraded builds.
+bool pin_thread_to_node(const topology& topo, int node) noexcept;
+
+// --- placement hints ---------------------------------------------------------
+
+/// The hint struct threaded through table/shard construction. Deliberately
+/// *not* part of sketch_config: placement never affects results, so it must
+/// not participate in merge-compatibility checks or travel in envelopes.
+struct placement {
+    /// Advise MADV_HUGEPAGE on large backing buffers (tables, arena blocks).
+    bool hugepages = false;
+    /// Preferred NUMA node (-1 = no preference). Informational: first-touch
+    /// from a pinned thread is what actually places the pages.
+    int node = -1;
+};
+
+// --- page-granular buffers ---------------------------------------------------
+
+/// One mmap'd (or heap-fallback) buffer. bytes is the usable size, rounded
+/// up to page granularity by page_alloc.
+struct page_block {
+    void* ptr = nullptr;
+    std::size_t bytes = 0;
+    bool mapped = false;       ///< mmap backing (else operator new fallback)
+    bool huge = false;         ///< explicit MAP_HUGETLB mapping succeeded
+    bool thp_advised = false;  ///< MADV_HUGEPAGE applied to the range
+
+    explicit operator bool() const noexcept { return ptr != nullptr; }
+};
+
+/// Allocates \p bytes of zero-initialized page-aligned memory. With
+/// \p want_hugepages, tries explicit MAP_HUGETLB first (when the host pool
+/// is non-empty), then an ordinary mapping with MADV_HUGEPAGE; every
+/// failure falls back one step, ending at operator new. Never throws for
+/// the mmap paths; the final heap fallback can.
+page_block page_alloc(std::size_t bytes, bool want_hugepages);
+
+/// Releases a page_alloc'd block (no-op for empty blocks).
+void page_free(page_block& block) noexcept;
+
+/// madvise(MADV_HUGEPAGE) on the page-aligned interior of [p, p+bytes).
+/// Returns true when at least one page was advised — false on degraded
+/// builds, tiny ranges, or kernels without THP. Safe on any readable range.
+bool advise_hugepages(void* p, std::size_t bytes) noexcept;
+
+/// Writes one byte per page so freshly-mapped memory faults in from the
+/// calling thread (first-touch NUMA placement). Only meaningful on memory
+/// that has not been written yet — it stores zeros.
+void first_touch(void* p, std::size_t bytes) noexcept;
+
+// --- bump-pointer arena ------------------------------------------------------
+
+/// Bump-pointer arena over page_alloc'd blocks: O(1) allocate, bulk reset()
+/// that keeps the first block hot (steady-state reuse allocates nothing).
+/// Move-only; owners that need copies rebuild (spelling_dictionary does).
+class arena {
+public:
+    static constexpr std::size_t default_block_bytes = 64 * 1024;
+
+    arena() = default;
+    explicit arena(std::size_t block_bytes, placement hints = {})
+        : block_bytes_(block_bytes < 4096 ? 4096 : block_bytes), hints_(hints) {}
+
+    arena(arena&& other) noexcept { swap(other); }
+    arena& operator=(arena&& other) noexcept {
+        if (this != &other) {
+            release();
+            swap(other);
+        }
+        return *this;
+    }
+    arena(const arena&) = delete;
+    arena& operator=(const arena&) = delete;
+    ~arena() { release(); }
+
+    /// \p align must be a power of two. Alignment is taken on the absolute
+    /// address, not the block offset: the operator-new fallback path hands
+    /// out blocks with only default alignment, so offset arithmetic alone
+    /// would mis-align on degraded builds.
+    void* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+        FREQ_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+                     "arena alignment must be a power of two");
+        if (n == 0) {
+            n = 1;
+        }
+        if (blocks_.empty()) {
+            grow(n + align);
+        }
+        std::size_t off = aligned_offset(align);
+        if (off + n > blocks_.back().bytes) {
+            grow(n + align);
+            off = aligned_offset(align);
+        }
+        char* base = static_cast<char*>(blocks_.back().ptr);
+        offset_ = off + n;
+        used_ += n;
+        return base + off;
+    }
+
+    /// Copies \p s into the arena and returns a view of the stored bytes
+    /// (valid until reset()/destruction). Empty views need no storage.
+    std::string_view store(std::string_view s) {
+        if (s.empty()) {
+            return std::string_view{};
+        }
+        char* dst = static_cast<char*>(allocate(s.size(), 1));
+        std::memcpy(dst, s.data(), s.size());
+        return std::string_view(dst, s.size());
+    }
+
+    /// Bulk reset: rewinds to the start of the first block and drops every
+    /// later block, so a steady-state fill/reset cycle touches the same hot
+    /// pages and performs zero heap allocations.
+    void reset() noexcept {
+        for (std::size_t i = 1; i < blocks_.size(); ++i) {
+            page_free(blocks_[i]);
+        }
+        if (!blocks_.empty()) {
+            blocks_.resize(1);
+        }
+        offset_ = 0;
+        used_ = 0;
+        obs::pipeline().mem_arena_resets.add(1);
+    }
+
+    /// Drops every block (used by the move/destructor path).
+    void release() noexcept {
+        for (auto& b : blocks_) {
+            page_free(b);
+        }
+        blocks_.clear();
+        offset_ = 0;
+        used_ = 0;
+    }
+
+    std::size_t bytes_used() const noexcept { return used_; }
+    std::size_t bytes_reserved() const noexcept {
+        std::size_t total = 0;
+        for (const auto& b : blocks_) {
+            total += b.bytes;
+        }
+        return total;
+    }
+    std::size_t num_blocks() const noexcept { return blocks_.size(); }
+
+    placement hints() const noexcept { return hints_; }
+    /// Applies to blocks allocated after the call (existing blocks keep
+    /// their backing).
+    void set_hints(placement hints) noexcept { hints_ = hints; }
+
+private:
+    /// Smallest offset >= offset_ whose *absolute address* in the current
+    /// (non-empty) last block is \p align-aligned.
+    std::size_t aligned_offset(std::size_t align) const noexcept {
+        const auto base = reinterpret_cast<std::uintptr_t>(blocks_.back().ptr);
+        const std::uintptr_t aligned =
+            (base + offset_ + align - 1) & ~(std::uintptr_t{align} - 1);
+        return static_cast<std::size_t>(aligned - base);
+    }
+
+    void grow(std::size_t at_least) {
+        std::size_t want = block_bytes_;
+        // Doubling block growth keeps the block count logarithmic in the
+        // arena's high-water mark (prune rebuilds stay O(bytes), not
+        // O(bytes * blocks)).
+        if (!blocks_.empty()) {
+            const std::size_t last = blocks_.back().bytes;
+            if (last < (std::size_t{1} << 30)) {
+                want = last * 2;
+            } else {
+                want = last;
+            }
+        }
+        if (want < at_least) {
+            want = at_least;
+        }
+        page_block b = page_alloc(want, hints_.hugepages);
+        first_touch(b.ptr, b.bytes);
+        obs::pipeline().mem_arena_reserved_bytes.add(b.bytes);
+        blocks_.push_back(b);
+        offset_ = 0;
+    }
+
+    void swap(arena& other) noexcept {
+        blocks_.swap(other.blocks_);
+        std::swap(offset_, other.offset_);
+        std::swap(used_, other.used_);
+        std::swap(block_bytes_, other.block_bytes_);
+        std::swap(hints_, other.hints_);
+    }
+
+    std::vector<page_block> blocks_;
+    std::size_t offset_ = 0;  ///< bump offset within the last block
+    std::size_t used_ = 0;    ///< bytes handed out since the last reset
+    std::size_t block_bytes_ = default_block_bytes;
+    placement hints_;
+};
+
+/// Applies the hugepage half of \p hints to an already-allocated buffer
+/// (vector storage and similar): advises THP over the interior pages and
+/// reports the attempt to the freq_mem_* telemetry. The node half of the
+/// hint is satisfied by *constructing* on a pinned thread (first-touch),
+/// not here.
+inline void apply_placement(void* p, std::size_t bytes, const placement& hints) noexcept {
+    if (!hints.hugepages || p == nullptr || bytes == 0) {
+        return;
+    }
+    if (advise_hugepages(p, bytes)) {
+        obs::pipeline().mem_hugepage_regions.add(1);
+    }
+}
+
+}  // namespace freq::mem
+
+#endif  // FREQ_COMMON_MEM_H

@@ -201,6 +201,7 @@ template <typename Sketch>
 class snapshot_service {
 public:
     using fold_fn = std::function<Sketch()>;
+    using fold_into_fn = std::function<void(Sketch&)>;
     using view = published_snapshot<Sketch>;
 
     /// Starts the publisher thread and synchronously publishes epoch 1, so
@@ -209,8 +210,17 @@ public:
     ///                  publisher thread and inside publish_now callers).
     /// \param interval  target publish period; staleness of any acquired
     ///                  view is bounded by interval + one fold duration.
-    snapshot_service(fold_fn fold, std::chrono::microseconds interval)
-        : fold_(std::move(fold)), interval_(interval) {
+    /// \param fold_into optional allocation-free form: folds into an
+    ///                  existing sketch by copy-assignment, letting the
+    ///                  publisher reuse its pooled buffers' backing arrays
+    ///                  instead of building a fresh sketch per publish
+    ///                  (stream_engine::snapshot_into). Must produce the
+    ///                  same result as \p fold; used whenever a recyclable
+    ///                  buffer exists, with \p fold covering first
+    ///                  publishes and pool growth.
+    snapshot_service(fold_fn fold, std::chrono::microseconds interval,
+                     fold_into_fn fold_into = nullptr)
+        : fold_(std::move(fold)), fold_into_(std::move(fold_into)), interval_(interval) {
         FREQ_REQUIRE(fold_ != nullptr, "snapshot_service needs a fold callback");
         FREQ_REQUIRE(interval_.count() > 0, "snapshot publish interval must be positive");
         Sketch first = fold_();
@@ -376,15 +386,22 @@ private:
                 break;
             }
         }
-        Sketch folded = fold_();
-        if (back == nullptr) {
-            buffers_->pool.push_back(
-                std::make_unique<detail::snapshot_buffer<Sketch>>(std::move(folded)));
-            back = buffers_->pool.back().get();
-            grows_.fetch_add(1, std::memory_order_relaxed);
-            obs::pipeline().snapshot_pool_grows.add(1);
+        if (back != nullptr && fold_into_ != nullptr) {
+            // Reuse the spare buffer's sketch storage: the fold-into form
+            // copy-assigns into its existing backing arrays, so a
+            // steady-state publish performs no heap allocation.
+            fold_into_(back->sketch);
         } else {
-            back->sketch = std::move(folded);
+            Sketch folded = fold_();
+            if (back == nullptr) {
+                buffers_->pool.push_back(
+                    std::make_unique<detail::snapshot_buffer<Sketch>>(std::move(folded)));
+                back = buffers_->pool.back().get();
+                grows_.fetch_add(1, std::memory_order_relaxed);
+                obs::pipeline().snapshot_pool_grows.add(1);
+            } else {
+                back->sketch = std::move(folded);
+            }
         }
         back->epoch = front->epoch + 1;  // safe: only the serialized publisher writes epochs
         back->policy_clock = detail::snapshot_clock(back->sketch);
@@ -398,6 +415,7 @@ private:
     }
 
     fold_fn fold_;
+    fold_into_fn fold_into_;  ///< optional allocation-free fold (see ctor)
     std::chrono::microseconds interval_;
     std::shared_ptr<detail::snapshot_buffers<Sketch>> buffers_;
     std::atomic<detail::snapshot_buffer<Sketch>*> published_{nullptr};

@@ -70,8 +70,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -81,6 +83,7 @@
 #include <vector>
 
 #include "common/contracts.h"
+#include "common/mem.h"
 #include "core/counter_maintenance.h"
 #include "core/frequent_items_sketch.h"
 #include "core/sketch_config.h"
@@ -92,6 +95,21 @@
 #include "stream/update.h"
 
 namespace freq {
+
+/// How the engine places shards relative to the host's NUMA topology
+/// (common/mem.h). Placement never changes results — only where the
+/// shards' pages live and which CPUs their workers run on.
+enum class numa_policy : std::uint8_t {
+    /// No pinning, no placement: workers float, memory lands wherever the
+    /// scheduler ran the constructing thread. The pre-placement behavior.
+    none,
+    /// Round-robin shards across the detected NUMA nodes: shard s's worker
+    /// is pinned to node (s mod nodes) and constructs the shard's memory
+    /// itself, so first-touch puts the counter tables, rings and spelling
+    /// arenas on the worker's node. Degrades to `none` on single-node
+    /// hosts, FREQ_NUMA=OFF builds and non-Linux platforms.
+    interleave,
+};
 
 /// Tuning knobs of stream_engine.
 struct engine_config {
@@ -127,6 +145,18 @@ struct engine_config {
     /// Per-shard sketch configuration. Shard s runs with seed + s so the
     /// shards' hash functions are independent (§3.2's merge note).
     sketch_config sketch{};
+
+    /// NUMA shard placement (see numa_policy above). The default keeps
+    /// behavior and thread affinity identical to a build without the
+    /// memory subsystem.
+    numa_policy numa = numa_policy::none;
+
+    /// Advise transparent huge pages on each shard's large backing buffers
+    /// (counter-table arrays, SPSC ring slots, spelling arena blocks).
+    /// Advice only: hosts without THP, FREQ_NUMA=OFF builds and non-Linux
+    /// platforms silently ignore it. freq_mem_hugepage_regions_total counts
+    /// the regions actually advised.
+    bool hugepages = false;
 
     /// Incremental snapshot folds: snapshot() keeps a per-shard clone cache
     /// keyed by engine_shard::generation() and re-clones/re-merges only the
@@ -339,31 +369,56 @@ public:
         FREQ_REQUIRE(cfg.num_shards <= 4096, "engine shard count limited to 4096");
         FREQ_REQUIRE(cfg.num_producers >= 1, "engine needs at least one producer slot");
         FREQ_REQUIRE(cfg.num_producers <= 4096, "engine producer count limited to 4096");
-        shards_.reserve(cfg.num_shards);
-        for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
-            sketch_config local = cfg.sketch;
-            // Per-shard seed perturbation decorrelates the counter cores'
-            // decrement sampling — but linear-sketch backends (count_min /
-            // count_sketch) opt out via merge_requires_equal_seeds: their
-            // cellwise merge composes across shards only under identical
-            // hash functions, which is sound because shards partition the
-            // key space (equal seeds never double-count an item).
-            if constexpr (!detail::merge_requires_equal_seeds_v<Sketch>) {
-                local.seed = cfg.sketch.seed + s;
-            }
-            shards_.push_back(std::make_unique<engine_shard<K, W, Sketch>>(
-                local, cfg.num_producers, cfg.ring_capacity, cfg.drain_batch,
-                cfg.spelling_channel_capacity));
-        }
         route_salt_ = murmur_mix64(cfg.sketch.seed ^ 0x5368'6172'6445'6e67ULL);
+        // Each worker pins itself (per cfg.numa) and then constructs its own
+        // shard, so first-touch places the shard's memory — tables, rings,
+        // spelling arena — on the worker's node. The constructor returns
+        // only once every shard exists (producers may touch any shard the
+        // moment make_producer() is reachable) or a construction failed.
+        shards_.resize(cfg.num_shards);
+        struct start_sync {
+            std::mutex m;
+            std::condition_variable cv;
+            std::uint32_t ready = 0;
+            std::exception_ptr failure;
+        } start;
         workers_.reserve(cfg.num_shards);
         try {
             for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
-                workers_.emplace_back([this, s] { worker_loop(s); });
+                workers_.emplace_back([this, s, &start] {
+                    bool ok = false;
+                    try {
+                        construct_shard(s);
+                        ok = true;
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lk(start.m);
+                        if (start.failure == nullptr) {
+                            start.failure = std::current_exception();
+                        }
+                    }
+                    {
+                        std::lock_guard<std::mutex> lk(start.m);
+                        ++start.ready;
+                        // Notify under the lock: the constructor's wait()
+                        // cannot return — and `start` unwind — until this
+                        // worker drops the mutex, so the signal always
+                        // completes before the condition_variable dies.
+                        start.cv.notify_one();
+                    }
+                    if (ok) {
+                        worker_loop(s);
+                    }
+                });
+            }
+            std::unique_lock<std::mutex> lk(start.m);
+            start.cv.wait(lk, [&] { return start.ready == cfg_.num_shards; });
+            if (start.failure != nullptr) {
+                std::rethrow_exception(start.failure);
             }
         } catch (...) {
-            // Thread spawn failed partway: stop and join the workers that
-            // did start, so unwinding never destroys a joinable thread.
+            // Thread spawn or shard construction failed partway: stop and
+            // join the workers that did start, so unwinding never destroys
+            // a joinable thread or leaves a worker draining a dead engine.
             stopping_.store(true, std::memory_order_release);
             for (auto& w : workers_) {
                 if (w.joinable()) {
@@ -472,31 +527,50 @@ public:
     /// sketch mutex (cache mutex is always acquired first, and no path
     /// takes them in the other order).
     sketch_type snapshot() const {
+        sketch_type out(fold_base_cfg());
+        snapshot_into(out);
+        return out;
+    }
+
+    /// Folds the current snapshot state *into* \p out by copy-assignment —
+    /// the allocation-free form of snapshot(). A caller that reuses one
+    /// target sketch across publishes (the snapshot service does) performs
+    /// zero heap allocations per steady-state incremental fold for
+    /// fixed-layout sketches (u64 keys): the cached clean fold, the
+    /// per-shard clones and the previous-fold cache all copy-assign into
+    /// existing vector capacity, and the dirty-shard merges are in-place
+    /// O(k). Spelling-keeping sketches still allocate hash-map nodes for
+    /// dictionary entries new since the last fold (their byte storage
+    /// reuses the arena). \p out must be constructed from this engine's
+    /// config or be a previous snapshot of it.
+    void snapshot_into(sketch_type& out) const {
         if (!cfg_.incremental_snapshots) {
             snapshot_folds_.fetch_add(1, std::memory_order_relaxed);
             snapshot_refolds_.fetch_add(shards_.size(), std::memory_order_relaxed);
             obs::pipeline().snapshot_shards_refolded.add(shards_.size());
-            sketch_type merged = shards_[0]->clone_sketch();
+            shards_[0]->clone_sketch_into(out);
             for (std::size_t s = 1; s < shards_.size(); ++s) {
                 const sketch_type part = shards_[s]->clone_sketch();
-                merged.merge(part);
+                out.merge(part);
             }
-            return merged;
+            return;
         }
         const std::size_t S = shards_.size();
         std::lock_guard<std::mutex> lock(fold_mutex_);
         snapshot_folds_.fetch_add(1, std::memory_order_relaxed);
+        fold_cache& c = cache_;
         // Generations first, clones after: a mutation racing this read can
         // only make a future fold conservatively re-merge a shard whose
         // clone already contains it — never the reverse.
-        std::vector<std::uint64_t> gens_now(S);
+        std::vector<std::uint64_t>& gens_now = c.gens_scratch;
+        gens_now.resize(S);
         for (std::size_t s = 0; s < S; ++s) {
             gens_now[s] = shards_[s]->generation();
         }
-        fold_cache& c = cache_;
         if (c.last_fold.has_value() && gens_now == c.last_gens) {
             snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
-            return *c.last_fold;
+            out = *c.last_fold;
+            return;
         }
         if (c.clones.empty()) {
             c.clones.reserve(S);
@@ -510,7 +584,7 @@ public:
             for (std::size_t s = 0; s < S; ++s) {
                 if (gens_now[s] != c.gens[s]) {
                     c.dirty[s] = 1;
-                    c.clones[s] = shards_[s]->clone_sketch();
+                    shards_[s]->clone_sketch_into(c.clones[s]);
                     c.gens[s] = gens_now[s];
                 }
             }
@@ -519,7 +593,8 @@ public:
         // The clean fold covers exactly the shards that did NOT move this
         // round; rebuild it only when that membership changes (a shard going
         // hot→cold or cold→hot), from the cached clones — no shard locks.
-        std::vector<char> clean(S);
+        std::vector<char>& clean = c.clean_scratch;
+        clean.resize(S);
         for (std::size_t s = 0; s < S; ++s) {
             clean[s] = static_cast<char>(!c.dirty[s]);
         }
@@ -531,9 +606,9 @@ public:
                     ++refolded;
                 }
             }
-            c.in_clean = std::move(clean);
+            c.in_clean = clean;
         }
-        sketch_type out = *c.clean_fold;
+        out = *c.clean_fold;
         for (std::size_t s = 0; s < S; ++s) {
             if (c.dirty[s]) {
                 out.merge(c.clones[s]);
@@ -543,8 +618,7 @@ public:
         snapshot_refolds_.fetch_add(refolded, std::memory_order_relaxed);
         obs::pipeline().snapshot_shards_refolded.add(refolded);
         c.last_fold = out;
-        c.last_gens = std::move(gens_now);
-        return out;
+        c.last_gens = gens_now;
     }
 
     // --- async snapshot service ---------------------------------------------
@@ -562,8 +636,12 @@ public:
         FREQ_REQUIRE(!stopping_.load(std::memory_order_acquire),
                      "enable_snapshot_service() on a stopped engine");
         retire_snapshot_service();  // stop any previous publisher first
+        // The fold-into form lets the publisher reuse its pooled buffers'
+        // sketches: a steady-state publish is allocation-free end to end
+        // (see snapshot_into()).
         snapshots_ = std::make_unique<snapshot_service<sketch_type>>(
-            [this] { return snapshot(); }, interval);
+            [this] { return snapshot(); }, interval,
+            [this](sketch_type& out) { snapshot_into(out); });
     }
 
     /// Stops the publisher and returns reads to fold-on-demand. Outstanding
@@ -652,6 +730,8 @@ private:
         std::optional<sketch_type> clean_fold;  ///< fold over the stable cold set
         std::optional<sketch_type> last_fold;   ///< previous snapshot() result
         std::vector<std::uint64_t> last_gens;   ///< generations last_fold covers
+        std::vector<std::uint64_t> gens_scratch;  ///< per-fold generation reads
+        std::vector<char> clean_scratch;          ///< per-fold clean membership
     };
 
     /// Config of the empty sketch incremental folds merge into. Must match
@@ -662,6 +742,40 @@ private:
     /// particular — must see the same config regardless of which fold path
     /// produced the sketch.
     sketch_config fold_base_cfg() const { return cfg_.sketch; }
+
+    /// Runs on worker thread s, before its drain loop: applies the NUMA
+    /// policy (pin first, construct after), so every allocation the shard
+    /// makes first-touches pages on the worker's node.
+    void construct_shard(std::uint32_t s) {
+        int node = -1;
+        if (cfg_.numa == numa_policy::interleave) {
+            const mem::topology& topo = mem::host_topology();
+            node = topo.node_for_worker(s);  // -1 on single-node hosts
+            if (node >= 0) {
+                if (mem::pin_thread_to_node(topo, node)) {
+                    obs::pipeline().mem_node_local_shards.add(1);
+                } else {
+                    // Pin failed (cpuset restrictions, degraded build): the
+                    // shard still works, its memory just isn't node-bound.
+                    node = -1;
+                    obs::pipeline().mem_remote_shards.add(1);
+                }
+            }
+        }
+        sketch_config local = cfg_.sketch;
+        // Per-shard seed perturbation decorrelates the counter cores'
+        // decrement sampling — but linear-sketch backends (count_min /
+        // count_sketch) opt out via merge_requires_equal_seeds: their
+        // cellwise merge composes across shards only under identical
+        // hash functions, which is sound because shards partition the
+        // key space (equal seeds never double-count an item).
+        if constexpr (!detail::merge_requires_equal_seeds_v<Sketch>) {
+            local.seed = cfg_.sketch.seed + s;
+        }
+        shards_[s] = std::make_unique<engine_shard<K, W, Sketch>>(
+            local, cfg_.num_producers, cfg_.ring_capacity, cfg_.drain_batch,
+            cfg_.spelling_channel_capacity, mem::placement{cfg_.hugepages, node});
+    }
 
     void worker_loop(std::uint32_t s) {
         engine_shard<K, W, Sketch>& shard = *shards_[s];

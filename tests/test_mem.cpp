@@ -1,0 +1,241 @@
+/// Unit tests for the memory subsystem (common/mem.h): the sysfs topology
+/// parse against a fake tree, the arena's reset/alignment/steady-state
+/// contracts, and the page allocator's graceful hugepage fallback chain.
+/// Everything here must pass identically with FREQ_NUMA=OFF — the degraded
+/// build short-circuits the sysfs parse, and the tests assert the
+/// documented degraded view instead of skipping.
+
+#include "common/mem.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace freq;
+namespace fs = std::filesystem;
+
+// --- fake sysfs tree ---------------------------------------------------------
+
+/// Builds a miniature /sys with two NUMA nodes, madvise-mode THP and a
+/// 4-page 2 MiB hugepage pool, and removes it on destruction.
+class fake_sysfs {
+public:
+    fake_sysfs() {
+        root_ = fs::temp_directory_path() /
+                ("freq_mem_test_" + std::to_string(::getpid()));
+        fs::remove_all(root_);
+        write("devices/system/node/node0/cpulist", "0-1,4\n");
+        write("devices/system/node/node1/cpulist", "2-3\n");
+        write("kernel/mm/transparent_hugepage/enabled", "always [madvise] never\n");
+        write("kernel/mm/hugepages/hugepages-2048kB/nr_hugepages", "4\n");
+    }
+    ~fake_sysfs() { fs::remove_all(root_); }
+
+    void write(const std::string& rel, const std::string& contents) {
+        const fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream out(p);
+        out << contents;
+    }
+
+    std::string path() const { return root_.string(); }
+
+private:
+    fs::path root_;
+};
+
+TEST(MemTopology, ParsesFakeSysfsTree) {
+    fake_sysfs sys;
+    const mem::topology topo = mem::detect_topology(sys.path());
+    if constexpr (!mem::numa_compiled) {
+        // Degraded builds never touch the filesystem: single-node view.
+        EXPECT_TRUE(topo.nodes.empty());
+        EXPECT_EQ(topo.num_nodes(), 1u);
+        EXPECT_FALSE(topo.multi_node());
+        return;
+    }
+    ASSERT_EQ(topo.nodes.size(), 2u);
+    EXPECT_TRUE(topo.multi_node());
+    EXPECT_EQ(topo.nodes[0].id, 0);
+    EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1, 4}));
+    EXPECT_EQ(topo.nodes[1].id, 1);
+    EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{2, 3}));
+    EXPECT_TRUE(topo.thp_available);
+    EXPECT_EQ(topo.explicit_hugepage_bytes, 2048u * 1024u);
+}
+
+TEST(MemTopology, ThpNeverMeansUnavailable) {
+    if constexpr (!mem::numa_compiled) {
+        GTEST_SKIP() << "degraded build skips the sysfs parse entirely";
+    }
+    fake_sysfs sys;
+    sys.write("kernel/mm/transparent_hugepage/enabled", "always madvise [never]\n");
+    EXPECT_FALSE(mem::detect_topology(sys.path()).thp_available);
+}
+
+TEST(MemTopology, MissingRootYieldsDegradedView) {
+    const mem::topology topo =
+        mem::detect_topology("/nonexistent/freq/sysfs/root");
+    EXPECT_TRUE(topo.nodes.empty());
+    EXPECT_EQ(topo.num_nodes(), 1u);
+    EXPECT_FALSE(topo.multi_node());
+    EXPECT_EQ(topo.explicit_hugepage_bytes, 0u);
+    EXPECT_FALSE(topo.thp_available);
+    EXPECT_EQ(topo.node_for_worker(0), -1);
+}
+
+TEST(MemTopology, NodeForWorkerRoundRobins) {
+    mem::topology topo;
+    topo.nodes.push_back({0, {0, 1}});
+    topo.nodes.push_back({1, {2, 3}});
+    EXPECT_EQ(topo.node_for_worker(0), 0);
+    EXPECT_EQ(topo.node_for_worker(1), 1);
+    EXPECT_EQ(topo.node_for_worker(2), 0);
+    EXPECT_EQ(topo.node_for_worker(3), 1);
+    // Degenerate single-node topologies decline to pin at all.
+    topo.nodes.resize(1);
+    EXPECT_EQ(topo.node_for_worker(0), -1);
+}
+
+TEST(MemTopology, PinRejectsInvalidNodes) {
+    mem::topology topo;
+    topo.nodes.push_back({0, {0}});
+    EXPECT_FALSE(mem::pin_thread_to_node(topo, -1));
+    EXPECT_FALSE(mem::pin_thread_to_node(topo, 7));
+    mem::topology empty_cpus;
+    empty_cpus.nodes.push_back({0, {}});
+    EXPECT_FALSE(mem::pin_thread_to_node(empty_cpus, 0));
+}
+
+// --- arena -------------------------------------------------------------------
+
+TEST(MemArena, RespectsAlignment) {
+    mem::arena a(4096);
+    for (const std::size_t align : {1u, 8u, 16u, 64u, 256u}) {
+        void* p = a.allocate(3, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "alignment " << align;
+    }
+}
+
+TEST(MemArena, StoreRoundTripsBytes) {
+    mem::arena a(4096);
+    const std::string_view s1 = a.store("the quick brown fox");
+    const std::string_view s2 = a.store("jumps over");
+    EXPECT_EQ(s1, "the quick brown fox");
+    EXPECT_EQ(s2, "jumps over");
+    EXPECT_TRUE(a.store("").empty());
+    // Stored views stay valid as the arena grows past its first block.
+    std::vector<std::string_view> views;
+    for (int i = 0; i < 2000; ++i) {
+        views.push_back(a.store("padding-string-" + std::to_string(i)));
+    }
+    EXPECT_EQ(s1, "the quick brown fox");
+    EXPECT_EQ(views[1234], "padding-string-1234");
+    EXPECT_GT(a.num_blocks(), 1u);
+}
+
+TEST(MemArena, ResetKeepsFirstBlockHot) {
+    mem::arena a(4096);
+    for (int i = 0; i < 2000; ++i) {
+        a.allocate(16);
+    }
+    ASSERT_GT(a.num_blocks(), 1u);
+    const std::size_t reserved_before = a.bytes_reserved();
+    a.reset();
+    EXPECT_EQ(a.num_blocks(), 1u);
+    EXPECT_EQ(a.bytes_used(), 0u);
+    EXPECT_LT(a.bytes_reserved(), reserved_before);
+    EXPECT_GT(a.bytes_reserved(), 0u);
+    // A fill that fits the retained block allocates no new blocks.
+    const std::size_t fit = a.bytes_reserved() / 32;
+    for (std::size_t i = 0; i < fit; ++i) {
+        a.allocate(16, 16);
+    }
+    EXPECT_EQ(a.num_blocks(), 1u);
+}
+
+TEST(MemArena, MoveTransfersOwnership) {
+    mem::arena a(4096);
+    const std::string_view view = a.store("survives the move");
+    mem::arena b(std::move(a));
+    EXPECT_EQ(view, "survives the move");
+    EXPECT_GT(b.bytes_used(), 0u);
+    mem::arena c(4096);
+    c = std::move(b);
+    EXPECT_EQ(view, "survives the move");
+    EXPECT_GT(c.bytes_used(), 0u);
+}
+
+TEST(MemArena, GrowsForOversizedRequests) {
+    mem::arena a(4096);
+    void* p = a.allocate(1 << 20);  // far larger than the block size
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xab, 1 << 20);
+    EXPECT_GE(a.bytes_reserved(), std::size_t{1} << 20);
+}
+
+// --- page allocator ----------------------------------------------------------
+
+TEST(MemPageAlloc, HugepageRequestAlwaysFallsBackToUsableMemory) {
+    // Containers rarely grant MAP_HUGETLB; the contract is a usable,
+    // zeroed buffer regardless of which rung of the fallback chain served
+    // it (explicit huge -> THP-advised -> plain map -> operator new).
+    mem::page_block block = mem::page_alloc(1 << 20, /*want_hugepages=*/true);
+    ASSERT_TRUE(static_cast<bool>(block));
+    ASSERT_GE(block.bytes, std::size_t{1} << 20);
+    auto* bytes = static_cast<unsigned char*>(block.ptr);
+    for (std::size_t i = 0; i < block.bytes; i += 4096) {
+        EXPECT_EQ(bytes[i], 0u);
+    }
+    std::memset(block.ptr, 0x5a, block.bytes);
+    mem::page_free(block);
+    EXPECT_EQ(block.ptr, nullptr);
+    EXPECT_EQ(block.bytes, 0u);
+}
+
+TEST(MemPageAlloc, ZeroBytesYieldsEmptyBlock) {
+    mem::page_block block = mem::page_alloc(0, false);
+    EXPECT_FALSE(static_cast<bool>(block));
+    mem::page_free(block);  // must be a safe no-op
+}
+
+TEST(MemPageAlloc, AdviseHugepagesRejectsTinyRanges) {
+    char tiny[64];
+    EXPECT_FALSE(mem::advise_hugepages(tiny, sizeof(tiny)));
+    EXPECT_FALSE(mem::advise_hugepages(nullptr, 0));
+}
+
+TEST(MemPageAlloc, FirstTouchHandlesNullAndCommitsPages) {
+    mem::first_touch(nullptr, 4096);  // must not crash
+    mem::page_block block = mem::page_alloc(64 * 1024, false);
+    ASSERT_TRUE(static_cast<bool>(block));
+    mem::first_touch(block.ptr, block.bytes);
+    EXPECT_EQ(static_cast<unsigned char*>(block.ptr)[0], 0u);
+    mem::page_free(block);
+}
+
+TEST(MemPlacement, ApplyPlacementIsNoopWithoutHugepages) {
+    std::vector<std::uint64_t> buf(1024);
+    mem::apply_placement(buf.data(), buf.size() * sizeof(std::uint64_t),
+                         mem::placement{false, -1});
+    mem::apply_placement(nullptr, 0, mem::placement{true, 0});
+    // With hugepages requested the call advises THP when the kernel allows
+    // it; either way the buffer contents are untouched.
+    buf[0] = 42;
+    mem::apply_placement(buf.data(), buf.size() * sizeof(std::uint64_t),
+                         mem::placement{true, -1});
+    EXPECT_EQ(buf[0], 42u);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+/// Holds the two spelling_dictionary backends to one observable contract:
+/// the arena backend (the string default) must behave — and serialize —
+/// exactly like the heap reference across prune churn, detach/merge, and
+/// every lifetime policy. The envelope bit-identity tests are the
+/// load-bearing ones: placement and storage strategy must never leak into
+/// the bytes (ISSUE 10's degradation contract).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/summary_bytes.h"
+#include "core/fingerprint_frequent_items.h"
+#include "core/lifetime_policy.h"
+#include "core/spelling_dictionary.h"
+#include "core/string_frequent_items.h"
+
+namespace {
+
+using namespace freq;
+
+using heap_dict = spelling_dictionary<std::string, false>;
+using arena_dict = spelling_dictionary<std::string, true>;
+
+template <typename Lifetime>
+using heap_sketch =
+    fingerprint_frequent_items<std::string, double, Lifetime,
+                               key_fingerprint_traits<std::string>, heap_dict>;
+template <typename Lifetime>
+using arena_sketch =
+    fingerprint_frequent_items<std::string, double, Lifetime,
+                               key_fingerprint_traits<std::string>, arena_dict>;
+
+std::string key_of(std::size_t i) {
+    return "spelling-arena-key-" + std::to_string(i) + "-padding-beyond-sso";
+}
+
+std::uint64_t fp_of(const std::string& s) {
+    return key_fingerprint_traits<std::string>::fingerprint(s);
+}
+
+// --- dictionary-level behavior ----------------------------------------------
+
+TEST(SpellingArenaDict, NoteFindRoundTrip) {
+    arena_dict dict(64);
+    for (std::size_t i = 0; i < 100; ++i) {
+        dict.note(i, key_of(i));
+    }
+    EXPECT_EQ(dict.size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const std::string_view* v = dict.find(i);
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, key_of(i));
+    }
+    EXPECT_EQ(dict.find(1'000'000), nullptr);
+    // First writer wins, same as the heap backend.
+    dict.note(0, std::string("usurper"));
+    EXPECT_EQ(*dict.find(0), key_of(0));
+}
+
+TEST(SpellingArenaDict, PruneRebuildsCompactArena) {
+    arena_dict dict(16);  // prune_limit = 64
+    // Fill far past the budget, then prune keeping a small survivor set:
+    // the rebuild must both drop the dead spellings and compact the byte
+    // storage (fresh arena sized to live bytes, not churn high-water mark).
+    for (std::size_t i = 0; i < 4096; ++i) {
+        dict.note(i, key_of(i));
+    }
+    EXPECT_TRUE(dict.over_budget());
+    const std::size_t used_before = dict.arena_bytes_used();
+    dict.prune([](std::uint64_t fp) { return fp < 32; });
+    EXPECT_EQ(dict.size(), 32u);
+    EXPECT_FALSE(dict.over_budget());
+    EXPECT_LT(dict.arena_bytes_used(), used_before / 8);
+    for (std::size_t i = 0; i < 32; ++i) {
+        const std::string_view* v = dict.find(i);
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, key_of(i)) << "spelling corrupted by prune rebuild";
+    }
+    // Repeated churn cycles stay bounded: the arena never outgrows a small
+    // multiple of the live set.
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        for (std::size_t i = 0; i < 4096; ++i) {
+            dict.note(100'000 + static_cast<std::uint64_t>(cycle) * 4096 + i,
+                      key_of(i));
+        }
+        dict.prune([](std::uint64_t fp) { return fp < 32; });
+        EXPECT_EQ(dict.size(), 32u);
+    }
+    EXPECT_LE(dict.arena_bytes_used(), 32 * 64u);
+}
+
+TEST(SpellingArenaDict, MergeUnionMatchesHeapSemantics) {
+    arena_dict a(64);
+    arena_dict b(64);
+    a.note(1, std::string("one-from-a-padded-well-beyond-sso-territory"));
+    a.note(2, std::string("two-from-a-padded-well-beyond-sso-territory"));
+    b.note(2, std::string("two-from-b-padded-well-beyond-sso-territory"));
+    b.note(3, std::string("three-from-b-padded-well-beyond-sso-land"));
+    a.merge_union(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(*a.find(1), "one-from-a-padded-well-beyond-sso-territory");
+    // First spelling wins on union, exactly like the heap backend.
+    EXPECT_EQ(*a.find(2), "two-from-a-padded-well-beyond-sso-territory");
+    EXPECT_EQ(*a.find(3), "three-from-b-padded-well-beyond-sso-land");
+    // The merged-from dictionary is untouched and independent: mutating it
+    // later must not disturb a's arena-stored views.
+    b.prune([](std::uint64_t) { return false; });
+    EXPECT_EQ(*a.find(3), "three-from-b-padded-well-beyond-sso-land");
+}
+
+TEST(SpellingArenaDict, CopyIsDeepAndAssignRewindsArena) {
+    arena_dict a(64);
+    for (std::size_t i = 0; i < 50; ++i) {
+        a.note(i, key_of(i));
+    }
+    arena_dict copy(a);
+    a.prune([](std::uint64_t) { return false; });  // releases a's arena bytes
+    EXPECT_EQ(copy.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i) {
+        ASSERT_NE(copy.find(i), nullptr);
+        EXPECT_EQ(*copy.find(i), key_of(i));
+    }
+    // clone-into reuse: assigning into an existing dictionary rewinds its
+    // arena rather than growing it (the engine's snapshot fold relies on
+    // this staying allocation-free in steady state).
+    arena_dict target(64);
+    target = copy;
+    const std::size_t reserved = target.arena_bytes_reserved();
+    for (int round = 0; round < 10; ++round) {
+        target = copy;
+    }
+    EXPECT_EQ(target.arena_bytes_reserved(), reserved);
+    EXPECT_EQ(target.size(), 50u);
+}
+
+// --- heap/arena equivalence through the sketch -------------------------------
+
+/// Drives the same weighted churny stream through both backends and
+/// returns (heap envelope, arena envelope).
+template <typename Lifetime>
+std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>> run_both() {
+    const sketch_config cfg{.max_counters = 64,
+                            .seed = 11,
+                            .decay = 0.5,
+                            .window_epochs = 3};
+    heap_sketch<Lifetime> heap(cfg);
+    arena_sketch<Lifetime> arena(cfg);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int epoch = 0; epoch < 6; ++epoch) {
+        for (std::size_t i = 0; i < 4000; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            const std::string key = key_of(x % 700);  // churny: 700 keys, k=64
+            const double w = 1.0 + static_cast<double>(x % 7);
+            heap.update(key, w);
+            arena.update(key, w);
+        }
+        if constexpr (!std::is_same_v<Lifetime, plain_lifetime>) {
+            heap.tick();
+            arena.tick();
+        }
+    }
+    return {envelope_save(heap).take(), envelope_save(arena).take()};
+}
+
+template <typename Lifetime>
+void expect_bit_identical_envelopes(const char* what) {
+    const auto [heap_bytes, arena_bytes] = run_both<Lifetime>();
+    ASSERT_FALSE(heap_bytes.empty());
+    EXPECT_EQ(heap_bytes, arena_bytes)
+        << what << ": storage backend leaked into the envelope bytes";
+}
+
+TEST(SpellingArenaEnvelope, PlainLifetimeBitIdentical) {
+    expect_bit_identical_envelopes<plain_lifetime>("plain");
+}
+
+TEST(SpellingArenaEnvelope, FadingLifetimeBitIdentical) {
+    expect_bit_identical_envelopes<exponential_fading>("fading");
+}
+
+TEST(SpellingArenaEnvelope, WindowLifetimeBitIdentical) {
+    expect_bit_identical_envelopes<epoch_window>("window");
+}
+
+TEST(SpellingArenaEnvelope, PlacementHintsNeverChangeBytes) {
+    const sketch_config cfg{.max_counters = 32, .seed = 5};
+    arena_sketch<plain_lifetime> plain_sk(cfg);
+    arena_sketch<plain_lifetime> placed_sk(cfg, mem::placement{true, 0});
+    for (std::size_t i = 0; i < 10'000; ++i) {
+        const std::string key = key_of(i % 200);
+        plain_sk.update(key, 2.0);
+        placed_sk.update(key, 2.0);
+    }
+    EXPECT_EQ(envelope_save(plain_sk).bytes(), envelope_save(placed_sk).bytes());
+}
+
+TEST(SpellingArenaSketch, ReportsSameRowsAsHeap) {
+    const sketch_config cfg{.max_counters = 64, .seed = 9};
+    heap_sketch<plain_lifetime> heap(cfg);
+    arena_sketch<plain_lifetime> arena(cfg);
+    for (std::size_t i = 0; i < 20'000; ++i) {
+        const std::string key = key_of(i % 500);
+        heap.update(key, 1.0 + static_cast<double>(i % 3));
+        arena.update(key, 1.0 + static_cast<double>(i % 3));
+    }
+    const auto h_rows = heap.top_items(20);
+    const auto a_rows = arena.top_items(20);
+    ASSERT_EQ(h_rows.size(), a_rows.size());
+    for (std::size_t i = 0; i < h_rows.size(); ++i) {
+        EXPECT_EQ(h_rows[i].item, a_rows[i].item) << i;
+        EXPECT_EQ(h_rows[i].estimate, a_rows[i].estimate) << i;
+        EXPECT_EQ(h_rows[i].fingerprint, a_rows[i].fingerprint) << i;
+    }
+    (void)fp_of(key_of(0));  // keep the helper exercised under all configs
+}
+
+}  // namespace
